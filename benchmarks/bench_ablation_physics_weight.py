@@ -1,0 +1,48 @@
+"""Ablation EXP-A2: weight of the physics term in the Eq. 2 loss.
+
+The paper uses an unweighted sum of the data MAE and the physics MAE.
+This ablation sweeps the physics weight to show the regularization
+trade-off: 0 recovers No-PINN (poor off-horizon), very large weights
+drown the data term (Eq. 1's capacity bias leaks in), and weights
+around 1 balance the two — supporting the paper's unweighted choice.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import PhysicsConfig, TrainConfig, train_two_branch
+from repro.datasets import make_estimation_samples, make_prediction_samples
+from repro.datasets.sandia import cached_sandia
+from repro.eval.metrics import mae
+
+WEIGHTS = (0.0, 0.25, 1.0, 4.0)
+
+
+def test_ablation_physics_weight(benchmark, budget):
+    data = cached_sandia(dataclasses.replace(budget.sandia, cells=("sandia-nmc",)))
+    est = make_estimation_samples(data.train())
+    pred = make_prediction_samples(data.train(), horizon_s=120.0)
+    tests = {h: make_prediction_samples(data.test(), horizon_s=h) for h in (120.0, 360.0)}
+    cfg = TrainConfig(epochs_branch1=120, epochs_branch2=120)
+
+    def run():
+        grid = {}
+        for weight in WEIGHTS:
+            physics = PhysicsConfig(horizons_s=(120.0, 240.0, 360.0), weight=weight)
+            per_h = {h: [] for h in tests}
+            for seed in budget.seeds:
+                model, _ = train_two_branch(est, pred, train_config=cfg, physics=physics, seed=seed)
+                for h, samples in tests.items():
+                    per_h[h].append(mae(model.predict_samples(samples), samples.soc_target))
+            grid[weight] = {h: float(np.mean(v)) for h, v in per_h.items()}
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== EXP-A2: physics-loss weight sweep ==")
+    for weight, per_h in grid.items():
+        print(f"  weight={weight:<5g} " + "  ".join(f"@{h:g}s {v:.4f}" for h, v in per_h.items()))
+    benchmark.extra_info["grid"] = {f"{w:g}": {f"{h:g}": v for h, v in r.items()} for w, r in grid.items()}
+
+    # any nonzero physics weight must improve the unseen 360 s horizon
+    assert min(grid[w][360.0] for w in WEIGHTS if w > 0) < grid[0.0][360.0]

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the deployable components.
+
+The paper's deployment claim is that one inference costs ~1k operations
+and the whole model fits in 9 kB — cheap enough for a BMS/PMIC.  These
+benchmarks measure the actual wall-clock of the pieces a BMS would run
+(Branch 1 estimate, Branch 2 predict, EKF step, simulator step) so
+regressions in the hot paths are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EKFSoCEstimator
+from repro.battery import CellSimulator, SensorNoise, get_cell_spec
+from repro.core import TwoBranchSoCNet
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+def test_branch1_single_estimate(benchmark, model):
+    """One SoC estimation from one sensor reading (the BMS hot path)."""
+    result = benchmark(model.estimate_soc, 3.7, 1.5, 25.0)
+    assert 0.0 <= result[0] <= 1.5
+
+
+def test_branch2_single_prediction(benchmark, model):
+    """One future-SoC query (one autoregressive step)."""
+    result = benchmark(model.predict_soc, 0.8, 3.0, 25.0, 30.0)
+    assert np.isfinite(result[0])
+
+
+def test_full_cascade_batch(benchmark, model):
+    """A batch of 1000 cascade queries (planner-style what-if sweep)."""
+    rng = np.random.default_rng(0)
+    v = rng.uniform(3.0, 4.2, 1000)
+    i = rng.uniform(-3.0, 9.0, 1000)
+    t = rng.uniform(0.0, 40.0, 1000)
+    out = benchmark(model.predict_from_sensors, v, i, t, i, t, np.full(1000, 30.0))
+    assert out.shape == (1000,)
+
+
+def test_ekf_step(benchmark):
+    """One EKF predict/update cycle (the classic observer's hot path)."""
+    ekf = EKFSoCEstimator(get_cell_spec("sandia-nmc"))
+    out = benchmark(ekf.step, 3.7, 1.5, 1.0)
+    assert 0.0 <= out <= 1.0
+
+
+def test_simulator_throughput(benchmark):
+    """1000 ECM+thermal steps (dataset-generation throughput)."""
+    sim = CellSimulator(get_cell_spec("lg-hg2"), noise=SensorNoise.none(), rng=0)
+    profile = np.random.default_rng(0).uniform(-3.0, 9.0, 1000)
+
+    def run():
+        sim.reset(0.9, 25.0)
+        return sim.run_profile(profile, 0.1, 25.0, stop_at_cutoff=False)
+
+    result = benchmark(run)
+    assert len(result) == 1000

@@ -1,0 +1,54 @@
+"""Regenerate Table I: state-of-the-art comparison on the LG campaign.
+
+Paper artifact: SoC(t) and SoC(t+N) MAE at 0 C and 25 C for the
+two-branch network (No-PINN / PINN-All), the Wong-style LSTM, and the
+Dang-style DE-MLP/DE-LSTM, next to memory and operation counts.
+
+Expected shape (EXP-T1): our 2.3k-parameter model is within a small
+factor of the LSTM's accuracy while being orders of magnitude cheaper
+(paper: 409x fewer parameters, ~260,000x fewer operations), and both
+beat the DE-* baselines.
+"""
+
+import numpy as np
+
+from repro.core.complexity import lstm_complexity, model_complexity
+from repro.core.model import TwoBranchSoCNet
+from repro.baselines.lstm import paper_scale_config
+from repro.eval.experiments import run_table1
+from repro.nn.recurrent import LSTMRegressor
+
+
+def test_table1_soa(benchmark, budget):
+    rows = benchmark.pedantic(run_table1, args=(budget,), kwargs={"quiet": False}, rounds=1, iterations=1)
+    by_key = {(r[0], r[1]): r for r in rows}
+    benchmark.extra_info["rows"] = [[str(c) for c in r] for r in rows]
+
+    ours_25 = by_key[("PINN-All", "25")]
+    lstm_25 = by_key[("LSTM [17]", "25")]
+    de_mlp_0 = by_key[("DE-MLP [7]", "0")]
+    de_lstm_0 = by_key[("DE-LSTM [7]", "0")]
+
+    # 1. competitive estimation accuracy vs the LSTM SoA at 25 C
+    #    (paper: 0.014 vs 0.012 — within 2x here to absorb seed noise)
+    assert ours_25[2] < lstm_25[2] * 2.0
+    # 2. cold is harder than warm for our model (paper: 0.031 vs 0.014)
+    assert by_key[("PINN-All", "0")][2] >= ours_25[2] * 0.8
+    # 3. prediction (SoC(t+N)) adds little over estimation for PINN-All
+    assert ours_25[3] < ours_25[2] * 2.0
+    # 4. the DE-informed baselines trail our model at 0 C (paper: 4-6x)
+    assert de_mlp_0[2] > by_key[("PINN-All", "0")][2]
+    assert de_lstm_0[2] > by_key[("PINN-All", "0")][2]
+
+    # 5. complexity ratios have the paper's orders of magnitude
+    two_branch = model_complexity(TwoBranchSoCNet(rng=np.random.default_rng(0)))
+    cfg = paper_scale_config()
+    lstm_report = lstm_complexity(
+        LSTMRegressor(hidden_size=cfg.hidden_size, num_layers=cfg.num_layers,
+                      dense_size=cfg.dense_size, rng=np.random.default_rng(0)),
+        seq_len=cfg.seq_len,
+    )
+    assert lstm_report.parameters / two_branch.parameters > 100  # paper: 409x
+    assert lstm_report.ops / two_branch.ops > 10_000  # paper: ~260,000x
+    benchmark.extra_info["param_ratio"] = lstm_report.parameters / two_branch.parameters
+    benchmark.extra_info["ops_ratio"] = lstm_report.ops / two_branch.ops

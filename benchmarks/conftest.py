@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures.  By
+default a reduced ("fast") budget keeps the whole suite in the
+minutes range; set ``REPRO_FULL=1`` to run the paper-parity protocol
+(full campaigns, 5 seeds — tens of minutes).
+
+The regenerated rows/series are printed to stdout (run pytest with
+``-s`` to see them) and attached to the benchmark's ``extra_info``.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.experiments import fast_budget, full_budget
+
+
+@pytest.fixture(scope="session")
+def budget():
+    """The experiment budget selected via the REPRO_FULL env var."""
+    return full_budget() if os.environ.get("REPRO_FULL") == "1" else fast_budget()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment's setuptools cannot build
+PEP 517 editable wheels, so `pip install -e .` goes through setup.py."""
+
+from setuptools import setup
+
+setup()

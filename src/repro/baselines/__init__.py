@@ -1,0 +1,42 @@
+"""``repro.baselines`` — every comparison model the paper evaluates against.
+
+- :mod:`repro.baselines.physics_only` — Eq. 1 with no learning (the
+  "Physics-Only" bars of Figs. 3/4);
+- :mod:`repro.baselines.lstm` — Wong-style LSTM SoC estimator (the
+  state-of-the-art row of Table I);
+- :mod:`repro.baselines.de_pinn` — Dang-style DE-MLP / DE-LSTM (the
+  related-PINN rows of Table I);
+- :mod:`repro.baselines.ekf` — extended Kalman filter on a 1-RC model
+  (extra physics-based anchor, not in the paper's tables).
+"""
+
+from .de_pinn import DEConfig, DEEstimator, DEPairs, make_de_pairs, train_de_estimator
+from .ekf import EKFConfig, EKFSoCEstimator
+from .lstm import (
+    LSTMConfig,
+    LSTMSoCEstimator,
+    SequenceSamples,
+    compact_config,
+    make_sequence_samples,
+    paper_scale_config,
+    train_lstm_estimator,
+)
+from .physics_only import PhysicsOnlyModel
+
+__all__ = [
+    "PhysicsOnlyModel",
+    "LSTMConfig",
+    "LSTMSoCEstimator",
+    "SequenceSamples",
+    "make_sequence_samples",
+    "train_lstm_estimator",
+    "paper_scale_config",
+    "compact_config",
+    "DEConfig",
+    "DEEstimator",
+    "DEPairs",
+    "make_de_pairs",
+    "train_de_estimator",
+    "EKFConfig",
+    "EKFSoCEstimator",
+]

@@ -1,0 +1,49 @@
+"""``repro.battery`` — equivalent-circuit battery simulation substrate.
+
+Stands in for the physical cells behind the paper's two datasets.  The
+stack, bottom-up:
+
+- :mod:`repro.battery.chemistry` — analytic OCV-vs-SoC curves (NCA,
+  NMC, LFP) with exact derivatives;
+- :mod:`repro.battery.cell` — cell parameter registry (Sandia 18650s,
+  LG HG2);
+- :mod:`repro.battery.ecm` — Thevenin model with temperature- and
+  SoC-dependent parameters;
+- :mod:`repro.battery.thermal` — lumped thermal node with Joule
+  self-heating;
+- :mod:`repro.battery.coulomb` — Coulomb counting (the paper's Eq. 1);
+- :mod:`repro.battery.simulator` — time-stepped runs with sensor noise;
+- :mod:`repro.battery.protocols` — CC cycling recipes (lab cycler).
+"""
+
+from . import coulomb
+from .aging import AgingModel, aged_spec
+from .cell import CELL_SPECS, CellSpec, get_cell_spec
+from .chemistry import CHEMISTRIES, Chemistry, OCVCurve, OCVTerm, get_chemistry
+from .ecm import ECMState, TheveninModel
+from .protocols import CycleSpec, run_cc_cycle, run_full_discharge
+from .simulator import CellSimulator, SensorNoise, SimulationResult
+from .thermal import LumpedThermalModel
+
+__all__ = [
+    "coulomb",
+    "AgingModel",
+    "aged_spec",
+    "Chemistry",
+    "OCVCurve",
+    "OCVTerm",
+    "CHEMISTRIES",
+    "get_chemistry",
+    "CellSpec",
+    "CELL_SPECS",
+    "get_cell_spec",
+    "ECMState",
+    "TheveninModel",
+    "LumpedThermalModel",
+    "CellSimulator",
+    "SensorNoise",
+    "SimulationResult",
+    "CycleSpec",
+    "run_cc_cycle",
+    "run_full_discharge",
+]

@@ -1,0 +1,128 @@
+"""Battery aging: State-of-Health (SoH) degradation model.
+
+The paper's model "does not account for battery SoH degradation"
+(Sec. III-B) and names the ensemble approach of Alamin et al. [26] as
+the way to stay accurate across SoH levels: train one SoC model per
+SoH bracket and dispatch on a separate SoH estimate.  This module
+provides the aging substrate for that extension
+(:mod:`repro.core.ensemble`): an empirical capacity-fade and
+resistance-growth law that converts a cycle count into the aged cell
+parameters the simulator needs.
+
+The fade law is the usual square-root-of-throughput calendar+cycle
+blend used in BMS engineering:
+
+.. math::
+
+    SoH(n) = 1 - k_{cyc} \\sqrt{n} - k_{lin} n
+
+with resistance growing proportionally to the capacity lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .cell import CellSpec
+
+__all__ = ["AgingModel", "aged_spec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AgingModel:
+    """Empirical capacity-fade / resistance-growth law.
+
+    Attributes
+    ----------
+    k_cycle_sqrt:
+        Square-root fade coefficient (dominant early-life mechanism,
+        SEI growth).
+    k_cycle_linear:
+        Linear fade coefficient (late-life mechanism).
+    resistance_growth:
+        Fractional R0 increase per unit of capacity fade (an 80% SoH
+        cell with growth 2.0 has 1.4x the fresh resistance).
+    eol_soh:
+        End-of-life SoH; below it the model refuses to extrapolate
+        (the usual automotive convention is 0.8, retired cells 0.6).
+    """
+
+    k_cycle_sqrt: float = 2.0e-3
+    k_cycle_linear: float = 2.0e-5
+    resistance_growth: float = 2.0
+    eol_soh: float = 0.6
+
+    def __post_init__(self):
+        if self.k_cycle_sqrt < 0 or self.k_cycle_linear < 0:
+            raise ValueError("fade coefficients cannot be negative")
+        if not 0.0 < self.eol_soh < 1.0:
+            raise ValueError("end-of-life SoH must be in (0, 1)")
+
+    def soh_after_cycles(self, cycles: int | np.ndarray):
+        """SoH (capacity fraction) after ``cycles`` full cycles.
+
+        Clamped at the end-of-life floor; fresh cells return 1.0.
+        """
+        n = np.asarray(cycles, dtype=np.float64)
+        if np.any(n < 0):
+            raise ValueError("cycle count cannot be negative")
+        soh = 1.0 - self.k_cycle_sqrt * np.sqrt(n) - self.k_cycle_linear * n
+        soh = np.clip(soh, self.eol_soh, 1.0)
+        return soh if soh.shape else float(soh)
+
+    def cycles_to_soh(self, target_soh: float) -> int:
+        """Smallest cycle count at which SoH drops to ``target_soh``.
+
+        Solves the fade law by bisection (monotone decreasing).
+        """
+        if not self.eol_soh <= target_soh <= 1.0:
+            raise ValueError(f"target SoH must be within [{self.eol_soh}, 1.0]")
+        if target_soh >= 1.0:
+            return 0
+        lo, hi = 0, 1
+        while self.soh_after_cycles(hi) > target_soh:
+            hi *= 2
+            if hi > 10**9:
+                raise RuntimeError("fade law never reaches the target SoH")
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.soh_after_cycles(mid) > target_soh:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def resistance_factor(self, soh: float) -> float:
+        """R0 multiplier at the given SoH (1.0 when fresh)."""
+        if not 0.0 < soh <= 1.0:
+            raise ValueError("SoH must be in (0, 1]")
+        return 1.0 + self.resistance_growth * (1.0 - soh)
+
+
+def aged_spec(spec: CellSpec, soh: float, aging: AgingModel | None = None) -> CellSpec:
+    """Return a copy of ``spec`` degraded to the given SoH.
+
+    Capacity scales by ``soh``; ohmic and polarization resistances grow
+    per the aging model.  The returned spec keeps the original *name*
+    with an ``@soh`` suffix so campaign provenance stays readable.
+
+    Parameters
+    ----------
+    spec:
+        The fresh cell.
+    soh:
+        Target state of health in (0, 1].
+    aging:
+        The degradation law (defaults to :class:`AgingModel`).
+    """
+    aging = aging if aging is not None else AgingModel()
+    factor = aging.resistance_factor(soh)
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name}@soh{soh:.2f}",
+        capacity_ah=spec.capacity_ah * soh,
+        r0_ohm=spec.r0_ohm * factor,
+        rc_pairs=tuple((r * factor, c) for r, c in spec.rc_pairs),
+    )

@@ -1,0 +1,136 @@
+"""Cell specifications: electrical, thermal and rating parameters.
+
+A :class:`CellSpec` bundles everything the simulator needs to behave
+like one physical cell.  The registry mirrors the cells behind the two
+datasets the paper evaluates on:
+
+- ``sandia-nca`` / ``sandia-nmc`` / ``sandia-lfp`` — the three 18650
+  chemistries cycled by Sandia National Lab;
+- ``lg-hg2`` — the LGHG2 3 Ah cell measured at McMaster University.
+
+Parameter values are representative datasheet/literature numbers for
+each format, not fitted to the (unavailable) measurements; what matters
+for the reproduction is the *structure* of the response (OCV shape, IR
+drop, RC relaxation, rate and temperature sensitivity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .chemistry import Chemistry, get_chemistry
+
+__all__ = ["CellSpec", "get_cell_spec", "CELL_SPECS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Full parameter set for one simulated cell.
+
+    Electrical (Thevenin) parameters are given at the reference
+    temperature ``ref_temp_c``; the ECM applies Arrhenius-style scaling
+    away from it.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    chemistry:
+        The cell chemistry (OCV curve + voltage limits).
+    capacity_ah:
+        Rated capacity :math:`C_{rated}` in ampere-hours — the constant
+        in the paper's Coulomb-counting equation (Eq. 1).
+    r0_ohm:
+        Ohmic (instantaneous) resistance at reference temperature.
+    rc_pairs:
+        Tuple of ``(R_i, C_i)`` polarization branches (ohm, farad).
+    r_temp_ea:
+        Arrhenius activation factor (kelvin) for resistance growth at
+        low temperature; 0 disables temperature dependence.
+    r_soc_slope:
+        Fractional increase of R0 when going from full to empty; models
+        the well-known resistance rise at low SoC.
+    capacity_temp_coeff:
+        Fractional usable-capacity loss per kelvin below reference
+        (cold cells deliver less charge).
+    mass_kg, cp_j_per_kg_k, h_w_per_k:
+        Lumped thermal model: mass, specific heat, and effective
+        convective conductance to ambient.
+    max_charge_c, max_discharge_c:
+        Datasheet C-rate limits (used for input validation).
+    """
+
+    name: str
+    chemistry: Chemistry
+    capacity_ah: float
+    r0_ohm: float
+    rc_pairs: tuple[tuple[float, float], ...]
+    r_temp_ea: float = 1800.0
+    r_soc_slope: float = 0.6
+    capacity_temp_coeff: float = 0.006
+    mass_kg: float = 0.047
+    cp_j_per_kg_k: float = 900.0
+    h_w_per_k: float = 0.15  # fan-forced thermal chamber (lab conditions)
+    max_charge_c: float = 4.0
+    max_discharge_c: float = 5.0
+    ref_temp_c: float = 25.0
+
+    def __post_init__(self):
+        if self.capacity_ah <= 0:
+            raise ValueError("capacity must be positive")
+        if self.r0_ohm < 0 or any(r < 0 or c <= 0 for r, c in self.rc_pairs):
+            raise ValueError("resistances must be >= 0 and capacitances > 0")
+
+    @property
+    def capacity_coulombs(self) -> float:
+        """Rated capacity in coulombs (ampere-seconds)."""
+        return self.capacity_ah * 3600.0
+
+    def current_from_c_rate(self, c_rate: float) -> float:
+        """Convert a C-rate to amperes for this cell (positive = discharge)."""
+        return c_rate * self.capacity_ah
+
+    def time_constants(self) -> tuple[float, ...]:
+        """RC time constants (seconds) of the polarization branches."""
+        return tuple(r * c for r, c in self.rc_pairs)
+
+
+def _sandia_18650(name: str, chemistry: str, capacity_ah: float, r0: float) -> CellSpec:
+    return CellSpec(
+        name=name,
+        chemistry=get_chemistry(chemistry),
+        capacity_ah=capacity_ah,
+        r0_ohm=r0,
+        rc_pairs=((r0 * 0.6, 2000.0), (r0 * 0.9, 60000.0)),
+    )
+
+
+CELL_SPECS: dict[str, CellSpec] = {
+    # Sandia cycled 18650s: NCA ~3.2 Ah, NMC ~3.0 Ah, LFP ~1.1 Ah.
+    "sandia-nca": _sandia_18650("sandia-nca", "nca", 3.2, 0.030),
+    "sandia-nmc": _sandia_18650("sandia-nmc", "nmc", 3.0, 0.025),
+    "sandia-lfp": _sandia_18650("sandia-lfp", "lfp", 1.1, 0.045),
+    # LG HG2: 3 Ah high-drain NMC cell (the McMaster dataset's cell).
+    "lg-hg2": CellSpec(
+        name="lg-hg2",
+        chemistry=get_chemistry("nmc"),
+        capacity_ah=3.0,
+        r0_ohm=0.020,
+        rc_pairs=((0.012, 1500.0), (0.018, 50000.0)),
+        max_discharge_c=6.7,  # 20 A continuous
+    ),
+}
+
+
+def get_cell_spec(name: str) -> CellSpec:
+    """Look up a cell spec by case-insensitive registry name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names when the cell is unknown.
+    """
+    key = name.lower()
+    if key not in CELL_SPECS:
+        raise KeyError(f"unknown cell {name!r}; known: {sorted(CELL_SPECS)}")
+    return CELL_SPECS[key]

@@ -1,0 +1,174 @@
+"""Open-circuit-voltage (OCV) curves and chemistry definitions.
+
+The two public datasets behind the paper were measured on real cells:
+Sandia cycled commercial NCA, NMC and LFP 18650s; the LG dataset uses an
+LGHG2 3 Ah NMC cell.  This module provides analytic OCV-vs-SoC curves
+with the characteristic shape of each chemistry (steep knee near empty,
+mild mid-range slope for NCA/NMC, the famously flat LFP plateau), which
+the equivalent-circuit simulator uses to synthesize realistic voltage
+traces.
+
+Curves are sums of simple differentiable terms so that both the value
+and the exact derivative (needed by the EKF baseline) are available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["OCVTerm", "OCVCurve", "Chemistry", "get_chemistry", "CHEMISTRIES"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OCVTerm:
+    """One additive term of an OCV curve.
+
+    Supported kinds (``s`` is the state of charge in [0, 1]):
+
+    - ``const``:   ``a``
+    - ``linear``:  ``a * s``
+    - ``power``:   ``a * s**p``
+    - ``exp``:     ``a * exp(k * (s - x0))``
+    - ``tanh``:    ``a * tanh(k * (s - x0))``
+    """
+
+    kind: str
+    a: float
+    k: float = 0.0
+    x0: float = 0.0
+    p: float = 1.0
+
+    def value(self, s: np.ndarray) -> np.ndarray:
+        if self.kind == "const":
+            return np.full_like(s, self.a)
+        if self.kind == "linear":
+            return self.a * s
+        if self.kind == "power":
+            return self.a * s**self.p
+        if self.kind == "exp":
+            return self.a * np.exp(self.k * (s - self.x0))
+        if self.kind == "tanh":
+            return self.a * np.tanh(self.k * (s - self.x0))
+        raise ValueError(f"unknown OCV term kind {self.kind!r}")
+
+    def derivative(self, s: np.ndarray) -> np.ndarray:
+        if self.kind == "const":
+            return np.zeros_like(s)
+        if self.kind == "linear":
+            return np.full_like(s, self.a)
+        if self.kind == "power":
+            return self.a * self.p * s ** (self.p - 1.0)
+        if self.kind == "exp":
+            return self.a * self.k * np.exp(self.k * (s - self.x0))
+        if self.kind == "tanh":
+            return self.a * self.k / np.cosh(self.k * (s - self.x0)) ** 2
+        raise ValueError(f"unknown OCV term kind {self.kind!r}")
+
+
+class OCVCurve:
+    """Analytic OCV-vs-SoC curve built from :class:`OCVTerm` pieces.
+
+    The curve clamps its input to [0, 1]; real BMS code never queries
+    outside that range and the simulator enforces SoC bounds anyway.
+    """
+
+    def __init__(self, terms: Sequence[OCVTerm]):
+        if not terms:
+            raise ValueError("an OCV curve needs at least one term")
+        self.terms = tuple(terms)
+
+    def __call__(self, soc) -> np.ndarray:
+        s = np.clip(np.asarray(soc, dtype=np.float64), 0.0, 1.0)
+        out = np.zeros_like(s)
+        for term in self.terms:
+            out = out + term.value(s)
+        return out if out.shape else float(out)
+
+    def derivative(self, soc) -> np.ndarray:
+        """Exact dOCV/dSoC (zero outside [0, 1] because of clamping)."""
+        s_raw = np.asarray(soc, dtype=np.float64)
+        s = np.clip(s_raw, 0.0, 1.0)
+        out = np.zeros_like(s)
+        for term in self.terms:
+            out = out + term.derivative(s)
+        inside = (s_raw >= 0.0) & (s_raw <= 1.0)
+        out = np.where(inside, out, 0.0)
+        return out if out.shape else float(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class Chemistry:
+    """A cell chemistry: OCV curve plus voltage limits.
+
+    Attributes
+    ----------
+    name:
+        Canonical chemistry label (``"nca"``, ``"nmc"``, ``"lfp"``).
+    ocv:
+        The open-circuit-voltage curve.
+    v_min, v_max:
+        Discharge/charge cutoff voltages (V).
+    nominal_voltage:
+        Datasheet nominal voltage (V), used for energy accounting.
+    """
+
+    name: str
+    ocv: OCVCurve
+    v_min: float
+    v_max: float
+    nominal_voltage: float
+
+
+# Curve shapes: v(0) sits below the discharge cutoff so CC discharges
+# terminate on voltage (like a lab cycler) with a rate-dependent amount
+# of charge delivered; v(1) sits at/above the charge cutoff.
+_NCA_OCV = OCVCurve(
+    [
+        OCVTerm("const", 3.40),
+        OCVTerm("linear", 0.62),
+        OCVTerm("power", 0.20, p=5.0),
+        OCVTerm("exp", -0.80, k=-18.0),
+    ]
+)
+
+_NMC_OCV = OCVCurve(
+    [
+        OCVTerm("const", 3.50),
+        OCVTerm("linear", 0.55),
+        OCVTerm("power", 0.15, p=6.0),
+        OCVTerm("exp", -0.95, k=-20.0),
+    ]
+)
+
+_LFP_OCV = OCVCurve(
+    [
+        OCVTerm("const", 3.00),
+        OCVTerm("linear", 0.03),
+        OCVTerm("exp", -1.05, k=-25.0),
+        OCVTerm("const", 0.30),  # plateau level reached once the knee decays
+        OCVTerm("exp", 0.35, k=15.0, x0=1.0),
+    ]
+)
+
+CHEMISTRIES: dict[str, Chemistry] = {
+    "nca": Chemistry("nca", _NCA_OCV, v_min=2.70, v_max=4.20, nominal_voltage=3.60),
+    "nmc": Chemistry("nmc", _NMC_OCV, v_min=2.70, v_max=4.20, nominal_voltage=3.63),
+    "lfp": Chemistry("lfp", _LFP_OCV, v_min=2.50, v_max=3.65, nominal_voltage=3.20),
+}
+
+
+def get_chemistry(name: str) -> Chemistry:
+    """Look up a chemistry by case-insensitive name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names when the chemistry is unknown.
+    """
+    key = name.lower()
+    if key not in CHEMISTRIES:
+        raise KeyError(f"unknown chemistry {name!r}; known: {sorted(CHEMISTRIES)}")
+    return CHEMISTRIES[key]

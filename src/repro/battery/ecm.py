@@ -1,0 +1,164 @@
+"""Thevenin equivalent-circuit model (ECM) of a Li-ion cell.
+
+This is the "physics-based digital twin" class of model the paper
+contrasts data-driven approaches against (Sec. II, category 2), and the
+engine behind our synthetic datasets: OCV source in series with an
+ohmic resistance and one or more RC polarization branches.
+
+State per step: SoC (true coulomb balance), one voltage per RC branch,
+and the cell temperature (owned by the caller / simulator).  Resistance
+grows at low temperature (Arrhenius) and at low SoC; usable capacity
+shrinks in the cold.  These second-order couplings are exactly what a
+pure Coulomb-counting predictor cannot see — and what the paper's
+Branch 1/2 networks learn from data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .cell import CellSpec
+
+__all__ = ["ECMState", "TheveninModel"]
+
+_KELVIN = 273.15
+
+
+@dataclasses.dataclass
+class ECMState:
+    """Electrical state of the Thevenin model."""
+
+    soc: float
+    rc_voltages: np.ndarray
+
+    def copy(self) -> "ECMState":
+        return ECMState(self.soc, self.rc_voltages.copy())
+
+
+class TheveninModel:
+    """N-branch Thevenin ECM with temperature/SoC-dependent parameters.
+
+    Parameters
+    ----------
+    spec:
+        The cell to model.
+    capacity_factor:
+        Ratio of the cell's *actual* capacity to the datasheet rating
+        (manufacturing variability and aging; Sec. II of the paper
+        points out that assuming the nominal ``Qmax`` "might not be an
+        accurate guess due to various variability effects").  Ground
+        truth SoC is charge relative to the actual capacity, while
+        Eq. 1 users only know the rating — the gap is what makes pure
+        Coulomb counting approximate.
+
+    Notes
+    -----
+    Sign convention matches the rest of the package: **positive current
+    discharges** the cell.  The RC branches use the exact exponential
+    discretization, so arbitrarily large ``dt`` remains stable.
+    """
+
+    def __init__(self, spec: CellSpec, capacity_factor: float = 1.0):
+        if not 0.5 <= capacity_factor <= 1.2:
+            raise ValueError("capacity factor must be within [0.5, 1.2]")
+        self.spec = spec
+        self.capacity_factor = capacity_factor
+        self.state = ECMState(soc=1.0, rc_voltages=np.zeros(len(spec.rc_pairs)))
+
+    # ------------------------------------------------------------------
+    # parameter laws
+    # ------------------------------------------------------------------
+    def _temp_factor(self, temp_c: float) -> float:
+        """Arrhenius resistance multiplier relative to the reference temp."""
+        if self.spec.r_temp_ea == 0.0:
+            return 1.0
+        t = temp_c + _KELVIN
+        t_ref = self.spec.ref_temp_c + _KELVIN
+        return float(np.exp(self.spec.r_temp_ea * (1.0 / t - 1.0 / t_ref)))
+
+    def r0(self, soc: float, temp_c: float) -> float:
+        """Ohmic resistance at the given operating point."""
+        soc_factor = 1.0 + self.spec.r_soc_slope * (1.0 - np.clip(soc, 0.0, 1.0))
+        return self.spec.r0_ohm * soc_factor * self._temp_factor(temp_c)
+
+    def branch_resistance(self, index: int, temp_c: float) -> float:
+        """Polarization resistance of RC branch ``index`` at ``temp_c``."""
+        r, _ = self.spec.rc_pairs[index]
+        return r * self._temp_factor(temp_c)
+
+    def effective_capacity_ah(self, temp_c: float) -> float:
+        """Usable capacity at ``temp_c`` (shrinks below reference),
+        including the cell's actual-vs-rated capacity factor."""
+        deficit = max(0.0, self.spec.ref_temp_c - temp_c)
+        factor = max(0.5, 1.0 - self.spec.capacity_temp_coeff * deficit)
+        return self.spec.capacity_ah * self.capacity_factor * factor
+
+    # ------------------------------------------------------------------
+    # state handling
+    # ------------------------------------------------------------------
+    def reset(self, soc: float = 1.0) -> None:
+        """Reset to the given SoC with relaxed (zero) RC voltages."""
+        if not 0.0 <= soc <= 1.0:
+            raise ValueError("initial SoC must be in [0, 1]")
+        self.state = ECMState(soc=float(soc), rc_voltages=np.zeros(len(self.spec.rc_pairs)))
+
+    def terminal_voltage(self, current_a: float, temp_c: float) -> float:
+        """Terminal voltage for the present state under ``current_a``."""
+        ocv = self.spec.chemistry.ocv(self.state.soc)
+        drop = current_a * self.r0(self.state.soc, temp_c)
+        return float(ocv - drop - self.state.rc_voltages.sum())
+
+    def power_loss(self, current_a: float, temp_c: float) -> float:
+        """Resistive dissipation (W) for the present state and current."""
+        loss = current_a**2 * self.r0(self.state.soc, temp_c)
+        for i, (r, _) in enumerate(self.spec.rc_pairs):
+            r_t = self.branch_resistance(i, temp_c)
+            if r_t > 0:
+                loss += self.state.rc_voltages[i] ** 2 / r_t
+        return float(loss)
+
+    def step(self, current_a: float, dt_s: float, temp_c: float) -> float:
+        """Advance the electrical state by ``dt_s`` and return terminal voltage.
+
+        Parameters
+        ----------
+        current_a:
+            Applied current (positive = discharge) held constant over
+            the step.
+        dt_s:
+            Step length in seconds.
+        temp_c:
+            Cell temperature during the step (from the thermal model).
+
+        Returns
+        -------
+        float
+            Terminal voltage at the *end* of the step.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        # RC branches: exact exponential response to a constant current.
+        for i, (r, c) in enumerate(self.spec.rc_pairs):
+            r_t = self.branch_resistance(i, temp_c)
+            tau = r_t * c
+            if tau <= 0:
+                self.state.rc_voltages[i] = 0.0
+                continue
+            decay = np.exp(-dt_s / tau)
+            self.state.rc_voltages[i] = (
+                self.state.rc_voltages[i] * decay + r_t * current_a * (1.0 - decay)
+            )
+        # Coulomb balance against the temperature-dependent usable capacity.
+        capacity_c = self.effective_capacity_ah(temp_c) * 3600.0
+        self.state.soc = float(np.clip(self.state.soc - current_a * dt_s / capacity_c, 0.0, 1.0))
+        return self.terminal_voltage(current_a, temp_c)
+
+    def at_limit(self, current_a: float, temp_c: float) -> bool:
+        """True when the terminal voltage has crossed a cutoff."""
+        v = self.terminal_voltage(current_a, temp_c)
+        chem = self.spec.chemistry
+        if current_a >= 0.0:  # discharging or rest
+            return v <= chem.v_min or self.state.soc <= 0.0
+        return v >= chem.v_max or self.state.soc >= 1.0

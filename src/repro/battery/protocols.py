@@ -1,0 +1,103 @@
+"""Charge/discharge protocol drivers (lab-cycler behaviours).
+
+The Sandia campaign the paper trains on is a grid of constant-current
+cycles: CC charge at 0.5C to the upper cutoff, rest, CC discharge at
+1C/2C/3C to the lower cutoff, rest — repeated across ambient
+temperatures.  This module turns a :class:`~repro.battery.simulator.CellSimulator`
+into such a cycler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .simulator import CellSimulator, SimulationResult
+
+__all__ = ["CycleSpec", "run_cc_cycle", "run_full_discharge"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleSpec:
+    """One constant-current cycling recipe.
+
+    Attributes
+    ----------
+    charge_c_rate:
+        Charging C-rate (applied as negative current).
+    discharge_c_rate:
+        Discharging C-rate (positive current).
+    ambient_c:
+        Ambient temperature for the cycle.
+    rest_s:
+        Rest duration between phases.
+    dt_s:
+        Internal simulation step.
+    record_every:
+        Decimation factor between simulation and recorded samples
+        (Sandia records every 120 s; we simulate at 1 s).
+    """
+
+    charge_c_rate: float = 0.5
+    discharge_c_rate: float = 1.0
+    ambient_c: float = 25.0
+    rest_s: float = 600.0
+    dt_s: float = 1.0
+    record_every: int = 120
+
+    def __post_init__(self):
+        if self.charge_c_rate <= 0 or self.discharge_c_rate <= 0:
+            raise ValueError("C-rates must be positive magnitudes")
+        if self.dt_s <= 0 or self.record_every < 1:
+            raise ValueError("invalid timing parameters")
+
+
+def run_cc_cycle(sim: CellSimulator, spec: CycleSpec, max_phase_time_s: float = 6.0 * 3600.0) -> SimulationResult:
+    """Run one full charge/rest/discharge/rest cycle.
+
+    The simulator must be reset by the caller (the campaign decides the
+    starting SoC and temperature).  Returns the concatenated trace of
+    all four phases.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to drive (stateful; left at end-of-cycle state).
+    spec:
+        The cycling recipe.
+    max_phase_time_s:
+        Safety bound per CC phase.
+    """
+    cell = sim.spec
+    charge_current = -cell.current_from_c_rate(spec.charge_c_rate)
+    discharge_current = cell.current_from_c_rate(spec.discharge_c_rate)
+    if spec.discharge_c_rate > cell.max_discharge_c:
+        raise ValueError(
+            f"discharge rate {spec.discharge_c_rate}C exceeds the cell limit {cell.max_discharge_c}C"
+        )
+
+    charge = sim.run_constant_current(
+        charge_current, spec.dt_s, spec.ambient_c, max_phase_time_s, record_every=spec.record_every
+    )
+    rest1 = sim.run_rest(spec.rest_s, spec.dt_s, spec.ambient_c, record_every=spec.record_every)
+    discharge = sim.run_constant_current(
+        discharge_current, spec.dt_s, spec.ambient_c, max_phase_time_s, record_every=spec.record_every
+    )
+    rest2 = sim.run_rest(spec.rest_s, spec.dt_s, spec.ambient_c, record_every=spec.record_every)
+    return charge.concat(rest1).concat(discharge).concat(rest2)
+
+
+def run_full_discharge(
+    sim: CellSimulator,
+    c_rate: float,
+    ambient_c: float,
+    dt_s: float = 1.0,
+    record_every: int = 1,
+    max_time_s: float = 6.0 * 3600.0,
+) -> SimulationResult:
+    """Discharge from the present state to the voltage cutoff.
+
+    Convenience wrapper used by tests and the Fig. 5 ground-truth
+    generation (full "driving" discharges).
+    """
+    current = sim.spec.current_from_c_rate(c_rate)
+    return sim.run_constant_current(current, dt_s, ambient_c, max_time_s, record_every=record_every)

@@ -1,0 +1,81 @@
+"""Lumped-parameter thermal model for a single cell.
+
+Cell temperature matters to the paper's task twice: it is one of the
+three measured inputs of Branch 1, and the datasets sweep wide ambient
+ranges (15-35 C for Sandia, -20..+40 C for LG).  A single thermal mass
+with Joule self-heating and convective exchange with ambient reproduces
+the first-order coupling between load current and measured temperature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LumpedThermalModel"]
+
+
+class LumpedThermalModel:
+    """Single-node thermal model.
+
+    .. math::
+
+        m c_p \\frac{dT}{dt} = P_{loss} - h (T - T_{amb})
+
+    where ``P_loss`` is the resistive dissipation reported by the
+    electrical model.
+
+    Parameters
+    ----------
+    mass_kg:
+        Cell mass.
+    cp_j_per_kg_k:
+        Specific heat capacity.
+    h_w_per_k:
+        Effective convective conductance to ambient (W/K).
+    initial_temp_c:
+        Starting cell temperature (defaults to ambient at reset).
+    """
+
+    def __init__(self, mass_kg: float, cp_j_per_kg_k: float, h_w_per_k: float, initial_temp_c: float = 25.0):
+        if mass_kg <= 0 or cp_j_per_kg_k <= 0 or h_w_per_k < 0:
+            raise ValueError("thermal parameters must be positive (h may be zero)")
+        self.mass_kg = mass_kg
+        self.cp = cp_j_per_kg_k
+        self.h = h_w_per_k
+        self.temp_c = float(initial_temp_c)
+
+    @property
+    def heat_capacity(self) -> float:
+        """Total heat capacity (J/K)."""
+        return self.mass_kg * self.cp
+
+    def reset(self, temp_c: float) -> None:
+        """Set the cell temperature (typically to ambient before a run)."""
+        self.temp_c = float(temp_c)
+
+    def step(self, power_loss_w: float, ambient_c: float, dt_s: float) -> float:
+        """Advance the temperature by ``dt_s`` seconds and return it.
+
+        Uses an exact exponential update for the linear relaxation part
+        so large timesteps remain stable:
+
+        ``T' = T_inf + (T - T_inf) * exp(-h*dt/(m*cp))`` with
+        ``T_inf = T_amb + P/h`` (or pure integration when ``h == 0``).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if power_loss_w < 0:
+            raise ValueError("power loss cannot be negative")
+        if self.h == 0.0:
+            self.temp_c += power_loss_w * dt_s / self.heat_capacity
+            return self.temp_c
+        t_inf = ambient_c + power_loss_w / self.h
+        decay = np.exp(-self.h * dt_s / self.heat_capacity)
+        self.temp_c = t_inf + (self.temp_c - t_inf) * decay
+        return self.temp_c
+
+    def steady_state(self, power_loss_w: float, ambient_c: float) -> float:
+        """Equilibrium temperature for a constant dissipation."""
+        if self.h == 0.0:
+            raise ZeroDivisionError("no steady state without convection")
+        return ambient_c + power_loss_w / self.h

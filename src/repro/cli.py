@@ -1,0 +1,261 @@
+"""Command-line interface: train, evaluate, and roll out SoC models.
+
+Gives the library a deployable surface without writing Python:
+
+- ``repro-soc train``     — train a (PINN or No-PINN) model on a
+  synthetic campaign and checkpoint it to ``.npz``;
+- ``repro-soc evaluate``  — score a checkpoint on the campaign's test
+  split at one or more horizons;
+- ``repro-soc predict``   — one-shot SoC estimation + prediction from
+  sensor readings and a hypothesized workload;
+- ``repro-soc rollout``   — autoregressive full-discharge trace of a
+  named test cycle;
+- ``repro-soc inspect``   — parameters / memory / ops of a checkpoint.
+
+Usage examples::
+
+    python -m repro.cli train --dataset sandia --pinn --out model.npz
+    python -m repro.cli evaluate model.npz --dataset sandia --horizons 120 240 360
+    python -m repro.cli predict model.npz --voltage 3.7 --current 3 \\
+        --temp 25 --workload-current 6 --horizon 300
+    python -m repro.cli rollout model.npz --dataset lg --cycle us06-25C --step 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.complexity import model_complexity
+from .core.config import ModelConfig, PhysicsConfig, TrainConfig
+from .core.model import TwoBranchSoCNet
+from .core.rollout import model_rollout
+from .core.trainer import train_two_branch
+from .datasets.lg import LGConfig, generate_lg
+from .datasets.preprocessing import smooth_cycle
+from .datasets.sandia import SandiaConfig, generate_sandia
+from .datasets.windowing import make_estimation_samples, make_prediction_samples
+from .eval.metrics import mae
+from .nn.serialization import load_state, save_state
+
+__all__ = ["main", "build_parser"]
+
+_DATASET_DEFAULTS = {
+    "sandia": {
+        "train_horizon": 120.0,
+        "horizon_scale": 360.0,
+        "physics_horizons": (120.0, 240.0, 360.0),
+        "smooth_s": None,
+        "stride": 1,
+    },
+    "lg": {
+        "train_horizon": 30.0,
+        "horizon_scale": 70.0,
+        "physics_horizons": (30.0, 50.0, 70.0),
+        "smooth_s": 30.0,
+        "stride": 20,
+    },
+}
+
+
+def _generate(dataset: str, seed: int, fast: bool):
+    if dataset == "sandia":
+        cfg = SandiaConfig(seed=seed, sim_dt_s=2.0 if fast else 1.0)
+        return generate_sandia(cfg)
+    cfg = LGConfig(seed=seed) if not fast else LGConfig(
+        seed=seed,
+        sampling_period_s=0.5,
+        n_train_mixed=3,
+        train_temps_c=(0.0, 10.0, 25.0),
+        mixed_segment_s=(180.0, 420.0),
+    )
+    return generate_lg(cfg)
+
+
+def _prepare_cycles(cycles, smooth_s):
+    if smooth_s is None:
+        return list(cycles)
+    return [smooth_cycle(c, smooth_s) for c in cycles]
+
+
+def _save_model(model: TwoBranchSoCNet, path: str, meta: dict) -> None:
+    save_state(model.state_dict(), path, meta=meta)
+
+
+def _load_model(path: str) -> tuple[TwoBranchSoCNet, dict]:
+    state, meta = load_state(path)
+    if meta is None or "horizon_scale" not in meta:
+        raise SystemExit(f"{path} is not a repro-soc checkpoint")
+    model = TwoBranchSoCNet(
+        ModelConfig(hidden=tuple(meta["hidden"]), horizon_scale_s=meta["horizon_scale"]),
+        rng=np.random.default_rng(0),
+    )
+    model.load_state_dict(state)
+    return model, meta
+
+
+# ----------------------------------------------------------------------
+def _cmd_train(args) -> int:
+    defaults = _DATASET_DEFAULTS[args.dataset]
+    print(f"generating {args.dataset} campaign (seed {args.seed})...", file=sys.stderr)
+    campaign = _generate(args.dataset, args.seed, args.fast)
+    train_cycles = _prepare_cycles(campaign.train(), defaults["smooth_s"])
+    estimation = make_estimation_samples(train_cycles, stride=defaults["stride"])
+    prediction = make_prediction_samples(
+        train_cycles, horizon_s=defaults["train_horizon"], stride=defaults["stride"]
+    )
+    physics = PhysicsConfig(horizons_s=defaults["physics_horizons"]) if args.pinn else None
+    model, logs = train_two_branch(
+        estimation,
+        prediction,
+        model_config=ModelConfig(horizon_scale_s=defaults["horizon_scale"]),
+        train_config=TrainConfig(
+            epochs_branch1=args.epochs, epochs_branch2=args.epochs, seed=args.seed
+        ),
+        physics=physics,
+    )
+    meta = {
+        "dataset": args.dataset,
+        "pinn": bool(args.pinn),
+        "seed": args.seed,
+        "hidden": list(model.config.hidden),
+        "horizon_scale": model.config.horizon_scale_s,
+        "final_loss_b1": logs["branch1"].last().get("loss"),
+        "final_loss_b2": logs["branch2"].last().get("loss"),
+    }
+    _save_model(model, args.out, meta)
+    print(f"saved {model.num_parameters()}-parameter model to {args.out}")
+    print(f"final losses: b1={meta['final_loss_b1']:.4f} b2={meta['final_loss_b2']:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    model, meta = _load_model(args.model)
+    dataset = args.dataset or meta["dataset"]
+    defaults = _DATASET_DEFAULTS[dataset]
+    campaign = _generate(dataset, args.seed, args.fast)
+    test_cycles = _prepare_cycles(campaign.test(), defaults["smooth_s"])
+    print(f"model: {args.model} (dataset={dataset}, pinn={meta['pinn']})")
+    for horizon in args.horizons:
+        samples = make_prediction_samples(test_cycles, horizon_s=horizon, stride=defaults["stride"])
+        err = mae(model.predict_samples(samples), samples.soc_target)
+        print(f"  SoC(t+{horizon:g}s) MAE = {err:.4f}   (n={len(samples)})")
+    estimation = make_estimation_samples(test_cycles, stride=defaults["stride"])
+    soc_hat = model.estimate_soc(
+        estimation.features[:, 0], estimation.features[:, 1], estimation.features[:, 2]
+    )
+    print(f"  SoC(t)      MAE = {mae(soc_hat, estimation.soc):.4f}   (n={len(estimation)})")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    model, _ = _load_model(args.model)
+    soc_now = model.estimate_soc(args.voltage, args.current, args.temp)[0]
+    soc_future = model.predict_soc(
+        soc_now, args.workload_current, args.workload_temp if args.workload_temp is not None else args.temp,
+        args.horizon,
+    )[0]
+    print(f"SoC(t)   = {soc_now:.4f}")
+    print(f"SoC(t+{args.horizon:g}s) = {soc_future:.4f} under {args.workload_current:g} A")
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    model, meta = _load_model(args.model)
+    dataset = args.dataset or meta["dataset"]
+    defaults = _DATASET_DEFAULTS[dataset]
+    campaign = _generate(dataset, args.seed, args.fast)
+    try:
+        cycle = campaign.by_name(args.cycle)
+    except KeyError:
+        names = ", ".join(c.name for c in campaign.test())
+        raise SystemExit(f"unknown cycle {args.cycle!r}; test cycles: {names}")
+    if defaults["smooth_s"]:
+        cycle = smooth_cycle(cycle, defaults["smooth_s"])
+    result = model_rollout(model, cycle, step_s=args.step)
+    print(f"rollout of {cycle.name}: {len(result) - 1} steps x {result.step_s:g}s")
+    print(f"  initial SoC estimate: {result.initial_soc:.4f} (true {result.soc_true[0]:.4f})")
+    print(f"  trajectory MAE: {result.mae():.4f}")
+    print(f"  final |error|:  {result.final_error():.4f}")
+    if args.csv:
+        from .eval.reporting import save_csv
+
+        save_csv(args.csv, ["time_s", "soc_pred", "soc_true"],
+                 list(zip(result.time_s, result.soc_pred, result.soc_true)))
+        print(f"  series written to {args.csv}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    model, meta = _load_model(args.model)
+    report = model_complexity(model)
+    print(f"checkpoint: {args.model}")
+    for key, value in meta.items():
+        print(f"  {key}: {value}")
+    print(f"  parameters: {report.parameters}")
+    print(f"  memory: {report.memory_kib():.1f} KiB (float32)")
+    print(f"  MACs/inference: {report.macs}")
+    print(f"  ops/inference: {report.ops}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro-soc", description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a model on a synthetic campaign")
+    train.add_argument("--dataset", choices=sorted(_DATASET_DEFAULTS), default="sandia")
+    train.add_argument("--pinn", action="store_true", help="enable the physics-informed loss")
+    train.add_argument("--epochs", type=int, default=120)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--fast", action="store_true", help="scaled-down campaign")
+    train.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="score a checkpoint on the test split")
+    evaluate.add_argument("model")
+    evaluate.add_argument("--dataset", choices=sorted(_DATASET_DEFAULTS), default=None)
+    evaluate.add_argument("--horizons", type=float, nargs="+", default=[120.0])
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--fast", action="store_true")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    predict = sub.add_parser("predict", help="one-shot estimate + prediction")
+    predict.add_argument("model")
+    predict.add_argument("--voltage", type=float, required=True)
+    predict.add_argument("--current", type=float, required=True)
+    predict.add_argument("--temp", type=float, required=True)
+    predict.add_argument("--workload-current", type=float, required=True)
+    predict.add_argument("--workload-temp", type=float, default=None)
+    predict.add_argument("--horizon", type=float, required=True)
+    predict.set_defaults(func=_cmd_predict)
+
+    rollout = sub.add_parser("rollout", help="autoregressive discharge trace")
+    rollout.add_argument("model")
+    rollout.add_argument("--dataset", choices=sorted(_DATASET_DEFAULTS), default=None)
+    rollout.add_argument("--cycle", required=True, help="test-cycle name (see dataset summary)")
+    rollout.add_argument("--step", type=float, default=30.0)
+    rollout.add_argument("--seed", type=int, default=0)
+    rollout.add_argument("--fast", action="store_true")
+    rollout.add_argument("--csv", default=None, help="write the trajectory to this CSV")
+    rollout.set_defaults(func=_cmd_rollout)
+
+    inspect = sub.add_parser("inspect", help="show checkpoint metadata and cost")
+    inspect.add_argument("model")
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The two network branches (paper Fig. 1).
+
+Both are small fully-connected ReLU networks with a single unbounded
+linear output unit:
+
+- :class:`Branch1` — SoC *estimation*: ``(V(t), I(t), T(t)) -> SoC(t)``;
+- :class:`Branch2` — SoC *prediction*:
+  ``(SoC(t), I(t+N), T(t+N), N) -> SoC(t+N)``.
+
+They consume **scaled** features; scaling (with fixed physical
+constants) lives in :class:`repro.core.model.TwoBranchSoCNet`, which
+owns the raw-input API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+
+__all__ = ["Branch1", "Branch2"]
+
+
+class Branch1(nn.Module):
+    """SoC-estimation branch: 3 scaled inputs -> scalar SoC."""
+
+    N_INPUTS = 3
+
+    def __init__(self, config: ModelConfig | None = None, rng: np.random.Generator | None = None):
+        super().__init__()
+        config = config if config is not None else ModelConfig()
+        self.config = config
+        self.mlp = nn.MLP(self.N_INPUTS, hidden=config.hidden, out_features=1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        """Map scaled ``(batch, 3)`` features to ``(batch, 1)`` SoC."""
+        if x.shape[-1] != self.N_INPUTS:
+            raise ValueError(f"Branch1 expects {self.N_INPUTS} features, got {x.shape[-1]}")
+        return self.mlp(x)
+
+
+class Branch2(nn.Module):
+    """SoC-prediction branch: 4 scaled inputs -> scalar future SoC."""
+
+    N_INPUTS = 4
+
+    def __init__(self, config: ModelConfig | None = None, rng: np.random.Generator | None = None):
+        super().__init__()
+        config = config if config is not None else ModelConfig()
+        self.config = config
+        self.mlp = nn.MLP(self.N_INPUTS, hidden=config.hidden, out_features=1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        """Map scaled ``(batch, 4)`` features to ``(batch, 1)`` future SoC."""
+        if x.shape[-1] != self.N_INPUTS:
+            raise ValueError(f"Branch2 expects {self.N_INPUTS} features, got {x.shape[-1]}")
+        return self.mlp(x)

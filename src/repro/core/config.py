@@ -1,0 +1,105 @@
+"""Configuration dataclasses for the two-branch SoC network.
+
+Defaults reproduce the paper exactly: hidden widths 16/32/16 with ReLU
+(Sec. III-A), MAE losses, Adam training, physics collocation over a set
+of horizons (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ModelConfig", "PhysicsConfig", "TrainConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of both branches.
+
+    Attributes
+    ----------
+    hidden:
+        Hidden-layer widths shared by the two branches (paper: the
+        inverted bottleneck 16/32/16).
+    horizon_scale_s:
+        Fixed normalization constant for Branch 2's horizon input
+        (360 s for Sandia-style horizons, 70 s for LG-style ones).
+    """
+
+    hidden: tuple[int, ...] = (16, 32, 16)
+    horizon_scale_s: float = 360.0
+
+    def __post_init__(self):
+        if not self.hidden or any(h <= 0 for h in self.hidden):
+            raise ValueError("hidden widths must be positive")
+        if self.horizon_scale_s <= 0:
+            raise ValueError("horizon scale must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class PhysicsConfig:
+    """Physics-informed loss settings (Sec. III-B, Eq. 2).
+
+    Attributes
+    ----------
+    horizons_s:
+        The set :math:`\\mathcal{N}` of collocation horizons ``Np``.
+        A single value gives PINN-<Np>; several give PINN-All.
+    n_collocation:
+        Collocation points drawn per minibatch.
+    weight:
+        Multiplier on the physics MAE term (1.0 = Eq. 2 as printed).
+    """
+
+    horizons_s: tuple[float, ...] = (120.0, 240.0, 360.0)
+    n_collocation: int = 256
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.horizons_s or any(h <= 0 for h in self.horizons_s):
+            raise ValueError("collocation horizons must be positive")
+        if self.n_collocation <= 0:
+            raise ValueError("need at least one collocation point")
+        if self.weight < 0:
+            raise ValueError("physics weight cannot be negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """Optimization settings for the split training scheme.
+
+    Attributes
+    ----------
+    epochs_branch1 / epochs_branch2:
+        Epoch budgets per branch (they are trained separately; the
+        paper stops gradients between them).
+    batch_size, lr:
+        Minibatch size and Adam learning rate.
+    grad_clip:
+        Global-norm gradient clip (0 disables).
+    seed:
+        Controls weight init, shuffling, and collocation sampling.
+    max_train_rows:
+        Optional cap on training rows (dense 0.1 s campaigns are
+        subsampled to keep epochs meaningful); 0 disables.
+    """
+
+    epochs_branch1: int = 60
+    epochs_branch2: int = 60
+    batch_size: int = 64
+    lr: float = 3e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+    max_train_rows: int = 20000
+
+    def __post_init__(self):
+        if self.epochs_branch1 < 0 or self.epochs_branch2 < 0:
+            raise ValueError("epoch counts cannot be negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if self.grad_clip < 0:
+            raise ValueError("grad clip cannot be negative")
+        if self.max_train_rows < 0:
+            raise ValueError("max_train_rows cannot be negative")

@@ -1,0 +1,96 @@
+"""SoH-aware ensemble of SoC predictors (the paper's named extension).
+
+Sec. III-B of the paper: the model "is accurate only ... as long as the
+actual SoH is comparable to the one of batteries included in the
+training set", and points to Alamin et al. [26] — "an ensemble of SoC
+prediction models, each trained with data at a different SoH level",
+dispatched by a separate SoH estimate.  This module implements that
+ensemble on top of :class:`~repro.core.model.TwoBranchSoCNet`.
+
+Members are keyed by the SoH level of their training data; queries
+carry the (externally estimated) present SoH and are answered by the
+nearest member, optionally blending the two neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import TwoBranchSoCNet
+
+__all__ = ["SoHEnsemble"]
+
+
+class SoHEnsemble:
+    """Dispatches SoC queries to the member trained nearest in SoH.
+
+    Parameters
+    ----------
+    members:
+        ``{soh_level: trained model}``; at least one entry.
+    blend:
+        When true, queries between two member levels return the
+        SoH-distance-weighted average of both members' predictions
+        (piecewise-linear interpolation over the ensemble).
+    """
+
+    def __init__(self, members: dict[float, TwoBranchSoCNet], blend: bool = True):
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        for level in members:
+            if not 0.0 < level <= 1.0:
+                raise ValueError(f"SoH level {level} outside (0, 1]")
+        self._levels = np.array(sorted(members), dtype=np.float64)
+        self._members = {float(k): v for k, v in members.items()}
+        self.blend = blend
+
+    @property
+    def levels(self) -> tuple[float, ...]:
+        """Member SoH levels, ascending."""
+        return tuple(self._levels.tolist())
+
+    def member(self, soh: float) -> TwoBranchSoCNet:
+        """The single member nearest to ``soh``."""
+        idx = int(np.argmin(np.abs(self._levels - soh)))
+        return self._members[float(self._levels[idx])]
+
+    def _neighbours(self, soh: float) -> tuple[float, float, float]:
+        """Bracketing levels and the interpolation weight of the upper one."""
+        levels = self._levels
+        if soh <= levels[0]:
+            return float(levels[0]), float(levels[0]), 0.0
+        if soh >= levels[-1]:
+            return float(levels[-1]), float(levels[-1]), 0.0
+        hi = int(np.searchsorted(levels, soh))
+        lo = hi - 1
+        w = (soh - levels[lo]) / (levels[hi] - levels[lo])
+        return float(levels[lo]), float(levels[hi]), float(w)
+
+    def estimate_soc(self, soh: float, voltage, current, temp_c) -> np.ndarray:
+        """SoH-dispatched Branch 1 estimate."""
+        return self._combine(soh, lambda m: m.estimate_soc(voltage, current, temp_c))
+
+    def predict_soc(self, soh: float, soc_now, current_avg, temp_avg_c, horizon_s) -> np.ndarray:
+        """SoH-dispatched Branch 2 prediction."""
+        return self._combine(
+            soh, lambda m: m.predict_soc(soc_now, current_avg, temp_avg_c, horizon_s)
+        )
+
+    def predict_from_sensors(self, soh: float, voltage, current, temp_c, current_avg, temp_avg_c, horizon_s) -> np.ndarray:
+        """SoH-dispatched full cascade."""
+        return self._combine(
+            soh,
+            lambda m: m.predict_from_sensors(voltage, current, temp_c, current_avg, temp_avg_c, horizon_s),
+        )
+
+    def _combine(self, soh: float, call) -> np.ndarray:
+        if not 0.0 < soh <= 1.0:
+            raise ValueError("SoH must be in (0, 1]")
+        if not self.blend:
+            return call(self.member(soh))
+        lo, hi, w = self._neighbours(soh)
+        low_out = call(self._members[lo])
+        if w == 0.0 or lo == hi:
+            return low_out
+        high_out = call(self._members[hi])
+        return (1.0 - w) * low_out + w * high_out

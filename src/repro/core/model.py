@@ -1,0 +1,148 @@
+"""The full two-branch SoC network (the paper's model, Fig. 1).
+
+:class:`TwoBranchSoCNet` cascades the estimation and prediction
+branches and owns the fixed feature scalers, exposing a raw-physical-
+units API:
+
+- :meth:`estimate_soc` — Branch 1 alone (the Table I "SoC(t)" column);
+- :meth:`predict_soc` — Branch 2 alone from a known/estimated SoC;
+- :meth:`predict_from_sensors` — the full cascade (Table I "SoC(t+N)").
+
+With the paper's default 16/32/16 hidden stack the model has exactly
+2,322 trainable parameters (~9 kB at float32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..datasets.preprocessing import FeatureScaler, branch1_scaler, branch2_scaler
+from ..datasets.windowing import PredictionSamples
+from .branches import Branch1, Branch2
+from .config import ModelConfig
+
+__all__ = ["TwoBranchSoCNet"]
+
+
+class TwoBranchSoCNet(nn.Module):
+    """Cascaded estimation + prediction network with fixed scalers.
+
+    Parameters
+    ----------
+    config:
+        Architecture settings (hidden widths, horizon scale).
+    rng:
+        Generator for weight initialization.
+
+    Notes
+    -----
+    The branches are deliberately independent modules: training is
+    *split* (no gradient flows from Branch 2 into Branch 1), matching
+    Sec. III-B of the paper.
+    """
+
+    def __init__(self, config: ModelConfig | None = None, rng: np.random.Generator | None = None):
+        super().__init__()
+        config = config if config is not None else ModelConfig()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.branch1 = Branch1(config, rng=rng)
+        self.branch2 = Branch2(config, rng=rng)
+        self.scaler1: FeatureScaler = branch1_scaler()
+        self.scaler2: FeatureScaler = branch2_scaler(config.horizon_scale_s)
+
+    # ------------------------------------------------------------------
+    # training-time forwards (scaled tensors in, tensors out)
+    # ------------------------------------------------------------------
+    def forward_branch1(self, x_scaled: nn.Tensor) -> nn.Tensor:
+        """Branch 1 on already-scaled features (training path)."""
+        return self.branch1(x_scaled)
+
+    def forward_branch2(self, x_scaled: nn.Tensor) -> nn.Tensor:
+        """Branch 2 on already-scaled features (training path)."""
+        return self.branch2(x_scaled)
+
+    # ------------------------------------------------------------------
+    # inference API in raw physical units
+    # ------------------------------------------------------------------
+    def estimate_soc(self, voltage, current, temp_c) -> np.ndarray:
+        """Estimate the present SoC from sensor readings (Branch 1).
+
+        Parameters
+        ----------
+        voltage, current, temp_c:
+            Scalars or equal-length arrays in volts / amperes / Celsius.
+
+        Returns
+        -------
+        numpy.ndarray
+            Estimated SoC(t), one value per input row.
+        """
+        x = np.column_stack([
+            np.atleast_1d(np.asarray(voltage, dtype=np.float64)),
+            np.atleast_1d(np.asarray(current, dtype=np.float64)),
+            np.atleast_1d(np.asarray(temp_c, dtype=np.float64)),
+        ])
+        with nn.no_grad():
+            out = self.branch1(nn.Tensor(self.scaler1.transform(x)))
+        return out.data[:, 0].copy()
+
+    def predict_soc(self, soc_now, current_avg, temp_avg_c, horizon_s) -> np.ndarray:
+        """Predict SoC(t+N) from a known SoC(t) and expected workload (Branch 2).
+
+        Parameters
+        ----------
+        soc_now:
+            SoC at time ``t`` (estimated or ground truth).
+        current_avg, temp_avg_c:
+            Expected average current / temperature over the horizon —
+            user-specified workload parameters at query time.
+        horizon_s:
+            The prediction horizon ``N`` in seconds (may vary per row).
+        """
+        x = np.column_stack([
+            np.atleast_1d(np.asarray(soc_now, dtype=np.float64)),
+            np.atleast_1d(np.asarray(current_avg, dtype=np.float64)),
+            np.atleast_1d(np.asarray(temp_avg_c, dtype=np.float64)),
+            np.atleast_1d(np.asarray(horizon_s, dtype=np.float64)),
+        ])
+        with nn.no_grad():
+            out = self.branch2(nn.Tensor(self.scaler2.transform(x)))
+        return out.data[:, 0].copy()
+
+    def predict_from_sensors(self, voltage, current, temp_c, current_avg, temp_avg_c, horizon_s) -> np.ndarray:
+        """Full cascade: estimate SoC(t) from sensors, then predict SoC(t+N)."""
+        soc_now = self.estimate_soc(voltage, current, temp_c)
+        return self.predict_soc(soc_now, current_avg, temp_avg_c, horizon_s)
+
+    def predict_samples(self, samples: PredictionSamples, use_ground_truth_soc: bool = False) -> np.ndarray:
+        """Predict SoC(t+N) for a windowed sample set.
+
+        Parameters
+        ----------
+        samples:
+            Windowed rows from :func:`repro.datasets.make_prediction_samples`.
+        use_ground_truth_soc:
+            Feed the dataset's true SoC(t) into Branch 2 instead of the
+            Branch 1 estimate (the training-time configuration; default
+            is the deployment cascade).
+        """
+        if use_ground_truth_soc:
+            soc_now = samples.soc_t
+        else:
+            soc_now = self.estimate_soc(samples.v_t, samples.i_t, samples.temp_t)
+        return self.predict_soc(soc_now, samples.i_avg, samples.temp_avg, samples.horizon_s)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total trainable parameters across both branches."""
+        return self.branch1.num_parameters() + self.branch2.num_parameters()
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoBranchSoCNet(hidden={self.config.hidden}, "
+            f"params={self.num_parameters()}, horizon_scale={self.config.horizon_scale_s}s)"
+        )

@@ -1,0 +1,130 @@
+"""Autoregressive multi-step SoC prediction (paper Fig. 2 / Fig. 5).
+
+Branch 1 runs **once**, on the first sensor sample, to get the initial
+SoC; Branch 2 then chains forward, each step feeding its own output
+back as the next step's initial SoC, with the (planned or recorded)
+workload supplying average current/temperature per step.  Voltage is
+used only at the very first timestamp — the capability the paper
+highlights in Sec. V-D.
+
+The rollout driver is predictor-agnostic so the Physics-Only baseline
+(pure Coulomb counting) and the neural models share one code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..datasets.base import CycleRecord
+from .model import TwoBranchSoCNet
+
+__all__ = ["RolloutResult", "StepPredictor", "rollout_cycle", "model_rollout"]
+
+
+class StepPredictor(Protocol):
+    """One autoregressive step: ``soc(t) -> soc(t + horizon)``.
+
+    Called with the current SoC estimate and the workload over the next
+    window; must return the predicted SoC after the window.
+    """
+
+    def __call__(self, soc: float, i_avg: float, temp_avg: float, horizon_s: float) -> float: ...
+
+
+@dataclasses.dataclass
+class RolloutResult:
+    """Trajectory produced by an autoregressive rollout.
+
+    ``time_s``/``soc_pred``/``soc_true`` share one entry per step
+    boundary (including the initial point at index 0).
+    """
+
+    time_s: np.ndarray
+    soc_pred: np.ndarray
+    soc_true: np.ndarray
+    initial_soc: float
+    step_s: float
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    def mae(self) -> float:
+        """Mean absolute error along the whole trajectory."""
+        return float(np.mean(np.abs(self.soc_pred - self.soc_true)))
+
+    def final_error(self) -> float:
+        """Absolute error at the last step (the paper's end-of-discharge check)."""
+        return float(abs(self.soc_pred[-1] - self.soc_true[-1]))
+
+
+def rollout_cycle(
+    predictor: StepPredictor,
+    cycle: CycleRecord,
+    step_s: float,
+    initial_soc: float,
+) -> RolloutResult:
+    """Run an autoregressive rollout along one recorded cycle.
+
+    Parameters
+    ----------
+    predictor:
+        The per-step model (neural Branch 2, Coulomb counting, ...).
+    cycle:
+        Recorded cycle supplying the workload (measured I/T averages
+        per window) and the ground-truth SoC for scoring.
+    step_s:
+        Autoregressive step, i.e. the single-step horizon ``N``.
+    initial_soc:
+        Starting SoC estimate (from Branch 1, or ground truth).
+
+    Returns
+    -------
+    RolloutResult
+    """
+    d = cycle.data
+    steps = int(round(step_s / cycle.sampling_period_s))
+    if steps < 1:
+        raise ValueError("step must be at least one sampling period")
+    n_windows = (len(d) - 1) // steps
+    if n_windows < 1:
+        raise ValueError("cycle shorter than a single rollout step")
+    times = [float(d.time_s[0])]
+    preds = [float(initial_soc)]
+    truths = [float(d.soc[0])]
+    soc = float(initial_soc)
+    for w in range(n_windows):
+        lo, hi = w * steps, (w + 1) * steps
+        i_avg = float(np.mean(d.current[lo + 1 : hi + 1]))
+        t_avg = float(np.mean(d.temp_c[lo + 1 : hi + 1]))
+        soc = float(predictor(soc, i_avg, t_avg, steps * cycle.sampling_period_s))
+        times.append(float(d.time_s[hi]))
+        preds.append(soc)
+        truths.append(float(d.soc[hi]))
+    return RolloutResult(
+        time_s=np.asarray(times),
+        soc_pred=np.asarray(preds),
+        soc_true=np.asarray(truths),
+        initial_soc=float(initial_soc),
+        step_s=steps * cycle.sampling_period_s,
+    )
+
+
+def model_rollout(model: TwoBranchSoCNet, cycle: CycleRecord, step_s: float) -> RolloutResult:
+    """Roll the full two-branch network along a cycle.
+
+    Branch 1 estimates the initial SoC from the first sensor sample
+    (the only voltage the whole rollout consumes); Branch 2 chains the
+    rest.
+    """
+    d = cycle.data
+    if len(d) == 0:
+        raise ValueError("empty cycle")
+    initial = float(model.estimate_soc(d.voltage[0], d.current[0], d.temp_c[0])[0])
+
+    def step(soc: float, i_avg: float, temp_avg: float, horizon_s: float) -> float:
+        return float(model.predict_soc(soc, i_avg, temp_avg, horizon_s)[0])
+
+    return rollout_cycle(step, cycle, step_s, initial)

@@ -1,0 +1,60 @@
+"""``repro.datasets`` — synthetic reproductions of the paper's datasets.
+
+- :mod:`repro.datasets.base` — cycle containers and splits;
+- :mod:`repro.datasets.drive_cycles` — UDDS/HWFET/LA92/US06 current
+  synthesis (speed statistics -> vehicle model -> cell current);
+- :mod:`repro.datasets.sandia` — constant-current cycling campaign
+  (train 0.5C/-1C, test -2C/-3C, 120 s sampling);
+- :mod:`repro.datasets.lg` — drive-cycle campaign on the 3 Ah cell
+  (7 mixed train cycles, 4 pattern + 1 mixed test cycles, 0.1 s
+  sampling);
+- :mod:`repro.datasets.preprocessing` — causal moving average and fixed
+  feature scaling;
+- :mod:`repro.datasets.windowing` — Branch-1/Branch-2 sample extraction
+  with sliding-window horizons.
+"""
+
+from .base import CycleRecord, CycleSet
+from .drive_cycles import (
+    DRIVE_CYCLES,
+    DriveCycleSpec,
+    VehicleModel,
+    pattern_current,
+    speed_to_cell_current,
+    synthesize_speed,
+)
+from .lg import LGConfig, cached_lg, generate_lg
+from .preprocessing import FeatureScaler, branch1_scaler, branch2_scaler, moving_average, smooth_cycle
+from .sandia import SandiaConfig, cached_sandia, generate_sandia
+from .windowing import (
+    EstimationSamples,
+    PredictionSamples,
+    make_estimation_samples,
+    make_prediction_samples,
+)
+
+__all__ = [
+    "CycleRecord",
+    "CycleSet",
+    "DriveCycleSpec",
+    "DRIVE_CYCLES",
+    "VehicleModel",
+    "synthesize_speed",
+    "speed_to_cell_current",
+    "pattern_current",
+    "SandiaConfig",
+    "generate_sandia",
+    "cached_sandia",
+    "LGConfig",
+    "generate_lg",
+    "cached_lg",
+    "moving_average",
+    "smooth_cycle",
+    "FeatureScaler",
+    "branch1_scaler",
+    "branch2_scaler",
+    "EstimationSamples",
+    "PredictionSamples",
+    "make_estimation_samples",
+    "make_prediction_samples",
+]

@@ -1,0 +1,122 @@
+"""Containers for synthetic dataset campaigns.
+
+A *cycle* is one contiguous recorded trace (a Sandia charge/discharge
+cycle or an LG driving cycle); a *campaign* (:class:`CycleSet`) is the
+collection of cycles that plays the role of one public dataset, with
+train/test split metadata baked in exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..battery.simulator import SimulationResult
+
+__all__ = ["CycleRecord", "CycleSet"]
+
+
+@dataclasses.dataclass
+class CycleRecord:
+    """One recorded cycle with its provenance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"nmc-1C-25C-cycle0"`` or
+        ``"udds-25C"``).
+    split:
+        ``"train"`` or ``"test"``.
+    ambient_c:
+        Ambient temperature of the run.
+    sampling_period_s:
+        Time between recorded samples.
+    capacity_ah:
+        Rated capacity of the cycled cell (the :math:`C_{rated}` that
+        Eq. 1 uses for this cycle's data).
+    data:
+        The recorded trace (measured + ground-truth channels).
+    tags:
+        Free-form metadata (chemistry, C-rates, pattern name, ...).
+    """
+
+    name: str
+    split: str
+    ambient_c: float
+    sampling_period_s: float
+    capacity_ah: float
+    data: SimulationResult
+    tags: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {self.split!r}")
+        if self.sampling_period_s <= 0:
+            raise ValueError("sampling period must be positive")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def duration_s(self) -> float:
+        """Wall-clock span of the recorded trace."""
+        return self.data.duration_s()
+
+
+class CycleSet:
+    """A list of :class:`CycleRecord` with filtering helpers."""
+
+    def __init__(self, cycles: list[CycleRecord]):
+        self.cycles = list(cycles)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self) -> Iterator[CycleRecord]:
+        return iter(self.cycles)
+
+    def __getitem__(self, index: int) -> CycleRecord:
+        return self.cycles[index]
+
+    def train(self) -> "CycleSet":
+        """Cycles marked for training."""
+        return self.filter(lambda c: c.split == "train")
+
+    def test(self) -> "CycleSet":
+        """Cycles marked for testing."""
+        return self.filter(lambda c: c.split == "test")
+
+    def filter(self, predicate: Callable[[CycleRecord], bool]) -> "CycleSet":
+        """Subset by arbitrary predicate."""
+        return CycleSet([c for c in self.cycles if predicate(c)])
+
+    def by_name(self, name: str) -> CycleRecord:
+        """Fetch a single cycle by exact name.
+
+        Raises
+        ------
+        KeyError
+            When no cycle has that name.
+        """
+        for cycle in self.cycles:
+            if cycle.name == name:
+                return cycle
+        raise KeyError(f"no cycle named {name!r}; have {[c.name for c in self.cycles]}")
+
+    def by_tag(self, key: str, value) -> "CycleSet":
+        """Subset of cycles whose ``tags[key] == value``."""
+        return self.filter(lambda c: c.tags.get(key) == value)
+
+    def total_samples(self) -> int:
+        """Total number of recorded rows across all cycles."""
+        return int(sum(len(c) for c in self.cycles))
+
+    def summary(self) -> str:
+        """One line per cycle: name, split, temp, length."""
+        lines = [
+            f"{c.name:<28s} {c.split:<5s} T={c.ambient_c:>6.1f}C  "
+            f"n={len(c):>7d}  dur={c.duration_s() / 3600.0:6.2f}h"
+            for c in self.cycles
+        ]
+        return "\n".join(lines)

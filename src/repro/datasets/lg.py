@@ -1,0 +1,195 @@
+"""Synthetic reproduction of the LG (McMaster) LGHG2 dataset.
+
+The real dataset (Kollmeyer et al., 2020) drives a 3 Ah LGHG2 cell with
+currents derived from four standard driving schedules (UDDS, HWFET,
+LA92, US06) plus eight mixed cycles, sampled at 0.1 s, over a wide
+temperature range.  Following the paper (Sec. IV-B):
+
+- **train**: seven of the eight mixed cycles, ambients 0..25 C;
+- **test**:  the four single-pattern cycles plus the remaining mixed
+  cycle ("MIXED8" in Fig. 5);
+- horizons of 30/50/70 s; a 30 s moving average smooths V/I/T before
+  the network.
+
+Test cycles are generated at both 25 C (Fig. 4 / Fig. 5) and 0 C
+(Table I's cold rows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from ..battery.cell import get_cell_spec
+from ..battery.simulator import CellSimulator, SensorNoise
+from ..utils.rng import make_rng, spawn_seed
+from .base import CycleRecord, CycleSet
+from .drive_cycles import DRIVE_CYCLES, pattern_current
+
+__all__ = ["LGConfig", "generate_lg", "cached_lg"]
+
+_PATTERNS = ("udds", "hwfet", "la92", "us06")
+
+
+@dataclasses.dataclass(frozen=True)
+class LGConfig:
+    """Parameters of the synthetic LG campaign.
+
+    Attributes
+    ----------
+    cell:
+        Registry name of the cell (the 3 Ah LGHG2).
+    sampling_period_s:
+        Recorded sample spacing (the dataset's 0.1 s).
+    n_train_mixed:
+        Number of mixed cycles used for training (paper: 7).
+    train_temps_c:
+        Ambient temperatures assigned round-robin to the training
+        cycles (paper: 0 to 25 C).
+    test_temps_c:
+        Ambients at which every test cycle is generated (25 C for
+        Fig. 4/5, plus 0 C for Table I).
+    mixed_segment_s:
+        Length range of each pattern chunk inside a mixed cycle.
+    initial_soc:
+        Start-of-cycle SoC (cycles begin from a full cell).
+    test_patterns:
+        Which test cycles to generate (subset for fast test suites).
+    noise:
+        Sensor-noise magnitudes (visible at 0.1 s sampling).
+    capacity_factor_range:
+        Per-cycle actual-to-rated capacity ratio (even a fresh cell
+        rarely delivers its exact datasheet capacity; Eq. 1 only knows
+        the rating).
+    current_gain_sigma:
+        Std of the per-cycle current-sensor gain error.
+    seed:
+        Campaign seed (drive-profile synthesis + sensor noise).
+    """
+
+    cell: str = "lg-hg2"
+    sampling_period_s: float = 0.1
+    n_train_mixed: int = 7
+    train_temps_c: tuple[float, ...] = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 25.0)
+    test_temps_c: tuple[float, ...] = (25.0, 0.0)
+    mixed_segment_s: tuple[float, float] = (300.0, 900.0)
+    initial_soc: float = 1.0
+    test_patterns: tuple[str, ...] = ("udds", "hwfet", "la92", "us06", "mixed")
+    noise: SensorNoise = SensorNoise()
+    capacity_factor_range: tuple[float, float] = (0.84, 0.90)
+    current_gain_sigma: float = 0.006
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_train_mixed < 1:
+            raise ValueError("need at least one training cycle")
+        if len(self.train_temps_c) < self.n_train_mixed:
+            raise ValueError("need one training temperature per mixed cycle")
+        known = set(_PATTERNS) | {"mixed"}
+        if not set(self.test_patterns) <= known:
+            raise ValueError(f"test_patterns must be a subset of {sorted(known)}")
+
+
+def _mixed_current(config: LGConfig, capacity_ah: float, max_c: float, rng: np.random.Generator) -> np.ndarray:
+    """Concatenate random chunks of the four patterns until the total
+    charge suffices to empty a full cell (the simulator stops at the
+    voltage cutoff anyway)."""
+    dt = config.sampling_period_s
+    needed_coulombs = 1.15 * capacity_ah * 3600.0
+    chunks: list[np.ndarray] = []
+    total = 0.0
+    lo, hi = config.mixed_segment_s
+    while total < needed_coulombs:
+        pattern = _PATTERNS[rng.integers(len(_PATTERNS))]
+        seg_duration = float(rng.uniform(lo, hi))
+        seg = pattern_current(
+            pattern, capacity_ah, seg_duration, rng=rng, dt_s=dt, max_discharge_c=max_c
+        )
+        chunks.append(seg)
+        total += float(np.sum(np.maximum(seg, 0.0))) * dt
+    return np.concatenate(chunks)
+
+
+def _single_pattern_current(
+    config: LGConfig, pattern: str, capacity_ah: float, max_c: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A single-pattern profile long enough to empty a full cell."""
+    dt = config.sampling_period_s
+    c_rate = DRIVE_CYCLES[pattern].target_c_rate
+    duration = 1.2 * 3600.0 / c_rate  # margin past the nominal discharge time
+    return pattern_current(pattern, capacity_ah, duration, rng=rng, dt_s=dt, max_discharge_c=max_c)
+
+
+def generate_lg(config: LGConfig | None = None) -> CycleSet:
+    """Run the campaign and return the labelled cycle collection."""
+    config = config if config is not None else LGConfig()
+    spec = get_cell_spec(config.cell)
+    max_c = spec.max_discharge_c
+    dt = config.sampling_period_s
+    cycles: list[CycleRecord] = []
+
+    def _make_sim(stream: str) -> CellSimulator:
+        instance_rng = make_rng(spawn_seed(config.seed, "cell-" + stream))
+        lo, hi = config.capacity_factor_range
+        return CellSimulator(
+            spec,
+            noise=config.noise,
+            rng=spawn_seed(config.seed, "noise-" + stream),
+            capacity_factor=float(instance_rng.uniform(lo, hi)),
+            current_gain=float(np.clip(instance_rng.normal(1.0, config.current_gain_sigma), 0.97, 1.03)),
+        )
+
+    # --- training: mixed cycles at assorted temperatures -------------
+    for k in range(config.n_train_mixed):
+        ambient = config.train_temps_c[k]
+        profile_rng = make_rng(spawn_seed(config.seed, f"mixed-train-{k}"))
+        profile = _mixed_current(config, spec.capacity_ah, max_c, profile_rng)
+        sim = _make_sim(f"train-{k}")
+        sim.reset(soc=config.initial_soc, temp_c=ambient)
+        trace = sim.run_profile(profile, dt, ambient, cutoff="discharge")
+        cycles.append(
+            CycleRecord(
+                name=f"mixed{k + 1}-{ambient:g}C",
+                split="train",
+                ambient_c=ambient,
+                sampling_period_s=dt,
+                capacity_ah=spec.capacity_ah,
+                data=trace,
+                tags={"pattern": "mixed", "index": k + 1},
+            )
+        )
+
+    # --- test: the four driving patterns + the held-out mixed cycle --
+    for ambient in config.test_temps_c:
+        for pattern in config.test_patterns:
+            stream = f"{pattern}-test-{ambient:g}"
+            profile_rng = make_rng(spawn_seed(config.seed, stream))
+            if pattern == "mixed":
+                profile = _mixed_current(config, spec.capacity_ah, max_c, profile_rng)
+                name = f"mixed8-{ambient:g}C"
+            else:
+                profile = _single_pattern_current(config, pattern, spec.capacity_ah, max_c, profile_rng)
+                name = f"{pattern}-{ambient:g}C"
+            sim = _make_sim(stream)
+            sim.reset(soc=config.initial_soc, temp_c=ambient)
+            trace = sim.run_profile(profile, dt, ambient, cutoff="discharge")
+            cycles.append(
+                CycleRecord(
+                    name=name,
+                    split="test",
+                    ambient_c=ambient,
+                    sampling_period_s=dt,
+                    capacity_ah=spec.capacity_ah,
+                    data=trace,
+                    tags={"pattern": pattern, "index": 8 if pattern == "mixed" else None},
+                )
+            )
+    return CycleSet(cycles)
+
+
+@functools.lru_cache(maxsize=2)
+def cached_lg(config: LGConfig | None = None) -> CycleSet:
+    """Memoized :func:`generate_lg` (configs are frozen/hashable)."""
+    return generate_lg(config)

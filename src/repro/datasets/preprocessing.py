@@ -1,0 +1,141 @@
+"""Preprocessing: causal moving average and fixed feature scaling.
+
+Two pieces of the paper's pipeline live here:
+
+1. The **30 s moving average** applied to the LG dataset's V/I/T
+   channels before the network (Sec. IV-B) — the authors credit it for
+   beating the DE-MLP/DE-LSTM baselines.  It is *causal* (uses only
+   past samples), as an online BMS filter must be.
+2. **Feature scaling.**  Scales are fixed physical constants rather
+   than statistics fit on the training set: the physics loss evaluates
+   the network on randomly generated collocation points whose horizons
+   ``Np`` intentionally exceed anything in the data (Sec. III-B), so a
+   data-fit scaler would put them out of distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..battery.simulator import SimulationResult
+from .base import CycleRecord
+
+__all__ = ["moving_average", "smooth_cycle", "FeatureScaler", "branch1_scaler", "branch2_scaler"]
+
+
+def moving_average(values: np.ndarray, window_samples: int) -> np.ndarray:
+    """Causal moving average: each output is the mean of the trailing window.
+
+    The first ``window_samples - 1`` outputs average the (shorter)
+    available prefix, so the output has no startup bias toward zero and
+    the same length as the input.
+
+    Parameters
+    ----------
+    values:
+        1-D sample array.
+    window_samples:
+        Window length in samples (>= 1; 1 is the identity).
+    """
+    if window_samples < 1:
+        raise ValueError("window must be at least one sample")
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("moving_average expects a 1-D array")
+    if window_samples == 1 or len(x) == 0:
+        return x.copy()
+    csum = np.cumsum(x)
+    out = np.empty_like(x)
+    w = window_samples
+    out[:w] = csum[:w] / np.arange(1, min(w, len(x)) + 1)
+    if len(x) > w:
+        out[w:] = (csum[w:] - csum[:-w]) / w
+    return out
+
+
+def smooth_cycle(cycle: CycleRecord, window_s: float) -> CycleRecord:
+    """Return a copy of ``cycle`` with V/I/T moving-averaged over ``window_s``.
+
+    Only the *measured* channels are filtered; ground-truth channels
+    are passed through untouched (labels must stay exact).
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    w = max(1, int(round(window_s / cycle.sampling_period_s)))
+    d = cycle.data
+    smoothed = SimulationResult(
+        time_s=d.time_s.copy(),
+        voltage=moving_average(d.voltage, w),
+        current=moving_average(d.current, w),
+        temp_c=moving_average(d.temp_c, w),
+        soc=d.soc.copy(),
+        voltage_true=d.voltage_true.copy(),
+        current_true=d.current_true.copy(),
+        temp_true=d.temp_true.copy(),
+        stopped_early=d.stopped_early,
+        stop_reason=d.stop_reason,
+    )
+    return dataclasses.replace(cycle, data=smoothed, tags={**cycle.tags, "smoothed_s": window_s})
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureScaler:
+    """Affine feature scaling with fixed physical constants.
+
+    ``transform`` maps raw features to roughly unit range via
+    ``(x - offset) / scale`` column-wise; ``inverse`` undoes it.
+    """
+
+    offsets: tuple[float, ...]
+    scales: tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.offsets) != len(self.scales):
+            raise ValueError("offsets and scales must have equal length")
+        if any(s <= 0 for s in self.scales):
+            raise ValueError("scales must be positive")
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns the scaler expects."""
+        return len(self.offsets)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Scale a ``(n, k)`` or ``(k,)`` feature array."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape[-1] != self.n_features:
+            raise ValueError(f"expected {self.n_features} features, got {arr.shape[-1]}")
+        return (arr - np.asarray(self.offsets)) / np.asarray(self.scales)
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape[-1] != self.n_features:
+            raise ValueError(f"expected {self.n_features} features, got {arr.shape[-1]}")
+        return arr * np.asarray(self.scales) + np.asarray(self.offsets)
+
+
+def branch1_scaler() -> FeatureScaler:
+    """Scaler for Branch 1 inputs ``(V, I, T)``.
+
+    Voltage is centred mid-window, current scaled by a typical max
+    discharge amplitude, temperature centred at room temperature.
+    """
+    return FeatureScaler(offsets=(3.4, 0.0, 25.0), scales=(0.8, 5.0, 25.0))
+
+
+def branch2_scaler(horizon_scale_s: float = 360.0) -> FeatureScaler:
+    """Scaler for Branch 2 inputs ``(SoC, I_avg, T_avg, N)``.
+
+    Parameters
+    ----------
+    horizon_scale_s:
+        Normalization constant for the horizon input; chosen per
+        dataset as the largest horizon the model will be asked about
+        (360 s for Sandia, 70 s for LG — fixed, not data-fit).
+    """
+    if horizon_scale_s <= 0:
+        raise ValueError("horizon scale must be positive")
+    return FeatureScaler(offsets=(0.0, 0.0, 25.0, 0.0), scales=(1.0, 5.0, 25.0, horizon_scale_s))

@@ -1,0 +1,224 @@
+"""Sample extraction: turning recorded cycles into training/test rows.
+
+Two sample shapes exist, one per network branch (paper Sec. III-A):
+
+- **estimation samples** for Branch 1: ``(V(t), I(t), T(t)) -> SoC(t)``;
+- **prediction samples** for Branch 2 / the full model:
+  ``(SoC(t), I_avg(t..t+N), T_avg(t..t+N), N) -> SoC(t+N)``.
+
+Longer-horizon test sets are built exactly as the paper describes
+(Sec. IV-A): sliding windows over the recorded samples, averaging
+current and temperature inside the window, with the window-final SoC
+as the target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .base import CycleRecord, CycleSet
+
+__all__ = ["EstimationSamples", "PredictionSamples", "make_estimation_samples", "make_prediction_samples"]
+
+
+@dataclasses.dataclass
+class EstimationSamples:
+    """Row-wise samples for the SoC-estimation branch.
+
+    ``features`` columns are ``(V, I, T)`` as measured; ``soc`` is the
+    ground-truth label.
+    """
+
+    features: np.ndarray
+    soc: np.ndarray
+
+    def __post_init__(self):
+        if len(self.features) != len(self.soc):
+            raise ValueError("features and labels must align")
+        if self.features.ndim != 2 or self.features.shape[1] != 3:
+            raise ValueError("features must be (n, 3): V, I, T")
+
+    def __len__(self) -> int:
+        return len(self.soc)
+
+    @staticmethod
+    def concatenate(parts: list["EstimationSamples"]) -> "EstimationSamples":
+        """Pool several sample sets into one."""
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        return EstimationSamples(
+            features=np.concatenate([p.features for p in parts]),
+            soc=np.concatenate([p.soc for p in parts]),
+        )
+
+
+@dataclasses.dataclass
+class PredictionSamples:
+    """Row-wise samples for SoC prediction over a horizon.
+
+    Attributes
+    ----------
+    v_t, i_t, temp_t:
+        Measured channels at the window start (Branch 1's inputs when
+        the full cascade is evaluated).
+    soc_t:
+        Ground-truth SoC at the window start (fed to Branch 2 during
+        training, per the paper's split-training scheme).
+    i_avg, temp_avg:
+        Averages of the measured current/temperature over the window —
+        the "expected workload" inputs of Branch 2.
+    horizon_s:
+        The window length ``N`` in seconds.
+    soc_target:
+        Ground-truth SoC at the window end (the label).
+    capacity_ah:
+        Rated capacity of the cycled cell (per-sample, so mixed-cell
+        campaigns keep Eq. 1 exact).
+    """
+
+    v_t: np.ndarray
+    i_t: np.ndarray
+    temp_t: np.ndarray
+    soc_t: np.ndarray
+    i_avg: np.ndarray
+    temp_avg: np.ndarray
+    horizon_s: np.ndarray
+    soc_target: np.ndarray
+    capacity_ah: np.ndarray
+
+    def __post_init__(self):
+        lengths = {
+            len(self.v_t), len(self.i_t), len(self.temp_t), len(self.soc_t),
+            len(self.i_avg), len(self.temp_avg), len(self.horizon_s),
+            len(self.soc_target), len(self.capacity_ah),
+        }
+        if len(lengths) != 1:
+            raise ValueError("all sample columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.soc_t)
+
+    def branch2_features(self) -> np.ndarray:
+        """Stack the ``(SoC(t), I_avg, T_avg, N)`` input matrix."""
+        return np.column_stack([self.soc_t, self.i_avg, self.temp_avg, self.horizon_s])
+
+    def branch1_features(self) -> np.ndarray:
+        """Stack the ``(V(t), I(t), T(t))`` input matrix."""
+        return np.column_stack([self.v_t, self.i_t, self.temp_t])
+
+    @staticmethod
+    def concatenate(parts: list["PredictionSamples"]) -> "PredictionSamples":
+        """Pool several sample sets into one."""
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        fields = [f.name for f in dataclasses.fields(PredictionSamples)]
+        return PredictionSamples(**{
+            name: np.concatenate([getattr(p, name) for p in parts]) for name in fields
+        })
+
+    def subsample(self, max_rows: int, rng: np.random.Generator) -> "PredictionSamples":
+        """Random subset of at most ``max_rows`` rows (without replacement)."""
+        if max_rows <= 0:
+            raise ValueError("max_rows must be positive")
+        n = len(self)
+        if n <= max_rows:
+            return self
+        idx = np.sort(rng.choice(n, size=max_rows, replace=False))
+        fields = [f.name for f in dataclasses.fields(PredictionSamples)]
+        return PredictionSamples(**{name: getattr(self, name)[idx] for name in fields})
+
+
+def _as_cycles(cycles: CycleSet | list[CycleRecord]) -> list[CycleRecord]:
+    return list(cycles)
+
+
+def make_estimation_samples(cycles: CycleSet | list[CycleRecord], stride: int = 1) -> EstimationSamples:
+    """Extract Branch-1 rows from every cycle.
+
+    Parameters
+    ----------
+    cycles:
+        Source cycles (measured channels become features).
+    stride:
+        Keep every ``stride``-th sample (dense 0.1 s data needs thinning).
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    parts = []
+    for cycle in _as_cycles(cycles):
+        d = cycle.data
+        if len(d) == 0:
+            continue
+        sl = slice(None, None, stride)
+        parts.append(
+            EstimationSamples(
+                features=np.column_stack([d.voltage[sl], d.current[sl], d.temp_c[sl]]),
+                soc=d.soc[sl].copy(),
+            )
+        )
+    if not parts:
+        raise ValueError("no samples could be extracted")
+    return EstimationSamples.concatenate(parts)
+
+
+def make_prediction_samples(
+    cycles: CycleSet | list[CycleRecord],
+    horizon_s: float,
+    stride: int = 1,
+) -> PredictionSamples:
+    """Extract windowed Branch-2 rows at a fixed horizon.
+
+    For each window start ``k`` the sample carries measured values at
+    ``k``, averages of measured current/temperature over
+    ``(k, k + N]``, and the true SoC at ``k + N`` as the label —
+    the construction of the paper's test sets (Sec. IV-A).
+
+    Parameters
+    ----------
+    cycles:
+        Source cycles.
+    horizon_s:
+        The horizon ``N``; must be at least one sampling period.  It is
+        rounded to whole samples per cycle, and the *actual* rounded
+        horizon is stored in the output.
+    stride:
+        Spacing between consecutive window starts, in samples.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    parts = []
+    for cycle in _as_cycles(cycles):
+        d = cycle.data
+        steps = int(round(horizon_s / cycle.sampling_period_s))
+        if steps < 1:
+            raise ValueError(
+                f"horizon {horizon_s}s is below the sampling period {cycle.sampling_period_s}s"
+            )
+        n = len(d) - steps
+        if n <= 0:
+            continue
+        starts = np.arange(0, n, stride)
+        actual_horizon = steps * cycle.sampling_period_s
+        # Trailing-window means via cumulative sums: mean over (k, k+steps].
+        csum_i = np.concatenate([[0.0], np.cumsum(d.current)])
+        csum_t = np.concatenate([[0.0], np.cumsum(d.temp_c)])
+        i_avg = (csum_i[starts + steps + 1] - csum_i[starts + 1]) / steps
+        t_avg = (csum_t[starts + steps + 1] - csum_t[starts + 1]) / steps
+        parts.append(
+            PredictionSamples(
+                v_t=d.voltage[starts].copy(),
+                i_t=d.current[starts].copy(),
+                temp_t=d.temp_c[starts].copy(),
+                soc_t=d.soc[starts].copy(),
+                i_avg=i_avg,
+                temp_avg=t_avg,
+                horizon_s=np.full(len(starts), actual_horizon),
+                soc_target=d.soc[starts + steps].copy(),
+                capacity_ah=np.full(len(starts), cycle.capacity_ah),
+            )
+        )
+    if not parts:
+        raise ValueError("no samples could be extracted (cycles shorter than the horizon?)")
+    return PredictionSamples.concatenate(parts)

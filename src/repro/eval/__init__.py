@@ -1,0 +1,40 @@
+"""``repro.eval`` — metrics, the multi-seed harness, and the drivers
+that regenerate every table and figure of the paper's evaluation."""
+
+from .experiments import (
+    Budget,
+    fast_budget,
+    full_budget,
+    lg_variants,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    sandia_variants,
+)
+from .harness import PHYSICS_ONLY, ExperimentResult, VariantResult, evaluate_variants
+from .metrics import improvement_percent, mae, max_abs_error, rmse
+from .reporting import format_mae_grid, format_table, save_csv
+
+__all__ = [
+    "mae",
+    "rmse",
+    "max_abs_error",
+    "improvement_percent",
+    "PHYSICS_ONLY",
+    "VariantResult",
+    "ExperimentResult",
+    "evaluate_variants",
+    "format_table",
+    "format_mae_grid",
+    "save_csv",
+    "Budget",
+    "fast_budget",
+    "full_budget",
+    "sandia_variants",
+    "lg_variants",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+]

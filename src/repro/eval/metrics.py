@@ -1,0 +1,51 @@
+"""Error metrics used throughout the evaluation.
+
+The paper reports Mean Absolute Error (MAE) everywhere; RMSE and max
+error are provided for completeness, plus the percent-improvement
+helper used to annotate the bar charts (Figs. 3 and 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "max_abs_error", "improvement_percent"]
+
+
+def _check(prediction, target) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(prediction, dtype=np.float64)
+    t = np.asarray(target, dtype=np.float64)
+    if p.shape != t.shape:
+        raise ValueError(f"prediction shape {p.shape} != target shape {t.shape}")
+    if p.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return p, t
+
+
+def mae(prediction, target) -> float:
+    """Mean absolute error."""
+    p, t = _check(prediction, target)
+    return float(np.mean(np.abs(p - t)))
+
+
+def rmse(prediction, target) -> float:
+    """Root mean squared error."""
+    p, t = _check(prediction, target)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def max_abs_error(prediction, target) -> float:
+    """Worst-case absolute error."""
+    p, t = _check(prediction, target)
+    return float(np.max(np.abs(p - t)))
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    Positive when ``improved`` is smaller (better), as in the figures'
+    bar annotations.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,88 @@
+"""Plain-text tables and CSV dumps for the experiment drivers.
+
+The reproduction is headless (no plotting dependency), so every figure
+is regenerated as the *numbers behind the figure*: an aligned text
+table on stdout plus an optional CSV with the raw series.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_table", "save_csv", "format_mae_grid"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], float_digits: int = 4) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted to ``float_digits``; everything else via
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mae_grid(
+    mae_by_variant: dict[str, dict[float, float]],
+    baseline: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render the Fig. 3/4-style grid: one row per variant, one column
+    per test horizon, with percent improvement vs a baseline variant.
+
+    Parameters
+    ----------
+    mae_by_variant:
+        ``{variant: {horizon_s: mean_mae}}``.
+    baseline:
+        Variant name used for the improvement annotation (usually
+        ``"No-PINN"``); omit to skip the annotation.
+    """
+    if not mae_by_variant:
+        raise ValueError("no results to format")
+    horizons = sorted(next(iter(mae_by_variant.values())))
+    headers = ["config"] + [f"test@{h:g}s" for h in horizons]
+    rows = []
+    base = mae_by_variant.get(baseline) if baseline else None
+    for name, per_h in mae_by_variant.items():
+        cells: list[str] = [name]
+        for h in horizons:
+            value = per_h[h]
+            cell = f"{value:.{float_digits}f}"
+            if base is not None and name != baseline and base[h] > 0:
+                gain = 100.0 * (base[h] - value) / base[h]
+                cell += f" ({gain:+.0f}%)"
+            cells.append(cell)
+        rows.append(cells)
+    return format_table(headers, rows, float_digits)
+
+
+def save_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write rows (with a header line) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))

@@ -1,0 +1,120 @@
+"""``repro.nn`` — a compact, dependency-free deep-learning substrate.
+
+The paper trains small fully-connected networks (and compares against an
+LSTM baseline) with a conventional deep-learning stack.  This package
+provides equivalent building blocks implemented on numpy:
+
+- :mod:`repro.nn.tensor` — reverse-mode autograd tensors;
+- :mod:`repro.nn.layers` — modules (Linear, activations, MLP, ...);
+- :mod:`repro.nn.recurrent` — LSTM layers for the SoA baseline;
+- :mod:`repro.nn.losses` — MAE/MSE/Huber;
+- :mod:`repro.nn.optim` — SGD/Adam/AdamW + schedulers;
+- :mod:`repro.nn.data` — datasets and minibatch loaders;
+- :mod:`repro.nn.serialization` — ``.npz`` checkpoints.
+
+Gradients of every operation are validated against finite differences in
+``tests/test_nn_tensor.py`` and ``tests/test_nn_gradcheck.py``.
+"""
+
+from . import init
+from .data import DataLoader, Dataset, TensorDataset, train_val_split
+from .layers import (
+    MLP,
+    Dropout,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import HuberLoss, MAELoss, MSELoss, huber_loss, mae_loss, mse_loss
+from .optim import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    Optimizer,
+    ReduceLROnPlateau,
+    StepLR,
+    clip_grad_norm,
+)
+from .recurrent import LSTM, LSTMCell, LSTMRegressor
+from .serialization import load_model_into, load_state, save_model, save_state
+from .tensor import (
+    Tensor,
+    arange,
+    cat,
+    full,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    ones,
+    rand,
+    randn,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "cat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "is_grad_enabled",
+    "init",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "MLP",
+    "LSTM",
+    "LSTMCell",
+    "LSTMRegressor",
+    "mae_loss",
+    "mse_loss",
+    "huber_loss",
+    "MAELoss",
+    "MSELoss",
+    "HuberLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+    "clip_grad_norm",
+    "Dataset",
+    "TensorDataset",
+    "DataLoader",
+    "train_val_split",
+    "save_state",
+    "load_state",
+    "save_model",
+    "load_model_into",
+]

@@ -1,0 +1,86 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used heavily by the test suite to prove that every backward rule in
+:mod:`repro.nn.tensor` is correct; exposed as a public utility so that
+users extending the substrate with new ops can validate them the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function taking :class:`Tensor` arguments and returning a tensor.
+    inputs:
+        Numpy arrays; ``inputs[index]`` is perturbed elementwise.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Perturbation step.
+
+    Returns
+    -------
+    numpy.ndarray
+        Gradient with the same shape as ``inputs[index]``.
+    """
+    base = [np.array(a, dtype=np.float64) for a in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+        target[idx] = original + eps
+        plus = float(fn(*[Tensor(a) for a in base]).sum().item())
+        target[idx] = original - eps
+        minus = float(fn(*[Tensor(a) for a in base]).sum().item())
+        target[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match finite differences.
+
+    Raises
+    ------
+    AssertionError
+        When any input's analytic gradient deviates beyond tolerance.
+    """
+    tensors = [Tensor(np.array(a, dtype=np.float64), requires_grad=True) for a in inputs]
+    out = fn(*tensors).sum()
+    out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(fn, inputs, i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(actual - expected)))
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

@@ -1,0 +1,328 @@
+"""Neural-network modules (layers) for :mod:`repro.nn`.
+
+The :class:`Module` base class provides parameter discovery, train/eval
+mode switching, and ``state_dict`` round-tripping; concrete layers cover
+everything the paper's models need: fully-connected layers with ReLU
+activations (the two-branch network of Sec. III-A) plus a few extras used
+by the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from . import init as initializers
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "MLP",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by :meth:`parameters`
+    and :meth:`named_parameters`.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # -- forward ------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the layer output; must be overridden."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter discovery -------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            if name == "training":
+                continue
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters as a flat list."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- mode switching -------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all submodules, depth-first."""
+        yield self
+        for child in self._children():
+            yield from child.modules()
+
+    def _children(self) -> Iterator["Module"]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def train(self) -> "Module":
+        """Put the module (recursively) into training mode."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (recursively) into evaluation mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a name->array snapshot of all parameters (copies)."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values in place from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data = value.astype(param.data.dtype, copy=True)
+
+
+class Linear(Module):
+    """Fully-connected affine layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Include an additive bias (default true).
+    rng:
+        Generator used for weight initialization; a fresh default
+        generator is used when omitted.
+    weight_init:
+        Initializer from :mod:`repro.nn.init` (default Kaiming uniform,
+        matching common framework defaults for ReLU stacks).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        weight_init: Callable = initializers.kaiming_uniform,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer widths must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((in_features, out_features), rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    """No-op layer (useful as a configurable placeholder)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_shape))
+        self.beta = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Append a layer and return self for chaining."""
+        self.layers.append(layer)
+        return self
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden stack.
+
+    This is the building block used for both branches of the paper's
+    network (Sec. III-A: hidden widths 16/32/16 with ReLU, single
+    linear output unit).
+
+    Parameters
+    ----------
+    in_features:
+        Input width (3 for Branch 1, 4 for Branch 2).
+    hidden:
+        Sequence of hidden-layer widths.
+    out_features:
+        Output width (1 for a scalar SoC head).
+    activation:
+        Factory for the activation module between hidden layers.
+    rng:
+        Generator for deterministic initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple[int, ...] = (16, 32, 16),
+        out_features: int = 1,
+        activation: Callable[[], Module] = ReLU,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        widths = [in_features, *hidden]
+        layers: list[Module] = []
+        for w_in, w_out in zip(widths[:-1], widths[1:]):
+            layers.append(Linear(w_in, w_out, rng=rng))
+            layers.append(activation())
+        layers.append(Linear(widths[-1], out_features, rng=rng))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden = tuple(hidden)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

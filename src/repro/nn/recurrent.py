@@ -1,0 +1,152 @@
+"""Recurrent layers (LSTM) used by the state-of-the-art baseline.
+
+The paper compares its 2.3k-parameter feed-forward network against the
+LSTM SoC estimator of Wong et al. (Table I).  This module provides a
+faithful LSTM implementation on top of the autograd tensor so that the
+baseline can be trained and measured on the same synthetic data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Linear, Module, Parameter
+from .tensor import Tensor, cat, stack
+
+__all__ = ["LSTMCell", "LSTM", "LSTMRegressor"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with the standard gate formulation.
+
+    Gates are packed in i, f, g, o order along the last axis of the
+    weight matrices.  The forget-gate bias is initialized to 1, the
+    usual trick for stable early training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        k = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Parameter(rng.uniform(-k, k, size=(input_size, 4 * hidden_size)))
+        self.weight_hh = Parameter(rng.uniform(-k, k, size=(hidden_size, 4 * hidden_size)))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None) -> tuple[Tensor, Tensor]:
+        """Advance one timestep.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        state:
+            Tuple ``(h, c)`` each of shape ``(batch, hidden_size)``;
+            zeros when omitted.
+
+        Returns
+        -------
+        (h, c):
+            The new hidden and cell states.
+        """
+        batch = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        gates = x @ self.weight_ih + h @ self.weight_hh + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over batched sequences."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Run the stack over a full sequence.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, seq_len, input_size)``.
+
+        Returns
+        -------
+        (outputs, (h, c)):
+            ``outputs`` has shape ``(batch, seq_len, hidden_size)`` (top
+            layer); ``h``/``c`` are the final states of the top layer.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, seq, features), got shape {x.shape}")
+        seq_len = x.shape[1]
+        layer_input = [x[:, t, :] for t in range(seq_len)]
+        h_final = c_final = None
+        for cell in self.cells:
+            h = c = None
+            outputs = []
+            for step in layer_input:
+                h, c = cell(step, None if h is None else (h, c))
+                outputs.append(h)
+            layer_input = outputs
+            h_final, c_final = h, c
+        return stack(layer_input, axis=1), (h_final, c_final)
+
+
+class LSTMRegressor(Module):
+    """LSTM stack with a dense regression head (the Wong-style baseline).
+
+    The published baseline maps a window of ``(V, I, T)`` samples to the
+    SoC at the window's end.  Structure: ``num_layers`` LSTM layers
+    followed by a ReLU dense layer and a linear scalar head.
+    """
+
+    def __init__(
+        self,
+        input_size: int = 3,
+        hidden_size: int = 64,
+        num_layers: int = 2,
+        dense_size: int = 32,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.lstm = LSTM(input_size, hidden_size, num_layers=num_layers, rng=rng)
+        self.dense = Linear(hidden_size, dense_size, rng=rng)
+        self.head = Linear(dense_size, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(batch, seq, features)`` windows to ``(batch, 1)`` SoC."""
+        _, (h, _) = self.lstm(x)
+        return self.head(self.dense(h).relu())

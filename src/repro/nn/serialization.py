@@ -1,0 +1,67 @@
+"""Model checkpointing: save/load ``state_dict`` snapshots as ``.npz``.
+
+The paper's deployment story (a 9 kB model running on a BMS/PMIC) makes
+compact, dependency-free serialization part of the system; ``.npz`` keeps
+that property while remaining loadable anywhere numpy exists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path, meta: dict | None = None) -> None:
+    """Write a name->array mapping (plus optional JSON metadata) to ``path``.
+
+    Parameters
+    ----------
+    state:
+        Typically the output of :meth:`repro.nn.layers.Module.state_dict`.
+    path:
+        Target file; the ``.npz`` suffix is appended by numpy if absent.
+    meta:
+        Optional JSON-serializable metadata (configs, seeds, metrics).
+    """
+    payload = dict(state)
+    if _META_KEY in payload:
+        raise ValueError(f"state may not contain reserved key {_META_KEY!r}")
+    if meta is not None:
+        payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(str(path), **payload)
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict | None]:
+    """Read back a state mapping and metadata written by :func:`save_state`."""
+    with np.load(str(path)) as archive:
+        meta = None
+        state = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                meta = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, meta
+
+
+def save_model(model: Module, path: str | Path, meta: dict | None = None) -> None:
+    """Snapshot a module's parameters to ``path``."""
+    save_state(model.state_dict(), path, meta=meta)
+
+
+def load_model_into(model: Module, path: str | Path) -> dict | None:
+    """Load parameters saved by :func:`save_model` into ``model`` in place.
+
+    Returns the metadata dict stored alongside the weights (or ``None``).
+    """
+    state, meta = load_state(path)
+    model.load_state_dict(state)
+    return meta

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG plumbing and run logging."""
+
+from .logging import RunLogger, get_logger
+from .rng import child_rngs, make_rng, spawn_seed
+
+__all__ = ["make_rng", "spawn_seed", "child_rngs", "RunLogger", "get_logger"]

@@ -1,0 +1,69 @@
+"""Lightweight run logging for training loops and experiment drivers.
+
+Deliberately tiny: a stdlib-logging wrapper plus an in-memory metric
+recorder that experiment drivers can dump to CSV next to their outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import logging
+import sys
+from pathlib import Path
+
+__all__ = ["get_logger", "RunLogger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured stdlib logger (stderr handler, idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+class RunLogger:
+    """Accumulate per-step metric rows and optionally write them to CSV.
+
+    Example
+    -------
+    >>> run = RunLogger()
+    >>> run.log(epoch=0, loss=1.0)
+    >>> run.log(epoch=1, loss=0.5)
+    >>> run.last()["loss"]
+    0.5
+    """
+
+    def __init__(self):
+        self.rows: list[dict] = []
+
+    def log(self, **metrics) -> None:
+        """Append one metrics row."""
+        self.rows.append(dict(metrics))
+
+    def last(self) -> dict:
+        """Return the most recent row (empty dict when nothing logged)."""
+        return self.rows[-1] if self.rows else {}
+
+    def series(self, key: str) -> list:
+        """Extract the values of one metric across all rows that have it."""
+        return [row[key] for row in self.rows if key in row]
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write all rows to ``path`` with a union-of-keys header."""
+        if not self.rows:
+            raise ValueError("nothing to write")
+        keys: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=keys)
+            writer.writeheader()
+            writer.writerows(self.rows)

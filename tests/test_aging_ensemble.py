@@ -1,0 +1,196 @@
+"""Tests for the aging model and the SoH-dispatched ensemble (the
+paper's named future-work extension, Sec. III-B / ref. [26])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery import CellSimulator, SensorNoise, get_cell_spec
+from repro.battery.aging import AgingModel, aged_spec
+from repro.core import TwoBranchSoCNet
+from repro.core.ensemble import SoHEnsemble
+
+
+class TestAgingModel:
+    def test_fresh_cell(self):
+        assert AgingModel().soh_after_cycles(0) == 1.0
+
+    def test_monotone_decreasing(self):
+        model = AgingModel()
+        soh = model.soh_after_cycles(np.arange(0, 2000, 50))
+        assert np.all(np.diff(soh) <= 0)
+
+    def test_eol_floor(self):
+        model = AgingModel(eol_soh=0.6)
+        assert model.soh_after_cycles(10**7) == pytest.approx(0.6)
+
+    def test_negative_cycles_raise(self):
+        with pytest.raises(ValueError):
+            AgingModel().soh_after_cycles(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(k_cycle_sqrt=-1.0)
+        with pytest.raises(ValueError):
+            AgingModel(eol_soh=1.5)
+
+    def test_cycles_to_soh_inverts_fade(self):
+        model = AgingModel()
+        n = model.cycles_to_soh(0.9)
+        assert model.soh_after_cycles(n) <= 0.9
+        assert model.soh_after_cycles(n - 1) > 0.9
+
+    def test_cycles_to_soh_fresh(self):
+        assert AgingModel().cycles_to_soh(1.0) == 0
+
+    def test_cycles_to_soh_out_of_range(self):
+        with pytest.raises(ValueError):
+            AgingModel(eol_soh=0.6).cycles_to_soh(0.5)
+
+    def test_resistance_grows_with_fade(self):
+        model = AgingModel(resistance_growth=2.0)
+        assert model.resistance_factor(1.0) == 1.0
+        assert model.resistance_factor(0.8) == pytest.approx(1.4)
+
+    def test_resistance_factor_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel().resistance_factor(0.0)
+
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=50)
+    def test_soh_always_in_bounds(self, cycles):
+        model = AgingModel()
+        soh = model.soh_after_cycles(cycles)
+        assert model.eol_soh <= soh <= 1.0
+
+
+class TestAgedSpec:
+    def test_capacity_scales(self):
+        fresh = get_cell_spec("lg-hg2")
+        aged = aged_spec(fresh, 0.8)
+        assert aged.capacity_ah == pytest.approx(fresh.capacity_ah * 0.8)
+
+    def test_resistance_grows(self):
+        fresh = get_cell_spec("lg-hg2")
+        aged = aged_spec(fresh, 0.8)
+        assert aged.r0_ohm > fresh.r0_ohm
+        assert all(ar > fr for (ar, _), (fr, _) in zip(aged.rc_pairs, fresh.rc_pairs))
+
+    def test_name_tagged(self):
+        aged = aged_spec(get_cell_spec("lg-hg2"), 0.85)
+        assert "@soh0.85" in aged.name
+
+    def test_aged_cell_discharges_faster(self):
+        fresh_spec = get_cell_spec("sandia-nmc")
+        old_spec = aged_spec(fresh_spec, 0.7)
+        durations = []
+        for spec in (fresh_spec, old_spec):
+            sim = CellSimulator(spec, noise=SensorNoise.none(), rng=0)
+            sim.reset(0.95, 25.0)
+            # same absolute current drains the smaller pack sooner
+            trace = sim.run_constant_current(3.0, 1.0, 25.0, 4 * 3600)
+            durations.append(trace.duration_s())
+        assert durations[1] < durations[0]
+
+
+class TestSoHEnsemble:
+    def _ensemble(self, blend=True):
+        members = {
+            1.0: TwoBranchSoCNet(rng=np.random.default_rng(1)),
+            0.9: TwoBranchSoCNet(rng=np.random.default_rng(2)),
+            0.8: TwoBranchSoCNet(rng=np.random.default_rng(3)),
+        }
+        return SoHEnsemble(members, blend=blend), members
+
+    def test_levels_sorted(self):
+        ens, _ = self._ensemble()
+        assert ens.levels == (0.8, 0.9, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SoHEnsemble({})
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError):
+            SoHEnsemble({1.2: TwoBranchSoCNet(rng=np.random.default_rng(0))})
+
+    def test_member_nearest(self):
+        ens, members = self._ensemble()
+        assert ens.member(0.99) is members[1.0]
+        assert ens.member(0.84) is members[0.8]
+
+    def test_exact_level_matches_member(self):
+        ens, members = self._ensemble()
+        out = ens.estimate_soc(0.9, 3.7, 1.0, 25.0)
+        expected = members[0.9].estimate_soc(3.7, 1.0, 25.0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_blend_interpolates(self):
+        ens, members = self._ensemble(blend=True)
+        mid = ens.estimate_soc(0.95, 3.7, 1.0, 25.0)
+        lo = members[0.9].estimate_soc(3.7, 1.0, 25.0)
+        hi = members[1.0].estimate_soc(3.7, 1.0, 25.0)
+        np.testing.assert_allclose(mid, 0.5 * lo + 0.5 * hi)
+
+    def test_no_blend_snaps_to_nearest(self):
+        ens, members = self._ensemble(blend=False)
+        out = ens.estimate_soc(0.96, 3.7, 1.0, 25.0)
+        np.testing.assert_allclose(out, members[1.0].estimate_soc(3.7, 1.0, 25.0))
+
+    def test_clamps_outside_range(self):
+        ens, members = self._ensemble()
+        low = ens.estimate_soc(0.65, 3.7, 1.0, 25.0)
+        np.testing.assert_allclose(low, members[0.8].estimate_soc(3.7, 1.0, 25.0))
+
+    def test_invalid_query_soh(self):
+        ens, _ = self._ensemble()
+        with pytest.raises(ValueError):
+            ens.estimate_soc(0.0, 3.7, 1.0, 25.0)
+
+    def test_predict_paths(self):
+        ens, _ = self._ensemble()
+        assert ens.predict_soc(0.9, 0.8, 3.0, 25.0, 30.0).shape == (1,)
+        assert ens.predict_from_sensors(0.9, 3.7, 1.0, 25.0, 3.0, 25.0, 30.0).shape == (1,)
+
+    def test_ensemble_beats_single_fresh_model_on_aged_cell(self, small_sandia):
+        """Integration: training members on fresh and aged campaigns and
+        dispatching by SoH must beat using the fresh model on aged data
+        (the motivation of ref. [26])."""
+        from repro.core import TrainConfig, train_two_branch
+        from repro.datasets import (
+            SandiaConfig,
+            generate_sandia,
+            make_estimation_samples,
+            make_prediction_samples,
+        )
+        from repro.eval import mae
+
+        # the "aged" campaign: same protocol, cells at ~65% capacity
+        aged_campaign = generate_sandia(
+            SandiaConfig(
+                cells=("sandia-nmc",),
+                ambient_temps_c=(25.0,),
+                sim_dt_s=2.0,
+                capacity_factor_range=(0.64, 0.66),
+                seed=12,
+            )
+        )
+        cfg = TrainConfig(epochs_branch1=120, epochs_branch2=120, seed=0)
+
+        fresh_est = make_estimation_samples(small_sandia.train())
+        fresh_pred = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        fresh_model, _ = train_two_branch(fresh_est, fresh_pred, train_config=cfg)
+
+        aged_est = make_estimation_samples(aged_campaign.train())
+        aged_pred = make_prediction_samples(aged_campaign.train(), horizon_s=120.0)
+        aged_model, _ = train_two_branch(aged_est, aged_pred, train_config=cfg)
+
+        # small_sandia uses factors ~0.84-0.94 -> fresh-ish; aged ~0.75
+        ensemble = SoHEnsemble({0.9: fresh_model, 0.65: aged_model})
+
+        test = make_prediction_samples(aged_campaign.test(), horizon_s=120.0)
+        fresh_err = mae(fresh_model.predict_samples(test), test.soc_target)
+        ens_pred = ensemble.member(0.65).predict_samples(test)
+        ens_err = mae(ens_pred, test.soc_target)
+        assert ens_err < fresh_err

@@ -1,0 +1,231 @@
+"""Tests for the comparison models: Physics-Only, LSTM, DE-PINN, EKF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DEConfig,
+    EKFConfig,
+    EKFSoCEstimator,
+    LSTMConfig,
+    PhysicsOnlyModel,
+    compact_config,
+    make_de_pairs,
+    make_sequence_samples,
+    paper_scale_config,
+    train_de_estimator,
+    train_lstm_estimator,
+)
+from repro.battery import CellSimulator, SensorNoise, coulomb, get_cell_spec
+from repro.datasets import make_prediction_samples
+
+
+class TestPhysicsOnly:
+    def test_matches_eq1(self):
+        model = PhysicsOnlyModel(3.0)
+        out = model.predict_soc(0.8, 1.5, 25.0, 600.0)
+        assert out[0] == pytest.approx(coulomb.predict_soc(0.8, 1.5, 600.0, 3.0))
+
+    def test_temperature_ignored(self):
+        model = PhysicsOnlyModel(3.0)
+        np.testing.assert_allclose(
+            model.predict_soc(0.8, 1.5, -20.0, 600.0), model.predict_soc(0.8, 1.5, 40.0, 600.0)
+        )
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PhysicsOnlyModel(0.0)
+
+    def test_predict_samples_ground_truth_default(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.test(), horizon_s=120.0)
+        model = PhysicsOnlyModel(3.0)
+        out = model.predict_samples(samples)
+        expected = coulomb.predict_soc(samples.soc_t, samples.i_avg, samples.horizon_s, 3.0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_predict_samples_with_estimated_soc(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.test(), horizon_s=120.0)
+        model = PhysicsOnlyModel(3.0)
+        soc_hat = samples.soc_t + 0.1
+        out = model.predict_samples(samples, soc_now=soc_hat)
+        np.testing.assert_allclose(out, model.predict_samples(samples) + 0.1)
+
+    def test_soc_now_length_checked(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.test(), horizon_s=120.0)
+        with pytest.raises(ValueError):
+            PhysicsOnlyModel(3.0).predict_samples(samples, soc_now=np.zeros(3))
+
+    def test_rollout_step_signature(self):
+        model = PhysicsOnlyModel(3.0)
+        out = model.rollout_step(0.5, 1.0, 25.0, 3600.0)  # 1 A for 1 h on 3 Ah
+        assert out == pytest.approx(0.5 - 1.0 / 3.0)
+
+
+class TestLSTMBaseline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSTMConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            LSTMConfig(lr=0.0)
+
+    def test_paper_scale_parameter_count(self):
+        """The published SoA model is ~1M parameters (~4 MB float32)."""
+        from repro.nn import LSTMRegressor
+
+        cfg = paper_scale_config()
+        net = LSTMRegressor(
+            hidden_size=cfg.hidden_size,
+            num_layers=cfg.num_layers,
+            dense_size=cfg.dense_size,
+            rng=np.random.default_rng(0),
+        )
+        assert 0.5e6 < net.num_parameters() < 2e6
+
+    def test_sequence_samples_shape(self, small_lg):
+        samples = make_sequence_samples(small_lg.train(), seq_len=10, sample_stride=4, window_stride=50)
+        assert samples.sequences.shape[1:] == (10, 3)
+        assert len(samples) == len(samples.soc)
+
+    def test_sequence_window_is_causal_history(self, small_lg):
+        cycle = small_lg.train()[0]
+        samples = make_sequence_samples([cycle], seq_len=5, sample_stride=2, window_stride=1000)
+        d = cycle.data
+        span = 4 * 2
+        # first window ends at index `span`; its last element is that sample
+        np.testing.assert_allclose(samples.sequences[0, -1, 0], d.voltage[span])
+        np.testing.assert_allclose(samples.sequences[0, 0, 0], d.voltage[0])
+        np.testing.assert_allclose(samples.soc[0], d.soc[span])
+
+    def test_window_validation(self, small_lg):
+        with pytest.raises(ValueError):
+            make_sequence_samples(small_lg.train(), seq_len=0)
+
+    def test_window_longer_than_cycle_raises(self, small_lg):
+        with pytest.raises(ValueError):
+            make_sequence_samples(small_lg.train(), seq_len=10**7)
+
+    def test_training_reduces_loss(self, small_lg):
+        samples = make_sequence_samples(small_lg.train(), seq_len=8, sample_stride=8, window_stride=100)
+        cfg = LSTMConfig(hidden_size=12, num_layers=1, dense_size=8, seq_len=8, epochs=6, max_train_rows=400)
+        model, log = train_lstm_estimator(samples, cfg)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0]
+        out = model.estimate(samples.sequences[:32])
+        assert out.shape == (32,)
+
+    def test_compact_config_trainable_size(self):
+        cfg = compact_config()
+        assert cfg.hidden_size <= 128
+
+
+class TestDEBaseline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DEConfig(backbone="transformer")
+        with pytest.raises(ValueError):
+            DEConfig(residual_weight=-1.0)
+        with pytest.raises(ValueError):
+            DEConfig(hidden=())
+
+    def test_pairs_extraction(self, small_sandia):
+        pairs = make_de_pairs(small_sandia.train(), stride=2)
+        assert len(pairs.x_now) == len(pairs.x_next) == len(pairs)
+        assert pairs.x_now.shape[1] == 3
+
+    def test_pairs_are_consecutive(self, small_sandia):
+        cycle = small_sandia.train()[0]
+        pairs = make_de_pairs([cycle], stride=1)
+        np.testing.assert_allclose(pairs.x_now[1, 0], cycle.data.voltage[1])
+        np.testing.assert_allclose(pairs.x_next[1, 0], cycle.data.voltage[2])
+
+    def test_invalid_stride(self, small_sandia):
+        with pytest.raises(ValueError):
+            make_de_pairs(small_sandia.train(), stride=0)
+
+    def test_mlp_training_reduces_loss(self, small_sandia):
+        pairs = make_de_pairs(small_sandia.train())
+        cfg = DEConfig(backbone="mlp", hidden=(16,), epochs=15, max_train_rows=500)
+        model, log = train_de_estimator(pairs, cfg)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_lstm_backbone_runs(self, small_sandia):
+        pairs = make_de_pairs(small_sandia.train())
+        cfg = DEConfig(backbone="lstm", hidden=(8,), epochs=2, max_train_rows=200)
+        model, _ = train_de_estimator(pairs, cfg)
+        out = model.estimate(pairs.x_now[:10])
+        assert out.shape == (10,)
+
+    def test_residual_logged(self, small_sandia):
+        pairs = make_de_pairs(small_sandia.train())
+        cfg = DEConfig(backbone="mlp", hidden=(8,), epochs=2, max_train_rows=200)
+        _, log = train_de_estimator(pairs, cfg)
+        assert all(row["residual"] > 0 for row in log.rows)
+
+    def test_zero_residual_weight_skips_physics(self, small_sandia):
+        pairs = make_de_pairs(small_sandia.train())
+        cfg = DEConfig(backbone="mlp", hidden=(8,), epochs=2, residual_weight=0.0, max_train_rows=200)
+        _, log = train_de_estimator(pairs, cfg)
+        assert all(row["residual"] == 0.0 for row in log.rows)
+
+
+class TestEKF:
+    def _trace(self, seed=0):
+        spec = get_cell_spec("sandia-nmc")
+        sim = CellSimulator(spec, noise=SensorNoise(sigma_v=0.002, sigma_i=0.01, sigma_t=0.1), rng=seed)
+        sim.reset(soc=0.9, temp_c=25.0)
+        trace = sim.run_profile(np.full(4000, 1.5), 1.0, 25.0, stop_at_cutoff=False)
+        return spec, trace
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EKFConfig(r_voltage=0.0)
+        with pytest.raises(ValueError):
+            EKFConfig(initial_soc=1.5)
+
+    def test_requires_rc_pair(self):
+        import dataclasses
+
+        spec = get_cell_spec("sandia-nmc")
+        bare = dataclasses.replace(spec, rc_pairs=())
+        with pytest.raises(ValueError):
+            EKFSoCEstimator(bare)
+
+    def test_converges_from_wrong_prior(self):
+        spec, trace = self._trace()
+        ekf = EKFSoCEstimator(spec, EKFConfig(initial_soc=0.3))
+        estimates = ekf.run(trace.voltage, trace.current, 1.0)
+        # after convergence, the filter should track the true SoC
+        tail_err = np.abs(estimates[2000:] - trace.soc[2000:])
+        assert tail_err.mean() < 0.05
+
+    def test_beats_blind_coulomb_counting_with_wrong_prior(self):
+        spec, trace = self._trace()
+        ekf = EKFSoCEstimator(spec, EKFConfig(initial_soc=0.3))
+        estimates = ekf.run(trace.voltage, trace.current, 1.0)
+        blind = coulomb.soc_trajectory(0.3, trace.current, 1.0, spec.capacity_ah)
+        assert np.abs(estimates - trace.soc).mean() < np.abs(blind - trace.soc).mean()
+
+    def test_estimates_within_bounds(self):
+        spec, trace = self._trace()
+        ekf = EKFSoCEstimator(spec)
+        estimates = ekf.run(trace.voltage, trace.current, 1.0)
+        assert np.all((estimates >= 0.0) & (estimates <= 1.0))
+
+    def test_reset(self):
+        spec, _ = self._trace()
+        ekf = EKFSoCEstimator(spec)
+        ekf.step(3.7, 1.0, 1.0)
+        ekf.reset(0.7)
+        assert ekf.soc == 0.7
+
+    def test_mismatched_traces_raise(self):
+        spec, _ = self._trace()
+        ekf = EKFSoCEstimator(spec)
+        with pytest.raises(ValueError):
+            ekf.run(np.zeros(5), np.zeros(4), 1.0)
+
+    def test_invalid_dt(self):
+        spec, _ = self._trace()
+        with pytest.raises(ValueError):
+            EKFSoCEstimator(spec).step(3.7, 1.0, 0.0)

@@ -1,0 +1,158 @@
+"""Tests for OCV curves, chemistry registry, and cell specs."""
+
+import numpy as np
+import pytest
+
+from repro.battery import (
+    CELL_SPECS,
+    CHEMISTRIES,
+    CellSpec,
+    OCVCurve,
+    OCVTerm,
+    get_cell_spec,
+    get_chemistry,
+)
+
+
+class TestOCVTerm:
+    def test_const(self):
+        t = OCVTerm("const", 3.0)
+        np.testing.assert_allclose(t.value(np.array([0.0, 1.0])), 3.0)
+        np.testing.assert_allclose(t.derivative(np.array([0.5])), 0.0)
+
+    def test_linear(self):
+        t = OCVTerm("linear", 2.0)
+        assert t.value(np.array([0.5]))[0] == 1.0
+        assert t.derivative(np.array([0.9]))[0] == 2.0
+
+    def test_power(self):
+        t = OCVTerm("power", 1.0, p=2.0)
+        assert t.value(np.array([3.0]))[0] == 9.0
+        assert t.derivative(np.array([3.0]))[0] == 6.0
+
+    def test_exp(self):
+        t = OCVTerm("exp", 1.0, k=-2.0)
+        assert t.value(np.array([0.0]))[0] == 1.0
+        assert t.derivative(np.array([0.0]))[0] == -2.0
+
+    def test_tanh(self):
+        t = OCVTerm("tanh", 1.0, k=1.0, x0=0.0)
+        assert t.value(np.array([0.0]))[0] == 0.0
+        assert t.derivative(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_unknown_kind_raises(self):
+        t = OCVTerm("nope", 1.0)
+        with pytest.raises(ValueError):
+            t.value(np.array([0.5]))
+
+
+class TestOCVCurve:
+    def test_empty_terms_raise(self):
+        with pytest.raises(ValueError):
+            OCVCurve([])
+
+    def test_scalar_in_scalar_out(self):
+        curve = get_chemistry("nmc").ocv
+        out = curve(0.5)
+        assert isinstance(out, float)
+
+    def test_clamps_out_of_range(self):
+        curve = get_chemistry("nmc").ocv
+        assert curve(-0.5) == curve(0.0)
+        assert curve(1.5) == curve(1.0)
+
+    def test_derivative_matches_finite_difference(self):
+        curve = get_chemistry("nca").ocv
+        s = np.linspace(0.05, 0.95, 50)
+        eps = 1e-7
+        numeric = (curve(s + eps) - curve(s - eps)) / (2 * eps)
+        np.testing.assert_allclose(curve.derivative(s), numeric, rtol=1e-5, atol=1e-6)
+
+    def test_derivative_zero_outside_range(self):
+        curve = get_chemistry("lfp").ocv
+        assert curve.derivative(-0.1) == 0.0
+        assert curve.derivative(1.1) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(CHEMISTRIES))
+    def test_monotonic_increasing(self, name):
+        curve = get_chemistry(name).ocv
+        s = np.linspace(0.0, 1.0, 1001)
+        v = curve(s)
+        assert np.all(np.diff(v) > 0), f"{name} OCV not strictly increasing"
+
+    @pytest.mark.parametrize("name", sorted(CHEMISTRIES))
+    def test_voltage_window_physical(self, name):
+        chem = get_chemistry(name)
+        # fully-charged OCV must be able to trigger the charge cutoff
+        # (tolerance covers the residual exponential-knee term at s=1)
+        assert chem.ocv(1.0) >= chem.v_max - 1e-6
+        # fully-discharged OCV must sit below the discharge cutoff so
+        # CC discharges terminate on voltage, as in the real campaigns
+        assert chem.ocv(0.0) < chem.v_min
+
+    def test_lfp_plateau_is_flat(self):
+        curve = get_chemistry("lfp").ocv
+        plateau = curve(np.linspace(0.25, 0.75, 100))
+        assert plateau.max() - plateau.min() < 0.05
+
+    def test_nmc_mid_slope_exceeds_lfp(self):
+        nmc = get_chemistry("nmc").ocv
+        lfp = get_chemistry("lfp").ocv
+        s = np.linspace(0.3, 0.7, 50)
+        assert nmc.derivative(s).mean() > 5 * lfp.derivative(s).mean()
+
+
+class TestChemistryRegistry:
+    def test_known_names(self):
+        assert set(CHEMISTRIES) == {"nca", "nmc", "lfp"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_chemistry("NMC").name == "nmc"
+
+    def test_unknown_raises_keyerror_with_names(self):
+        with pytest.raises(KeyError, match="lfp"):
+            get_chemistry("unobtanium")
+
+
+class TestCellSpec:
+    def test_registry_contains_dataset_cells(self):
+        assert {"sandia-nca", "sandia-nmc", "sandia-lfp", "lg-hg2"} <= set(CELL_SPECS)
+
+    def test_lg_hg2_matches_paper(self):
+        # The LG dataset cell is a 3 Ah LGHG2 (Sec. IV-B).
+        cell = get_cell_spec("lg-hg2")
+        assert cell.capacity_ah == 3.0
+        assert cell.chemistry.name == "nmc"
+
+    def test_capacity_coulombs(self):
+        cell = get_cell_spec("lg-hg2")
+        assert cell.capacity_coulombs == pytest.approx(10800.0)
+
+    def test_current_from_c_rate(self):
+        cell = get_cell_spec("lg-hg2")
+        assert cell.current_from_c_rate(2.0) == pytest.approx(6.0)
+        assert cell.current_from_c_rate(-0.5) == pytest.approx(-1.5)
+
+    def test_time_constants(self):
+        cell = get_cell_spec("lg-hg2")
+        taus = cell.time_constants()
+        assert len(taus) == 2
+        assert all(t > 0 for t in taus)
+        assert taus[0] < taus[1]  # fast + slow branch
+
+    def test_invalid_capacity_raises(self):
+        chem = get_chemistry("nmc")
+        with pytest.raises(ValueError):
+            CellSpec("bad", chem, capacity_ah=-1.0, r0_ohm=0.01, rc_pairs=())
+
+    def test_invalid_rc_raises(self):
+        chem = get_chemistry("nmc")
+        with pytest.raises(ValueError):
+            CellSpec("bad", chem, capacity_ah=1.0, r0_ohm=0.01, rc_pairs=((0.01, -5.0),))
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            get_cell_spec("aa-alkaline")
+
+    def test_lookup_case_insensitive(self):
+        assert get_cell_spec("LG-HG2").name == "lg-hg2"

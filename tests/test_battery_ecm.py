@@ -1,0 +1,249 @@
+"""Tests for the Thevenin ECM, thermal model, and Coulomb counting."""
+
+import numpy as np
+import pytest
+
+from repro.battery import LumpedThermalModel, TheveninModel, coulomb, get_cell_spec
+
+
+def _model(name="sandia-nmc"):
+    return TheveninModel(get_cell_spec(name))
+
+
+class TestTheveninModel:
+    def test_reset_state(self):
+        m = _model()
+        m.reset(0.5)
+        assert m.state.soc == 0.5
+        np.testing.assert_array_equal(m.state.rc_voltages, 0.0)
+
+    def test_reset_invalid_soc(self):
+        with pytest.raises(ValueError):
+            _model().reset(1.5)
+
+    def test_open_circuit_voltage_at_rest(self):
+        m = _model()
+        m.reset(0.8)
+        expected = m.spec.chemistry.ocv(0.8)
+        assert m.terminal_voltage(0.0, 25.0) == pytest.approx(expected)
+
+    def test_discharge_decreases_soc(self):
+        m = _model()
+        m.reset(0.9)
+        m.step(3.0, 60.0, 25.0)
+        assert m.state.soc < 0.9
+
+    def test_charge_increases_soc(self):
+        m = _model()
+        m.reset(0.5)
+        m.step(-3.0, 60.0, 25.0)
+        assert m.state.soc > 0.5
+
+    def test_coulomb_balance_exact_at_reference_temp(self):
+        m = _model()
+        m.reset(1.0)
+        # 1 A for 1 hour out of a 3 Ah cell = 1/3 SoC drop
+        for _ in range(3600):
+            m.step(1.0, 1.0, m.spec.ref_temp_c)
+        assert m.state.soc == pytest.approx(1.0 - 1.0 / 3.0, abs=1e-9)
+
+    def test_voltage_sag_increases_with_current(self):
+        m = _model()
+        sags = []
+        for current in (1.0, 3.0, 6.0):
+            m.reset(0.8)
+            v = m.step(current, 1.0, 25.0)
+            sags.append(m.spec.chemistry.ocv(m.state.soc) - v)
+        assert sags[0] < sags[1] < sags[2]
+
+    def test_rc_relaxation_after_load(self):
+        m = _model()
+        m.reset(0.8)
+        for _ in range(300):
+            m.step(3.0, 1.0, 25.0)
+        polarization = m.state.rc_voltages.sum()
+        assert polarization > 0.01
+        for _ in range(100000):
+            m.step(0.0, 10.0, 25.0)
+        assert m.state.rc_voltages.sum() < polarization * 1e-3
+
+    def test_rc_steady_state_voltage(self):
+        # Under constant current, each RC branch approaches R_i * I.
+        m = _model()
+        m.reset(1.0)
+        current = 1.0
+        for _ in range(2000):
+            m.step(current, 10.0, 25.0)
+            m.state.soc = 0.8  # pin SoC so only RC dynamics are observed
+        for i in range(len(m.spec.rc_pairs)):
+            expected = m.branch_resistance(i, 25.0) * current
+            assert m.state.rc_voltages[i] == pytest.approx(expected, rel=1e-3)
+
+    def test_resistance_grows_in_cold(self):
+        m = _model()
+        assert m.r0(0.8, -10.0) > m.r0(0.8, 25.0) > m.r0(0.8, 45.0)
+
+    def test_resistance_grows_at_low_soc(self):
+        m = _model()
+        assert m.r0(0.05, 25.0) > m.r0(0.95, 25.0)
+
+    def test_cold_capacity_shrinks(self):
+        m = _model()
+        assert m.effective_capacity_ah(0.0) < m.effective_capacity_ah(25.0)
+        assert m.effective_capacity_ah(40.0) == pytest.approx(m.spec.capacity_ah)
+
+    def test_capacity_floor(self):
+        m = _model()
+        assert m.effective_capacity_ah(-200.0) >= 0.5 * m.spec.capacity_ah
+
+    def test_soc_clipped_to_bounds(self):
+        m = _model()
+        m.reset(0.001)
+        for _ in range(100):
+            m.step(10.0, 60.0, 25.0)
+        assert m.state.soc == 0.0
+
+    def test_at_limit_discharge(self):
+        m = _model()
+        m.reset(0.0)
+        assert m.at_limit(1.0, 25.0)
+
+    def test_at_limit_charge(self):
+        m = _model()
+        m.reset(1.0)
+        assert m.at_limit(-1.0, 25.0)
+
+    def test_not_at_limit_mid_soc(self):
+        m = _model()
+        m.reset(0.5)
+        assert not m.at_limit(1.0, 25.0)
+
+    def test_power_loss_positive_under_load(self):
+        m = _model()
+        m.reset(0.8)
+        m.step(3.0, 10.0, 25.0)
+        assert m.power_loss(3.0, 25.0) > 0.0
+
+    def test_power_loss_zero_at_rest_relaxed(self):
+        m = _model()
+        m.reset(0.8)
+        assert m.power_loss(0.0, 25.0) == pytest.approx(0.0)
+
+    def test_invalid_dt_raises(self):
+        with pytest.raises(ValueError):
+            _model().step(1.0, 0.0, 25.0)
+
+    def test_state_copy_is_independent(self):
+        m = _model()
+        snap = m.state.copy()
+        m.step(3.0, 60.0, 25.0)
+        assert snap.soc != m.state.soc or not np.array_equal(snap.rc_voltages, m.state.rc_voltages)
+
+
+class TestThermalModel:
+    def _model(self):
+        return LumpedThermalModel(mass_kg=0.047, cp_j_per_kg_k=900.0, h_w_per_k=0.15, initial_temp_c=25.0)
+
+    def test_heats_under_load(self):
+        t = self._model()
+        t.step(2.0, 25.0, 60.0)
+        assert t.temp_c > 25.0
+
+    def test_relaxes_to_ambient(self):
+        t = self._model()
+        t.reset(40.0)
+        for _ in range(100):
+            t.step(0.0, 25.0, 60.0)
+        assert t.temp_c == pytest.approx(25.0, abs=0.1)
+
+    def test_steady_state(self):
+        t = self._model()
+        expected = 25.0 + 2.0 / 0.15
+        assert t.steady_state(2.0, 25.0) == pytest.approx(expected)
+        for _ in range(10000):
+            t.step(2.0, 25.0, 60.0)
+        assert t.temp_c == pytest.approx(expected, abs=0.05)
+
+    def test_exact_update_stable_for_huge_dt(self):
+        t = self._model()
+        t.step(2.0, 25.0, 1e9)
+        assert t.temp_c == pytest.approx(t.steady_state(2.0, 25.0))
+
+    def test_adiabatic_when_h_zero(self):
+        t = LumpedThermalModel(0.047, 900.0, 0.0, initial_temp_c=25.0)
+        t.step(42.3, 25.0, 10.0)
+        assert t.temp_c == pytest.approx(25.0 + 42.3 * 10.0 / (0.047 * 900.0))
+
+    def test_adiabatic_steady_state_raises(self):
+        t = LumpedThermalModel(0.047, 900.0, 0.0)
+        with pytest.raises(ZeroDivisionError):
+            t.steady_state(1.0, 25.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LumpedThermalModel(0.0, 900.0, 0.1)
+        with pytest.raises(ValueError):
+            LumpedThermalModel(0.047, 900.0, -0.1)
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            self._model().step(-1.0, 25.0, 1.0)
+
+    def test_invalid_dt_raises(self):
+        with pytest.raises(ValueError):
+            self._model().step(1.0, 25.0, 0.0)
+
+
+class TestCoulombCounting:
+    def test_delta_soc_discharge(self):
+        # 1 A for 1 h on a 3 Ah cell removes exactly 1/3 of the charge.
+        assert coulomb.delta_soc(1.0, 3600.0, 3.0) == pytest.approx(-1.0 / 3.0)
+
+    def test_delta_soc_charge(self):
+        # -1 A (charging) for 30 min on a 3 Ah cell adds 1/6.
+        assert coulomb.delta_soc(-1.0, 1800.0, 3.0) == pytest.approx(1.0 / 6.0)
+
+    def test_delta_soc_broadcasts(self):
+        out = coulomb.delta_soc(np.array([1.0, 2.0]), 3600.0, 2.0)
+        np.testing.assert_allclose(out, [-0.5, -1.0])
+
+    def test_predict_soc_matches_eq1(self):
+        # Eq. 1: SoC_p(t+Np) = SoC(t) + (1/Crated) * integral(I dt) with
+        # charge-positive convention; ours is discharge-positive.
+        assert coulomb.predict_soc(0.8, 3.0, 600.0, 3.0) == pytest.approx(0.8 - 3.0 * 600.0 / 10800.0)
+
+    def test_predict_soc_no_clip_by_default(self):
+        assert coulomb.predict_soc(0.1, 10.0, 3600.0, 1.0) < 0.0
+
+    def test_predict_soc_clip(self):
+        assert coulomb.predict_soc(0.1, 10.0, 3600.0, 1.0, clip=True) == 0.0
+        assert coulomb.predict_soc(0.9, -10.0, 3600.0, 1.0, clip=True) == 1.0
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            coulomb.delta_soc(1.0, 1.0, 0.0)
+
+    def test_integrate_current(self):
+        assert coulomb.integrate_current(np.ones(10), 2.0) == pytest.approx(20.0)
+
+    def test_integrate_invalid_dt(self):
+        with pytest.raises(ValueError):
+            coulomb.integrate_current(np.ones(3), 0.0)
+
+    def test_soc_trajectory_endpoints(self):
+        current = np.full(3600, 1.5)  # 1.5 A for 1 h on a 3 Ah cell
+        traj = coulomb.soc_trajectory(1.0, current, 1.0, 3.0)
+        assert traj[-1] == pytest.approx(0.5)
+        assert len(traj) == 3600
+
+    def test_soc_trajectory_monotone_for_discharge(self):
+        traj = coulomb.soc_trajectory(1.0, np.ones(100), 1.0, 3.0)
+        assert np.all(np.diff(traj) < 0)
+
+    def test_trajectory_matches_repeated_predict(self):
+        current = np.array([1.0, -2.0, 0.5])
+        traj = coulomb.soc_trajectory(0.5, current, 10.0, 3.0)
+        step = 0.5
+        for i, c in enumerate(current):
+            step = coulomb.predict_soc(step, c, 10.0, 3.0)
+            assert traj[i] == pytest.approx(step)

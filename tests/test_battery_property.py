@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for battery-physics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery import LumpedThermalModel, TheveninModel, coulomb, get_cell_spec
+
+SOC = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+CURRENT = st.floats(min_value=-6.0, max_value=6.0, allow_nan=False)
+HORIZON = st.floats(min_value=1.0, max_value=3600.0, allow_nan=False)
+CAPACITY = st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+TEMP = st.floats(min_value=-20.0, max_value=45.0, allow_nan=False)
+
+
+class TestCoulombProperties:
+    @given(soc=SOC, current=CURRENT, horizon=HORIZON, cap=CAPACITY)
+    def test_linearity_in_time(self, soc, current, horizon, cap):
+        """Two half-horizon steps equal one full-horizon step (Eq. 1 is linear)."""
+        one = coulomb.predict_soc(soc, current, horizon, cap)
+        half = coulomb.predict_soc(soc, current, horizon / 2, cap)
+        two = coulomb.predict_soc(half, current, horizon / 2, cap)
+        assert one == pytest.approx(two, abs=1e-12)
+
+    @given(soc=SOC, current=CURRENT, horizon=HORIZON, cap=CAPACITY)
+    def test_sign_convention(self, soc, current, horizon, cap):
+        out = coulomb.predict_soc(soc, current, horizon, cap)
+        if current > 0:
+            assert out <= soc
+        elif current < 0:
+            assert out >= soc
+        else:
+            assert out == soc
+
+    @given(soc=SOC, current=CURRENT, horizon=HORIZON, cap=CAPACITY)
+    def test_charge_discharge_antisymmetry(self, soc, current, horizon, cap):
+        down = coulomb.predict_soc(soc, current, horizon, cap) - soc
+        up = coulomb.predict_soc(soc, -current, horizon, cap) - soc
+        assert down == pytest.approx(-up, abs=1e-12)
+
+    @given(soc=SOC, current=CURRENT, horizon=HORIZON, cap=CAPACITY)
+    def test_clip_stays_in_range(self, soc, current, horizon, cap):
+        out = coulomb.predict_soc(soc, current, horizon, cap, clip=True)
+        assert 0.0 <= out <= 1.0
+
+    @given(
+        currents=st.lists(CURRENT, min_size=1, max_size=50),
+        soc=SOC,
+        cap=CAPACITY,
+    )
+    def test_trajectory_consistency(self, currents, soc, cap):
+        """The vectorized trajectory equals step-by-step prediction."""
+        arr = np.asarray(currents)
+        traj = coulomb.soc_trajectory(soc, arr, 2.0, cap)
+        running = soc
+        for k, c in enumerate(arr):
+            running = coulomb.predict_soc(running, c, 2.0, cap)
+        assert traj[-1] == pytest.approx(running, abs=1e-9)
+
+
+class TestECMProperties:
+    @given(soc=st.floats(min_value=0.05, max_value=0.95), temp=TEMP)
+    @settings(max_examples=40)
+    def test_terminal_voltage_below_ocv_under_discharge(self, soc, temp):
+        m = TheveninModel(get_cell_spec("sandia-nmc"))
+        m.reset(soc)
+        v = m.step(2.0, 1.0, temp)
+        assert v < m.spec.chemistry.ocv(m.state.soc)
+
+    @given(soc=st.floats(min_value=0.05, max_value=0.95), temp=TEMP)
+    @settings(max_examples=40)
+    def test_terminal_voltage_above_ocv_under_charge(self, soc, temp):
+        m = TheveninModel(get_cell_spec("sandia-nmc"))
+        m.reset(soc)
+        v = m.step(-2.0, 1.0, temp)
+        assert v > m.spec.chemistry.ocv(m.state.soc)
+
+    @given(temp=TEMP)
+    @settings(max_examples=40)
+    def test_resistance_positive(self, temp):
+        m = TheveninModel(get_cell_spec("sandia-lfp"))
+        assert m.r0(0.5, temp) > 0
+
+    @given(soc=SOC, temp=TEMP)
+    @settings(max_examples=40)
+    def test_effective_capacity_bounded(self, soc, temp):
+        m = TheveninModel(get_cell_spec("lg-hg2"))
+        cap = m.effective_capacity_ah(temp)
+        assert 0.5 * m.spec.capacity_ah <= cap <= m.spec.capacity_ah
+
+    @given(
+        currents=st.lists(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=30)
+    def test_soc_always_in_unit_interval(self, currents):
+        m = TheveninModel(get_cell_spec("sandia-nca"))
+        m.reset(0.5)
+        for c in currents:
+            m.step(c, 120.0, 25.0)
+            assert 0.0 <= m.state.soc <= 1.0
+
+
+class TestThermalProperties:
+    @given(power=st.floats(min_value=0.0, max_value=10.0), ambient=TEMP)
+    @settings(max_examples=40)
+    def test_temperature_bounded_by_steady_state(self, power, ambient):
+        t = LumpedThermalModel(0.047, 900.0, 0.15, initial_temp_c=ambient)
+        limit = t.steady_state(power, ambient)
+        for _ in range(50):
+            t.step(power, ambient, 30.0)
+            assert t.temp_c <= limit + 1e-9
+
+    @given(ambient=TEMP, start=TEMP)
+    @settings(max_examples=40)
+    def test_zero_power_relaxes_toward_ambient(self, ambient, start):
+        t = LumpedThermalModel(0.047, 900.0, 0.15, initial_temp_c=start)
+        before = abs(t.temp_c - ambient)
+        t.step(0.0, ambient, 60.0)
+        assert abs(t.temp_c - ambient) <= before + 1e-12
+
+    @given(power=st.floats(min_value=0.1, max_value=5.0), dt=st.floats(min_value=0.1, max_value=1e6))
+    @settings(max_examples=40)
+    def test_heating_monotone_in_power(self, power, dt):
+        low = LumpedThermalModel(0.047, 900.0, 0.15, initial_temp_c=25.0)
+        high = LumpedThermalModel(0.047, 900.0, 0.15, initial_temp_c=25.0)
+        low.step(power, 25.0, dt)
+        high.step(power * 2, 25.0, dt)
+        assert high.temp_c >= low.temp_c

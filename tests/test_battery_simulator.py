@@ -1,0 +1,188 @@
+"""Tests for the cell simulator, protocols, and their invariants."""
+
+import numpy as np
+import pytest
+
+from repro.battery import (
+    CellSimulator,
+    CycleSpec,
+    SensorNoise,
+    coulomb,
+    get_cell_spec,
+    run_cc_cycle,
+    run_full_discharge,
+)
+
+
+def _sim(name="sandia-nmc", noise=None, seed=0):
+    return CellSimulator(get_cell_spec(name), noise=noise, rng=seed)
+
+
+class TestSimulatorBasics:
+    def test_reset(self):
+        sim = _sim()
+        sim.reset(soc=0.42, temp_c=10.0)
+        assert sim.soc == 0.42
+        assert sim.temp_c == 10.0
+
+    def test_result_arrays_aligned(self):
+        sim = _sim()
+        sim.reset(0.8, 25.0)
+        res = sim.run_profile(np.ones(100), 1.0, 25.0)
+        assert len(res.time_s) == len(res.voltage) == len(res.current) == len(res.soc)
+        assert len(res.temp_c) == len(res.voltage_true) == len(res)
+
+    def test_record_every_decimates(self):
+        sim = _sim()
+        sim.reset(0.8, 25.0)
+        res = sim.run_profile(np.ones(100), 1.0, 25.0, record_every=10)
+        assert len(res) == 10
+        np.testing.assert_allclose(np.diff(res.time_s), 10.0)
+
+    def test_discharge_soc_monotone(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.9, 25.0)
+        res = sim.run_profile(np.full(600, 3.0), 1.0, 25.0)
+        assert np.all(np.diff(res.soc) <= 0)
+
+    def test_ground_truth_soc_matches_coulomb_integration(self):
+        # At reference temperature the simulator's SoC must equal exact
+        # Coulomb counting on the applied current (charge conservation).
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.9, 25.0)
+        rng = np.random.default_rng(0)
+        profile = rng.uniform(-1.0, 2.0, size=500)
+        res = sim.run_profile(profile, 1.0, 25.0, stop_at_cutoff=False)
+        expected = coulomb.soc_trajectory(0.9, profile, 1.0, sim.spec.capacity_ah)
+        np.testing.assert_allclose(res.soc, expected, atol=1e-12)
+
+    def test_noise_free_channels_match_truth(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.8, 25.0)
+        res = sim.run_profile(np.ones(50), 1.0, 25.0)
+        np.testing.assert_array_equal(res.voltage, res.voltage_true)
+        np.testing.assert_array_equal(res.current, res.current_true)
+        np.testing.assert_array_equal(res.temp_c, res.temp_true)
+
+    def test_noise_statistics(self):
+        noise = SensorNoise(sigma_v=0.01, sigma_i=0.05, sigma_t=0.3)
+        sim = _sim(noise=noise, seed=1)
+        sim.reset(0.8, 25.0)
+        res = sim.run_profile(np.ones(5000), 1.0, 25.0, stop_at_cutoff=False)
+        assert np.std(res.voltage - res.voltage_true) == pytest.approx(0.01, rel=0.1)
+        assert np.std(res.current - res.current_true) == pytest.approx(0.05, rel=0.1)
+        assert np.std(res.temp_c - res.temp_true) == pytest.approx(0.3, rel=0.1)
+
+    def test_noise_deterministic_per_seed(self):
+        a = _sim(seed=7)
+        b = _sim(seed=7)
+        a.reset(0.8, 25.0)
+        b.reset(0.8, 25.0)
+        ra = a.run_profile(np.ones(50), 1.0, 25.0)
+        rb = b.run_profile(np.ones(50), 1.0, 25.0)
+        np.testing.assert_array_equal(ra.voltage, rb.voltage)
+
+    def test_cutoff_stops_run(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.05, 25.0)
+        res = sim.run_profile(np.full(36000, 6.0), 1.0, 25.0)
+        assert res.stopped_early
+        assert len(res) < 36000
+
+    def test_stop_at_cutoff_disabled(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.05, 25.0)
+        res = sim.run_profile(np.full(2000, 6.0), 1.0, 25.0, stop_at_cutoff=False)
+        assert not res.stopped_early
+        assert len(res) == 2000
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            _sim().run_profile(np.ones(5), 0.0, 25.0)
+
+    def test_invalid_record_every(self):
+        with pytest.raises(ValueError):
+            _sim().run_profile(np.ones(5), 1.0, 25.0, record_every=0)
+
+    def test_self_heating_visible_in_temperature(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.95, 25.0)
+        res = sim.run_profile(np.full(1200, 9.0), 1.0, 25.0, stop_at_cutoff=False)
+        assert res.temp_true[-1] > 26.0
+
+    def test_cold_run_has_lower_voltage(self):
+        cold, warm = _sim(noise=SensorNoise.none()), _sim(noise=SensorNoise.none())
+        cold.reset(0.8, 0.0)
+        warm.reset(0.8, 25.0)
+        rc = cold.run_profile(np.full(60, 3.0), 1.0, 0.0)
+        rw = warm.run_profile(np.full(60, 3.0), 1.0, 25.0)
+        assert rc.voltage_true[-1] < rw.voltage_true[-1]
+
+
+class TestSimulationResult:
+    def test_duration(self):
+        sim = _sim()
+        sim.reset(0.8, 25.0)
+        res = sim.run_profile(np.ones(100), 2.0, 25.0)
+        assert res.duration_s() == pytest.approx(2.0 * 99)
+
+    def test_concat_time_monotonic(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.8, 25.0)
+        a = sim.run_profile(np.ones(50), 1.0, 25.0)
+        b = sim.run_profile(np.zeros(50), 1.0, 25.0)
+        joined = a.concat(b)
+        assert len(joined) == 100
+        assert np.all(np.diff(joined.time_s) > 0)
+
+    def test_concat_empty_left(self):
+        sim = _sim()
+        sim.reset(0.8, 25.0)
+        empty = sim.run_profile(np.ones(0), 1.0, 25.0)
+        full = sim.run_profile(np.ones(10), 1.0, 25.0)
+        assert len(empty.concat(full)) == 10
+
+    def test_empty_run(self):
+        sim = _sim()
+        res = sim.run_profile(np.ones(0), 1.0, 25.0)
+        assert len(res) == 0
+        assert res.duration_s() == 0.0
+
+
+class TestProtocols:
+    def test_cycle_spec_validation(self):
+        with pytest.raises(ValueError):
+            CycleSpec(charge_c_rate=-0.5)
+        with pytest.raises(ValueError):
+            CycleSpec(dt_s=0.0)
+
+    def test_cc_cycle_covers_charge_and_discharge(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.1, 25.0)
+        res = run_cc_cycle(sim, CycleSpec(record_every=60))
+        assert res.soc.max() > 0.9
+        assert res.soc.min() < 0.15
+        assert res.current_true.min() < 0  # charging happened
+        assert res.current_true.max() > 0  # discharging happened
+
+    def test_discharge_rate_limit_enforced(self):
+        sim = _sim()
+        sim.reset(0.9, 25.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            run_cc_cycle(sim, CycleSpec(discharge_c_rate=50.0))
+
+    def test_higher_rate_discharges_faster(self):
+        durations = []
+        for rate in (1.0, 3.0):
+            sim = _sim(noise=SensorNoise.none())
+            sim.reset(0.95, 25.0)
+            res = run_full_discharge(sim, rate, 25.0, record_every=10)
+            durations.append(res.duration_s())
+        assert durations[1] < durations[0] / 2
+
+    def test_full_discharge_ends_near_cutoff(self):
+        sim = _sim(noise=SensorNoise.none())
+        sim.reset(0.95, 25.0)
+        res = run_full_discharge(sim, 1.0, 25.0)
+        v_min = sim.spec.chemistry.v_min
+        assert res.voltage_true[-1] <= v_min + 0.05

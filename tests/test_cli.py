@@ -1,0 +1,102 @@
+"""End-to-end tests for the command-line interface.
+
+These exercise the full user journey: train -> checkpoint -> inspect ->
+evaluate -> predict -> rollout, on a tiny synthetic campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.nn.serialization import load_state, save_state
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """A model trained via the CLI itself (few epochs, fast campaign)."""
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main([
+        "train", "--dataset", "sandia", "--pinn", "--epochs", "15",
+        "--fast", "--out", str(path),
+    ])
+    assert code == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "nasa", "--out", "x.npz"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "m.npz"])
+        assert args.dataset == "sandia"
+        assert not args.pinn
+
+
+class TestTrain:
+    def test_checkpoint_written_with_meta(self, checkpoint):
+        state, meta = load_state(checkpoint)
+        assert meta["dataset"] == "sandia"
+        assert meta["pinn"] is True
+        assert meta["hidden"] == [16, 32, 16]
+        # both branches' weights are present
+        assert any(k.startswith("branch1") for k in state)
+        assert any(k.startswith("branch2") for k in state)
+
+
+class TestInspect:
+    def test_reports_cost(self, checkpoint, capsys):
+        assert main(["inspect", checkpoint]) == 0
+        out = capsys.readouterr().out
+        assert "2322" in out
+        assert "KiB" in out
+
+
+class TestEvaluate:
+    def test_scores_printed(self, checkpoint, capsys):
+        assert main(["evaluate", checkpoint, "--fast", "--horizons", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "SoC(t+120s) MAE" in out
+        assert "SoC(t)" in out
+
+
+class TestPredict:
+    def test_one_shot(self, checkpoint, capsys):
+        code = main([
+            "predict", checkpoint, "--voltage", "3.7", "--current", "3.0",
+            "--temp", "25", "--workload-current", "6.0", "--horizon", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SoC(t)" in out and "SoC(t+120s)" in out
+
+
+class TestRollout:
+    def test_unknown_cycle_lists_names(self, checkpoint):
+        with pytest.raises(SystemExit, match="test cycles"):
+            main(["rollout", checkpoint, "--fast", "--cycle", "nope", "--step", "120"])
+
+    def test_rollout_with_csv(self, checkpoint, capsys, tmp_path):
+        csv = tmp_path / "traj.csv"
+        code = main([
+            "rollout", checkpoint, "--fast", "--cycle", "nmc-2C-25C-cycle0",
+            "--step", "240", "--csv", str(csv),
+        ])
+        assert code == 0
+        assert "trajectory MAE" in capsys.readouterr().out
+        assert csv.exists()
+        header = csv.read_text().splitlines()[0]
+        assert header == "time_s,soc_pred,soc_true"
+
+
+class TestLoadValidation:
+    def test_non_checkpoint_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        save_state({"w": np.ones(3)}, bogus, meta={"something": 1})
+        with pytest.raises(SystemExit, match="not a repro-soc checkpoint"):
+            main(["inspect", str(bogus)])

@@ -1,0 +1,185 @@
+"""Tests for the two-branch model, its configs, and complexity accounting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    Branch1,
+    Branch2,
+    ModelConfig,
+    PhysicsConfig,
+    TrainConfig,
+    TwoBranchSoCNet,
+    lstm_complexity,
+    mlp_complexity,
+    model_complexity,
+)
+
+
+class TestConfigs:
+    def test_model_defaults_match_paper(self):
+        cfg = ModelConfig()
+        assert cfg.hidden == (16, 32, 16)
+
+    def test_model_config_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden=())
+        with pytest.raises(ValueError):
+            ModelConfig(hidden=(16, 0))
+        with pytest.raises(ValueError):
+            ModelConfig(horizon_scale_s=0.0)
+
+    def test_physics_config_validation(self):
+        with pytest.raises(ValueError):
+            PhysicsConfig(horizons_s=())
+        with pytest.raises(ValueError):
+            PhysicsConfig(horizons_s=(-30.0,))
+        with pytest.raises(ValueError):
+            PhysicsConfig(n_collocation=0)
+        with pytest.raises(ValueError):
+            PhysicsConfig(weight=-1.0)
+
+    def test_train_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            TrainConfig(epochs_branch1=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(grad_clip=-1.0)
+
+
+class TestBranches:
+    def test_branch_input_widths(self):
+        rng = np.random.default_rng(0)
+        b1, b2 = Branch1(rng=rng), Branch2(rng=rng)
+        assert b1(nn.Tensor(np.zeros((5, 3)))).shape == (5, 1)
+        assert b2(nn.Tensor(np.zeros((5, 4)))).shape == (5, 1)
+
+    def test_branch_wrong_width_raises(self):
+        b1 = Branch1(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            b1(nn.Tensor(np.zeros((5, 4))))
+
+    def test_parameter_counts_match_paper(self):
+        # Sec. III-A: 2,322 parameters total, ~9 kB at float32.
+        rng = np.random.default_rng(0)
+        total = Branch1(rng=rng).num_parameters() + Branch2(rng=rng).num_parameters()
+        assert total == 2322
+
+
+class TestTwoBranchSoCNet:
+    @pytest.fixture()
+    def model(self):
+        return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+    def test_total_parameters(self, model):
+        assert model.num_parameters() == 2322
+
+    def test_estimate_soc_shapes(self, model):
+        out = model.estimate_soc([3.7, 3.6], [1.0, 2.0], [25.0, 25.0])
+        assert out.shape == (2,)
+
+    def test_estimate_soc_scalar_input(self, model):
+        out = model.estimate_soc(3.7, 1.0, 25.0)
+        assert out.shape == (1,)
+
+    def test_predict_soc_shapes(self, model):
+        out = model.predict_soc([0.8], [1.5], [25.0], [120.0])
+        assert out.shape == (1,)
+
+    def test_full_cascade_consistent_with_two_calls(self, model):
+        soc = model.estimate_soc(3.7, 1.0, 25.0)
+        direct = model.predict_soc(soc, 1.5, 25.0, 120.0)
+        cascade = model.predict_from_sensors(3.7, 1.0, 25.0, 1.5, 25.0, 120.0)
+        np.testing.assert_allclose(cascade, direct)
+
+    def test_inference_does_not_build_tape(self, model):
+        model.estimate_soc(3.7, 1.0, 25.0)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_deterministic_per_seed(self):
+        a = TwoBranchSoCNet(rng=np.random.default_rng(3))
+        b = TwoBranchSoCNet(rng=np.random.default_rng(3))
+        np.testing.assert_allclose(
+            a.estimate_soc(3.7, 1.0, 25.0), b.estimate_soc(3.7, 1.0, 25.0)
+        )
+
+    def test_predict_samples_ground_truth_mode(self, model, small_sandia):
+        from repro.datasets import make_prediction_samples
+
+        samples = make_prediction_samples(small_sandia.test(), horizon_s=120.0)
+        with_gt = model.predict_samples(samples, use_ground_truth_soc=True)
+        without = model.predict_samples(samples, use_ground_truth_soc=False)
+        assert with_gt.shape == without.shape == (len(samples),)
+        assert not np.allclose(with_gt, without)  # Branch 1 estimate differs from truth
+
+    def test_repr_mentions_params(self, model):
+        assert "2322" in repr(model)
+
+    def test_state_dict_roundtrip(self, model):
+        clone = TwoBranchSoCNet(rng=np.random.default_rng(99))
+        clone.load_state_dict(model.state_dict())
+        np.testing.assert_allclose(
+            clone.predict_from_sensors(3.7, 1.0, 25.0, 1.5, 25.0, 120.0),
+            model.predict_from_sensors(3.7, 1.0, 25.0, 1.5, 25.0, 120.0),
+        )
+
+
+class TestComplexity:
+    def test_two_branch_report(self):
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        report = model_complexity(model)
+        assert report.parameters == 2322
+        assert report.memory_bytes == 2322 * 4  # ~9 kB, as the paper says
+        assert 9.0 <= report.memory_kib() <= 9.2
+        # both branches: (3+4)*16 + 2*(16*32 + 32*16) + 2*16 MACs
+        assert report.macs == 2192
+        assert report.ops > report.macs
+
+    def test_mlp_complexity_hand_computed(self):
+        mlp = nn.MLP(3, hidden=(16, 32, 16), rng=np.random.default_rng(0))
+        report = mlp_complexity(mlp)
+        assert report.macs == 3 * 16 + 16 * 32 + 32 * 16 + 16 * 1
+        assert report.parameters == 1153
+
+    def test_lstm_complexity_scales_with_seq_len(self):
+        lstm = nn.LSTMRegressor(hidden_size=32, num_layers=1, rng=np.random.default_rng(0))
+        short = lstm_complexity(lstm, seq_len=10)
+        long = lstm_complexity(lstm, seq_len=100)
+        assert long.macs > 9 * short.macs
+        assert long.parameters == short.parameters
+
+    def test_lstm_requires_seq_len(self):
+        lstm = nn.LSTMRegressor(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model_complexity(lstm)
+
+    def test_lstm_invalid_seq_len(self):
+        lstm = nn.LSTMRegressor(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            lstm_complexity(lstm, seq_len=0)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            model_complexity(nn.Linear(2, 2, rng=np.random.default_rng(0)))
+
+    def test_reports_add(self):
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        b1 = mlp_complexity(model.branch1.mlp)
+        b2 = mlp_complexity(model.branch2.mlp)
+        total = b1 + b2
+        assert total.parameters == 2322
+        assert total.macs == b1.macs + b2.macs
+
+    def test_paper_lstm_ratio_order_of_magnitude(self):
+        """The paper claims ~409x fewer parameters than the LSTM SoA and
+        ~260k-x fewer ops; our baseline LSTM should reproduce those
+        orders of magnitude."""
+        two_branch = model_complexity(TwoBranchSoCNet(rng=np.random.default_rng(0)))
+        lstm = nn.LSTMRegressor(hidden_size=256, num_layers=2, dense_size=128, rng=np.random.default_rng(0))
+        report = lstm_complexity(lstm, seq_len=300)
+        assert report.parameters / two_branch.parameters > 100  # hundreds of times bigger
+        assert report.ops / two_branch.ops > 10000  # tens of thousands of times more work

@@ -1,0 +1,103 @@
+"""Tests for the autoregressive rollout machinery (Fig. 2 / Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.battery import coulomb
+from repro.core import RolloutResult, TwoBranchSoCNet, model_rollout, rollout_cycle
+
+
+class TestRolloutCycle:
+    def test_coulomb_predictor_tracks_truth(self):
+        """Rolling Coulomb counting with the cell's *actual* capacity
+        must track the simulator's bookkeeping closely, while a wrong
+        (datasheet) capacity drifts — the designed Eq. 1 approximation
+        gap the PINN exploits."""
+        from repro.battery import CellSimulator, SensorNoise, get_cell_spec
+        from repro.datasets import CycleRecord
+
+        spec = get_cell_spec("sandia-nmc")
+        sim = CellSimulator(spec, noise=SensorNoise.none(), capacity_factor=0.9)
+        sim.reset(soc=0.95, temp_c=spec.ref_temp_c)
+        trace = sim.run_profile(np.full(5000, 1.5), 1.0, spec.ref_temp_c, stop_at_cutoff=False)
+        cycle = CycleRecord("cc", "test", 25.0, 1.0, spec.capacity_ah, trace)
+
+        def step_with(capacity):
+            def step(soc, i_avg, temp_avg, horizon_s):
+                return coulomb.predict_soc(soc, i_avg, horizon_s, capacity)
+
+            return step
+
+        actual = spec.capacity_ah * 0.9
+        tight = rollout_cycle(step_with(actual), cycle, 100.0, float(trace.soc[0]))
+        rated = rollout_cycle(step_with(spec.capacity_ah), cycle, 100.0, float(trace.soc[0]))
+        assert tight.mae() < 0.005
+        assert rated.mae() > 5 * tight.mae()
+
+    def test_result_lengths(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=240.0, initial_soc=0.5)
+        expected_windows = (len(cycle) - 1) // 2  # 240 s = 2 samples
+        assert len(result) == expected_windows + 1
+        assert result.time_s[0] == cycle.data.time_s[0]
+
+    def test_identity_predictor_stays_constant(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=120.0, initial_soc=0.7)
+        np.testing.assert_allclose(result.soc_pred, 0.7)
+
+    def test_truth_sampled_at_step_boundaries(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=120.0, initial_soc=0.7)
+        np.testing.assert_allclose(result.soc_true, cycle.data.soc[: len(result)])
+
+    def test_step_below_sampling_raises(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        with pytest.raises(ValueError):
+            rollout_cycle(lambda s, i, t, h: s, cycle, step_s=1.0, initial_soc=0.5)
+
+    def test_cycle_too_short_raises(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        with pytest.raises(ValueError):
+            rollout_cycle(lambda s, i, t, h: s, cycle, step_s=1e9, initial_soc=0.5)
+
+    def test_metrics(self):
+        result = RolloutResult(
+            time_s=np.array([0.0, 1.0]),
+            soc_pred=np.array([1.0, 0.4]),
+            soc_true=np.array([1.0, 0.5]),
+            initial_soc=1.0,
+            step_s=1.0,
+        )
+        assert result.final_error() == pytest.approx(0.1)
+        assert result.mae() == pytest.approx(0.05)
+
+
+class TestModelRollout:
+    def test_untrained_model_runs(self, small_sandia):
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        cycle = small_sandia.test()[0]
+        result = model_rollout(model, cycle, step_s=120.0)
+        assert len(result) > 1
+        assert np.all(np.isfinite(result.soc_pred))
+
+    def test_initial_soc_comes_from_branch1(self, small_sandia):
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        cycle = small_sandia.test()[0]
+        result = model_rollout(model, cycle, step_s=120.0)
+        d = cycle.data
+        expected = model.estimate_soc(d.voltage[0], d.current[0], d.temp_c[0])[0]
+        assert result.initial_soc == pytest.approx(float(expected))
+        assert result.soc_pred[0] == pytest.approx(float(expected))
+
+    def test_empty_cycle_raises(self, small_sandia):
+        import dataclasses
+
+        from repro.battery import CellSimulator, get_cell_spec
+
+        sim = CellSimulator(get_cell_spec("sandia-nmc"))
+        empty_trace = sim.run_profile(np.zeros(0), 1.0, 25.0)
+        cycle = dataclasses.replace(small_sandia.test()[0], data=empty_trace)
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model_rollout(model, cycle, step_s=120.0)

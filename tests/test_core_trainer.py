@@ -1,0 +1,154 @@
+"""Tests for the split training scheme, including the paper's key
+properties: gradient isolation between branches, ground-truth feeding,
+and the regularizing effect of the physics loss."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PhysicsConfig,
+    SplitTrainer,
+    TrainConfig,
+    TwoBranchSoCNet,
+    train_two_branch,
+)
+from repro.datasets import make_estimation_samples, make_prediction_samples
+
+FAST = TrainConfig(epochs_branch1=15, epochs_branch2=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sandia_samples(request):
+    small_sandia = request.getfixturevalue("small_sandia")
+    est = make_estimation_samples(small_sandia.train())
+    pred = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+    return est, pred
+
+
+class TestBranch1Training:
+    def test_loss_decreases(self, sandia_samples):
+        est, _ = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        log = SplitTrainer(model, FAST).train_branch1(est)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_beats_constant_predictor(self, sandia_samples):
+        est, _ = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        cfg = TrainConfig(epochs_branch1=50, epochs_branch2=0, seed=0)
+        SplitTrainer(model, cfg).train_branch1(est)
+        pred = model.estimate_soc(est.features[:, 0], est.features[:, 1], est.features[:, 2])
+        mae = np.mean(np.abs(pred - est.soc))
+        baseline = np.mean(np.abs(est.soc - est.soc.mean()))
+        assert mae < baseline * 0.5
+
+    def test_does_not_touch_branch2(self, sandia_samples):
+        est, _ = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        before = {k: v.copy() for k, v in model.branch2.state_dict().items()}
+        SplitTrainer(model, FAST).train_branch1(est)
+        after = model.branch2.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestBranch2Training:
+    def test_loss_decreases(self, sandia_samples):
+        _, pred = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        log = SplitTrainer(model, FAST).train_branch2(pred)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_split_training_isolates_branch1(self, sandia_samples):
+        """The paper's split scheme: training Branch 2 must not update
+        Branch 1 (back-propagation is stopped between branches)."""
+        _, pred = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        before = {k: v.copy() for k, v in model.branch1.state_dict().items()}
+        SplitTrainer(model, FAST, PhysicsConfig(horizons_s=(120.0,))).train_branch2(pred)
+        after = model.branch1.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_physics_loss_logged_when_enabled(self, sandia_samples):
+        _, pred = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        log = SplitTrainer(model, FAST, PhysicsConfig(horizons_s=(120.0,))).train_branch2(pred)
+        assert all(row["physics_loss"] > 0 for row in log.rows)
+
+    def test_physics_loss_zero_when_disabled(self, sandia_samples):
+        _, pred = sandia_samples
+        model = TwoBranchSoCNet(rng=np.random.default_rng(0))
+        log = SplitTrainer(model, FAST, physics=None).train_branch2(pred)
+        assert all(row["physics_loss"] == 0.0 for row in log.rows)
+
+    def test_zero_weight_physics_equals_disabled(self, sandia_samples):
+        _, pred = sandia_samples
+        a = TwoBranchSoCNet(rng=np.random.default_rng(1))
+        b = TwoBranchSoCNet(rng=np.random.default_rng(1))
+        SplitTrainer(a, FAST, physics=None).train_branch2(pred)
+        SplitTrainer(b, FAST, physics=PhysicsConfig(weight=0.0)).train_branch2(pred)
+        for (ka, va), (kb, vb) in zip(a.branch2.state_dict().items(), b.branch2.state_dict().items()):
+            np.testing.assert_array_equal(va, vb)
+
+
+class TestTrainTwoBranch:
+    def test_returns_trained_model_and_logs(self, sandia_samples):
+        est, pred = sandia_samples
+        model, logs = train_two_branch(est, pred, train_config=FAST)
+        assert model.num_parameters() == 2322
+        assert set(logs) == {"branch1", "branch2"}
+
+    def test_deterministic_per_seed(self, sandia_samples):
+        est, pred = sandia_samples
+        a, _ = train_two_branch(est, pred, train_config=FAST, seed=7)
+        b, _ = train_two_branch(est, pred, train_config=FAST, seed=7)
+        x = (3.7, 1.0, 25.0, 1.5, 25.0, 120.0)
+        np.testing.assert_allclose(a.predict_from_sensors(*x), b.predict_from_sensors(*x))
+
+    def test_seeds_differ(self, sandia_samples):
+        est, pred = sandia_samples
+        a, _ = train_two_branch(est, pred, train_config=FAST, seed=0)
+        b, _ = train_two_branch(est, pred, train_config=FAST, seed=1)
+        x = (3.7, 1.0, 25.0, 1.5, 25.0, 120.0)
+        assert not np.allclose(a.predict_from_sensors(*x), b.predict_from_sensors(*x))
+
+    def test_max_train_rows_cap(self, sandia_samples):
+        est, pred = sandia_samples
+        cfg = TrainConfig(epochs_branch1=2, epochs_branch2=2, max_train_rows=16, seed=0)
+        model, logs = train_two_branch(est, pred, train_config=cfg)
+        assert logs["branch1"].last()["loss"] > 0  # trained on the capped subset
+
+
+class TestPhysicsRegularization:
+    """Integration test of the paper's central claim (Fig. 3): with the
+    physics loss, the model generalizes to horizons it never saw in the
+    training data."""
+
+    @pytest.fixture(scope="class")
+    def trained_pair(self, request):
+        small_sandia = request.getfixturevalue("small_sandia")
+        est = make_estimation_samples(small_sandia.train())
+        pred = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        cfg = TrainConfig(epochs_branch1=30, epochs_branch2=30, seed=0)
+        no_pinn, _ = train_two_branch(est, pred, train_config=cfg)
+        pinn, _ = train_two_branch(
+            est, pred, train_config=cfg, physics=PhysicsConfig(horizons_s=(120.0, 240.0, 360.0))
+        )
+        return small_sandia, no_pinn, pinn
+
+    def test_pinn_beats_no_pinn_off_horizon(self, trained_pair):
+        small_sandia, no_pinn, pinn = trained_pair
+        test = make_prediction_samples(small_sandia.test(), horizon_s=360.0)
+        mae_no = np.mean(np.abs(no_pinn.predict_samples(test) - test.soc_target))
+        mae_pinn = np.mean(np.abs(pinn.predict_samples(test) - test.soc_target))
+        assert mae_pinn < mae_no
+
+    def test_pinn_competitive_on_horizon(self, trained_pair):
+        small_sandia, no_pinn, pinn = trained_pair
+        test = make_prediction_samples(small_sandia.test(), horizon_s=120.0)
+        mae_no = np.mean(np.abs(no_pinn.predict_samples(test) - test.soc_target))
+        mae_pinn = np.mean(np.abs(pinn.predict_samples(test) - test.soc_target))
+        assert mae_pinn < mae_no * 1.5  # physics must not wreck the native horizon

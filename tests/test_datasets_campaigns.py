@@ -1,0 +1,143 @@
+"""Tests for the Sandia and LG campaign generators and containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CycleRecord, CycleSet, LGConfig, SandiaConfig
+from tests.conftest import SMALL_LG, SMALL_SANDIA
+
+
+class TestCycleContainers:
+    def test_record_validation(self, small_sandia):
+        record = small_sandia[0]
+        assert record.split in ("train", "test")
+        with pytest.raises(ValueError):
+            CycleRecord("x", "validation", 25.0, 1.0, 3.0, record.data)
+
+    def test_record_len_and_duration(self, small_sandia):
+        record = small_sandia[0]
+        assert len(record) == len(record.data)
+        assert record.duration_s() > 0
+
+    def test_split_filters_partition(self, small_sandia):
+        n = len(small_sandia)
+        assert len(small_sandia.train()) + len(small_sandia.test()) == n
+        assert all(c.split == "train" for c in small_sandia.train())
+        assert all(c.split == "test" for c in small_sandia.test())
+
+    def test_by_name(self, small_sandia):
+        name = small_sandia[0].name
+        assert small_sandia.by_name(name).name == name
+        with pytest.raises(KeyError):
+            small_sandia.by_name("nonexistent")
+
+    def test_by_tag(self, small_sandia):
+        subset = small_sandia.by_tag("chemistry", "nmc")
+        assert len(subset) == len(small_sandia)  # single-chemistry config
+
+    def test_summary_mentions_every_cycle(self, small_sandia):
+        text = small_sandia.summary()
+        for cycle in small_sandia:
+            assert cycle.name in text
+
+    def test_total_samples(self, small_sandia):
+        assert small_sandia.total_samples() == sum(len(c) for c in small_sandia)
+
+
+class TestSandiaCampaign:
+    def test_split_follows_discharge_rate(self, small_sandia):
+        for cycle in small_sandia:
+            rate = cycle.tags["discharge_c_rate"]
+            expected = "train" if rate in SMALL_SANDIA.train_discharge_c_rates else "test"
+            assert cycle.split == expected
+
+    def test_counts(self, small_sandia):
+        # 1 cell x (1 train + 2 test rates) x 1 temp x 1 cycle
+        assert len(small_sandia) == 3
+        assert len(small_sandia.train()) == 1
+        assert len(small_sandia.test()) == 2
+
+    def test_sampling_period(self, small_sandia):
+        for cycle in small_sandia:
+            assert cycle.sampling_period_s == 120.0
+            deltas = np.diff(cycle.data.time_s)
+            np.testing.assert_allclose(deltas, 120.0)
+
+    def test_cycles_cover_soc_range(self, small_sandia):
+        for cycle in small_sandia:
+            assert cycle.data.soc.max() > 0.85
+            assert cycle.data.soc.min() < 0.15
+
+    def test_charge_and_discharge_phases_present(self, small_sandia):
+        for cycle in small_sandia:
+            assert cycle.data.current_true.min() < 0
+            assert cycle.data.current_true.max() > 0
+
+    def test_higher_rate_shorter_cycle(self, small_sandia):
+        by_rate = {c.tags["discharge_c_rate"]: c for c in small_sandia}
+        assert by_rate[3.0].duration_s() < by_rate[1.0].duration_s()
+
+    def test_deterministic(self):
+        from repro.datasets import generate_sandia
+
+        a = generate_sandia(SMALL_SANDIA)
+        b = generate_sandia(SMALL_SANDIA)
+        np.testing.assert_array_equal(a[0].data.voltage, b[0].data.voltage)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SandiaConfig(sampling_period_s=100.0, sim_dt_s=3.0)  # not a multiple
+        with pytest.raises(ValueError):
+            SandiaConfig(cycles_per_condition=0)
+
+    def test_capacity_matches_cell(self, small_sandia):
+        for cycle in small_sandia:
+            assert cycle.capacity_ah == 3.0  # sandia-nmc
+
+
+class TestLGCampaign:
+    def test_counts(self, small_lg):
+        assert len(small_lg.train()) == SMALL_LG.n_train_mixed
+        assert len(small_lg.test()) == len(SMALL_LG.test_patterns) * len(SMALL_LG.test_temps_c)
+
+    def test_train_cycles_are_mixed(self, small_lg):
+        for cycle in small_lg.train():
+            assert cycle.tags["pattern"] == "mixed"
+
+    def test_test_cycles_cover_requested_patterns(self, small_lg):
+        patterns = {c.tags["pattern"] for c in small_lg.test()}
+        assert patterns == set(SMALL_LG.test_patterns)
+
+    def test_currents_vary_within_cycle(self, small_lg):
+        # Unlike Sandia, LG cycles have non-constant currents.
+        for cycle in small_lg:
+            assert np.std(cycle.data.current_true) > 0.1
+
+    def test_discharge_reaches_low_soc(self, small_lg):
+        for cycle in small_lg:
+            assert cycle.data.soc[-1] < 0.25
+
+    def test_no_charge_cutoff_stops(self, small_lg):
+        # Drive cycles stop on the low-voltage side only.
+        for cycle in small_lg:
+            if cycle.data.stopped_early:
+                assert cycle.data.soc[-1] < 0.5
+
+    def test_sampling_period(self, small_lg):
+        for cycle in small_lg:
+            np.testing.assert_allclose(np.diff(cycle.data.time_s), SMALL_LG.sampling_period_s)
+
+    def test_temperatures_assigned(self, small_lg):
+        train_temps = {c.ambient_c for c in small_lg.train()}
+        assert train_temps == set(SMALL_LG.train_temps_c[: SMALL_LG.n_train_mixed])
+
+    def test_regen_present(self, small_lg):
+        assert any(cycle.data.current_true.min() < 0 for cycle in small_lg)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LGConfig(n_train_mixed=0)
+        with pytest.raises(ValueError):
+            LGConfig(n_train_mixed=3, train_temps_c=(25.0,))
+        with pytest.raises(ValueError):
+            LGConfig(test_patterns=("nedc",))

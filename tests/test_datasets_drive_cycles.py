@@ -1,0 +1,109 @@
+"""Tests for drive-cycle synthesis and the vehicle-to-current mapping."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DRIVE_CYCLES,
+    VehicleModel,
+    pattern_current,
+    speed_to_cell_current,
+    synthesize_speed,
+)
+
+
+class TestSynthesizeSpeed:
+    @pytest.mark.parametrize("name", sorted(DRIVE_CYCLES))
+    def test_length_and_bounds(self, name):
+        spec = DRIVE_CYCLES[name]
+        speed = synthesize_speed(spec, 600.0, rng=0)
+        assert len(speed) == 600
+        assert speed.min() >= 0.0
+        assert speed.max() <= spec.max_speed_kmh / 3.6 + 1e-9
+
+    def test_deterministic_per_seed(self):
+        spec = DRIVE_CYCLES["udds"]
+        a = synthesize_speed(spec, 300.0, rng=5)
+        b = synthesize_speed(spec, 300.0, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        spec = DRIVE_CYCLES["udds"]
+        a = synthesize_speed(spec, 300.0, rng=1)
+        b = synthesize_speed(spec, 300.0, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_urban_cycle_has_stops(self):
+        speed = synthesize_speed(DRIVE_CYCLES["udds"], 2000.0, rng=0)
+        assert np.mean(speed < 0.1) > 0.05  # noticeable standstill time
+
+    def test_highway_cycle_rarely_stops(self):
+        speed = synthesize_speed(DRIVE_CYCLES["hwfet"], 2000.0, rng=0)
+        assert np.mean(speed < 0.1) < 0.15
+
+    def test_highway_faster_than_urban(self):
+        udds = synthesize_speed(DRIVE_CYCLES["udds"], 3000.0, rng=0)
+        hwfet = synthesize_speed(DRIVE_CYCLES["hwfet"], 3000.0, rng=0)
+        assert hwfet.mean() > 1.5 * udds.mean()
+
+    def test_custom_dt(self):
+        speed = synthesize_speed(DRIVE_CYCLES["la92"], 100.0, rng=0, dt_s=0.5)
+        assert len(speed) == 200
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            synthesize_speed(DRIVE_CYCLES["udds"], 0.0, rng=0)
+
+
+class TestSpeedToCurrent:
+    def test_mean_current_matches_target(self):
+        speed = synthesize_speed(DRIVE_CYCLES["udds"], 3000.0, rng=0)
+        current = speed_to_cell_current(speed, capacity_ah=3.0, target_c_rate=0.5)
+        assert current.mean() == pytest.approx(0.5 * 3.0, rel=0.05)
+
+    def test_regen_present_and_limited(self):
+        speed = synthesize_speed(DRIVE_CYCLES["la92"], 3000.0, rng=0)
+        veh = VehicleModel(max_regen_c=1.0)
+        current = speed_to_cell_current(speed, 3.0, 0.5, vehicle=veh)
+        assert current.min() < 0.0  # braking charges the cell
+        assert current.min() >= -1.0 * 3.0 - 1e-9
+
+    def test_discharge_cap_respected(self):
+        speed = synthesize_speed(DRIVE_CYCLES["us06"], 1000.0, rng=0)
+        current = speed_to_cell_current(speed, 3.0, 1.2, max_discharge_c=2.0)
+        assert current.max() <= 2.0 * 3.0 + 1e-9
+
+    def test_zero_speed_draws_nothing(self):
+        current = speed_to_cell_current(np.zeros(100) + 1e-12, 3.0, 0.5)  # almost standstill
+        # cannot rescale an all-idle profile: mean power ~ 0
+        assert np.all(np.abs(current) < 1e3)
+
+    def test_idle_profile_raises(self):
+        with pytest.raises(ValueError, match="net power"):
+            speed_to_cell_current(np.zeros(100), 3.0, 0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            speed_to_cell_current(np.ones(10), 0.0, 0.5)
+
+
+class TestPatternCurrent:
+    @pytest.mark.parametrize("name", sorted(DRIVE_CYCLES))
+    def test_pattern_scaled_to_target(self, name):
+        spec = DRIVE_CYCLES[name]
+        current = pattern_current(name, 3.0, 2000.0, rng=0)
+        assert current.mean() == pytest.approx(spec.target_c_rate * 3.0, rel=0.05)
+
+    def test_us06_more_aggressive_than_udds(self):
+        udds = pattern_current("udds", 3.0, 3000.0, rng=0)
+        us06 = pattern_current("us06", 3.0, 3000.0, rng=0)
+        assert us06.mean() > 3 * udds.mean()
+        assert us06.max() > udds.max()
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(KeyError, match="udds"):
+            pattern_current("nedc", 3.0, 100.0, rng=0)
+
+    def test_case_insensitive(self):
+        current = pattern_current("UDDS", 3.0, 300.0, rng=0)
+        assert len(current) == 300

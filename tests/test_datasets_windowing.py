@@ -1,0 +1,246 @@
+"""Tests for preprocessing (moving average, scalers) and windowing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    FeatureScaler,
+    branch1_scaler,
+    branch2_scaler,
+    make_estimation_samples,
+    make_prediction_samples,
+    moving_average,
+    smooth_cycle,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 5.0, -2.0])
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_constant_signal_unchanged(self):
+        x = np.full(50, 3.3)
+        np.testing.assert_allclose(moving_average(x, 7), 3.3)
+
+    def test_known_values(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average(x, 2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_causal_prefix_handling(self):
+        # first outputs average only the available prefix (no zero bias)
+        x = np.array([10.0, 10.0, 10.0, 10.0])
+        out = moving_average(x, 3)
+        np.testing.assert_allclose(out, 10.0)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 1.0, size=10000)
+        out = moving_average(x, 100)
+        assert np.std(out[200:]) < 0.2
+
+    def test_empty_input(self):
+        assert len(moving_average(np.zeros(0), 5)) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones((3, 3)), 2)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50)
+    def test_output_within_input_range(self, values, window):
+        x = np.asarray(values)
+        out = moving_average(x, window)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=60))
+    @settings(max_examples=50)
+    def test_full_window_matches_numpy(self, values):
+        x = np.asarray(values)
+        w = len(x) // 2 + 1
+        out = moving_average(x, w)
+        expected = np.mean(x[len(x) - w : len(x)])
+        assert out[-1] == pytest.approx(expected, abs=1e-9)
+
+
+class TestSmoothCycle:
+    def test_smooths_measured_channels_only(self, small_lg):
+        cycle = small_lg[0]
+        smoothed = smooth_cycle(cycle, 30.0)
+        # measured channels are filtered...
+        assert np.std(np.diff(smoothed.data.voltage)) < np.std(np.diff(cycle.data.voltage))
+        # ...ground truth is untouched
+        np.testing.assert_array_equal(smoothed.data.soc, cycle.data.soc)
+        np.testing.assert_array_equal(smoothed.data.voltage_true, cycle.data.voltage_true)
+
+    def test_metadata_preserved_and_tagged(self, small_lg):
+        cycle = small_lg[0]
+        smoothed = smooth_cycle(cycle, 30.0)
+        assert smoothed.name == cycle.name
+        assert smoothed.tags["smoothed_s"] == 30.0
+
+    def test_invalid_window(self, small_lg):
+        with pytest.raises(ValueError):
+            smooth_cycle(small_lg[0], 0.0)
+
+
+class TestFeatureScaler:
+    def test_roundtrip(self):
+        scaler = FeatureScaler(offsets=(1.0, -2.0), scales=(2.0, 0.5))
+        x = np.array([[3.0, -1.0], [5.0, 0.0]])
+        np.testing.assert_allclose(scaler.inverse(scaler.transform(x)), x)
+
+    def test_transform_values(self):
+        scaler = FeatureScaler(offsets=(1.0,), scales=(2.0,))
+        np.testing.assert_allclose(scaler.transform(np.array([[3.0]])), [[1.0]])
+
+    def test_wrong_width_raises(self):
+        scaler = FeatureScaler(offsets=(0.0, 0.0), scales=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((4, 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureScaler(offsets=(0.0,), scales=(0.0,))
+        with pytest.raises(ValueError):
+            FeatureScaler(offsets=(0.0, 1.0), scales=(1.0,))
+
+    def test_branch_scalers_shape(self):
+        assert branch1_scaler().n_features == 3
+        assert branch2_scaler().n_features == 4
+
+    def test_branch1_scaler_reasonable_range(self):
+        scaler = branch1_scaler()
+        # typical operating point maps near the origin
+        out = scaler.transform(np.array([[3.7, 1.5, 25.0]]))
+        assert np.all(np.abs(out) < 1.5)
+
+    def test_branch2_horizon_scale(self):
+        scaler = branch2_scaler(horizon_scale_s=70.0)
+        out = scaler.transform(np.array([[0.5, 1.0, 25.0, 70.0]]))
+        assert out[0, 3] == pytest.approx(1.0)
+
+    def test_invalid_horizon_scale(self):
+        with pytest.raises(ValueError):
+            branch2_scaler(horizon_scale_s=0.0)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=3))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, row):
+        scaler = branch1_scaler()
+        x = np.asarray([row])
+        np.testing.assert_allclose(scaler.inverse(scaler.transform(x)), x, atol=1e-9)
+
+
+class TestEstimationSamples:
+    def test_shapes(self, small_sandia):
+        samples = make_estimation_samples(small_sandia.train())
+        assert samples.features.shape == (len(samples), 3)
+        assert len(samples.soc) == len(samples)
+
+    def test_stride_thins(self, small_sandia):
+        dense = make_estimation_samples(small_sandia.train(), stride=1)
+        thin = make_estimation_samples(small_sandia.train(), stride=4)
+        assert len(thin) <= len(dense) // 4 + len(small_sandia.train())
+
+    def test_labels_in_unit_interval(self, small_sandia):
+        samples = make_estimation_samples(small_sandia)
+        assert np.all((samples.soc >= 0.0) & (samples.soc <= 1.0))
+
+    def test_features_are_measured_channels(self, small_sandia):
+        cycle = small_sandia[0]
+        samples = make_estimation_samples([cycle])
+        np.testing.assert_array_equal(samples.features[:, 0], cycle.data.voltage)
+        np.testing.assert_array_equal(samples.features[:, 1], cycle.data.current)
+
+    def test_invalid_stride(self, small_sandia):
+        with pytest.raises(ValueError):
+            make_estimation_samples(small_sandia, stride=0)
+
+    def test_shape_validation(self):
+        from repro.datasets import EstimationSamples
+
+        with pytest.raises(ValueError):
+            EstimationSamples(features=np.zeros((5, 2)), soc=np.zeros(5))
+        with pytest.raises(ValueError):
+            EstimationSamples(features=np.zeros((5, 3)), soc=np.zeros(4))
+
+
+class TestPredictionSamples:
+    def test_shapes_and_featurestack(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        assert samples.branch2_features().shape == (len(samples), 4)
+        assert samples.branch1_features().shape == (len(samples), 3)
+
+    def test_horizon_stored(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.train(), horizon_s=240.0)
+        np.testing.assert_allclose(samples.horizon_s, 240.0)
+
+    def test_single_step_target_matches_next_sample(self, small_sandia):
+        cycle = small_sandia[0]
+        samples = make_prediction_samples([cycle], horizon_s=120.0)
+        np.testing.assert_allclose(samples.soc_t, cycle.data.soc[:-1])
+        np.testing.assert_allclose(samples.soc_target, cycle.data.soc[1:])
+
+    def test_window_average_correct(self, small_sandia):
+        cycle = small_sandia[0]
+        samples = make_prediction_samples([cycle], horizon_s=360.0)  # 3 steps
+        k = 5
+        np.testing.assert_allclose(samples.i_avg[k], cycle.data.current[k + 1 : k + 4].mean())
+        np.testing.assert_allclose(samples.temp_avg[k], cycle.data.temp_c[k + 1 : k + 4].mean())
+
+    def test_longer_horizon_fewer_samples(self, small_sandia):
+        short = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        long = make_prediction_samples(small_sandia.train(), horizon_s=360.0)
+        assert len(long) < len(short)
+
+    def test_stride(self, small_sandia):
+        dense = make_prediction_samples(small_sandia.train(), horizon_s=120.0, stride=1)
+        thin = make_prediction_samples(small_sandia.train(), horizon_s=120.0, stride=3)
+        assert len(thin) == int(np.ceil(len(dense) / 3))
+
+    def test_horizon_below_sampling_raises(self, small_sandia):
+        with pytest.raises(ValueError, match="sampling period"):
+            make_prediction_samples(small_sandia.train(), horizon_s=10.0)
+
+    def test_capacity_column(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        np.testing.assert_allclose(samples.capacity_ah, 3.0)
+
+    def test_subsample(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        sub = samples.subsample(5, np.random.default_rng(0))
+        assert len(sub) == 5
+
+    def test_subsample_noop_when_small(self, small_sandia):
+        samples = make_prediction_samples(small_sandia.train(), horizon_s=120.0)
+        assert samples.subsample(10**9, np.random.default_rng(0)) is samples
+
+    def test_concatenate_empty_raises(self):
+        from repro.datasets import PredictionSamples
+
+        with pytest.raises(ValueError):
+            PredictionSamples.concatenate([])
+
+    def test_coulomb_consistency_of_targets(self, small_sandia):
+        """On (noise-free) constant-current segments the windowed target
+        must be close to Coulomb counting from soc_t with i_avg."""
+        from repro.battery import coulomb
+
+        cycle = small_sandia[0]
+        samples = make_prediction_samples([cycle], horizon_s=120.0)
+        predicted = coulomb.predict_soc(
+            samples.soc_t, samples.i_avg, samples.horizon_s, cycle.capacity_ah
+        )
+        # sensor noise on current and clipping at soc bounds leave small gaps
+        err = np.abs(np.asarray(predicted) - samples.soc_target)
+        assert np.median(err) < 0.01

@@ -1,0 +1,192 @@
+"""Tests for metrics, reporting, the experiment harness, and drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PhysicsConfig, TrainConfig
+from repro.eval import (
+    PHYSICS_ONLY,
+    ExperimentResult,
+    VariantResult,
+    evaluate_variants,
+    format_mae_grid,
+    format_table,
+    improvement_percent,
+    mae,
+    max_abs_error,
+    rmse,
+    save_csv,
+)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [2.0, 0.0]) == pytest.approx(np.sqrt(2.5))
+
+    def test_rmse_ge_mae(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        assert rmse(a, b) >= mae(a, b)
+
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 5.0], [1.5, 1.0]) == pytest.approx(4.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+    def test_improvement_percent(self):
+        assert improvement_percent(0.1, 0.08) == pytest.approx(20.0)
+        assert improvement_percent(0.1, 0.12) == pytest.approx(-20.0)
+
+    def test_improvement_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 0.1)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1.0, "x"], [2.5, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_floats(self):
+        text = format_table(["v"], [[0.123456]], float_digits=3)
+        assert "0.123" in text
+
+    def test_format_table_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_mae_grid_improvements(self):
+        grid = {"No-PINN": {30.0: 0.1}, "PINN": {30.0: 0.05}}
+        text = format_mae_grid(grid, baseline="No-PINN")
+        assert "+50%" in text
+
+    def test_format_mae_grid_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_mae_grid({})
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "out.csv"
+        save_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == "3,4"
+
+
+class TestVariantResult:
+    def test_mean_std(self):
+        v = VariantResult("x", {30.0: [0.1, 0.2]})
+        assert v.mean(30.0) == pytest.approx(0.15)
+        assert v.std(30.0) == pytest.approx(0.05)
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            dataset="d",
+            train_horizon_s=30.0,
+            test_horizons_s=(30.0, 70.0),
+            variants={
+                "A": VariantResult("A", {30.0: [0.1], 70.0: [0.3]}),
+                "B": VariantResult("B", {30.0: [0.2], 70.0: [0.1]}),
+            },
+        )
+
+    def test_mean_grid(self):
+        grid = self._result().mean_grid()
+        assert grid["A"][30.0] == pytest.approx(0.1)
+
+    def test_best_variant(self):
+        result = self._result()
+        assert result.best_variant(30.0) == "A"
+        assert result.best_variant(70.0) == "B"
+        assert result.best_variant(30.0, exclude=("A",)) == "B"
+
+    def test_best_horizon(self):
+        result = self._result()
+        assert result.best_horizon("A") == 30.0
+        assert result.best_horizon("B") == 70.0
+
+
+class TestEvaluateVariants:
+    """Miniature end-to-end run of the Fig. 3-style harness."""
+
+    @pytest.fixture(scope="class")
+    def tiny_result(self, request):
+        small_sandia = request.getfixturevalue("small_sandia")
+        return evaluate_variants(
+            small_sandia.train(),
+            small_sandia.test(),
+            train_horizon_s=120.0,
+            test_horizons_s=(120.0, 240.0),
+            variants={
+                "No-PINN": None,
+                "Physics-Only": PHYSICS_ONLY,
+                "PINN": PhysicsConfig(horizons_s=(120.0, 240.0), n_collocation=64),
+            },
+            seeds=(0, 1),
+            train_config=TrainConfig(epochs_branch1=20, epochs_branch2=20),
+            keep_models=True,
+        )
+
+    def test_all_variants_scored(self, tiny_result):
+        assert set(tiny_result.variants) == {"No-PINN", "Physics-Only", "PINN"}
+
+    def test_one_score_per_seed(self, tiny_result):
+        for v in tiny_result.variants.values():
+            assert all(len(scores) == 2 for scores in v.mae_by_horizon.values())
+
+    def test_scores_positive_and_finite(self, tiny_result):
+        for v in tiny_result.variants.values():
+            for scores in v.mae_by_horizon.values():
+                assert all(0 < s < 1 for s in scores)
+
+    def test_models_kept_per_seed(self, tiny_result):
+        assert len(tiny_result.models["No-PINN"]) == 2
+        assert len(tiny_result.models["PINN"]) == 2
+        assert "Physics-Only" not in tiny_result.models
+
+    def test_empty_variants_raise(self, small_sandia):
+        with pytest.raises(ValueError):
+            evaluate_variants(
+                small_sandia.train(), small_sandia.test(), 120.0, (120.0,), {}, seeds=(0,)
+            )
+
+    def test_group_by_missing_tag_raises(self, small_sandia):
+        with pytest.raises(ValueError):
+            evaluate_variants(
+                small_sandia.train(),
+                small_sandia.test(),
+                120.0,
+                (120.0,),
+                {"No-PINN": None},
+                seeds=(0,),
+                train_config=TrainConfig(epochs_branch1=1, epochs_branch2=1),
+                group_by_tag="no-such-tag",
+            )
+
+    def test_group_by_chemistry_pools_scores(self, small_sandia):
+        result = evaluate_variants(
+            small_sandia.train(),
+            small_sandia.test(),
+            120.0,
+            (120.0,),
+            {"No-PINN": None},
+            seeds=(0,),
+            train_config=TrainConfig(epochs_branch1=2, epochs_branch2=2),
+            group_by_tag="chemistry",
+        )
+        # one chemistry in the small fixture -> one score per seed
+        assert len(result.variants["No-PINN"].mae_by_horizon[120.0]) == 1

@@ -1,0 +1,202 @@
+"""Tests for optimizers, schedulers, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers import Parameter
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        value = _minimize(nn.SGD([p], lr=0.1), p)
+        assert abs(value) < 1e-6
+
+    def test_momentum_converges(self):
+        p = _quadratic_param()
+        value = _minimize(nn.SGD([p], lr=0.05, momentum=0.9), p)
+        assert abs(value) < 1e-4
+
+    def test_nesterov_converges(self):
+        p = _quadratic_param()
+        value = _minimize(nn.SGD([p], lr=0.05, momentum=0.9, nesterov=True), p)
+        assert abs(value) < 1e-4
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_without_momentum_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_quadratic_param()], lr=0.1, momentum=1.5)
+
+    def test_skips_parameters_without_grad(self):
+        p, q = _quadratic_param(), _quadratic_param()
+        opt = nn.SGD([p, q], lr=0.1)
+        (p * p).sum().backward()
+        before = q.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(q.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        value = _minimize(nn.Adam([p], lr=0.1), p, steps=500)
+        assert abs(value) < 1e-4
+
+    def test_bias_correction_first_step(self):
+        # After one step with unit gradient, Adam moves by ~lr regardless of betas.
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.01)
+        opt.zero_grad()
+        p.sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            nn.Adam([_quadratic_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_trains_mlp_below_initial_loss(self):
+        rng = np.random.default_rng(0)
+        model = nn.MLP(2, hidden=(8,), rng=rng, activation=nn.Tanh)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 2 * x[:, 1:]) * 0.5
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = nn.mse_loss(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        final = nn.mse_loss(model(Tensor(x)), Tensor(y)).item()
+        assert final < first * 0.1
+
+
+class TestAdamW:
+    def test_decoupled_decay_applied(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        # pure decay: 1 - lr*wd = 0.95 (Adam update is ~0 for zero gradient)
+        assert p.data[0] == pytest.approx(0.95, abs=1e-6)
+
+    def test_weight_decay_restored_after_step(self):
+        p = _quadratic_param()
+        opt = nn.AdamW([p], lr=0.1, weight_decay=0.3)
+        (p * p).sum().backward()
+        opt.step()
+        assert opt.weight_decay == 0.3
+
+    def test_converges(self):
+        p = _quadratic_param()
+        value = _minimize(nn.AdamW([p], lr=0.1, weight_decay=0.01), p, steps=500)
+        assert abs(value) < 1e-3
+
+
+class TestOptimizerValidation:
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([_quadratic_param()], lr=0.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = nn.SGD([_quadratic_param()], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_eta_min(self):
+        opt = nn.SGD([_quadratic_param()], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = nn.SGD([_quadratic_param()], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=8)
+        lrs = []
+        for _ in range(8):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs[:-1], lrs[1:]))
+
+    def test_plateau_reduces_after_patience(self):
+        opt = nn.SGD([_quadratic_param()], lr=1.0)
+        sched = nn.ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)  # best
+        for _ in range(3):
+            sched.step(1.0)  # no improvement x3 > patience
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_plateau_respects_min_lr(self):
+        opt = nn.SGD([_quadratic_param()], lr=1e-6)
+        sched = nn.ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-6)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-6)
+
+    def test_plateau_improvement_resets_counter(self):
+        opt = nn.SGD([_quadratic_param()], lr=1.0)
+        sched = nn.ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(1.0)
+        sched.step(1.0)
+        sched.step(0.5)  # improvement
+        sched.step(0.5)
+        assert opt.lr == pytest.approx(1.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.01)
+        nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, 0.01)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the autograd tensor and its
+algebraic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import nn
+from repro.nn.tensor import Tensor, unbroadcast
+
+FLOATS = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=64)
+
+
+def finite_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=FLOATS,
+    )
+
+
+@given(finite_arrays())
+def test_add_commutative(x):
+    a, b = Tensor(x), Tensor(x * 0.5 + 1.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@given(finite_arrays())
+def test_mul_commutative(x):
+    a, b = Tensor(x), Tensor(x * 0.3 - 2.0)
+    np.testing.assert_allclose((a * b).data, (b * a).data)
+
+
+@given(finite_arrays())
+def test_double_negation(x):
+    t = Tensor(x)
+    np.testing.assert_allclose((-(-t)).data, x)
+
+
+@given(finite_arrays())
+def test_sub_self_is_zero(x):
+    t = Tensor(x)
+    np.testing.assert_allclose((t - t).data, 0.0, atol=1e-12)
+
+
+@given(finite_arrays())
+def test_relu_idempotent(x):
+    t = Tensor(x)
+    once = t.relu().data
+    twice = Tensor(once).relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(finite_arrays())
+def test_relu_nonnegative(x):
+    assert np.all(Tensor(x).relu().data >= 0.0)
+
+
+@given(finite_arrays())
+def test_sigmoid_bounded(x):
+    out = Tensor(x).sigmoid().data
+    assert np.all((out >= 0.0) & (out <= 1.0))
+
+
+@given(finite_arrays())
+def test_tanh_odd_function(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.tanh().data, -((-t).tanh().data), atol=1e-12)
+
+
+@given(finite_arrays())
+def test_abs_triangle_inequality(x):
+    a, b = Tensor(x), Tensor(np.roll(x, 1))
+    lhs = (a + b).abs().data
+    rhs = a.abs().data + b.abs().data
+    assert np.all(lhs <= rhs + 1e-9)
+
+
+@given(finite_arrays())
+def test_sum_matches_numpy(x):
+    assert Tensor(x).sum().item() == float(np.sum(x)) or np.isclose(Tensor(x).sum().item(), np.sum(x))
+
+
+@given(finite_arrays())
+def test_mean_matches_numpy(x):
+    np.testing.assert_allclose(Tensor(x).mean().item(), np.mean(x), rtol=1e-10, atol=1e-10)
+
+
+@given(finite_arrays(max_dims=2))
+def test_reshape_preserves_sum(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.reshape(-1).sum().item(), t.sum().item(), rtol=1e-10)
+
+
+@given(finite_arrays())
+def test_clip_respects_bounds(x):
+    out = Tensor(x).clip(-1.0, 1.0).data
+    assert np.all((out >= -1.0) & (out <= 1.0))
+
+
+@given(finite_arrays(max_dims=2), st.integers(min_value=1, max_value=4))
+def test_unbroadcast_inverts_broadcast(x, repeat):
+    """Broadcasting then unbroadcasting a gradient of ones equals the
+    number of broadcast copies, for every shape."""
+    expanded = np.broadcast_to(x, (repeat, *x.shape))
+    grad = np.ones_like(expanded)
+    back = unbroadcast(grad, x.shape)
+    np.testing.assert_allclose(back, np.full(x.shape, float(repeat)))
+
+
+@given(finite_arrays(max_dims=2))
+@settings(max_examples=25)
+def test_gradient_of_sum_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+
+@given(finite_arrays(max_dims=2))
+@settings(max_examples=25)
+def test_gradient_linearity(x):
+    """d(a*f)/dx == a * df/dx for scalar a."""
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * t1).sum().backward()
+    g1 = t1.grad.copy()
+
+    t2 = Tensor(x, requires_grad=True)
+    (3.0 * (t2 * t2)).sum().backward()
+    np.testing.assert_allclose(t2.grad, 3.0 * g1, rtol=1e-10, atol=1e-10)
+
+
+@given(st.lists(FLOATS, min_size=1, max_size=20))
+def test_cat_roundtrip(values):
+    x = np.asarray(values)
+    half = len(x) // 2
+    joined = nn.cat([Tensor(x[:half]), Tensor(x[half:])])
+    np.testing.assert_array_equal(joined.data, x)
+
+
+@given(finite_arrays(max_dims=2))
+def test_stack_unstack(x):
+    s = nn.stack([Tensor(x), Tensor(x * 2.0)], axis=0)
+    np.testing.assert_allclose(s.data[0], x)
+    np.testing.assert_allclose(s.data[1], x * 2.0)
+
+
+@given(finite_arrays(max_dims=2))
+def test_where_partitions(x):
+    cond = x > 0
+    out = nn.where(cond, Tensor(np.ones_like(x)), Tensor(np.zeros_like(x))).data
+    np.testing.assert_array_equal(out, cond.astype(float))
+
+
+@given(finite_arrays(max_dims=2))
+def test_maximum_ge_both(x):
+    a, b = Tensor(x), Tensor(np.roll(x.ravel(), 1).reshape(x.shape))
+    out = nn.maximum(a, b).data
+    assert np.all(out >= a.data) and np.all(out >= b.data)

@@ -1,0 +1,316 @@
+"""Unit tests for the autograd tensor: forward values, backward rules,
+broadcasting, tape mechanics, and error handling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, unbroadcast
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.5
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_radd(self):
+        out = 1.5 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_sub(self):
+        out = Tensor([3.0]) - Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [4.0, 3.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0]) / Tensor([2.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_rdiv(self):
+        out = 8.0 / Tensor([2.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 2.0])
+
+    def test_neg(self):
+        out = -Tensor([1.0, -2.0])
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        np.testing.assert_allclose((a @ b).data, [[19.0, 22.0], [43.0, 50.0]])
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(x.exp().log().data, x.data, atol=1e-12)
+
+    def test_relu(self):
+        out = Tensor([-1.0, 0.0, 2.0]).relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_extremes_are_stable(self):
+        out = Tensor([-1000.0, 0.0, 1000.0]).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out.data))
+
+    def test_tanh(self):
+        out = Tensor([0.0]).tanh()
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_abs(self):
+        out = Tensor([-2.0, 3.0]).abs()
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_clip(self):
+        out = Tensor([-2.0, 0.5, 2.0]).clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_sum_axis(self):
+        x = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(x.sum(axis=0).data, [4.0, 6.0])
+        np.testing.assert_allclose(x.sum(axis=1).data, [3.0, 7.0])
+
+    def test_mean(self):
+        x = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert x.mean().item() == pytest.approx(2.5)
+        np.testing.assert_allclose(x.mean(axis=0).data, [2.0, 3.0])
+
+    def test_max_min(self):
+        x = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        assert x.max().item() == 5.0
+        assert x.min().item() == 1.0
+        np.testing.assert_allclose(x.max(axis=0).data, [3.0, 5.0])
+        np.testing.assert_allclose(x.min(axis=1).data, [1.0, 2.0])
+
+    def test_reshape_flatten(self):
+        x = Tensor(np.arange(6.0))
+        assert x.reshape(2, 3).shape == (2, 3)
+        assert x.reshape((3, 2)).shape == (3, 2)
+        assert x.reshape(2, 3).flatten().shape == (6,)
+
+    def test_transpose(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+        assert x.transpose(1, 0).shape == (3, 2)
+
+    def test_getitem(self):
+        x = Tensor(np.arange(10.0))
+        np.testing.assert_allclose(x[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_cat(self):
+        out = nn.cat([Tensor([1.0, 2.0]), Tensor([3.0])])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_stack(self):
+        out = nn.stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])])
+        assert out.shape == (2, 2)
+
+    def test_where(self):
+        out = nn.where([True, False], Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 4.0]), Tensor([3.0, 2.0])
+        np.testing.assert_allclose(nn.maximum(a, b).data, [3.0, 4.0])
+        np.testing.assert_allclose(nn.minimum(a, b).data, [1.0, 2.0])
+
+    def test_comparisons_return_numpy(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(mask, np.ndarray)
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestBackwardRules:
+    def test_add_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+        np.testing.assert_allclose(y.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = Tensor([5.0], requires_grad=True)
+        (x * y).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+        np.testing.assert_allclose(y.grad, [2.0])
+
+    def test_div_backward(self):
+        x = Tensor([6.0], requires_grad=True)
+        y = Tensor([3.0], requires_grad=True)
+        (x / y).backward()
+        np.testing.assert_allclose(x.grad, [1.0 / 3.0])
+        np.testing.assert_allclose(y.grad, [-6.0 / 9.0])
+
+    def test_reuse_accumulates(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()  # d(12 x^2)/dx = 24x = 48
+        np.testing.assert_allclose(x.grad, [48.0])
+
+    def test_broadcast_add_backward(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [3.0, 3.0])
+        np.testing.assert_allclose(x.grad, np.ones((3, 2)))
+
+    def test_broadcast_mul_backward(self):
+        x = Tensor(np.full((4, 3), 2.0), requires_grad=True)
+        s = Tensor([3.0], requires_grad=True)
+        (x * s).sum().backward()
+        np.testing.assert_allclose(s.grad, [24.0])
+
+    def test_scalar_broadcast_row_backward(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        row = Tensor(np.ones((1, 3)), requires_grad=True)
+        (x * row).sum().backward()
+        assert row.grad.shape == (1, 3)
+        np.testing.assert_allclose(row.grad, [[2.0, 2.0, 2.0]])
+
+    def test_getitem_backward(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_getitem_repeated_index_backward(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        x[np.array([0, 0, 1])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 1.0, 0.0])
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor([2.0, 2.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_backward_nonscalar_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_detached_raises(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            x.detach().backward()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestTapeMechanics:
+    def test_no_grad_blocks_tracking(self):
+        x = Tensor([1.0], requires_grad=True)
+        with nn.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with nn.no_grad():
+                raise ValueError("boom")
+        assert nn.is_grad_enabled()
+
+    def test_detach_cuts_tape(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach()
+        z = y * 4.0
+        assert not z.requires_grad
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype.kind == "f"
+
+    def test_requires_grad_integer_raises(self):
+        # integers are promoted, so this should actually work
+        t = Tensor([1, 2], requires_grad=True)
+        assert t.requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sum_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_sum_size_one_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (1, 3)), np.full((1, 3), 2.0))
+
+    def test_scalar_target(self):
+        g = np.ones((5,))
+        np.testing.assert_allclose(unbroadcast(g, ()), 5.0)
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones(4).data.sum() == 4.0
+        assert nn.full((2,), 7.0).data[0] == 7.0
+
+    def test_arange(self):
+        np.testing.assert_allclose(nn.arange(3).data, [0.0, 1.0, 2.0])
+
+    def test_randn_deterministic_with_rng(self):
+        a = nn.randn(5, rng=np.random.default_rng(0))
+        b = nn.randn(5, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_rand_range(self):
+        x = nn.rand(100, rng=np.random.default_rng(0))
+        assert np.all((x.data >= 0) & (x.data < 1))
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == 3.5
+        assert len(Tensor([1.0, 2.0])) == 2
