@@ -1,0 +1,112 @@
+"""Fleet-serving throughput: per-cell Python loop vs batched engine.
+
+Rolls a synthetic multi-chemistry fleet (``repro.serve.fleet_sim``)
+through both autoregressive paths:
+
+- **loop** — :func:`repro.core.rollout.model_rollout` once per cell,
+  the pre-serving-layer behaviour (one Python-level Branch 2 call per
+  cell per step);
+- **batched** — :meth:`repro.serve.FleetEngine.rollout_fleet`, one
+  matrix op advancing every active cell per step.
+
+The two paths must agree to 1e-9 on every trajectory (they share the
+:func:`repro.core.rollout.cycle_windows` workloads); the report is
+cells/sec and cell-steps/sec for each, plus the speedup.  At the
+default fleet size of 1,000 the batched path is expected to be >=20x
+faster.
+
+Run directly (unlike the pytest-benchmark figures in this directory,
+fleet serving has no paper artifact to regenerate)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_throughput.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import TwoBranchSoCNet, model_rollout
+from repro.eval.reporting import format_table
+from repro.serve import FleetEngine, generate_fleet
+
+
+def run(cells: int, step_s: float, seed: int, fast: bool, min_speedup: float) -> int:
+    """Time both rollout paths over one generated fleet; 0 on success."""
+    # an untrained (but deterministic) model: forward cost is identical
+    # to a trained one, and throughput is all this benchmark measures
+    model = TwoBranchSoCNet(rng=np.random.default_rng(seed))
+    sim_kwargs = dict(seed=seed, protocols=("discharge",))
+    if fast:
+        sim_kwargs.update(ambient_temps_c=(25.0,), c_rates=(1.0, 2.0), max_time_s=1800.0)
+    t0 = time.perf_counter()
+    fleet = generate_fleet(cells, **sim_kwargs)
+    gen_s = time.perf_counter() - t0
+    assignments = fleet.assignments()
+    chem = ", ".join(f"{c}={n}" for c, n in sorted(fleet.chemistries().items()))
+    print(f"fleet: {len(fleet)} cells ({chem}), {fleet.n_conditions()} duty cycles "
+          f"[generated in {gen_s:.2f}s]")
+
+    t0 = time.perf_counter()
+    loop_results = {cid: model_rollout(model, cycle, step_s) for cid, cycle in assignments}
+    loop_s = time.perf_counter() - t0
+
+    engine = FleetEngine(default_model=model)
+    t0 = time.perf_counter()
+    batched_results = engine.rollout_fleet(assignments, step_s=step_s)
+    batched_s = time.perf_counter() - t0
+
+    worst = 0.0
+    for cid, _ in assignments:
+        ref, got = loop_results[cid], batched_results[cid]
+        if len(ref) != len(got):
+            print(f"FAIL: {cid} trajectory length mismatch ({len(ref)} vs {len(got)})")
+            return 1
+        worst = max(worst, float(np.max(np.abs(ref.soc_pred - got.soc_pred))))
+    if worst > 1e-9:
+        print(f"FAIL: loop/batched trajectories diverge (max |diff| {worst:.3e} > 1e-9)")
+        return 1
+
+    steps_total = sum(len(r) - 1 for r in loop_results.values())
+    speedup = loop_s / batched_s
+    print(format_table(
+        ["path", "wall [s]", "cells/s", "cell-steps/s"],
+        [
+            ["loop (per-cell)", loop_s, cells / loop_s, steps_total / loop_s],
+            ["batched (fleet)", batched_s, cells / batched_s, steps_total / batched_s],
+        ],
+        float_digits=3,
+    ))
+    print(f"speedup: {speedup:.1f}x over {steps_total} cell-steps "
+          f"(max trajectory |diff| {worst:.2e})")
+    if min_speedup and speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below required {min_speedup:g}x")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--cells", type=int, default=1000, help="fleet size")
+    parser.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke mode: small fleet, light simulation")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail below this speedup (default: 20 at full size, off with --fast)")
+    args = parser.parse_args(argv)
+    if args.cells < 1:
+        parser.error("--cells must be at least 1")
+    if args.fast and args.cells == 1000:
+        args.cells = 128
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 0.0 if args.fast else 20.0
+    return run(args.cells, args.step, args.seed, args.fast, min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

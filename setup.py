@@ -1,6 +1,18 @@
 """Legacy setup shim: this offline environment's setuptools cannot build
 PEP 517 editable wheels, so `pip install -e .` goes through setup.py."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-soc",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Coupling Neural Networks and Physics Equations for "
+        "Li-Ion Battery State-of-Charge Prediction', plus a fleet-scale serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-soc=repro.cli:main"]},
+)

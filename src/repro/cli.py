@@ -10,15 +10,23 @@ Gives the library a deployable surface without writing Python:
   sensor readings and a hypothesized workload;
 - ``repro-soc rollout``   — autoregressive full-discharge trace of a
   named test cycle;
-- ``repro-soc inspect``   — parameters / memory / ops of a checkpoint.
+- ``repro-soc inspect``   — parameters / memory / ops of a checkpoint;
+- ``repro-soc serve-sim`` — fleet-serving simulation: roll a synthetic
+  multi-chemistry fleet through the batched
+  :class:`repro.serve.FleetEngine` (optionally routed through a model
+  registry) and report throughput and fleet-wide accuracy.
+
+Installed as the ``repro-soc`` console script (see ``setup.py``); also
+reachable as ``python -m repro.cli``.
 
 Usage examples::
 
-    python -m repro.cli train --dataset sandia --pinn --out model.npz
-    python -m repro.cli evaluate model.npz --dataset sandia --horizons 120 240 360
-    python -m repro.cli predict model.npz --voltage 3.7 --current 3 \\
+    repro-soc train --dataset sandia --pinn --out model.npz
+    repro-soc evaluate model.npz --dataset sandia --horizons 120 240 360
+    repro-soc predict model.npz --voltage 3.7 --current 3 \\
         --temp 25 --workload-current 6 --horizon 300
-    python -m repro.cli rollout model.npz --dataset lg --cycle us06-25C --step 30
+    repro-soc rollout model.npz --dataset lg --cycle us06-25C --step 30
+    repro-soc serve-sim model.npz --cells 512 --step 60 --compare-loop
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from .datasets.preprocessing import smooth_cycle
 from .datasets.sandia import SandiaConfig, generate_sandia
 from .datasets.windowing import make_estimation_samples, make_prediction_samples
 from .eval.metrics import mae
+from .eval.reporting import format_rollout_summary, format_table
 from .nn.serialization import load_state, save_state
 
 __all__ = ["main", "build_parser"]
@@ -175,16 +184,86 @@ def _cmd_rollout(args) -> int:
     if defaults["smooth_s"]:
         cycle = smooth_cycle(cycle, defaults["smooth_s"])
     result = model_rollout(model, cycle, step_s=args.step)
-    print(f"rollout of {cycle.name}: {len(result) - 1} steps x {result.step_s:g}s")
+    tail = f" (+{result.tail_s:g}s tail)" if result.tail_s else ""
+    print(f"rollout of {cycle.name}: {len(result) - 1} steps x {result.step_s:g}s{tail}")
     print(f"  initial SoC estimate: {result.initial_soc:.4f} (true {result.soc_true[0]:.4f})")
-    print(f"  trajectory MAE: {result.mae():.4f}")
-    print(f"  final |error|:  {result.final_error():.4f}")
+    print(format_rollout_summary({cycle.name: result}))
     if args.csv:
         from .eval.reporting import save_csv
 
         save_csv(args.csv, ["time_s", "soc_pred", "soc_true"],
                  list(zip(result.time_s, result.soc_pred, result.soc_true)))
         print(f"  series written to {args.csv}")
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    import time
+
+    from .core.rollout import model_rollout as _loop_rollout
+    from .serve import FleetEngine, ModelRegistry, generate_fleet
+
+    if args.cells < 1:
+        raise SystemExit("--cells must be at least 1")
+    model, meta = _load_model(args.model)
+    sim_kwargs = dict(seed=args.seed)
+    if args.fast:
+        sim_kwargs.update(
+            ambient_temps_c=(25.0,),
+            c_rates=(1.0,),
+            protocols=("discharge",),
+            max_time_s=1800.0,
+        )
+    print(f"generating fleet of {args.cells} cells (seed {args.seed})...", file=sys.stderr)
+    fleet = generate_fleet(args.cells, **sim_kwargs)
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        dataset = meta.get("dataset")
+        name = f"{dataset or 'default'}-serve"
+        registry.publish(name, model, dataset=dataset)
+        engine = FleetEngine(registry=registry, default_model=model)
+        print(f"serving via registry {args.registry} (model {name!r})")
+    else:
+        engine = FleetEngine(default_model=model)
+    assignments = fleet.assignments()
+
+    t0 = time.perf_counter()
+    results = engine.rollout_fleet(assignments, step_s=args.step)
+    elapsed = time.perf_counter() - t0
+    steps_total = sum(len(r) - 1 for r in results.values())
+    trajectories = list(results.values())
+    chem = ", ".join(f"{c}={n}" for c, n in sorted(fleet.chemistries().items()))
+    print(f"fleet: {len(fleet)} cells ({chem}), {fleet.n_conditions()} duty cycles")
+    print(
+        f"batched rollout: {steps_total} steps in {elapsed:.3f}s "
+        f"-> {len(fleet) / elapsed:,.0f} cells/s, {steps_total / elapsed:,.0f} cell-steps/s"
+    )
+    metric_rows = []
+    for label, metric in (
+        ("trajectory MAE", "mae"),
+        ("trajectory RMSE", "rmse"),
+        ("max |error|", "max_error"),
+        ("final |error|", "final_error"),
+    ):
+        values = [getattr(r, metric)() for r in trajectories]
+        metric_rows.append([label, float(np.mean(values)), float(np.max(values))])
+    print(format_table(["metric", "mean", "worst"], metric_rows))
+    if args.show:
+        print(format_rollout_summary(
+            {cid: results[cid] for cid, _ in assignments}, max_rows=args.show
+        ))
+    if args.compare_loop:
+        t0 = time.perf_counter()
+        loop_results = {cid: _loop_rollout(model, cycle, args.step) for cid, cycle in assignments}
+        loop_elapsed = time.perf_counter() - t0
+        worst = max(
+            float(np.max(np.abs(loop_results[cid].soc_pred - results[cid].soc_pred)))
+            for cid, _ in assignments
+        )
+        print(
+            f"per-cell loop: {loop_elapsed:.3f}s -> {len(fleet) / loop_elapsed:,.0f} cells/s; "
+            f"batched speedup {loop_elapsed / elapsed:.1f}x (max traj diff {worst:.2e})"
+        )
     return 0
 
 
@@ -247,6 +326,20 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="show checkpoint metadata and cost")
     inspect.add_argument("model")
     inspect.set_defaults(func=_cmd_inspect)
+
+    serve = sub.add_parser("serve-sim", help="batched fleet-serving simulation")
+    serve.add_argument("model")
+    serve.add_argument("--cells", type=int, default=256, help="fleet size")
+    serve.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--fast", action="store_true", help="scaled-down fleet simulation")
+    serve.add_argument("--registry", default=None,
+                       help="serve through a model registry rooted at this directory")
+    serve.add_argument("--show", type=int, default=0,
+                       help="print per-cell trajectories for the first N cells")
+    serve.add_argument("--compare-loop", action="store_true",
+                       help="also time the per-cell loop path and report the speedup")
+    serve.set_defaults(func=_cmd_serve_sim)
     return parser
 
 

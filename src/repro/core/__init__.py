@@ -15,7 +15,7 @@ from .ensemble import SoHEnsemble
 from .config import ModelConfig, PhysicsConfig, TrainConfig
 from .model import TwoBranchSoCNet
 from .physics import CollocationBatch, CollocationSampler
-from .rollout import RolloutResult, model_rollout, rollout_cycle
+from .rollout import RolloutResult, WindowPlan, cycle_windows, model_rollout, rollout_cycle
 from .trainer import SplitTrainer, train_two_branch
 
 __all__ = [
@@ -31,6 +31,8 @@ __all__ = [
     "SplitTrainer",
     "train_two_branch",
     "RolloutResult",
+    "WindowPlan",
+    "cycle_windows",
     "rollout_cycle",
     "model_rollout",
     "ComplexityReport",

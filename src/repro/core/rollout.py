@@ -9,6 +9,10 @@ highlights in Sec. V-D.
 
 The rollout driver is predictor-agnostic so the Physics-Only baseline
 (pure Coulomb counting) and the neural models share one code path.
+The window-averaging itself lives in :func:`cycle_windows` so the
+per-cell loop here and the batched fleet path
+(:meth:`repro.serve.FleetEngine.rollout_fleet`) consume *identical*
+workload numbers.
 """
 
 from __future__ import annotations
@@ -21,7 +25,14 @@ import numpy as np
 from ..datasets.base import CycleRecord
 from .model import TwoBranchSoCNet
 
-__all__ = ["RolloutResult", "StepPredictor", "rollout_cycle", "model_rollout"]
+__all__ = [
+    "RolloutResult",
+    "StepPredictor",
+    "WindowPlan",
+    "cycle_windows",
+    "rollout_cycle",
+    "model_rollout",
+]
 
 
 class StepPredictor(Protocol):
@@ -39,7 +50,10 @@ class RolloutResult:
     """Trajectory produced by an autoregressive rollout.
 
     ``time_s``/``soc_pred``/``soc_true`` share one entry per step
-    boundary (including the initial point at index 0).
+    boundary (including the initial point at index 0).  When the cycle
+    length is not a multiple of the step, the last entry scores the
+    trailing partial window and ``tail_s`` records its (shorter)
+    duration; ``tail_s`` is 0 when the cycle divides evenly.
     """
 
     time_s: np.ndarray
@@ -47,6 +61,7 @@ class RolloutResult:
     soc_true: np.ndarray
     initial_soc: float
     step_s: float
+    tail_s: float = 0.0
 
     def __len__(self) -> int:
         return len(self.time_s)
@@ -55,9 +70,114 @@ class RolloutResult:
         """Mean absolute error along the whole trajectory."""
         return float(np.mean(np.abs(self.soc_pred - self.soc_true)))
 
+    def rmse(self) -> float:
+        """Root-mean-square error along the whole trajectory."""
+        return float(np.sqrt(np.mean((self.soc_pred - self.soc_true) ** 2)))
+
+    def max_error(self) -> float:
+        """Largest absolute error anywhere on the trajectory."""
+        return float(np.max(np.abs(self.soc_pred - self.soc_true)))
+
     def final_error(self) -> float:
         """Absolute error at the last step (the paper's end-of-discharge check)."""
         return float(abs(self.soc_pred[-1] - self.soc_true[-1]))
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowPlan:
+    """Pre-computed per-window workload of one cycle at one step size.
+
+    One row per autoregressive window, **including** the trailing
+    partial window when the recorded cycle does not divide evenly into
+    full steps (its shortened duration shows up in ``horizon_s``).
+
+    Attributes
+    ----------
+    steps:
+        Full-window length in samples.
+    i_avg, t_avg:
+        Measured-channel averages over each window (the workload fed to
+        the predictor).
+    horizon_s:
+        Duration of each window in seconds; all entries equal
+        ``steps * sampling_period`` except a possible shorter last one.
+    time_s:
+        Window-boundary timestamps, ``n_windows + 1`` entries (index 0
+        is the cycle start).
+    soc_true:
+        Ground-truth SoC at the same boundaries.
+    tail_s:
+        Duration of the trailing partial window (0.0 when none).
+    """
+
+    steps: int
+    i_avg: np.ndarray
+    t_avg: np.ndarray
+    horizon_s: np.ndarray
+    time_s: np.ndarray
+    soc_true: np.ndarray
+    tail_s: float
+
+    @property
+    def n_windows(self) -> int:
+        """Number of autoregressive windows (incl. any partial tail)."""
+        return len(self.i_avg)
+
+
+def cycle_windows(cycle: CycleRecord, step_s: float, include_tail: bool = True) -> WindowPlan:
+    """Split a recorded cycle into rollout windows with averaged workloads.
+
+    This is the single source of the per-window ``(i_avg, t_avg,
+    horizon)`` numbers: the scalar loop (:func:`rollout_cycle`) and the
+    batched fleet path both consume its output, which is what makes
+    their trajectories bit-for-bit comparable.
+
+    Parameters
+    ----------
+    cycle:
+        The recorded cycle supplying measured I/T and ground-truth SoC.
+    step_s:
+        Full autoregressive step in seconds (rounded to samples).
+    include_tail:
+        Score the trailing partial window (shortened final step) when
+        the cycle length is not a multiple of the step.
+
+    Raises
+    ------
+    ValueError
+        When the step is below one sampling period or the cycle is
+        shorter than a single full step.
+    """
+    d = cycle.data
+    steps = int(round(step_s / cycle.sampling_period_s))
+    if steps < 1:
+        raise ValueError("step must be at least one sampling period")
+    n_full = (len(d) - 1) // steps
+    if n_full < 1:
+        raise ValueError("cycle shorter than a single rollout step")
+    rem = (len(d) - 1) % steps
+    bounds = [(w * steps, (w + 1) * steps) for w in range(n_full)]
+    tail_s = 0.0
+    if include_tail and rem:
+        bounds.append((n_full * steps, len(d) - 1))
+        tail_s = rem * cycle.sampling_period_s
+    i_avg = np.empty(len(bounds))
+    t_avg = np.empty(len(bounds))
+    horizon_s = np.empty(len(bounds))
+    boundary = [0] + [hi for _, hi in bounds]
+    for w, (lo, hi) in enumerate(bounds):
+        i_avg[w] = np.mean(d.current[lo + 1 : hi + 1])
+        t_avg[w] = np.mean(d.temp_c[lo + 1 : hi + 1])
+        horizon_s[w] = (hi - lo) * cycle.sampling_period_s
+    return WindowPlan(
+        steps=steps,
+        i_avg=i_avg,
+        t_avg=t_avg,
+        horizon_s=horizon_s,
+        time_s=d.time_s[boundary].astype(np.float64, copy=True),
+        soc_true=d.soc[boundary].astype(np.float64, copy=True),
+        tail_s=tail_s,
+    )
 
 
 def rollout_cycle(
@@ -65,6 +185,7 @@ def rollout_cycle(
     cycle: CycleRecord,
     step_s: float,
     initial_soc: float,
+    include_tail: bool = True,
 ) -> RolloutResult:
     """Run an autoregressive rollout along one recorded cycle.
 
@@ -79,36 +200,28 @@ def rollout_cycle(
         Autoregressive step, i.e. the single-step horizon ``N``.
     initial_soc:
         Starting SoC estimate (from Branch 1, or ground truth).
+    include_tail:
+        Also score the trailing partial window with a shortened final
+        step (default; pass False for legacy full-windows-only traces).
 
     Returns
     -------
     RolloutResult
     """
-    d = cycle.data
-    steps = int(round(step_s / cycle.sampling_period_s))
-    if steps < 1:
-        raise ValueError("step must be at least one sampling period")
-    n_windows = (len(d) - 1) // steps
-    if n_windows < 1:
-        raise ValueError("cycle shorter than a single rollout step")
-    times = [float(d.time_s[0])]
-    preds = [float(initial_soc)]
-    truths = [float(d.soc[0])]
+    plan = cycle_windows(cycle, step_s, include_tail=include_tail)
+    preds = np.empty(plan.n_windows + 1)
+    preds[0] = float(initial_soc)
     soc = float(initial_soc)
-    for w in range(n_windows):
-        lo, hi = w * steps, (w + 1) * steps
-        i_avg = float(np.mean(d.current[lo + 1 : hi + 1]))
-        t_avg = float(np.mean(d.temp_c[lo + 1 : hi + 1]))
-        soc = float(predictor(soc, i_avg, t_avg, steps * cycle.sampling_period_s))
-        times.append(float(d.time_s[hi]))
-        preds.append(soc)
-        truths.append(float(d.soc[hi]))
+    for w in range(plan.n_windows):
+        soc = float(predictor(soc, float(plan.i_avg[w]), float(plan.t_avg[w]), float(plan.horizon_s[w])))
+        preds[w + 1] = soc
     return RolloutResult(
-        time_s=np.asarray(times),
-        soc_pred=np.asarray(preds),
-        soc_true=np.asarray(truths),
+        time_s=plan.time_s.copy(),
+        soc_pred=preds,
+        soc_true=plan.soc_true.copy(),
         initial_soc=float(initial_soc),
-        step_s=steps * cycle.sampling_period_s,
+        step_s=plan.steps * cycle.sampling_period_s,
+        tail_s=plan.tail_s,
     )
 
 

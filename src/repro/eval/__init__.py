@@ -14,7 +14,7 @@ from .experiments import (
 )
 from .harness import PHYSICS_ONLY, ExperimentResult, VariantResult, evaluate_variants
 from .metrics import improvement_percent, mae, max_abs_error, rmse
-from .reporting import format_mae_grid, format_table, save_csv
+from .reporting import format_mae_grid, format_rollout_summary, format_table, save_csv
 
 __all__ = [
     "mae",
@@ -27,6 +27,7 @@ __all__ = [
     "evaluate_variants",
     "format_table",
     "format_mae_grid",
+    "format_rollout_summary",
     "save_csv",
     "Budget",
     "fast_budget",

@@ -11,7 +11,7 @@ import csv
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["format_table", "save_csv", "format_mae_grid"]
+__all__ = ["format_table", "save_csv", "format_mae_grid", "format_rollout_summary"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], float_digits: int = 4) -> str:
@@ -75,6 +75,39 @@ def format_mae_grid(
             cells.append(cell)
         rows.append(cells)
     return format_table(headers, rows, float_digits)
+
+
+def format_rollout_summary(rollouts: dict, max_rows: int | None = None, float_digits: int = 4) -> str:
+    """Render one table row per rollout trajectory.
+
+    Columns cover the full error picture of an autoregressive trace:
+    step count, trajectory MAE/RMSE, worst-point error, and the
+    end-of-window error the paper reports.
+
+    Parameters
+    ----------
+    rollouts:
+        ``{label: RolloutResult}`` (e.g. per cycle, or per fleet cell).
+    max_rows:
+        Truncate to the first ``max_rows`` trajectories (a trailing
+        line reports how many were omitted); ``None`` shows all.
+    """
+    if not rollouts:
+        raise ValueError("no rollouts to format")
+    headers = ["trajectory", "steps", "mae", "rmse", "max|err|", "final|err|"]
+    items = list(rollouts.items())
+    omitted = 0
+    if max_rows is not None and len(items) > max_rows:
+        omitted = len(items) - max_rows
+        items = items[:max_rows]
+    rows = [
+        [label, len(r) - 1, r.mae(), r.rmse(), r.max_error(), r.final_error()]
+        for label, r in items
+    ]
+    text = format_table(headers, rows, float_digits)
+    if omitted:
+        text += f"\n... ({omitted} more trajectories)"
+    return text
 
 
 def save_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> None:

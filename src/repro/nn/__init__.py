@@ -44,7 +44,7 @@ from .optim import (
     clip_grad_norm,
 )
 from .recurrent import LSTM, LSTMCell, LSTMRegressor
-from .serialization import load_model_into, load_state, save_model, save_state
+from .serialization import load_model_into, load_state, peek_meta, save_model, save_state
 from .tensor import (
     Tensor,
     arange,
@@ -115,6 +115,7 @@ __all__ = [
     "train_val_split",
     "save_state",
     "load_state",
+    "peek_meta",
     "save_model",
     "load_model_into",
 ]

@@ -14,7 +14,7 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+__all__ = ["save_state", "load_state", "peek_meta", "save_model", "load_model_into"]
 
 _META_KEY = "__meta_json__"
 
@@ -50,6 +50,19 @@ def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict | None]:
             else:
                 state[key] = archive[key]
     return state, meta
+
+
+def peek_meta(path: str | Path) -> dict | None:
+    """Read only the metadata of a checkpoint, skipping the weights.
+
+    ``np.load`` maps the archive lazily, so this stays cheap even for
+    large checkpoints — it is what lets a model registry index a whole
+    directory of snapshots without materializing any weight arrays.
+    """
+    with np.load(str(path)) as archive:
+        if _META_KEY not in archive.files:
+            return None
+        return json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
 
 
 def save_model(model: Module, path: str | Path, meta: dict | None = None) -> None:

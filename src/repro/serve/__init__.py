@@ -1,0 +1,33 @@
+"""``repro.serve`` — fleet-scale SoC serving.
+
+The deployment layer on top of the paper's model: batched multi-cell
+inference instead of one Python call per cell.
+
+- :mod:`repro.serve.engine` — :class:`FleetEngine`: per-cell state,
+  batched Branch 1/2 forwards, lock-step fleet rollout;
+- :mod:`repro.serve.registry` — :class:`ModelRegistry`: named
+  checkpoints with chemistry/dataset resolution;
+- :mod:`repro.serve.scheduler` — :class:`MicroBatcher`: size- and
+  deadline-triggered request coalescing with latency accounting;
+- :mod:`repro.serve.fleet_sim` — synthetic heterogeneous fleets for
+  benchmarks and the ``repro-soc serve-sim`` subcommand.
+"""
+
+from .engine import CellState, FleetEngine
+from .fleet_sim import FleetMember, FleetScenario, generate_fleet
+from .registry import ModelEntry, ModelRegistry
+from .scheduler import BatchStats, Completion, MicroBatcher, Request
+
+__all__ = [
+    "CellState",
+    "FleetEngine",
+    "ModelEntry",
+    "ModelRegistry",
+    "BatchStats",
+    "Completion",
+    "MicroBatcher",
+    "Request",
+    "FleetMember",
+    "FleetScenario",
+    "generate_fleet",
+]

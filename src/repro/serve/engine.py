@@ -1,0 +1,343 @@
+"""Fleet-scale inference engine: batched SoC estimation and rollout.
+
+The paper's deployment story is a 2,322-parameter network cheap enough
+to run per cell on a BMS; a *fleet* backend inverts the problem — one
+process serving thousands of cells.  Calling the model once per cell
+wastes almost all wall-clock on Python overhead, because a forward pass
+through the two branches is a handful of tiny matmuls.
+
+:class:`FleetEngine` keeps per-cell state (last SoC, chemistry, request
+counters), resolves one model per cell (a shared default, or per-
+chemistry checkpoints from a :class:`~repro.serve.registry.ModelRegistry`),
+and batches every operation across all cells that share a model:
+
+- :meth:`estimate` — one Branch 1 forward for N cells' sensor rows;
+- :meth:`predict` — one Branch 2 forward for N what-if queries;
+- :meth:`rollout_fleet` — autoregressive rollout advancing N cells per
+  step in one matrix op, numerically identical to looping
+  :func:`repro.core.rollout.model_rollout` cell by cell (both paths
+  consume :func:`repro.core.rollout.cycle_windows` workloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.model import TwoBranchSoCNet
+from ..core.rollout import RolloutResult, cycle_windows
+from ..datasets.base import CycleRecord
+from .registry import ModelRegistry
+
+__all__ = ["CellState", "FleetEngine"]
+
+_DEFAULT_MODEL_KEY = "__default__"
+
+
+@dataclasses.dataclass
+class CellState:
+    """Mutable serving-side record for one fleet cell.
+
+    Attributes
+    ----------
+    cell_id:
+        Fleet-unique identifier.
+    chemistry:
+        Chemistry tag used for model resolution (may be ``None``).
+    model_key:
+        Resolved registry name (or the shared-default sentinel).
+    soc:
+        Last served SoC estimate (``None`` until the first estimate).
+    last_seen_s:
+        Clock reading of the most recent request (``None`` untracked).
+    n_requests:
+        Requests served for this cell since registration.
+    """
+
+    cell_id: str
+    chemistry: str | None
+    model_key: str
+    soc: float | None = None
+    last_seen_s: float | None = None
+    n_requests: int = 0
+
+
+class FleetEngine:
+    """Batched multi-cell server over one or more two-branch models.
+
+    Parameters
+    ----------
+    default_model:
+        Model used for cells the registry cannot place (and for the
+        whole fleet when no registry is given).
+    registry:
+        Optional :class:`ModelRegistry`; cells are routed to
+        ``registry.resolve(chemistry=...)`` at registration time.
+
+    At least one of the two must be provided.
+    """
+
+    def __init__(
+        self,
+        default_model: TwoBranchSoCNet | None = None,
+        registry: ModelRegistry | None = None,
+    ):
+        if default_model is None and registry is None:
+            raise ValueError("need a default model, a registry, or both")
+        self.registry = registry
+        self._models: dict[str, TwoBranchSoCNet] = {}
+        if default_model is not None:
+            self._models[_DEFAULT_MODEL_KEY] = default_model
+        self._cells: dict[str, CellState] = {}
+
+    # -- fleet membership ----------------------------------------------
+    def register_cell(
+        self,
+        cell_id: str,
+        chemistry: str | None = None,
+        model_name: str | None = None,
+    ) -> CellState:
+        """Add (or re-route) a cell and resolve its serving model.
+
+        Parameters
+        ----------
+        cell_id:
+            Fleet-unique identifier.
+        chemistry:
+            Chemistry tag; with a registry attached it selects the
+            per-chemistry checkpoint.
+        model_name:
+            Pin the cell to a specific registry model, bypassing
+            resolution.
+        """
+        key = self._resolve_key(chemistry, model_name)
+        state = CellState(cell_id=cell_id, chemistry=chemistry, model_key=key)
+        self._cells[cell_id] = state
+        return state
+
+    def cell(self, cell_id: str) -> CellState:
+        """State record for one registered cell.
+
+        Raises
+        ------
+        KeyError
+            When the cell is unknown.
+        """
+        if cell_id not in self._cells:
+            raise KeyError(f"unknown cell {cell_id!r}; {len(self._cells)} cells registered")
+        return self._cells[cell_id]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._cells
+
+    # -- batched inference ---------------------------------------------
+    def estimate(
+        self,
+        cell_ids: Sequence[str],
+        voltage,
+        current,
+        temp_c,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 1: estimate SoC(t) for many cells at once.
+
+        One forward pass per distinct serving model covers the whole
+        batch; each cell's stored SoC is updated with its estimate.
+
+        Parameters
+        ----------
+        cell_ids:
+            Registered cells, one per sensor row.
+        voltage, current, temp_c:
+            Sensor readings aligned with ``cell_ids``.
+        now_s:
+            Optional clock reading recorded as ``last_seen_s``.
+        """
+        v = np.broadcast_to(np.asarray(voltage, dtype=np.float64), (len(cell_ids),))
+        i = np.broadcast_to(np.asarray(current, dtype=np.float64), (len(cell_ids),))
+        t = np.broadcast_to(np.asarray(temp_c, dtype=np.float64), (len(cell_ids),))
+        out = np.empty(len(cell_ids))
+        for key, idx in self._group_by_model(cell_ids).items():
+            out[idx] = self._model(key).estimate_soc(v[idx], i[idx], t[idx])
+        for k, cid in enumerate(cell_ids):
+            state = self._cells[cid]
+            state.soc = float(out[k])
+            state.n_requests += 1
+            state.last_seen_s = now_s
+        return out
+
+    def predict(
+        self,
+        cell_ids: Sequence[str],
+        current_avg,
+        temp_avg_c,
+        horizon_s,
+        soc_now=None,
+        commit: bool = False,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 2: what-if SoC(t+N) for many cells at once.
+
+        Parameters
+        ----------
+        cell_ids:
+            Registered cells, one per query row.
+        current_avg, temp_avg_c, horizon_s:
+            Hypothesized workload per query.
+        soc_now:
+            Starting SoC per query; defaults to each cell's stored
+            estimate (which must then exist).
+        commit:
+            Overwrite the stored SoC with the prediction (an
+            autoregressive fleet step); default leaves state untouched.
+        now_s:
+            Optional clock reading recorded as ``last_seen_s``.
+        """
+        if soc_now is None:
+            soc = np.empty(len(cell_ids))
+            for k, cid in enumerate(cell_ids):
+                stored = self.cell(cid).soc
+                if stored is None:
+                    raise ValueError(f"cell {cid!r} has no stored SoC; estimate first or pass soc_now")
+                soc[k] = stored
+        else:
+            soc = np.broadcast_to(np.asarray(soc_now, dtype=np.float64), (len(cell_ids),))
+        i_avg = np.broadcast_to(np.asarray(current_avg, dtype=np.float64), (len(cell_ids),))
+        t_avg = np.broadcast_to(np.asarray(temp_avg_c, dtype=np.float64), (len(cell_ids),))
+        horizon = np.broadcast_to(np.asarray(horizon_s, dtype=np.float64), (len(cell_ids),))
+        out = np.empty(len(cell_ids))
+        for key, idx in self._group_by_model(cell_ids).items():
+            out[idx] = self._model(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+        for k, cid in enumerate(cell_ids):
+            state = self._cells[cid]
+            if commit:
+                state.soc = float(out[k])
+            state.n_requests += 1
+            state.last_seen_s = now_s
+        return out
+
+    # -- batched rollout ------------------------------------------------
+    def rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+    ) -> dict[str, RolloutResult]:
+        """Autoregressive rollout for many cells in lock-step.
+
+        Every cell follows its own recorded cycle, but all cells that
+        share a serving model advance together: step ``w`` is one
+        Branch 2 forward over the still-active cells.  Cells whose
+        cycles end early simply drop out of the batch.  Workloads come
+        from :func:`repro.core.rollout.cycle_windows` — the same
+        numbers the scalar loop uses — so each returned trajectory is
+        numerically identical to ``model_rollout(model, cycle, step_s)``
+        for that cell.
+
+        Parameters
+        ----------
+        assignments:
+            ``(cell_id, cycle)`` pairs; cells not yet registered are
+            auto-registered with the cycle's ``chemistry`` tag.
+        step_s:
+            Full autoregressive step in seconds (shared by the fleet).
+
+        Returns
+        -------
+        dict
+            ``{cell_id: RolloutResult}`` in assignment order.
+        """
+        pairs = list(assignments)
+        for cell_id, cycle in pairs:
+            if cell_id not in self._cells:
+                self.register_cell(cell_id, chemistry=cycle.tags.get("chemistry"))
+        # cells sharing one recorded trace share one window plan
+        plan_cache: dict[int, object] = {}
+
+        def plan_for(cycle: CycleRecord):
+            key = id(cycle)
+            if key not in plan_cache:
+                plan_cache[key] = cycle_windows(cycle, step_s)
+            return plan_cache[key]
+
+        results: dict[str, RolloutResult] = {}
+        by_model: dict[str, list[int]] = {}
+        for k, (cell_id, _) in enumerate(pairs):
+            by_model.setdefault(self._cells[cell_id].model_key, []).append(k)
+
+        for key, members in by_model.items():
+            model = self._model(key)
+            plans = [plan_for(pairs[k][1]) for k in members]
+            cycles = [pairs[k][1] for k in members]
+            n = len(members)
+            n_w = np.array([p.n_windows for p in plans])
+            max_w = int(n_w.max())
+            # padded per-window workload matrices (NaN past each cell's end)
+            i_mat = np.full((n, max_w), np.nan)
+            t_mat = np.full((n, max_w), np.nan)
+            h_mat = np.full((n, max_w), np.nan)
+            for r, p in enumerate(plans):
+                i_mat[r, : p.n_windows] = p.i_avg
+                t_mat[r, : p.n_windows] = p.t_avg
+                h_mat[r, : p.n_windows] = p.horizon_s
+            # one Branch 1 forward seeds the whole group
+            v0 = np.array([c.data.voltage[0] for c in cycles])
+            i0 = np.array([c.data.current[0] for c in cycles])
+            t0 = np.array([c.data.temp_c[0] for c in cycles])
+            soc = model.estimate_soc(v0, i0, t0)
+            preds = np.empty((n, max_w + 1))
+            preds[:, 0] = soc
+            for w in range(max_w):
+                idx = np.flatnonzero(n_w > w)
+                out = model.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
+                soc[idx] = out
+                preds[idx, w + 1] = out
+            for r, k in enumerate(members):
+                cell_id, cycle = pairs[k]
+                p = plans[r]
+                results[cell_id] = RolloutResult(
+                    time_s=p.time_s.copy(),
+                    soc_pred=preds[r, : p.n_windows + 1].copy(),
+                    soc_true=p.soc_true.copy(),
+                    initial_soc=float(preds[r, 0]),
+                    step_s=p.steps * cycle.sampling_period_s,
+                    tail_s=p.tail_s,
+                )
+                state = self._cells[cell_id]
+                state.soc = float(soc[r])
+                state.n_requests += 1
+        return {cell_id: results[cell_id] for cell_id, _ in pairs}
+
+    # ------------------------------------------------------------------
+    def _resolve_key(self, chemistry: str | None, model_name: str | None) -> str:
+        if model_name is not None:
+            if self.registry is None:
+                raise ValueError("model_name requires a registry")
+            self.registry.describe(model_name)  # fail fast on unknown names
+            return model_name
+        if self.registry is not None:
+            try:
+                return self.registry.resolve(chemistry=chemistry)
+            except KeyError:
+                if _DEFAULT_MODEL_KEY not in self._models:
+                    raise
+        if _DEFAULT_MODEL_KEY not in self._models:
+            raise ValueError("no default model and the registry cannot place this cell")
+        return _DEFAULT_MODEL_KEY
+
+    def _model(self, key: str) -> TwoBranchSoCNet:
+        if key in self._models:
+            return self._models[key]
+        # registry keys stay uncached here: the registry invalidates its
+        # own cache on republish, so a live engine picks up new weights
+        return self.registry.load(key)
+
+    def _group_by_model(self, cell_ids: Sequence[str]) -> dict[str, np.ndarray]:
+        groups: dict[str, list[int]] = {}
+        for k, cid in enumerate(cell_ids):
+            groups.setdefault(self.cell(cid).model_key, []).append(k)
+        return {key: np.asarray(idx) for key, idx in groups.items()}

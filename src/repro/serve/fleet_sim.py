@@ -1,0 +1,179 @@
+"""Synthetic fleet scenarios: many cells, mixed chemistries and workloads.
+
+The serving engine's unit of work is a heterogeneous *fleet*: cells of
+different chemistries, ambient temperatures and usage patterns all
+asking for SoC service at once.  This module fabricates such fleets
+from the repo's own physics stack — each distinct
+``(cell, temperature, C-rate, protocol)`` condition is simulated once
+through :mod:`repro.battery.protocols` and shared by every fleet member
+assigned to it (real fleets likewise cluster onto a few duty cycles,
+and the sharing keeps thousand-cell scenarios cheap to fabricate).
+
+Used by ``benchmarks/bench_fleet_throughput.py`` and the
+``repro-soc serve-sim`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from ..battery.cell import get_cell_spec
+from ..battery.protocols import CycleSpec, run_cc_cycle, run_full_discharge
+from ..battery.simulator import CellSimulator, SensorNoise
+from ..datasets.base import CycleRecord
+
+__all__ = ["FleetMember", "FleetScenario", "generate_fleet"]
+
+PROTOCOLS = ("discharge", "cc-cycle")
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetMember:
+    """One cell of a synthetic fleet and its assigned duty cycle."""
+
+    cell_id: str
+    cell_name: str
+    chemistry: str
+    ambient_c: float
+    protocol: str
+    c_rate: float
+    cycle: CycleRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetScenario:
+    """A generated fleet: members plus the seed that reproduces it."""
+
+    members: tuple[FleetMember, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def assignments(self) -> list[tuple[str, CycleRecord]]:
+        """``(cell_id, cycle)`` pairs in fleet order — the
+        :meth:`~repro.serve.engine.FleetEngine.rollout_fleet` input."""
+        return [(m.cell_id, m.cycle) for m in self.members]
+
+    def chemistries(self) -> dict[str, int]:
+        """Fleet composition: chemistry -> member count."""
+        counts: dict[str, int] = {}
+        for m in self.members:
+            counts[m.chemistry] = counts.get(m.chemistry, 0) + 1
+        return counts
+
+    def n_conditions(self) -> int:
+        """Distinct simulated duty cycles backing the fleet."""
+        return len({id(m.cycle) for m in self.members})
+
+
+def generate_fleet(
+    n_cells: int,
+    seed: int = 0,
+    cell_names: tuple[str, ...] = ("sandia-nca", "sandia-nmc", "sandia-lfp", "lg-hg2"),
+    ambient_temps_c: tuple[float, ...] = (10.0, 25.0, 40.0),
+    c_rates: tuple[float, ...] = (0.5, 1.0, 2.0),
+    protocols: tuple[str, ...] = PROTOCOLS,
+    dt_s: float = 2.0,
+    record_every: int = 4,
+    max_time_s: float = 2.0 * 3600.0,
+) -> FleetScenario:
+    """Fabricate a fleet of ``n_cells`` with randomized conditions.
+
+    Parameters
+    ----------
+    n_cells:
+        Fleet size.
+    seed:
+        Drives both the per-cell condition draw and the sensor noise of
+        each simulated trace — the same seed reproduces the same fleet.
+    cell_names:
+        Candidate cell specs (see :data:`repro.battery.CELL_SPECS`).
+    ambient_temps_c, c_rates, protocols:
+        Candidate conditions; ``"discharge"`` is a full discharge to
+        cutoff, ``"cc-cycle"`` a lab charge/rest/discharge/rest cycle.
+    dt_s, record_every:
+        Simulation step and recording decimation (the recorded
+        sampling period is their product).
+    max_time_s:
+        Safety bound per simulated protocol phase.
+
+    Raises
+    ------
+    ValueError
+        On an empty fleet or an unknown protocol name.
+    """
+    if n_cells < 1:
+        raise ValueError("fleet needs at least one cell")
+    for protocol in protocols:
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    rng = np.random.default_rng(seed)
+    traces: dict[tuple, CycleRecord] = {}
+    members: list[FleetMember] = []
+    for k in range(n_cells):
+        cell_name = str(rng.choice(cell_names))
+        ambient = float(rng.choice(ambient_temps_c))
+        c_rate = float(rng.choice(c_rates))
+        protocol = str(rng.choice(protocols))
+        condition = (cell_name, ambient, c_rate, protocol)
+        if condition not in traces:
+            traces[condition] = _simulate_condition(
+                condition, seed, dt_s, record_every, max_time_s
+            )
+        cycle = traces[condition]
+        members.append(
+            FleetMember(
+                cell_id=f"cell-{k:05d}",
+                cell_name=cell_name,
+                chemistry=cycle.tags["chemistry"],
+                ambient_c=ambient,
+                protocol=protocol,
+                c_rate=c_rate,
+                cycle=cycle,
+            )
+        )
+    return FleetScenario(members=tuple(members), seed=seed)
+
+
+def _simulate_condition(
+    condition: tuple, seed: int, dt_s: float, record_every: int, max_time_s: float
+) -> CycleRecord:
+    cell_name, ambient, c_rate, protocol = condition
+    spec = get_cell_spec(cell_name)
+    c_rate = min(c_rate, spec.max_discharge_c)
+    # hash the condition into the noise stream so traces are distinct
+    # but reproducible for a given scenario seed (crc32: Python's own
+    # hash() is salted per process)
+    noise_seed = zlib.crc32(f"{seed}:{condition}".encode())
+    sim = CellSimulator(spec, noise=SensorNoise(), rng=np.random.default_rng(noise_seed))
+    if protocol == "discharge":
+        sim.reset(soc=1.0, temp_c=ambient)
+        trace = run_full_discharge(
+            sim, c_rate, ambient, dt_s=dt_s, record_every=record_every, max_time_s=max_time_s
+        )
+    else:  # cc-cycle
+        sim.reset(soc=0.3, temp_c=ambient)
+        trace = run_cc_cycle(
+            sim,
+            CycleSpec(
+                discharge_c_rate=c_rate,
+                ambient_c=ambient,
+                rest_s=300.0,
+                dt_s=dt_s,
+                record_every=record_every,
+            ),
+            max_phase_time_s=max_time_s,
+        )
+    return CycleRecord(
+        name=f"{cell_name}-{protocol}-{c_rate:g}C-{ambient:g}C",
+        split="test",
+        ambient_c=ambient,
+        sampling_period_s=dt_s * record_every,
+        capacity_ah=spec.capacity_ah,
+        data=trace,
+        tags={"chemistry": spec.chemistry.name, "protocol": protocol, "c_rate": c_rate},
+    )

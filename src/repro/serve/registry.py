@@ -1,0 +1,228 @@
+"""Named-checkpoint registry with per-cell model resolution.
+
+A fleet mixes chemistries, datasets and horizon regimes; the serving
+engine must pick the right 2,322-parameter checkpoint for every cell
+without the caller hard-coding paths.  :class:`ModelRegistry` stores
+checkpoints under one directory (one ``.npz`` per model, written via
+:mod:`repro.nn.serialization`), keeps a metadata index built from
+:func:`repro.nn.peek_meta` (no weights are read until a model is
+actually served), and resolves the most specific entry for a
+``(chemistry, dataset)`` query.
+
+Resolution rules, most to least specific:
+
+1. entries matching both the requested chemistry and dataset;
+2. entries matching the chemistry (and not pinned to a different
+   dataset);
+3. entries matching the dataset and not specialized for a different
+   chemistry;
+4. *generalist* entries published without a chemistry.
+
+An entry whose chemistry/dataset is set but differs from the query is
+never considered a match on that axis.  Ties inside a tier break
+deterministically on the lexicographically smallest name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.model import TwoBranchSoCNet
+from ..nn.serialization import load_state, peek_meta, save_state
+
+__all__ = ["ModelEntry", "ModelRegistry", "REGISTRY_SCHEMA_VERSION"]
+
+REGISTRY_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelEntry:
+    """Index record for one published checkpoint.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the checkpoint's file stem).
+    path:
+        Location of the ``.npz`` snapshot.
+    chemistry:
+        Chemistry the model was trained for (``None`` = generalist).
+    dataset:
+        Source campaign (``"sandia"``, ``"lg"``, ...; optional).
+    hidden:
+        Hidden-layer widths of both branches.
+    horizon_scale_s:
+        Branch 2 horizon normalization constant.
+    extra:
+        Remaining metadata stored with the checkpoint (seeds, losses).
+    """
+
+    name: str
+    path: Path
+    chemistry: str | None
+    dataset: str | None
+    hidden: tuple[int, ...]
+    horizon_scale_s: float
+    extra: dict = dataclasses.field(default_factory=dict)
+
+
+_RESERVED = {"registry_version", "name", "chemistry", "dataset", "hidden", "horizon_scale"}
+
+
+class ModelRegistry:
+    """Directory-backed store of named :class:`TwoBranchSoCNet` checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the checkpoints (created on first publish).
+        Existing ``.npz`` files carrying registry metadata are indexed
+        on construction, so a registry can be reopened across runs.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._entries: dict[str, ModelEntry] = {}
+        self._models: dict[str, TwoBranchSoCNet] = {}
+        self.refresh()
+
+    # -- publishing ----------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        model: TwoBranchSoCNet,
+        chemistry: str | None = None,
+        dataset: str | None = None,
+        extra: dict | None = None,
+    ) -> ModelEntry:
+        """Store a model under ``name`` and index it.
+
+        Architecture metadata (hidden widths, horizon scale) is taken
+        from the model itself so a later :meth:`load` can rebuild it
+        without guessing; ``chemistry``/``dataset`` drive
+        :meth:`resolve`.
+        """
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid model name {name!r}")
+        extra = dict(extra or {})
+        if overlap := _RESERVED & set(extra):
+            raise ValueError(f"extra metadata may not use reserved keys {sorted(overlap)}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{name}.npz"
+        meta = {
+            "registry_version": REGISTRY_SCHEMA_VERSION,
+            "name": name,
+            "chemistry": chemistry,
+            "dataset": dataset,
+            "hidden": list(model.config.hidden),
+            "horizon_scale": model.config.horizon_scale_s,
+            **extra,
+        }
+        save_state(model.state_dict(), path, meta=meta)
+        entry = self._index(path, meta)
+        self._models.pop(name, None)  # drop any stale cached weights
+        return entry
+
+    # -- lookup --------------------------------------------------------
+    def names(self) -> list[str]:
+        """All published model names, sorted."""
+        return sorted(self._entries)
+
+    def entries(self) -> list[ModelEntry]:
+        """All index records, sorted by name."""
+        return [self._entries[n] for n in self.names()]
+
+    def describe(self, name: str) -> ModelEntry:
+        """Index record for one model.
+
+        Raises
+        ------
+        KeyError
+            When no model has that name.
+        """
+        if name not in self._entries:
+            raise KeyError(f"no model named {name!r}; have {self.names()}")
+        return self._entries[name]
+
+    def load(self, name: str) -> TwoBranchSoCNet:
+        """Materialize (and cache) the named model with its weights."""
+        if name not in self._models:
+            entry = self.describe(name)
+            model = TwoBranchSoCNet(
+                ModelConfig(hidden=entry.hidden, horizon_scale_s=entry.horizon_scale_s),
+                rng=np.random.default_rng(0),
+            )
+            state, _ = load_state(entry.path)
+            model.load_state_dict(state)
+            model.eval()
+            self._models[name] = model
+        return self._models[name]
+
+    def resolve(self, chemistry: str | None = None, dataset: str | None = None) -> str:
+        """Name of the most specific entry for a chemistry/dataset query.
+
+        Raises
+        ------
+        KeyError
+            When nothing matches (not even a generalist entry).
+        """
+        chemistry = chemistry.lower() if chemistry else None
+
+        def conflicts(entry_value, query_value) -> bool:
+            return entry_value is not None and query_value is not None and entry_value != query_value
+
+        tiers: list[list[str]] = [[], [], [], []]
+        for name in self.names():
+            e = self._entries[name]
+            chem_hit = chemistry is not None and e.chemistry == chemistry
+            data_hit = dataset is not None and e.dataset == dataset
+            if chem_hit and data_hit:
+                tiers[0].append(name)
+            elif chem_hit and not conflicts(e.dataset, dataset):
+                tiers[1].append(name)
+            elif data_hit and not conflicts(e.chemistry, chemistry):
+                tiers[2].append(name)
+            elif e.chemistry is None and not conflicts(e.dataset, dataset):
+                tiers[3].append(name)
+        for tier in tiers:
+            if tier:
+                return tier[0]
+        raise KeyError(
+            f"no model for chemistry={chemistry!r} dataset={dataset!r}; published: {self.names()}"
+        )
+
+    def refresh(self) -> None:
+        """Rebuild the index from the checkpoints on disk."""
+        self._entries.clear()
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.npz")):
+            meta = peek_meta(path)
+            if meta is None or "registry_version" not in meta:
+                continue  # plain checkpoint, not ours
+            self._index(path, meta)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # ------------------------------------------------------------------
+    def _index(self, path: Path, meta: dict) -> ModelEntry:
+        chemistry = meta.get("chemistry")
+        entry = ModelEntry(
+            name=meta["name"],
+            path=path,
+            chemistry=chemistry.lower() if chemistry else None,
+            dataset=meta.get("dataset"),
+            hidden=tuple(meta["hidden"]),
+            horizon_scale_s=float(meta["horizon_scale"]),
+            extra={k: v for k, v in meta.items() if k not in _RESERVED},
+        )
+        self._entries[entry.name] = entry
+        return entry

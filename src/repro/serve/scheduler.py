@@ -1,0 +1,229 @@
+"""Micro-batching request scheduler for the fleet engine.
+
+Requests from different cells arrive at different times; running each
+one alone squanders the engine's batched forward path.  The
+:class:`MicroBatcher` coalesces ``estimate`` and ``predict`` requests
+into per-kind queues and releases a queue as one engine call when it
+either fills up (**size trigger**, ``max_batch``) or its oldest request
+has waited long enough (**deadline trigger**, ``max_delay_s``) — the
+classic latency/throughput knob of serving systems.
+
+Time is injected (``clock``) so schedules are exactly reproducible in
+tests and simulations; production callers pass ``time.monotonic``.
+Every completion carries its queueing latency and the size of the
+batch that served it, and :attr:`MicroBatcher.stats` aggregates both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+from .engine import FleetEngine
+
+__all__ = ["Request", "Completion", "BatchStats", "MicroBatcher"]
+
+_KINDS = ("estimate", "predict")
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One queued inference request.
+
+    ``payload`` holds the kind-specific operands: ``(V, I, T)`` for an
+    estimate, ``(I_avg, T_avg, N)`` for a prediction.
+    """
+
+    req_id: int
+    kind: str
+    cell_id: str
+    payload: tuple[float, ...]
+    submitted_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """Outcome of one request after its batch was served.
+
+    Attributes
+    ----------
+    req_id, cell_id, kind:
+        Echo of the originating request.
+    value:
+        The SoC the engine returned (NaN when the request failed).
+    wait_s:
+        Time the request sat in the queue before its batch fired.
+    batch_size:
+        Number of requests served by the same engine call.
+    error:
+        Failure message when the engine rejected this request
+        (``None`` on success).  A bad request never blocks its
+        batchmates: the scheduler retries the rest individually.
+    """
+
+    req_id: int
+    cell_id: str
+    kind: str
+    value: float
+    wait_s: float
+    batch_size: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the engine served this request successfully."""
+        return self.error is None
+
+
+@dataclasses.dataclass
+class BatchStats:
+    """Aggregate latency/throughput accounting across all flushes."""
+
+    requests: int = 0
+    errors: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    forced_flushes: int = 0
+    total_wait_s: float = 0.0
+    max_wait_s: float = 0.0
+
+    def mean_wait_s(self) -> float:
+        """Mean queueing latency per request."""
+        return self.total_wait_s / self.requests if self.requests else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Mean number of requests coalesced per engine call."""
+        return self.requests / self.flushes if self.flushes else 0.0
+
+
+class MicroBatcher:
+    """Coalesce single-cell requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serve.engine.FleetEngine` serving the fleet.
+    max_batch:
+        Queue size that releases a batch immediately.
+    max_delay_s:
+        Longest any request may wait; :meth:`poll` releases queues
+        whose oldest entry has exceeded it.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        engine: FleetEngine,
+        max_batch: int = 64,
+        max_delay_s: float = 0.010,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s cannot be negative")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.clock = clock
+        self.stats = BatchStats()
+        self._queues: dict[str, list[Request]] = {kind: [] for kind in _KINDS}
+        self._outbox: list[Completion] = []
+        self._next_id = 0
+
+    # -- submission ----------------------------------------------------
+    def submit_estimate(self, cell_id: str, voltage: float, current: float, temp_c: float) -> int:
+        """Queue a Branch 1 request; returns its request id.
+
+        Fires the ``estimate`` queue immediately if this submission
+        fills it.
+        """
+        return self._submit("estimate", cell_id, (voltage, current, temp_c))
+
+    def submit_predict(self, cell_id: str, current_avg: float, temp_avg_c: float, horizon_s: float) -> int:
+        """Queue a Branch 2 what-if request; returns its request id.
+
+        The cell needs a stored SoC by the time the batch fires (i.e.
+        an earlier estimate completed); otherwise its completion comes
+        back with :attr:`Completion.error` set.
+        """
+        return self._submit("predict", cell_id, (current_avg, temp_avg_c, horizon_s))
+
+    def _submit(self, kind: str, cell_id: str, payload: tuple[float, ...]) -> int:
+        req = Request(self._next_id, kind, cell_id, payload, self.clock())
+        self._next_id += 1
+        self._queues[kind].append(req)
+        if len(self._queues[kind]) >= self.max_batch:
+            self._flush_kind(kind, "size")
+        return req.req_id
+
+    # -- release -------------------------------------------------------
+    def poll(self) -> list[Completion]:
+        """Release queues whose oldest request hit the deadline.
+
+        Call this from the serving loop; returns all completions
+        produced so far (including earlier size-triggered ones).
+        """
+        now = self.clock()
+        for kind in _KINDS:
+            queue = self._queues[kind]
+            if queue and now - queue[0].submitted_s >= self.max_delay_s:
+                self._flush_kind(kind, "deadline")
+        return self.drain()
+
+    def flush(self) -> list[Completion]:
+        """Force every queue out now and return all completions."""
+        for kind in _KINDS:
+            if self._queues[kind]:
+                self._flush_kind(kind, "forced")
+        return self.drain()
+
+    def drain(self) -> list[Completion]:
+        """Return completions accumulated since the last drain."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued across both kinds."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def _flush_kind(self, kind: str, trigger: str) -> None:
+        queue = self._queues[kind]
+        if not queue:
+            return
+        batch, self._queues[kind] = queue, []
+        now = self.clock()
+        try:
+            outcomes = [(r, float(v), None) for r, v in zip(batch, self._run(kind, batch, now))]
+        except Exception:
+            # one poisoned request must not sink the batch: retry each
+            # request alone and report failures on their own completions
+            outcomes = []
+            for r in batch:
+                try:
+                    outcomes.append((r, float(self._run(kind, [r], now)[0]), None))
+                except Exception as exc:
+                    outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
+        for r, value, error in outcomes:
+            wait = now - r.submitted_s
+            self._outbox.append(
+                Completion(r.req_id, r.cell_id, kind, value, wait, len(batch), error)
+            )
+            self.stats.requests += 1
+            self.stats.errors += error is not None
+            self.stats.total_wait_s += wait
+            self.stats.max_wait_s = max(self.stats.max_wait_s, wait)
+        self.stats.flushes += 1
+        setattr(self.stats, f"{trigger}_flushes", getattr(self.stats, f"{trigger}_flushes") + 1)
+
+    def _run(self, kind: str, batch: list[Request], now: float):
+        cell_ids = [r.cell_id for r in batch]
+        cols = list(zip(*(r.payload for r in batch)))
+        if kind == "estimate":
+            return self.engine.estimate(cell_ids, cols[0], cols[1], cols[2], now_s=now)
+        return self.engine.predict(cell_ids, cols[0], cols[1], cols[2], now_s=now)

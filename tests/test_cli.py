@@ -88,10 +88,35 @@ class TestRollout:
             "--step", "240", "--csv", str(csv),
         ])
         assert code == 0
-        assert "trajectory MAE" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "mae" in out and "rmse" in out and "max|err|" in out
         assert csv.exists()
         header = csv.read_text().splitlines()[0]
         assert header == "time_s,soc_pred,soc_true"
+
+
+class TestServeSim:
+    def test_fleet_simulation_reports_throughput(self, checkpoint, capsys):
+        code = main([
+            "serve-sim", checkpoint, "--cells", "6", "--fast", "--step", "120",
+            "--show", "2", "--compare-loop",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells/s" in out
+        assert "trajectory RMSE" in out
+        assert "speedup" in out
+        assert "cell-00000" in out
+
+    def test_served_through_registry(self, checkpoint, capsys, tmp_path):
+        code = main([
+            "serve-sim", checkpoint, "--cells", "4", "--fast", "--step", "120",
+            "--registry", str(tmp_path / "reg"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving via registry" in out
+        assert (tmp_path / "reg" / "sandia-serve.npz").exists()
 
 
 class TestLoadValidation:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.battery import coulomb
-from repro.core import RolloutResult, TwoBranchSoCNet, model_rollout, rollout_cycle
+from repro.core import (
+    RolloutResult,
+    TwoBranchSoCNet,
+    cycle_windows,
+    model_rollout,
+    rollout_cycle,
+)
 
 
 class TestRolloutCycle:
@@ -37,9 +43,12 @@ class TestRolloutCycle:
     def test_result_lengths(self, small_sandia):
         cycle = small_sandia.test()[0]
         result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=240.0, initial_soc=0.5)
-        expected_windows = (len(cycle) - 1) // 2  # 240 s = 2 samples
-        assert len(result) == expected_windows + 1
+        full_windows = (len(cycle) - 1) // 2  # 240 s = 2 samples
+        tail_windows = 1 if (len(cycle) - 1) % 2 else 0
+        assert len(result) == full_windows + tail_windows + 1
         assert result.time_s[0] == cycle.data.time_s[0]
+        # the trajectory now reaches the cycle's last recorded sample
+        assert result.time_s[-1] == cycle.data.time_s[-1]
 
     def test_identity_predictor_stays_constant(self, small_sandia):
         cycle = small_sandia.test()[0]
@@ -71,6 +80,64 @@ class TestRolloutCycle:
         )
         assert result.final_error() == pytest.approx(0.1)
         assert result.mae() == pytest.approx(0.05)
+        assert result.rmse() == pytest.approx(np.sqrt(0.01 / 2))
+        assert result.max_error() == pytest.approx(0.1)
+        assert result.rmse() >= result.mae()
+        assert result.tail_s == 0.0
+
+
+class TestPartialTail:
+    """The trailing remainder of a cycle is scored with a shorter step."""
+
+    def _tail_cycle(self):
+        """A 10-sample (9-interval) constant-current trace: step 4
+        leaves a 1-sample tail."""
+        from repro.battery import CellSimulator, SensorNoise, get_cell_spec
+        from repro.datasets import CycleRecord
+
+        spec = get_cell_spec("sandia-nmc")
+        sim = CellSimulator(spec, noise=SensorNoise.none())
+        sim.reset(soc=0.9, temp_c=25.0)
+        trace = sim.run_profile(np.full(10, 3.0), 60.0, 25.0, stop_at_cutoff=False)
+        return CycleRecord("tail", "test", 25.0, 60.0, spec.capacity_ah, trace)
+
+    def test_cycle_windows_exposes_tail(self):
+        cycle = self._tail_cycle()
+        plan = cycle_windows(cycle, step_s=240.0)  # 4 samples/window, 9 = 2*4 + 1
+        assert plan.n_windows == 3
+        np.testing.assert_allclose(plan.horizon_s, [240.0, 240.0, 60.0])
+        assert plan.tail_s == 60.0
+        no_tail = cycle_windows(cycle, step_s=240.0, include_tail=False)
+        assert no_tail.n_windows == 2
+        assert no_tail.tail_s == 0.0
+
+    def test_tail_window_averages_remaining_samples(self):
+        cycle = self._tail_cycle()
+        plan = cycle_windows(cycle, step_s=240.0)
+        d = cycle.data
+        assert plan.i_avg[-1] == pytest.approx(float(np.mean(d.current[9:10])))
+        assert plan.soc_true[-1] == d.soc[9]
+        assert plan.time_s[-1] == d.time_s[9]
+
+    def test_rollout_scores_tail_with_short_horizon(self):
+        cycle = self._tail_cycle()
+        horizons = []
+
+        def spy(soc, i_avg, t_avg, horizon_s):
+            horizons.append(horizon_s)
+            return soc
+
+        result = rollout_cycle(spy, cycle, step_s=240.0, initial_soc=0.9)
+        assert horizons == [240.0, 240.0, 60.0]
+        assert result.tail_s == 60.0
+        assert len(result) == 4
+        assert result.step_s == 240.0  # full-window step is unchanged
+
+    def test_even_division_has_no_tail(self):
+        cycle = self._tail_cycle()
+        result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=180.0, initial_soc=0.9)
+        assert result.tail_s == 0.0  # 9 intervals = 3 windows of 3
+        assert len(result) == 4
 
 
 class TestModelRollout:

@@ -10,6 +10,7 @@ from repro.eval import (
     VariantResult,
     evaluate_variants,
     format_mae_grid,
+    format_rollout_summary,
     format_table,
     improvement_percent,
     mae,
@@ -76,6 +77,33 @@ class TestReporting:
     def test_format_mae_grid_empty_raises(self):
         with pytest.raises(ValueError):
             format_mae_grid({})
+
+    def test_format_rollout_summary(self):
+        from repro.core import RolloutResult
+
+        result = RolloutResult(
+            time_s=np.array([0.0, 30.0, 60.0]),
+            soc_pred=np.array([0.9, 0.7, 0.5]),
+            soc_true=np.array([0.9, 0.8, 0.45]),
+            initial_soc=0.9,
+            step_s=30.0,
+        )
+        text = format_rollout_summary({"us06": result})
+        assert "us06" in text and "rmse" in text and "max|err|" in text
+        assert f"{result.rmse():.4f}" in text
+        assert f"{result.max_error():.4f}" in text
+
+    def test_format_rollout_summary_truncates(self):
+        from repro.core import RolloutResult
+
+        r = RolloutResult(
+            time_s=np.zeros(2), soc_pred=np.zeros(2), soc_true=np.zeros(2),
+            initial_soc=0.0, step_s=1.0,
+        )
+        text = format_rollout_summary({"a": r, "b": r, "c": r}, max_rows=1)
+        assert "2 more trajectories" in text
+        with pytest.raises(ValueError):
+            format_rollout_summary({})
 
     def test_save_csv_roundtrip(self, tmp_path):
         path = tmp_path / "sub" / "out.csv"
