@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.core import PhysicsConfig, SplitTrainer, TwoBranchSoCNet, TrainConfig
 from repro.datasets import make_estimation_samples, make_prediction_samples
-from repro.datasets.sandia import SandiaConfig, cached_sandia
+from repro.datasets.sandia import cached_sandia
 from repro.eval.metrics import mae
 from repro.utils.rng import spawn_seed
 

@@ -1,29 +1,37 @@
 """Fleet-serving throughput: per-cell Python loop vs batched engine.
 
 Rolls a synthetic multi-chemistry fleet (``repro.serve.fleet_sim``)
-through both autoregressive paths:
+through the autoregressive paths:
 
 - **loop** — :func:`repro.core.rollout.model_rollout` once per cell,
   the pre-serving-layer behaviour (one Python-level Branch 2 call per
   cell per step);
 - **batched** — :meth:`repro.serve.FleetEngine.rollout_fleet`, one
-  matrix op advancing every active cell per step.
+  matrix op advancing every active cell per step;
+- **sharded** (``--shards N``) — the same fleet fanned across a
+  :class:`repro.serve.ShardedFleet`.
 
-The two paths must agree to 1e-9 on every trajectory (they share the
+All paths must agree to 1e-9 on every trajectory (they share the
 :func:`repro.core.rollout.cycle_windows` workloads); the report is
 cells/sec and cell-steps/sec for each, plus the speedup.  At the
 default fleet size of 1,000 the batched path is expected to be >=20x
 faster.
 
+``--json OUT`` writes the numbers as a machine-readable record; CI
+uploads it as the ``BENCH_fleet.json`` artifact and
+``benchmarks/check_bench_regression.py`` gates it against the
+committed baseline.
+
 Run directly (unlike the pytest-benchmark figures in this directory,
 fleet serving has no paper artifact to regenerate)::
 
-    PYTHONPATH=src python benchmarks/bench_fleet_throughput.py [--fast]
+    PYTHONPATH=src python benchmarks/bench_fleet_throughput.py [--fast] [--json OUT]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -31,11 +39,19 @@ import numpy as np
 
 from repro.core import TwoBranchSoCNet, model_rollout
 from repro.eval.reporting import format_table
-from repro.serve import FleetEngine, generate_fleet
+from repro.serve import FleetEngine, ShardedFleet, generate_fleet
 
 
-def run(cells: int, step_s: float, seed: int, fast: bool, min_speedup: float) -> int:
-    """Time both rollout paths over one generated fleet; 0 on success."""
+def run(
+    cells: int,
+    step_s: float,
+    seed: int,
+    fast: bool,
+    min_speedup: float,
+    shards: int = 0,
+    json_out: str | None = None,
+) -> int:
+    """Time the rollout paths over one generated fleet; 0 on success."""
     # an untrained (but deterministic) model: forward cost is identical
     # to a trained one, and throughput is all this benchmark measures
     model = TwoBranchSoCNet(rng=np.random.default_rng(seed))
@@ -59,6 +75,14 @@ def run(cells: int, step_s: float, seed: int, fast: bool, min_speedup: float) ->
     batched_results = engine.rollout_fleet(assignments, step_s=step_s)
     batched_s = time.perf_counter() - t0
 
+    sharded_s = None
+    sharded_results = None
+    if shards:
+        sharded = ShardedFleet(shards, default_model=model)
+        t0 = time.perf_counter()
+        sharded_results = sharded.rollout_fleet(assignments, step_s=step_s)
+        sharded_s = time.perf_counter() - t0
+
     worst = 0.0
     for cid, _ in assignments:
         ref, got = loop_results[cid], batched_results[cid]
@@ -66,22 +90,50 @@ def run(cells: int, step_s: float, seed: int, fast: bool, min_speedup: float) ->
             print(f"FAIL: {cid} trajectory length mismatch ({len(ref)} vs {len(got)})")
             return 1
         worst = max(worst, float(np.max(np.abs(ref.soc_pred - got.soc_pred))))
+        if sharded_results is not None:
+            worst = max(
+                worst, float(np.max(np.abs(ref.soc_pred - sharded_results[cid].soc_pred)))
+            )
     if worst > 1e-9:
-        print(f"FAIL: loop/batched trajectories diverge (max |diff| {worst:.3e} > 1e-9)")
+        print(f"FAIL: rollout paths diverge (max |diff| {worst:.3e} > 1e-9)")
         return 1
 
     steps_total = sum(len(r) - 1 for r in loop_results.values())
     speedup = loop_s / batched_s
-    print(format_table(
-        ["path", "wall [s]", "cells/s", "cell-steps/s"],
-        [
-            ["loop (per-cell)", loop_s, cells / loop_s, steps_total / loop_s],
-            ["batched (fleet)", batched_s, cells / batched_s, steps_total / batched_s],
-        ],
-        float_digits=3,
-    ))
+    rows = [
+        ["loop (per-cell)", loop_s, cells / loop_s, steps_total / loop_s],
+        ["batched (fleet)", batched_s, cells / batched_s, steps_total / batched_s],
+    ]
+    if sharded_s is not None:
+        rows.append(
+            [f"sharded ({shards} workers)", sharded_s, cells / sharded_s, steps_total / sharded_s]
+        )
+    print(format_table(["path", "wall [s]", "cells/s", "cell-steps/s"], rows, float_digits=3))
     print(f"speedup: {speedup:.1f}x over {steps_total} cell-steps "
           f"(max trajectory |diff| {worst:.2e})")
+
+    if json_out:
+        record = {
+            "cells": cells,
+            "step_s": step_s,
+            "seed": seed,
+            "fast": fast,
+            "shards": shards,
+            "steps_total": steps_total,
+            "loop_s": loop_s,
+            "batched_s": batched_s,
+            "sharded_s": sharded_s,
+            "speedup": speedup,
+            "sharded_speedup": None if sharded_s is None else loop_s / sharded_s,
+            "cells_per_s_batched": cells / batched_s,
+            "cell_steps_per_s_batched": steps_total / batched_s,
+            "max_traj_diff": worst,
+        }
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+
     if min_speedup and speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.1f}x below required {min_speedup:g}x")
         return 1
@@ -95,17 +147,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke mode: small fleet, light simulation")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="also time a ShardedFleet with this many workers")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write the timings to this JSON file")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail below this speedup (default: 20 at full size, off with --fast)")
     args = parser.parse_args(argv)
     if args.cells < 1:
         parser.error("--cells must be at least 1")
+    if args.shards < 0:
+        parser.error("--shards cannot be negative")
     if args.fast and args.cells == 1000:
         args.cells = 128
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.fast else 20.0
-    return run(args.cells, args.step, args.seed, args.fast, min_speedup)
+    return run(args.cells, args.step, args.seed, args.fast, min_speedup,
+               shards=args.shards, json_out=args.json_out)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+"""Gate a fleet-throughput benchmark run against a committed baseline.
+
+Raw cells/sec is not comparable across CI runners (the fleet on a
+loaded shared VM can be half the speed of the same code on an idle
+one), so the gated metric is the **batched-over-loop speedup**: both
+paths run on the same machine in the same process, which makes their
+ratio a machine-calibrated measure of how much the serving layer's
+batching is actually buying.  A change that slows the batched path
+down shows up as a speedup drop regardless of runner hardware.
+
+Checks applied to the current run (``--current``, written by
+``bench_fleet_throughput.py --json``):
+
+- ``speedup`` must not fall more than ``--tolerance`` (default 30%)
+  below the baseline's;
+- ``max_traj_diff`` must stay within the 1e-9 equivalence budget
+  (a throughput "optimization" that changes the numbers is a bug);
+- ``sharded_speedup`` is reported for the log but **not** gated: at
+  smoke scale the sharded path's wall time is a few milliseconds and
+  occasionally doubles under runner contention, which would make the
+  gate flaky (the whole point of the separate bench job is that a
+  flake cannot mask a real failure — a flaky gate would reintroduce
+  exactly that noise).
+
+Raw throughput is still printed for the log, and the current record is
+uploaded as a CI artifact so a slow creep across many PRs can be
+audited after the fact.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \\
+        --baseline benchmarks/baselines/BENCH_fleet_baseline.json \\
+        --current BENCH_fleet.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Compare a current benchmark record to a baseline; returns failures."""
+    failures: list[str] = []
+    for key in ("cells", "step_s", "fast"):
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"config mismatch on {key!r}: baseline {baseline.get(key)!r} "
+                f"vs current {current.get(key)!r} (not comparing apples to apples)"
+            )
+    if failures:
+        return failures
+    if current["max_traj_diff"] > 1e-9:
+        failures.append(f"trajectory divergence {current['max_traj_diff']:.3e} exceeds the 1e-9 budget")
+    base, cur = baseline["speedup"], current["speedup"]
+    floor = base * (1.0 - tolerance)
+    verdict = "ok" if cur >= floor else "REGRESSION"
+    print(
+        f"speedup: baseline {base:.1f}x, current {cur:.1f}x, "
+        f"floor {floor:.1f}x ({tolerance:.0%} tolerance) -> {verdict}"
+    )
+    if cur < floor:
+        failures.append(
+            f"speedup regressed: {cur:.1f}x is more than {tolerance:.0%} "
+            f"below the baseline {base:.1f}x"
+        )
+    if baseline.get("sharded_speedup") and current.get("sharded_speedup"):
+        print(
+            f"sharded_speedup (informational, not gated): "
+            f"baseline {baseline['sharded_speedup']:.1f}x, "
+            f"current {current['sharded_speedup']:.1f}x"
+        )
+    print(
+        f"raw throughput (informational): "
+        f"{current['cell_steps_per_s_batched']:,.0f} cell-steps/s batched "
+        f"(baseline recorded {baseline['cell_steps_per_s_batched']:,.0f})"
+    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, help="allowed fractional speedup drop (default 0.30)"
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be within [0, 1)")
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,6 @@ This example:
 Run:  python examples/drive_cycle_prediction.py
 """
 
-import numpy as np
-
 from repro.core import PhysicsConfig, TrainConfig, train_two_branch
 from repro.datasets import (
     LGConfig,

@@ -13,8 +13,6 @@ campaign:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.core import PhysicsConfig, TrainConfig, model_complexity, train_two_branch
 from repro.datasets import (
     SandiaConfig,

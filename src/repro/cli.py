@@ -13,8 +13,12 @@ Gives the library a deployable surface without writing Python:
 - ``repro-soc inspect``   — parameters / memory / ops of a checkpoint;
 - ``repro-soc serve-sim`` — fleet-serving simulation: roll a synthetic
   multi-chemistry fleet through the batched
-  :class:`repro.serve.FleetEngine` (optionally routed through a model
-  registry) and report throughput and fleet-wide accuracy.
+  :class:`repro.serve.FleetEngine` (optionally sharded across workers,
+  journaled to durable per-cell state, and/or routed through a model
+  registry) and report throughput and fleet-wide accuracy;
+- ``repro-soc registry`` — inspect and manage a model registry:
+  ``list`` published versions/channels, ``promote`` a canary to
+  stable, ``rollback`` (abandon) a canary.
 
 Installed as the ``repro-soc`` console script (see ``setup.py``); also
 reachable as ``python -m repro.cli``.
@@ -27,6 +31,9 @@ Usage examples::
         --temp 25 --workload-current 6 --horizon 300
     repro-soc rollout model.npz --dataset lg --cycle us06-25C --step 30
     repro-soc serve-sim model.npz --cells 512 --step 60 --compare-loop
+    repro-soc serve-sim model.npz --cells 100000 --shards 8 --journal fleet.journal
+    repro-soc registry list ./registry
+    repro-soc registry promote ./registry sandia-serve
 """
 
 from __future__ import annotations
@@ -201,10 +208,12 @@ def _cmd_serve_sim(args) -> int:
     import time
 
     from .core.rollout import model_rollout as _loop_rollout
-    from .serve import FleetEngine, ModelRegistry, generate_fleet
+    from .serve import FleetEngine, ModelRegistry, ShardedFleet, StateJournal, generate_fleet
 
     if args.cells < 1:
         raise SystemExit("--cells must be at least 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
     model, meta = _load_model(args.model)
     sim_kwargs = dict(seed=args.seed)
     if args.fast:
@@ -216,15 +225,20 @@ def _cmd_serve_sim(args) -> int:
         )
     print(f"generating fleet of {args.cells} cells (seed {args.seed})...", file=sys.stderr)
     fleet = generate_fleet(args.cells, **sim_kwargs)
+    registry = None
     if args.registry:
         registry = ModelRegistry(args.registry)
         dataset = meta.get("dataset")
         name = f"{dataset or 'default'}-serve"
         registry.publish(name, model, dataset=dataset)
-        engine = FleetEngine(registry=registry, default_model=model)
         print(f"serving via registry {args.registry} (model {name!r})")
+    journal = StateJournal(args.journal) if args.journal else None
+    if args.shards > 1:
+        engine = ShardedFleet(
+            args.shards, default_model=model, registry=registry, journal=journal
+        )
     else:
-        engine = FleetEngine(default_model=model)
+        engine = FleetEngine(default_model=model, registry=registry, journal=journal)
     assignments = fleet.assignments()
 
     t0 = time.perf_counter()
@@ -234,10 +248,17 @@ def _cmd_serve_sim(args) -> int:
     trajectories = list(results.values())
     chem = ", ".join(f"{c}={n}" for c, n in sorted(fleet.chemistries().items()))
     print(f"fleet: {len(fleet)} cells ({chem}), {fleet.n_conditions()} duty cycles")
+    if args.shards > 1:
+        print(f"shards: {args.shards} (cells per shard: {engine.shard_sizes()})")
     print(
         f"batched rollout: {steps_total} steps in {elapsed:.3f}s "
         f"-> {len(fleet) / elapsed:,.0f} cells/s, {steps_total / elapsed:,.0f} cell-steps/s"
     )
+    if journal is not None:
+        print(
+            f"journal: {args.journal} ({len(journal)} cells, "
+            f"{journal.size_bytes():,} bytes after rollout)"
+        )
     metric_rows = []
     for label, metric in (
         ("trajectory MAE", "mae"),
@@ -264,6 +285,41 @@ def _cmd_serve_sim(args) -> int:
             f"per-cell loop: {loop_elapsed:.3f}s -> {len(fleet) / loop_elapsed:,.0f} cells/s; "
             f"batched speedup {loop_elapsed / elapsed:.1f}x (max traj diff {worst:.2e})"
         )
+    if journal is not None:
+        journal.close()
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from .eval.reporting import format_table
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.registry_command == "list":
+        if not registry.names():
+            print(f"registry {args.registry} is empty")
+            return 0
+        rows = []
+        for entry in registry.entries():
+            pointers = registry.channels(entry.name)
+            tags = ",".join(sorted(ch for ch, v in pointers.items() if v == entry.version))
+            rows.append([
+                entry.ref,
+                entry.chemistry or "-",
+                entry.dataset or "-",
+                tags or "-",
+            ])
+        print(format_table(["model", "chemistry", "dataset", "channels"], rows))
+        return 0
+    try:
+        if args.registry_command == "promote":
+            version = registry.promote(args.name)
+            print(f"promoted {args.name}@v{version} to stable")
+        else:  # rollback
+            version = registry.rollback(args.name)
+            print(f"abandoned canary of {args.name}; stable stays at v{version}")
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
     return 0
 
 
@@ -333,6 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--fast", action="store_true", help="scaled-down fleet simulation")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the fleet across this many shard workers")
+    serve.add_argument("--journal", default=None,
+                       help="stream per-cell state to this journal file (restorable)")
     serve.add_argument("--registry", default=None,
                        help="serve through a model registry rooted at this directory")
     serve.add_argument("--show", type=int, default=0,
@@ -340,6 +400,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compare-loop", action="store_true",
                        help="also time the per-cell loop path and report the speedup")
     serve.set_defaults(func=_cmd_serve_sim)
+
+    registry = sub.add_parser("registry", help="inspect and manage a model registry")
+    registry_sub = registry.add_subparsers(dest="registry_command", required=True)
+    reg_list = registry_sub.add_parser("list", help="list published models and channels")
+    reg_list.add_argument("registry", help="registry directory")
+    reg_list.set_defaults(func=_cmd_registry)
+    reg_promote = registry_sub.add_parser(
+        "promote", help="make a model's canary version the new stable"
+    )
+    reg_promote.add_argument("registry", help="registry directory")
+    reg_promote.add_argument("name", help="model name")
+    reg_promote.set_defaults(func=_cmd_registry)
+    reg_rollback = registry_sub.add_parser(
+        "rollback", help="abandon a model's canary, keeping stable"
+    )
+    reg_rollback.add_argument("registry", help="registry directory")
+    reg_rollback.add_argument("name", help="model name")
+    reg_rollback.set_defaults(func=_cmd_registry)
     return parser
 
 

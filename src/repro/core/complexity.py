@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..nn.layers import MLP, Linear, Module, Sequential
-from ..nn.recurrent import LSTM, LSTMCell, LSTMRegressor
+from ..nn.layers import MLP, Linear, Module
+from ..nn.recurrent import LSTMRegressor
 
 __all__ = ["ComplexityReport", "mlp_complexity", "lstm_complexity", "model_complexity"]
 

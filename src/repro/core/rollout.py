@@ -27,6 +27,7 @@ from .model import TwoBranchSoCNet
 
 __all__ = [
     "RolloutResult",
+    "StepHook",
     "StepPredictor",
     "WindowPlan",
     "cycle_windows",
@@ -43,6 +44,13 @@ class StepPredictor(Protocol):
     """
 
     def __call__(self, soc: float, i_avg: float, temp_avg: float, horizon_s: float) -> float: ...
+
+
+StepHook = Callable[[int, float], None]
+"""State snapshot hook: called as ``hook(window, soc)`` after each
+committed rollout window (``window`` 0 is the initial estimate).  Lets
+a caller stream the recursion state out — e.g. to a
+:class:`repro.serve.StateJournal` — without owning the rollout loop."""
 
 
 @dataclasses.dataclass
@@ -186,6 +194,7 @@ def rollout_cycle(
     step_s: float,
     initial_soc: float,
     include_tail: bool = True,
+    step_hook: StepHook | None = None,
 ) -> RolloutResult:
     """Run an autoregressive rollout along one recorded cycle.
 
@@ -203,6 +212,11 @@ def rollout_cycle(
     include_tail:
         Also score the trailing partial window with a shortened final
         step (default; pass False for legacy full-windows-only traces).
+    step_hook:
+        Optional state snapshot hook, called as ``hook(window, soc)``
+        after the initial estimate (window 0) and after each committed
+        step; an exception it raises aborts the rollout with the state
+        up to that window already streamed out.
 
     Returns
     -------
@@ -212,9 +226,13 @@ def rollout_cycle(
     preds = np.empty(plan.n_windows + 1)
     preds[0] = float(initial_soc)
     soc = float(initial_soc)
+    if step_hook is not None:
+        step_hook(0, soc)
     for w in range(plan.n_windows):
         soc = float(predictor(soc, float(plan.i_avg[w]), float(plan.t_avg[w]), float(plan.horizon_s[w])))
         preds[w + 1] = soc
+        if step_hook is not None:
+            step_hook(w + 1, soc)
     return RolloutResult(
         time_s=plan.time_s.copy(),
         soc_pred=preds,
@@ -225,12 +243,18 @@ def rollout_cycle(
     )
 
 
-def model_rollout(model: TwoBranchSoCNet, cycle: CycleRecord, step_s: float) -> RolloutResult:
+def model_rollout(
+    model: TwoBranchSoCNet,
+    cycle: CycleRecord,
+    step_s: float,
+    step_hook: StepHook | None = None,
+) -> RolloutResult:
     """Roll the full two-branch network along a cycle.
 
     Branch 1 estimates the initial SoC from the first sensor sample
     (the only voltage the whole rollout consumes); Branch 2 chains the
-    rest.
+    rest.  ``step_hook`` streams the recursion state per window (see
+    :func:`rollout_cycle`).
     """
     d = cycle.data
     if len(d) == 0:
@@ -240,4 +264,4 @@ def model_rollout(model: TwoBranchSoCNet, cycle: CycleRecord, step_s: float) -> 
     def step(soc: float, i_avg: float, temp_avg: float, horizon_s: float) -> float:
         return float(model.predict_soc(soc, i_avg, temp_avg, horizon_s)[0])
 
-    return rollout_cycle(step, cycle, step_s, initial)
+    return rollout_cycle(step, cycle, step_s, initial, step_hook=step_hook)

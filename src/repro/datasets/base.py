@@ -11,8 +11,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Iterator
 
-import numpy as np
-
 from ..battery.simulator import SimulationResult
 
 __all__ = ["CycleRecord", "CycleSet"]

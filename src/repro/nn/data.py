@@ -8,7 +8,7 @@ loop, where gradient tracking starts).
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

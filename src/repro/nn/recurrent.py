@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import init as initializers
 from .layers import Linear, Module, Parameter
-from .tensor import Tensor, cat, stack
+from .tensor import Tensor, stack
 
 __all__ = ["LSTMCell", "LSTM", "LSTMRegressor"]
 

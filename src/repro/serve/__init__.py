@@ -1,28 +1,52 @@
 """``repro.serve`` — fleet-scale SoC serving.
 
 The deployment layer on top of the paper's model: batched multi-cell
-inference instead of one Python call per cell.
+inference instead of one Python call per cell, durable per-cell state,
+and versioned checkpoint rollout.
 
 - :mod:`repro.serve.engine` — :class:`FleetEngine`: per-cell state,
-  batched Branch 1/2 forwards, lock-step fleet rollout;
-- :mod:`repro.serve.registry` — :class:`ModelRegistry`: named
-  checkpoints with chemistry/dataset resolution;
+  batched Branch 1/2 forwards, lock-step fleet rollout,
+  restore/resume from a journal;
+- :mod:`repro.serve.sharding` — :class:`ShardedFleet`: rendezvous-
+  hashed cell partitioning across shard workers behind the engine API,
+  with stable rebalancing;
+- :mod:`repro.serve.persistence` — :class:`StateJournal`: append-only
+  per-cell state/rollout-progress journal with atomic compaction;
+- :mod:`repro.serve.registry` — :class:`ModelRegistry`: versioned
+  named checkpoints with channels (stable/canary), promote/rollback,
+  and chemistry/dataset resolution;
+- :mod:`repro.serve.canary` — :class:`CanaryController`: route a hash-
+  selected fleet slice to a candidate checkpoint, compare divergence,
+  then promote or roll back;
 - :mod:`repro.serve.scheduler` — :class:`MicroBatcher`: size- and
   deadline-triggered request coalescing with latency accounting;
 - :mod:`repro.serve.fleet_sim` — synthetic heterogeneous fleets for
   benchmarks and the ``repro-soc serve-sim`` subcommand.
+
+See ``src/repro/serve/README.md`` for the sharding topology, journal
+format, and canary lifecycle.
 """
 
+from .canary import CanaryController, CanaryReport, in_canary_slice
 from .engine import CellState, FleetEngine
 from .fleet_sim import FleetMember, FleetScenario, generate_fleet
+from .persistence import JournalSnapshot, StateJournal
 from .registry import ModelEntry, ModelRegistry
 from .scheduler import BatchStats, Completion, MicroBatcher, Request
+from .sharding import ShardedFleet, shard_for
 
 __all__ = [
     "CellState",
     "FleetEngine",
+    "ShardedFleet",
+    "shard_for",
+    "StateJournal",
+    "JournalSnapshot",
     "ModelEntry",
     "ModelRegistry",
+    "CanaryController",
+    "CanaryReport",
+    "in_canary_slice",
     "BatchStats",
     "Completion",
     "MicroBatcher",

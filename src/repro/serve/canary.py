@@ -1,0 +1,249 @@
+"""Canary rollout of candidate checkpoints onto a fleet slice.
+
+Swapping the serving checkpoint for a whole fleet at once is how a bad
+retrain becomes a fleet-wide SoC regression.  The canary lifecycle
+staged here keeps the blast radius configurable:
+
+1. :meth:`CanaryController.start` publishes (or points at) a candidate
+   version on the registry's ``canary`` channel and pins a
+   deterministic, hash-selected slice of the fleet's cells to that
+   exact version (``name@vN``) — the rest keep serving stable;
+2. :meth:`CanaryController.evaluate` replays duty cycles through both
+   checkpoints *off the serving path* and reports divergence stats
+   between the stable and candidate trajectories;
+3. :meth:`CanaryController.promote` makes the candidate the new stable
+   (all bare-name routed cells follow automatically) or
+   :meth:`CanaryController.rollback` abandons it; either way the
+   pinned cells return to channel routing with their state intact.
+
+Slice membership hashes the cell id (salted), so the same cells are
+canaried across restarts and across the shard boundary — a sharded
+fleet canaries the same slice a single engine would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from ..core.model import TwoBranchSoCNet
+from ..datasets.base import CycleRecord
+from .engine import FleetEngine
+from .registry import ModelRegistry
+
+__all__ = ["CanaryController", "CanaryReport", "in_canary_slice"]
+
+
+def in_canary_slice(cell_id: str, fraction: float, salt: str = "") -> bool:
+    """Deterministic slice membership: hash the cell id into [0, 1).
+
+    ``fraction`` of the id space (blake2b, optionally salted to draw
+    independent slices) lands in the canary.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction!r}")
+    digest = hashlib.blake2b(f"{salt}:{cell_id}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64 < fraction
+
+
+@dataclasses.dataclass(frozen=True)
+class CanaryReport:
+    """Divergence between stable and candidate over the canary slice.
+
+    ``soc_pred`` trajectories of both checkpoints are compared
+    pointwise over every canaried cell's duty cycle; divergences are
+    absolute SoC differences (the unit of the paper's error metrics).
+    """
+
+    name: str
+    stable_version: int
+    candidate_version: int
+    n_cells: int
+    n_points: int
+    mean_abs_divergence: float
+    max_abs_divergence: float
+    final_abs_divergence: float
+    max_divergence_allowed: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the candidate stayed within the divergence budget."""
+        return self.max_abs_divergence <= self.max_divergence_allowed
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"canary {self.name}@v{self.candidate_version} vs stable v{self.stable_version}: "
+            f"{verdict} — {self.n_cells} cells, {self.n_points} points, "
+            f"|divergence| mean {self.mean_abs_divergence:.2e} "
+            f"max {self.max_abs_divergence:.2e} "
+            f"(budget {self.max_divergence_allowed:.2e})"
+        )
+
+
+class CanaryController:
+    """Route a fleet slice to a candidate checkpoint and judge it.
+
+    Parameters
+    ----------
+    engine:
+        The live fleet — a :class:`~repro.serve.engine.FleetEngine` or
+        :class:`~repro.serve.sharding.ShardedFleet` (anything with
+        ``cells()`` / ``reroute_cell()`` and an attached registry).
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` both channels
+        live in (must be the engine's registry).
+    name:
+        Registry name whose stable traffic is being canaried.
+    fraction:
+        Share of the name's cells to pin to the candidate.
+    max_divergence:
+        Largest tolerated pointwise ``|SoC_stable - SoC_candidate|``
+        in :meth:`evaluate`.
+    salt:
+        Varies slice membership between concurrent canaries.
+    """
+
+    def __init__(
+        self,
+        engine: FleetEngine,
+        registry: ModelRegistry,
+        name: str,
+        fraction: float = 0.1,
+        max_divergence: float = 0.02,
+        salt: str = "",
+    ):
+        if engine.registry is not registry:
+            raise ValueError("engine must serve from the same registry as the controller")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be within (0, 1], got {fraction!r}")
+        if max_divergence < 0:
+            raise ValueError("max_divergence cannot be negative")
+        self.engine = engine
+        self.registry = registry
+        self.name = name
+        self.fraction = fraction
+        self.max_divergence = max_divergence
+        self.salt = salt
+        self._candidate_version: int | None = None
+        self._pinned: list[str] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether a canary is currently routed."""
+        return self._candidate_version is not None
+
+    @property
+    def candidate_version(self) -> int | None:
+        """Version under canary (``None`` when inactive)."""
+        return self._candidate_version
+
+    def canary_cells(self) -> list[str]:
+        """Cell ids currently pinned to the candidate, sorted."""
+        return sorted(self._pinned)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(
+        self,
+        candidate: TwoBranchSoCNet | None = None,
+        version: int | None = None,
+        chemistry: str | None = None,
+        dataset: str | None = None,
+        extra: dict | None = None,
+    ) -> int:
+        """Stage a candidate and pin the slice; returns its version.
+
+        Pass either a ``candidate`` model (published to the canary
+        channel, inheriting ``chemistry``/``dataset`` metadata) or the
+        ``version`` of an already-published checkpoint.
+        """
+        if self.active:
+            raise ValueError(f"canary of {self.name!r} already active; promote or roll back first")
+        if (candidate is None) == (version is None):
+            raise ValueError("pass exactly one of candidate / version")
+        if candidate is not None:
+            entry = self.registry.publish(
+                self.name,
+                candidate,
+                chemistry=chemistry,
+                dataset=dataset,
+                extra=extra,
+                channel="canary",
+            )
+            version = entry.version
+        else:
+            self.registry.set_channel(self.name, "canary", version)
+        ref = f"{self.name}@v{version}"
+        self._pinned = []
+        for state in list(self.engine.cells()):
+            if state.model_key != self.name:
+                continue  # not stable-routed to this name (or already pinned)
+            if in_canary_slice(state.cell_id, self.fraction, self.salt):
+                self.engine.reroute_cell(state.cell_id, model_name=ref)
+                self._pinned.append(state.cell_id)
+        self._candidate_version = version
+        return version
+
+    def evaluate(
+        self,
+        assignments: list[tuple[str, CycleRecord]],
+        step_s: float,
+    ) -> CanaryReport:
+        """Shadow-compare stable vs candidate over the canary slice.
+
+        Both checkpoints roll the canaried cells' duty cycles in
+        throwaway engines (the live fleet's state is untouched) and the
+        trajectories are compared pointwise.
+        """
+        if not self.active:
+            raise ValueError("no active canary to evaluate")
+        stable_version = self.registry.channels(self.name)["stable"]
+        pinned = set(self._pinned)
+        canary_assignments = [(cid, cycle) for cid, cycle in assignments if cid in pinned]
+        if not canary_assignments:
+            raise ValueError("no canaried cells among the given assignments")
+        stable = FleetEngine(default_model=self.registry.load(f"{self.name}@v{stable_version}"))
+        cand_ref = f"{self.name}@v{self._candidate_version}"
+        candidate = FleetEngine(default_model=self.registry.load(cand_ref))
+        a = stable.rollout_fleet(canary_assignments, step_s=step_s)
+        b = candidate.rollout_fleet(canary_assignments, step_s=step_s)
+        diffs = [np.abs(a[cid].soc_pred - b[cid].soc_pred) for cid, _ in canary_assignments]
+        flat = np.concatenate(diffs)
+        return CanaryReport(
+            name=self.name,
+            stable_version=stable_version,
+            candidate_version=self._candidate_version,
+            n_cells=len(canary_assignments),
+            n_points=int(flat.size),
+            mean_abs_divergence=float(flat.mean()),
+            max_abs_divergence=float(flat.max()),
+            final_abs_divergence=float(max(d[-1] for d in diffs)),
+            max_divergence_allowed=self.max_divergence,
+        )
+
+    def promote(self) -> int:
+        """Make the candidate stable; unpin the slice.  Returns the version."""
+        if not self.active:
+            raise ValueError("no active canary to promote")
+        version = self.registry.promote(self.name)
+        self._unpin()
+        return version
+
+    def rollback(self) -> int:
+        """Abandon the candidate; unpin the slice.  Returns the stable version."""
+        if not self.active:
+            raise ValueError("no active canary to roll back")
+        version = self.registry.rollback(self.name)
+        self._unpin()
+        return version
+
+    # ------------------------------------------------------------------
+    def _unpin(self) -> None:
+        for cell_id in self._pinned:
+            if cell_id in self.engine:
+                self.engine.reroute_cell(cell_id, model_name=self.name)
+        self._pinned = []
+        self._candidate_version = None

@@ -22,7 +22,7 @@ and batches every operation across all cells that share a model:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult, cycle_windows
 from ..datasets.base import CycleRecord
 from .registry import ModelRegistry
+
+if TYPE_CHECKING:
+    from .persistence import StateJournal
 
 __all__ = ["CellState", "FleetEngine"]
 
@@ -75,22 +78,50 @@ class FleetEngine:
     registry:
         Optional :class:`ModelRegistry`; cells are routed to
         ``registry.resolve(chemistry=...)`` at registration time.
+    journal:
+        Optional :class:`~repro.serve.persistence.StateJournal`; every
+        per-cell state mutation (registration, estimates, predictions,
+        rollout windows) is appended to it, making the fleet restorable
+        via :meth:`restore` / :meth:`resume_rollout_fleet`.
 
-    At least one of the two must be provided.
+    At least one of ``default_model`` / ``registry`` must be provided.
     """
 
     def __init__(
         self,
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
+        journal: StateJournal | None = None,
     ):
         if default_model is None and registry is None:
             raise ValueError("need a default model, a registry, or both")
         self.registry = registry
+        self.journal = journal
         self._models: dict[str, TwoBranchSoCNet] = {}
         if default_model is not None:
             self._models[_DEFAULT_MODEL_KEY] = default_model
         self._cells: dict[str, CellState] = {}
+
+    # -- durability ----------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        journal: StateJournal,
+        default_model: TwoBranchSoCNet | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> FleetEngine:
+        """Rebuild an engine from a journal after a restart.
+
+        Every cell the journal knows about comes back with its last
+        served SoC, model routing and request counters; the journal
+        stays attached, so serving continues appending to it.  An
+        interrupted fleet rollout can then be completed with
+        :meth:`resume_rollout_fleet`.
+        """
+        engine = cls(default_model=default_model, registry=registry, journal=journal)
+        for state in journal.snapshot().cells.values():
+            engine._adopt_state(dataclasses.replace(state))
+        return engine
 
     # -- fleet membership ----------------------------------------------
     def register_cell(
@@ -115,6 +146,28 @@ class FleetEngine:
         key = self._resolve_key(chemistry, model_name)
         state = CellState(cell_id=cell_id, chemistry=chemistry, model_key=key)
         self._cells[cell_id] = state
+        self._record(state)
+        return state
+
+    def deregister_cell(self, cell_id: str) -> CellState:
+        """Remove a cell from the fleet and return its final state."""
+        state = self.cell(cell_id)
+        del self._cells[cell_id]
+        if self.journal is not None:
+            self.journal.drop_cell(cell_id)
+        return state
+
+    def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
+        """Re-resolve a registered cell's serving model, keeping its state.
+
+        Unlike :meth:`register_cell` this preserves the stored SoC and
+        counters — it is how canary rollouts pin a slice of the fleet
+        to a candidate checkpoint (``model_name="name@v3"``) and later
+        return it to channel routing (``model_name="name"``).
+        """
+        state = self.cell(cell_id)
+        state.model_key = self._resolve_key(state.chemistry, model_name)
+        self._record(state)
         return state
 
     def cell(self, cell_id: str) -> CellState:
@@ -128,6 +181,10 @@ class FleetEngine:
         if cell_id not in self._cells:
             raise KeyError(f"unknown cell {cell_id!r}; {len(self._cells)} cells registered")
         return self._cells[cell_id]
+
+    def cells(self) -> Iterable[CellState]:
+        """Iterate over all registered cells' state records."""
+        return iter(self._cells.values())
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -169,6 +226,7 @@ class FleetEngine:
             state.soc = float(out[k])
             state.n_requests += 1
             state.last_seen_s = now_s
+            self._record(state)
         return out
 
     def predict(
@@ -219,6 +277,7 @@ class FleetEngine:
                 state.soc = float(out[k])
             state.n_requests += 1
             state.last_seen_s = now_s
+            self._record(state)
         return out
 
     # -- batched rollout ------------------------------------------------
@@ -226,6 +285,7 @@ class FleetEngine:
         self,
         assignments: Iterable[tuple[str, CycleRecord]],
         step_s: float,
+        step_hook: Callable[[int], None] | None = None,
     ) -> dict[str, RolloutResult]:
         """Autoregressive rollout for many cells in lock-step.
 
@@ -238,6 +298,11 @@ class FleetEngine:
         numerically identical to ``model_rollout(model, cycle, step_s)``
         for that cell.
 
+        With a journal attached, the engine writes a rollout marker,
+        then every cell's SoC after every committed window, so a crash
+        at any point loses at most the in-flight window (see
+        :meth:`resume_rollout_fleet`).
+
         Parameters
         ----------
         assignments:
@@ -245,13 +310,59 @@ class FleetEngine:
             auto-registered with the cycle's ``chemistry`` tag.
         step_s:
             Full autoregressive step in seconds (shared by the fleet).
+        step_hook:
+            Optional hook called as ``hook(window)`` after each
+            committed window of each model group — for progress
+            reporting, throttling, or fault injection in tests.
 
         Returns
         -------
         dict
             ``{cell_id: RolloutResult}`` in assignment order.
         """
-        pairs = list(assignments)
+        if self.journal is not None:
+            self.journal.begin_rollout(step_s)
+        return self._rollout(list(assignments), step_s, prefix={}, step_hook=step_hook)
+
+    def resume_rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Finish an interrupted :meth:`rollout_fleet` from the journal.
+
+        Windows the journal already holds are *replayed, not
+        recomputed*: each cell picks its recursion back up from its
+        last journaled SoC and only the remaining windows run.  JSON
+        round-trips floats exactly, and a crash between windows leaves
+        every active cell of a model group at the same window, so the
+        resumed run re-issues the very same batched forwards the
+        uninterrupted run would have — the combined trajectory is
+        bit-for-bit identical.  (Resuming under a *different* grouping,
+        e.g. another shard count, changes batch compositions and can
+        shift results by BLAS-kernel rounding, ~1e-17 — still far
+        inside the fleet's 1e-9 equivalence budget.)
+
+        Requires an attached journal whose last rollout used the same
+        ``step_s``.
+        """
+        if self.journal is None:
+            raise ValueError("resume requires an engine with a journal attached")
+        snap = self.journal.snapshot()
+        if snap.step_s is not None and snap.step_s != float(step_s):
+            raise ValueError(
+                f"journal holds a step_s={snap.step_s:g} rollout; cannot resume at {step_s:g}"
+            )
+        return self._rollout(list(assignments), step_s, prefix=snap.windows, step_hook=step_hook)
+
+    def _rollout(
+        self,
+        pairs: list[tuple[str, CycleRecord]],
+        step_s: float,
+        prefix: dict[str, dict[int, float]],
+        step_hook: Callable[[int], None] | None,
+    ) -> dict[str, RolloutResult]:
         for cell_id, cycle in pairs:
             if cell_id not in self._cells:
                 self.register_cell(cell_id, chemistry=cycle.tags.get("chemistry"))
@@ -273,6 +384,7 @@ class FleetEngine:
             model = self._model(key)
             plans = [plan_for(pairs[k][1]) for k in members]
             cycles = [pairs[k][1] for k in members]
+            ids = [pairs[k][0] for k in members]
             n = len(members)
             n_w = np.array([p.n_windows for p in plans])
             max_w = int(n_w.max())
@@ -284,18 +396,45 @@ class FleetEngine:
                 i_mat[r, : p.n_windows] = p.i_avg
                 t_mat[r, : p.n_windows] = p.t_avg
                 h_mat[r, : p.n_windows] = p.horizon_s
-            # one Branch 1 forward seeds the whole group
-            v0 = np.array([c.data.voltage[0] for c in cycles])
-            i0 = np.array([c.data.current[0] for c in cycles])
-            t0 = np.array([c.data.temp_c[0] for c in cycles])
-            soc = model.estimate_soc(v0, i0, t0)
             preds = np.empty((n, max_w + 1))
-            preds[:, 0] = soc
+            # replay journaled windows: start_w[r] is the last window
+            # whose SoC is already known (its value seeds the recursion)
+            start_w = np.zeros(n, dtype=int)
+            soc = np.empty(n)
+            fresh = []
+            for r, cid in enumerate(ids):
+                done = prefix.get(cid, {})
+                k_done = -1
+                while k_done + 1 in done and k_done + 1 <= int(n_w[r]):
+                    k_done += 1
+                if k_done < 0:
+                    fresh.append(r)
+                    continue
+                for w in range(k_done + 1):
+                    preds[r, w] = done[w]
+                soc[r] = done[k_done]
+                start_w[r] = k_done
+            if fresh:
+                # one Branch 1 forward seeds all not-yet-started cells
+                idx = np.asarray(fresh)
+                v0 = np.array([cycles[r].data.voltage[0] for r in fresh])
+                i0 = np.array([cycles[r].data.current[0] for r in fresh])
+                t0 = np.array([cycles[r].data.temp_c[0] for r in fresh])
+                seed = model.estimate_soc(v0, i0, t0)
+                soc[idx] = seed
+                preds[idx, 0] = seed
+                if self.journal is not None:
+                    self.journal.append_windows((ids[r], 0, float(soc[r])) for r in fresh)
             for w in range(max_w):
-                idx = np.flatnonzero(n_w > w)
-                out = model.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
-                soc[idx] = out
-                preds[idx, w + 1] = out
+                idx = np.flatnonzero((n_w > w) & (start_w <= w))
+                if len(idx):
+                    out = model.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
+                    soc[idx] = out
+                    preds[idx, w + 1] = out
+                    if self.journal is not None:
+                        self.journal.append_windows((ids[r], w + 1, float(soc[r])) for r in idx)
+                if step_hook is not None:
+                    step_hook(w + 1)
             for r, k in enumerate(members):
                 cell_id, cycle = pairs[k]
                 p = plans[r]
@@ -308,11 +447,32 @@ class FleetEngine:
                     tail_s=p.tail_s,
                 )
                 state = self._cells[cell_id]
-                state.soc = float(soc[r])
+                state.soc = float(preds[r, p.n_windows])
                 state.n_requests += 1
+                self._record(state)
         return {cell_id: results[cell_id] for cell_id, _ in pairs}
 
     # ------------------------------------------------------------------
+    def _record(self, state: CellState) -> None:
+        if self.journal is not None:
+            self.journal.append_cell(state)
+
+    def _adopt_state(self, state: CellState) -> None:
+        """Install a cell's state record without journaling it.
+
+        Used by :meth:`restore` (the journal already holds the record)
+        and by shard rebalancing (the move does not change the state).
+        """
+        self._cells[state.cell_id] = state
+
+    def _evict_state(self, cell_id: str) -> CellState:
+        """Remove and return a cell's state without journaling a drop.
+
+        The shard-rebalancing counterpart of :meth:`_adopt_state`: the
+        cell is moving, not leaving the fleet.
+        """
+        return self._cells.pop(cell_id)
+
     def _resolve_key(self, chemistry: str | None, model_name: str | None) -> str:
         if model_name is not None:
             if self.registry is None:
@@ -332,8 +492,10 @@ class FleetEngine:
     def _model(self, key: str) -> TwoBranchSoCNet:
         if key in self._models:
             return self._models[key]
-        # registry keys stay uncached here: the registry invalidates its
-        # own cache on republish, so a live engine picks up new weights
+        # registry keys stay uncached here: the registry re-resolves a
+        # bare name's channel pointer on every load (version files are
+        # immutable and cached by pinned ref), so a live engine follows
+        # publishes and promotes without a rebuild
         return self.registry.load(key)
 
     def _group_by_model(self, cell_ids: Sequence[str]) -> dict[str, np.ndarray]:

@@ -1,15 +1,30 @@
-"""Named-checkpoint registry with per-cell model resolution.
+"""Versioned-checkpoint registry with channels and per-cell resolution.
 
 A fleet mixes chemistries, datasets and horizon regimes; the serving
 engine must pick the right 2,322-parameter checkpoint for every cell
 without the caller hard-coding paths.  :class:`ModelRegistry` stores
-checkpoints under one directory (one ``.npz`` per model, written via
-:mod:`repro.nn.serialization`), keeps a metadata index built from
-:func:`repro.nn.peek_meta` (no weights are read until a model is
-actually served), and resolves the most specific entry for a
+checkpoints under one directory (one ``.npz`` per model *version*,
+written via :mod:`repro.nn.serialization`), keeps a metadata index
+built from :func:`repro.nn.peek_meta` (no weights are read until a
+model is actually served), and resolves the most specific entry for a
 ``(chemistry, dataset)`` query.
 
-Resolution rules, most to least specific:
+**Versioning.**  Publishing a name never overwrites: each publish of
+``name`` writes ``name@v{N}.npz`` with a monotonically increasing
+version.  A sidecar ``channels.json`` maps each name's *channels*
+(``stable``, ``canary``, ...) to versions; serving a bare ``name``
+follows its ``stable`` pointer.  Model references accept three forms:
+
+- ``"lg-a"`` — the name's stable channel;
+- ``"lg-a@v3"`` — a pinned version (how canaries route cells);
+- ``"lg-a@canary"`` — a live channel pointer.
+
+:meth:`promote` repoints stable at the canary version (and clears the
+canary); :meth:`rollback` abandons the canary.  Checkpoints written by
+the unversioned v1 schema (``name.npz``) are still indexed, as version
+1 of their name.
+
+Resolution rules (:meth:`resolve`), most to least specific:
 
 1. entries matching both the requested chemistry and dataset;
 2. entries matching the chemistry (and not pinned to a different
@@ -20,12 +35,15 @@ Resolution rules, most to least specific:
 
 An entry whose chemistry/dataset is set but differs from the query is
 never considered a match on that axis.  Ties inside a tier break
-deterministically on the lexicographically smallest name.
+deterministically on the lexicographically smallest name.  Resolution
+considers each candidate name's entry *on the requested channel*.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -36,17 +54,21 @@ from ..nn.serialization import load_state, peek_meta, save_state
 
 __all__ = ["ModelEntry", "ModelRegistry", "REGISTRY_SCHEMA_VERSION"]
 
-REGISTRY_SCHEMA_VERSION = 1
+REGISTRY_SCHEMA_VERSION = 2
+
+_CHANNELS_FILE = "channels.json"
 
 
 @dataclasses.dataclass(frozen=True)
 class ModelEntry:
-    """Index record for one published checkpoint.
+    """Index record for one published checkpoint version.
 
     Attributes
     ----------
     name:
-        Registry key (also the checkpoint's file stem).
+        Registry name (shared by all versions).
+    version:
+        Monotonic publish counter for the name (1-based).
     path:
         Location of the ``.npz`` snapshot.
     chemistry:
@@ -62,6 +84,7 @@ class ModelEntry:
     """
 
     name: str
+    version: int
     path: Path
     chemistry: str | None
     dataset: str | None
@@ -69,12 +92,25 @@ class ModelEntry:
     horizon_scale_s: float
     extra: dict = dataclasses.field(default_factory=dict)
 
+    @property
+    def ref(self) -> str:
+        """The pinned-version reference, e.g. ``"lg-a@v3"``."""
+        return f"{self.name}@v{self.version}"
 
-_RESERVED = {"registry_version", "name", "chemistry", "dataset", "hidden", "horizon_scale"}
+
+_RESERVED = {
+    "registry_version",
+    "name",
+    "version",
+    "chemistry",
+    "dataset",
+    "hidden",
+    "horizon_scale",
+}
 
 
 class ModelRegistry:
-    """Directory-backed store of named :class:`TwoBranchSoCNet` checkpoints.
+    """Directory-backed store of versioned :class:`TwoBranchSoCNet` checkpoints.
 
     Parameters
     ----------
@@ -86,7 +122,8 @@ class ModelRegistry:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
-        self._entries: dict[str, ModelEntry] = {}
+        self._entries: dict[str, ModelEntry] = {}  # keyed by "name@vN"
+        self._channels: dict[str, dict[str, int]] = {}
         self._models: dict[str, TwoBranchSoCNet] = {}
         self.refresh()
 
@@ -98,24 +135,30 @@ class ModelRegistry:
         chemistry: str | None = None,
         dataset: str | None = None,
         extra: dict | None = None,
+        channel: str = "stable",
     ) -> ModelEntry:
-        """Store a model under ``name`` and index it.
+        """Store a new version of ``name`` and point ``channel`` at it.
 
         Architecture metadata (hidden widths, horizon scale) is taken
         from the model itself so a later :meth:`load` can rebuild it
         without guessing; ``chemistry``/``dataset`` drive
-        :meth:`resolve`.
+        :meth:`resolve`.  Publishing to ``channel="canary"`` stages a
+        candidate without touching what stable traffic serves.
         """
-        if not name or "/" in name or name.startswith("."):
+        if not name or "/" in name or "@" in name or name.startswith("."):
             raise ValueError(f"invalid model name {name!r}")
+        if not channel or not channel.isidentifier():
+            raise ValueError(f"invalid channel name {channel!r}")
         extra = dict(extra or {})
         if overlap := _RESERVED & set(extra):
             raise ValueError(f"extra metadata may not use reserved keys {sorted(overlap)}")
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"{name}.npz"
+        version = max(self.versions(name), default=0) + 1
+        path = self.root / f"{name}@v{version}.npz"
         meta = {
             "registry_version": REGISTRY_SCHEMA_VERSION,
             "name": name,
+            "version": version,
             "chemistry": chemistry,
             "dataset": dataset,
             "hidden": list(model.config.hidden),
@@ -124,34 +167,98 @@ class ModelRegistry:
         }
         save_state(model.state_dict(), path, meta=meta)
         entry = self._index(path, meta)
-        self._models.pop(name, None)  # drop any stale cached weights
+        self._channels.setdefault(name, {})[channel] = version
+        self._save_channels()
         return entry
 
-    # -- lookup --------------------------------------------------------
-    def names(self) -> list[str]:
-        """All published model names, sorted."""
-        return sorted(self._entries)
+    # -- channel management --------------------------------------------
+    def channels(self, name: str) -> dict[str, int]:
+        """Channel -> version pointers for one name."""
+        if name not in self._channels:
+            raise KeyError(f"no model named {name!r}; have {self.names()}")
+        return dict(self._channels[name])
 
-    def entries(self) -> list[ModelEntry]:
-        """All index records, sorted by name."""
-        return [self._entries[n] for n in self.names()]
+    def set_channel(self, name: str, channel: str, version: int | None) -> None:
+        """Point ``channel`` at ``version`` (or clear it with ``None``)."""
+        if version is None:
+            self._channels.get(name, {}).pop(channel, None)
+        else:
+            if version not in self.versions(name):
+                raise KeyError(
+                    f"model {name!r} has no version {version}; have {self.versions(name)}"
+                )
+            self._channels.setdefault(name, {})[channel] = version
+        self._save_channels()
 
-    def describe(self, name: str) -> ModelEntry:
-        """Index record for one model.
+    def promote(self, name: str) -> int:
+        """Make the canary version the new stable; returns that version.
+
+        The canary pointer is cleared: a promoted candidate *is* the
+        stable release, and cells pinned to its version can be rerouted
+        back to bare-name (stable-channel) serving.
+        """
+        pointers = self.channels(name)
+        if "canary" not in pointers:
+            raise KeyError(f"model {name!r} has no canary to promote")
+        version = pointers["canary"]
+        self._channels[name]["stable"] = version
+        del self._channels[name]["canary"]
+        self._save_channels()
+        return version
+
+    def rollback(self, name: str) -> int:
+        """Abandon the canary, keeping stable as it is; returns stable.
 
         Raises
         ------
         KeyError
-            When no model has that name.
+            When the name has no active canary, or no stable to fall
+            back to (a canary-only name must be promoted instead) —
+            checked before anything is mutated, so a failed rollback
+            never loses the canary pointer.
         """
-        if name not in self._entries:
-            raise KeyError(f"no model named {name!r}; have {self.names()}")
-        return self._entries[name]
+        pointers = self.channels(name)
+        if "canary" not in pointers:
+            raise KeyError(f"model {name!r} has no canary to roll back")
+        if "stable" not in pointers:
+            raise KeyError(
+                f"model {name!r} has no stable channel to fall back to; promote instead"
+            )
+        del self._channels[name]["canary"]
+        self._save_channels()
+        return self._channels[name]["stable"]
 
-    def load(self, name: str) -> TwoBranchSoCNet:
-        """Materialize (and cache) the named model with its weights."""
-        if name not in self._models:
-            entry = self.describe(name)
+    # -- lookup --------------------------------------------------------
+    def names(self) -> list[str]:
+        """All published model names, sorted."""
+        return sorted({e.name for e in self._entries.values()})
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of one name, sorted (empty when unknown)."""
+        return sorted(e.version for e in self._entries.values() if e.name == name)
+
+    def entries(self) -> list[ModelEntry]:
+        """All index records, sorted by name then version."""
+        return sorted(self._entries.values(), key=lambda e: (e.name, e.version))
+
+    def describe(self, ref: str) -> ModelEntry:
+        """Index record for a model reference.
+
+        Accepts a bare name (stable channel), ``name@vN``, or
+        ``name@channel``.
+
+        Raises
+        ------
+        KeyError
+            When the reference does not resolve to a published version.
+        """
+        name, version = self._parse_ref(ref)
+        return self._entries[f"{name}@v{version}"]
+
+    def load(self, ref: str) -> TwoBranchSoCNet:
+        """Materialize (and cache) the referenced model with its weights."""
+        entry = self.describe(ref)
+        if entry.ref not in self._models:
             model = TwoBranchSoCNet(
                 ModelConfig(hidden=entry.hidden, horizon_scale_s=entry.horizon_scale_s),
                 rng=np.random.default_rng(0),
@@ -159,11 +266,22 @@ class ModelRegistry:
             state, _ = load_state(entry.path)
             model.load_state_dict(state)
             model.eval()
-            self._models[name] = model
-        return self._models[name]
+            self._models[entry.ref] = model
+        return self._models[entry.ref]
 
-    def resolve(self, chemistry: str | None = None, dataset: str | None = None) -> str:
-        """Name of the most specific entry for a chemistry/dataset query.
+    def resolve(
+        self,
+        chemistry: str | None = None,
+        dataset: str | None = None,
+        channel: str = "stable",
+    ) -> str:
+        """Reference of the most specific entry for a chemistry/dataset query.
+
+        Only names carrying the requested ``channel`` participate, and
+        each candidate is judged by the metadata of the version that
+        channel points at.  The stable channel returns the bare name
+        (so serving follows later promotes automatically); any other
+        channel returns ``name@channel``.
 
         Raises
         ------
@@ -177,7 +295,10 @@ class ModelRegistry:
 
         tiers: list[list[str]] = [[], [], [], []]
         for name in self.names():
-            e = self._entries[name]
+            version = self._channels.get(name, {}).get(channel)
+            if version is None:
+                continue
+            e = self._entries[f"{name}@v{version}"]
             chem_hit = chemistry is not None and e.chemistry == chemistry
             data_hit = dataset is not None and e.dataset == dataset
             if chem_hit and data_hit:
@@ -190,14 +311,16 @@ class ModelRegistry:
                 tiers[3].append(name)
         for tier in tiers:
             if tier:
-                return tier[0]
+                return tier[0] if channel == "stable" else f"{tier[0]}@{channel}"
         raise KeyError(
-            f"no model for chemistry={chemistry!r} dataset={dataset!r}; published: {self.names()}"
+            f"no model for chemistry={chemistry!r} dataset={dataset!r} "
+            f"channel={channel!r}; published: {self.names()}"
         )
 
     def refresh(self) -> None:
         """Rebuild the index from the checkpoints on disk."""
         self._entries.clear()
+        self._channels.clear()
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("*.npz")):
@@ -205,18 +328,57 @@ class ModelRegistry:
             if meta is None or "registry_version" not in meta:
                 continue  # plain checkpoint, not ours
             self._index(path, meta)
+        channels_path = self.root / _CHANNELS_FILE
+        if channels_path.exists():
+            raw = json.loads(channels_path.read_text(encoding="utf-8"))
+            for name, pointers in raw.items():
+                self._channels[name] = {
+                    ch: int(v) for ch, v in pointers.items() if int(v) in self.versions(name)
+                }
+        # names the channel file does not cover at all (legacy dirs, or a
+        # lost sidecar) serve their newest version; names it does cover
+        # keep exactly their recorded pointers — a canary-only entry must
+        # not become stable just because the process restarted
+        for name in self.names():
+            if name not in self._channels:
+                self._channels[name] = {"stable": max(self.versions(name))}
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, name: str) -> bool:
-        return name in self._entries
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self._parse_ref(ref)
+        except KeyError:
+            return False
+        return True
 
     # ------------------------------------------------------------------
+    def _parse_ref(self, ref: str) -> tuple[str, int]:
+        name, sep, tag = ref.partition("@")
+        if name not in {e.name for e in self._entries.values()}:
+            raise KeyError(f"no model named {name!r}; have {self.names()}")
+        if not sep:
+            tag = "stable"
+        if tag.startswith("v") and tag[1:].isdigit():
+            version = int(tag[1:])
+            if version not in self.versions(name):
+                raise KeyError(
+                    f"model {name!r} has no version {version}; have {self.versions(name)}"
+                )
+            return name, version
+        version = self._channels.get(name, {}).get(tag)
+        if version is None:
+            raise KeyError(
+                f"model {name!r} has no {tag!r} channel; have {self.channels(name)}"
+            )
+        return name, version
+
     def _index(self, path: Path, meta: dict) -> ModelEntry:
         chemistry = meta.get("chemistry")
         entry = ModelEntry(
             name=meta["name"],
+            version=int(meta.get("version", 1)),
             path=path,
             chemistry=chemistry.lower() if chemistry else None,
             dataset=meta.get("dataset"),
@@ -224,5 +386,11 @@ class ModelRegistry:
             horizon_scale_s=float(meta["horizon_scale"]),
             extra={k: v for k, v in meta.items() if k not in _RESERVED},
         )
-        self._entries[entry.name] = entry
+        self._entries[entry.ref] = entry
         return entry
+
+    def _save_channels(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / (_CHANNELS_FILE + ".tmp")
+        tmp.write_text(json.dumps(self._channels, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.root / _CHANNELS_FILE)

@@ -59,7 +59,9 @@ class Completion:
     error:
         Failure message when the engine rejected this request
         (``None`` on success).  A bad request never blocks its
-        batchmates: the scheduler retries the rest individually.
+        batchmates: requests for unregistered cells are rejected
+        before the engine call, and an engine-level failure makes the
+        scheduler retry the rest individually.
     """
 
     req_id: int
@@ -104,7 +106,8 @@ class MicroBatcher:
     Parameters
     ----------
     engine:
-        The :class:`~repro.serve.engine.FleetEngine` serving the fleet.
+        The :class:`~repro.serve.engine.FleetEngine` (or
+        :class:`~repro.serve.sharding.ShardedFleet`) serving the fleet.
     max_batch:
         Queue size that releases a batch immediately.
     max_delay_s:
@@ -198,17 +201,28 @@ class MicroBatcher:
             return
         batch, self._queues[kind] = queue, []
         now = self.clock()
-        try:
-            outcomes = [(r, float(v), None) for r, v in zip(batch, self._run(kind, batch, now))]
-        except Exception:
-            # one poisoned request must not sink the batch: retry each
-            # request alone and report failures on their own completions
-            outcomes = []
-            for r in batch:
-                try:
-                    outcomes.append((r, float(self._run(kind, [r], now)[0]), None))
-                except Exception as exc:
-                    outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
+        # pre-flight: requests for unregistered cells get their own error
+        # completions up front, so one bad cell id neither sinks its
+        # batchmates nor degrades them to per-request engine calls
+        rejected = [r for r in batch if r.cell_id not in self.engine]
+        served = [r for r in batch if r.cell_id in self.engine]
+        outcomes = [
+            (r, float("nan"), f"unknown cell {r.cell_id!r}: not registered with the engine")
+            for r in rejected
+        ]
+        if served:
+            try:
+                outcomes += [
+                    (r, float(v), None) for r, v in zip(served, self._run(kind, served, now))
+                ]
+            except Exception:
+                # one poisoned request must not sink the batch: retry each
+                # request alone and report failures on their own completions
+                for r in served:
+                    try:
+                        outcomes.append((r, float(self._run(kind, [r], now)[0]), None))
+                    except Exception as exc:
+                        outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
         for r, value, error in outcomes:
             wait = now - r.submitted_s
             self._outbox.append(

@@ -1,0 +1,325 @@
+"""Sharded fleet serving: partition cells across shard workers.
+
+One :class:`~repro.serve.engine.FleetEngine` holds every cell's state
+in a single process-wide dict — fine at thousands of cells, a
+bottleneck (and a single blast radius) at fleet scale.
+:class:`ShardedFleet` splits the fleet across ``n_shards`` workers,
+each a full engine with its own state table, behind the *same* API:
+``estimate``/``predict``/``rollout_fleet`` fan the batch out by cell
+ownership, run each shard's slice through that shard's batched
+forwards, and gather results back into request order.
+
+Placement is **rendezvous (highest-random-weight) hashing** on the
+cell id (:func:`shard_for`): every cell's owner is a pure function of
+``(cell_id, n_shards)``, so no routing table needs to be stored or
+replicated, and :meth:`ShardedFleet.rebalance` to a different shard
+count moves only the cells whose winner changed (~``1/n`` of the
+fleet when growing by one shard) — never a full reshuffle, and the
+moved cells carry their :class:`~repro.serve.engine.CellState` with
+them.
+
+Because the engine's forwards are row-independent, a shard serving a
+subset of a batch computes the same per-row numbers the single engine
+would have — typically bit-for-bit, and always far inside the fleet's
+1e-9 equivalence budget (re-partitioned batches can shift BLAS
+rounding at the ~1e-17 level), which the test suite asserts against
+the single-engine path.  The shards here run in-process (the engine's per-step work
+is a handful of tiny matmuls — process fan-out pays more in pickling
+than it buys in parallelism at this model size); the topology,
+interface and journal protocol are what a multiprocess or
+multi-machine deployment would keep.
+
+A shared :class:`~repro.serve.persistence.StateJournal` makes the
+whole sharded fleet durable: shards append cell/window records to the
+one journal (a fleet rollout is bracketed once via
+``journal.rollout_scope``), and :meth:`ShardedFleet.restore` re-places
+every journaled cell by hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.model import TwoBranchSoCNet
+from ..core.rollout import RolloutResult
+from ..datasets.base import CycleRecord
+from .engine import CellState, FleetEngine
+from .persistence import StateJournal
+from .registry import ModelRegistry
+
+__all__ = ["ShardedFleet", "shard_for"]
+
+
+def shard_for(cell_id: str, n_shards: int) -> int:
+    """Rendezvous-hash owner shard of a cell.
+
+    Each shard "bids" ``blake2b(cell_id # shard)``; the highest bid
+    wins.  Changing ``n_shards`` only re-homes cells whose winning
+    shard appears or disappears — the stable-rebalancing property.
+    (CRC-style checksums are unusable here: they are affine, so the
+    bids of equal-length cell ids differ by a constant XOR and whole
+    id families collapse onto the same shard.)
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if n_shards == 1:
+        return 0
+    best, best_weight = 0, -1
+    for shard in range(n_shards):
+        digest = hashlib.blake2b(f"{cell_id}#{shard}".encode(), digest_size=8).digest()
+        weight = int.from_bytes(digest, "big")
+        if weight > best_weight:
+            best, best_weight = shard, weight
+    return best
+
+
+class ShardedFleet:
+    """Fleet engine sharded by cell id, behind the single-engine API.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard workers (each a :class:`FleetEngine`).
+    default_model, registry:
+        Passed to every shard engine (shards share the registry's
+        model cache, so a checkpoint is materialized once).
+    journal:
+        Optional shared :class:`StateJournal` for the whole fleet.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        default_model: TwoBranchSoCNet | None = None,
+        registry: ModelRegistry | None = None,
+        journal: StateJournal | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self._default_model = default_model
+        self.registry = registry
+        self.journal = journal
+        self._shards = [
+            FleetEngine(default_model=default_model, registry=registry, journal=journal)
+            for _ in range(n_shards)
+        ]
+
+    @classmethod
+    def restore(
+        cls,
+        journal: StateJournal,
+        n_shards: int,
+        default_model: TwoBranchSoCNet | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> ShardedFleet:
+        """Rebuild a sharded fleet from a journal after a restart.
+
+        Ownership is recomputed from the cell ids, so the journal needs
+        no shard map — restoring at a *different* ``n_shards`` than the
+        crashed process ran is valid and simply re-places the cells.
+        (Resuming a rollout at the same shard count is bit-for-bit
+        exact; a different count re-partitions the batches, which can
+        shift trajectories by BLAS rounding ~1e-17.)
+        """
+        fleet = cls(n_shards, default_model=default_model, registry=registry, journal=journal)
+        for state in journal.snapshot().cells.values():
+            shard = shard_for(state.cell_id, n_shards)
+            fleet._shards[shard]._adopt_state(dataclasses.replace(state))
+        return fleet
+
+    # -- topology ------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Current number of shard workers."""
+        return len(self._shards)
+
+    def shard_of(self, cell_id: str) -> int:
+        """Owner shard index of a cell id (registered or not)."""
+        return shard_for(cell_id, self.n_shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Registered-cell count per shard."""
+        return [len(shard) for shard in self._shards]
+
+    def rebalance(self, n_shards: int) -> int:
+        """Re-shard to a new worker count; returns cells moved.
+
+        Rendezvous placement keeps every cell whose winning shard
+        survives exactly where it is; only cells on removed shards (or
+        won by newly added ones) migrate, and they keep their live
+        state — no SoC is lost to a topology change.
+        """
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        old = self._shards
+        self._shards = old[:n_shards] + [
+            FleetEngine(default_model=self._default_model, registry=self.registry, journal=self.journal)
+            for _ in range(n_shards - len(old))
+        ]
+        moved = 0
+        for source, shard in enumerate(old):
+            for state in list(shard.cells()):
+                target = shard_for(state.cell_id, n_shards)
+                if target != source:
+                    shard._evict_state(state.cell_id)
+                    self._shards[target]._adopt_state(state)
+                    moved += 1
+        return moved
+
+    # -- fleet membership ----------------------------------------------
+    def register_cell(
+        self,
+        cell_id: str,
+        chemistry: str | None = None,
+        model_name: str | None = None,
+    ) -> CellState:
+        """Add (or re-route) a cell on its owner shard."""
+        return self._shards[self.shard_of(cell_id)].register_cell(
+            cell_id, chemistry=chemistry, model_name=model_name
+        )
+
+    def deregister_cell(self, cell_id: str) -> CellState:
+        """Remove a cell from its owner shard; returns its final state."""
+        return self._owner(cell_id).deregister_cell(cell_id)
+
+    def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
+        """Re-resolve a cell's serving model in place (state preserved)."""
+        return self._owner(cell_id).reroute_cell(cell_id, model_name=model_name)
+
+    def cell(self, cell_id: str) -> CellState:
+        """State record for one registered cell (KeyError when unknown)."""
+        return self._owner(cell_id).cell(cell_id)
+
+    def cells(self) -> Iterable[CellState]:
+        """Iterate all cells' state records, shard by shard."""
+        for shard in self._shards:
+            yield from shard.cells()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._shards[self.shard_of(cell_id)]
+
+    # -- batched inference ---------------------------------------------
+    def estimate(
+        self,
+        cell_ids: Sequence[str],
+        voltage,
+        current,
+        temp_c,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 1 across shards (see :meth:`FleetEngine.estimate`)."""
+        v = np.broadcast_to(np.asarray(voltage, dtype=np.float64), (len(cell_ids),))
+        i = np.broadcast_to(np.asarray(current, dtype=np.float64), (len(cell_ids),))
+        t = np.broadcast_to(np.asarray(temp_c, dtype=np.float64), (len(cell_ids),))
+        out = np.empty(len(cell_ids))
+        for shard, idx in self._partition(cell_ids).items():
+            sub_ids = [cell_ids[k] for k in idx]
+            out[idx] = self._shards[shard].estimate(sub_ids, v[idx], i[idx], t[idx], now_s=now_s)
+        return out
+
+    def predict(
+        self,
+        cell_ids: Sequence[str],
+        current_avg,
+        temp_avg_c,
+        horizon_s,
+        soc_now=None,
+        commit: bool = False,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 2 across shards (see :meth:`FleetEngine.predict`)."""
+        i_avg = np.broadcast_to(np.asarray(current_avg, dtype=np.float64), (len(cell_ids),))
+        t_avg = np.broadcast_to(np.asarray(temp_avg_c, dtype=np.float64), (len(cell_ids),))
+        horizon = np.broadcast_to(np.asarray(horizon_s, dtype=np.float64), (len(cell_ids),))
+        soc = None
+        if soc_now is not None:
+            soc = np.broadcast_to(np.asarray(soc_now, dtype=np.float64), (len(cell_ids),))
+        out = np.empty(len(cell_ids))
+        for shard, idx in self._partition(cell_ids).items():
+            sub_ids = [cell_ids[k] for k in idx]
+            out[idx] = self._shards[shard].predict(
+                sub_ids,
+                i_avg[idx],
+                t_avg[idx],
+                horizon[idx],
+                soc_now=None if soc is None else soc[idx],
+                commit=commit,
+                now_s=now_s,
+            )
+        return out
+
+    # -- batched rollout ------------------------------------------------
+    def rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Fan a fleet rollout out to the shards and gather the results.
+
+        Each shard rolls its slice in lock-step batches (see
+        :meth:`FleetEngine.rollout_fleet`); one journal rollout marker
+        brackets the whole fleet, so restore/resume sees a single
+        rollout regardless of shard count.
+        """
+        pairs = list(assignments)
+        if self.journal is not None:
+            with self.journal.rollout_scope(step_s):
+                return self._fan_rollout(pairs, step_s, step_hook, resume=False)
+        return self._fan_rollout(pairs, step_s, step_hook, resume=False)
+
+    def resume_rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Finish an interrupted fleet rollout from the shared journal.
+
+        Shards replay their own cells' journaled windows and compute
+        only the remainder (see
+        :meth:`FleetEngine.resume_rollout_fleet`); the shard count may
+        differ from the run that crashed.
+        """
+        if self.journal is None:
+            raise ValueError("resume requires a fleet with a journal attached")
+        return self._fan_rollout(list(assignments), step_s, step_hook, resume=True)
+
+    # ------------------------------------------------------------------
+    def _fan_rollout(
+        self,
+        pairs: list[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None,
+        resume: bool,
+    ) -> dict[str, RolloutResult]:
+        by_shard: dict[int, list[tuple[str, CycleRecord]]] = {}
+        for cell_id, cycle in pairs:
+            by_shard.setdefault(self.shard_of(cell_id), []).append((cell_id, cycle))
+        results: dict[str, RolloutResult] = {}
+        for shard, shard_pairs in sorted(by_shard.items()):
+            engine = self._shards[shard]
+            if resume:
+                results.update(engine.resume_rollout_fleet(shard_pairs, step_s, step_hook=step_hook))
+            else:
+                results.update(engine.rollout_fleet(shard_pairs, step_s, step_hook=step_hook))
+        return {cell_id: results[cell_id] for cell_id, _ in pairs}
+
+    def _owner(self, cell_id: str) -> FleetEngine:
+        shard = self._shards[self.shard_of(cell_id)]
+        if cell_id not in shard:
+            raise KeyError(f"unknown cell {cell_id!r}; {len(self)} cells registered")
+        return shard
+
+    def _partition(self, cell_ids: Sequence[str]) -> dict[int, np.ndarray]:
+        groups: dict[int, list[int]] = {}
+        for k, cid in enumerate(cell_ids):
+            groups.setdefault(self.shard_of(cid), []).append(k)
+        return {shard: np.asarray(idx) for shard, idx in groups.items()}

@@ -116,7 +116,51 @@ class TestServeSim:
         assert code == 0
         out = capsys.readouterr().out
         assert "serving via registry" in out
-        assert (tmp_path / "reg" / "sandia-serve.npz").exists()
+        assert (tmp_path / "reg" / "sandia-serve@v1.npz").exists()
+
+    def test_sharded_and_journaled(self, checkpoint, capsys, tmp_path):
+        journal = tmp_path / "fleet.journal"
+        code = main([
+            "serve-sim", checkpoint, "--cells", "8", "--fast", "--step", "120",
+            "--shards", "4", "--journal", str(journal),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards: 4" in out
+        assert "journal:" in out
+        assert journal.exists()
+        from repro.serve import StateJournal
+
+        assert len(StateJournal(journal).snapshot().cells) == 8
+
+
+class TestRegistryCommand:
+    @pytest.fixture()
+    def registry_dir(self, checkpoint, tmp_path):
+        from repro.core import ModelConfig, TwoBranchSoCNet
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "reg")
+        model = TwoBranchSoCNet(ModelConfig(), rng=np.random.default_rng(0))
+        registry.publish("prod", model, chemistry="nmc")
+        registry.publish("prod", model, channel="canary")
+        return str(tmp_path / "reg")
+
+    def test_list_shows_versions_and_channels(self, registry_dir, capsys):
+        assert main(["registry", "list", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "prod@v1" in out and "prod@v2" in out
+        assert "stable" in out and "canary" in out
+
+    def test_promote_then_rollback_errors(self, registry_dir, capsys):
+        assert main(["registry", "promote", registry_dir, "prod"]) == 0
+        assert "promoted prod@v2" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="no canary"):
+            main(["registry", "rollback", registry_dir, "prod"])
+
+    def test_empty_registry_listing(self, tmp_path, capsys):
+        assert main(["registry", "list", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
 
 
 class TestLoadValidation:

@@ -60,6 +60,32 @@ class TestRolloutCycle:
         result = rollout_cycle(lambda s, i, t, h: s, cycle, step_s=120.0, initial_soc=0.7)
         np.testing.assert_allclose(result.soc_true, cycle.data.soc[: len(result)])
 
+    def test_step_hook_streams_every_window(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        seen = []
+        result = rollout_cycle(
+            lambda s, i, t, h: s - 0.01,
+            cycle,
+            step_s=120.0,
+            initial_soc=0.7,
+            step_hook=lambda w, soc: seen.append((w, soc)),
+        )
+        assert [w for w, _ in seen] == list(range(len(result)))
+        np.testing.assert_allclose([soc for _, soc in seen], result.soc_pred)
+
+    def test_step_hook_abort_leaves_partial_state_streamed(self, small_sandia):
+        cycle = small_sandia.test()[0]
+        seen = []
+
+        def hook(w, soc):
+            seen.append(w)
+            if w >= 2:
+                raise RuntimeError("crash")
+
+        with pytest.raises(RuntimeError, match="crash"):
+            rollout_cycle(lambda s, i, t, h: s, cycle, step_s=120.0, initial_soc=0.5, step_hook=hook)
+        assert seen == [0, 1, 2]
+
     def test_step_below_sampling_raises(self, small_sandia):
         cycle = small_sandia.test()[0]
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import CycleRecord, CycleSet, LGConfig, SandiaConfig
+from repro.datasets import CycleRecord, LGConfig, SandiaConfig
 from tests.conftest import SMALL_LG, SMALL_SANDIA
 
 

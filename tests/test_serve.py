@@ -337,6 +337,37 @@ class TestMicroBatcher:
         assert batcher.stats.errors == 1
         assert batcher.pending == 0
 
+    def test_unregistered_cell_gets_error_completion(self, engine, model):
+        """A request for a cell the engine does not know must surface as
+        an ok=False completion — never be silently dropped — and must
+        not poison its batchmates' single batched engine call."""
+        clock = FakeClock()
+        batcher = MicroBatcher(engine, max_batch=3, max_delay_s=10.0, clock=clock)
+        batcher.submit_estimate("ghost", 3.7, 1.0, 25.0)
+        batcher.submit_estimate("c0", 3.5, 1.0, 25.0)
+        batcher.submit_estimate("c1", 3.6, 1.0, 25.0)
+        done = {c.cell_id: c for c in batcher.drain()}
+        assert set(done) == {"ghost", "c0", "c1"}  # nothing dropped
+        assert not done["ghost"].ok
+        assert "unknown cell 'ghost'" in done["ghost"].error
+        assert np.isnan(done["ghost"].value)
+        for cid, volts in (("c0", 3.5), ("c1", 3.6)):
+            assert done[cid].ok
+            expected = float(model.estimate_soc(volts, 1.0, 25.0)[0])
+            assert done[cid].value == pytest.approx(expected, abs=1e-12)
+            assert engine.cell(cid).n_requests == 1  # served once, not retried
+        assert batcher.stats.errors == 1
+        assert batcher.pending == 0
+
+    def test_unregistered_cell_error_on_deadline_poll(self, engine):
+        clock = FakeClock()
+        batcher = MicroBatcher(engine, max_batch=100, max_delay_s=0.5, clock=clock)
+        batcher.submit_predict("ghost", 2.0, 25.0, 120.0)
+        clock.advance(1.0)
+        done = batcher.poll()
+        assert len(done) == 1
+        assert not done[0].ok and "unknown cell" in done[0].error
+
     def test_rejects_bad_config(self, engine):
         with pytest.raises(ValueError):
             MicroBatcher(engine, max_batch=0)

@@ -1,0 +1,277 @@
+"""Tests for registry versioning/channels and canary rollout
+(:mod:`repro.serve.registry`, :mod:`repro.serve.canary`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.nn.serialization import save_state
+from repro.serve import (
+    CanaryController,
+    FleetEngine,
+    ModelRegistry,
+    ShardedFleet,
+    generate_fleet,
+    in_canary_slice,
+)
+
+
+@pytest.fixture()
+def models():
+    rng = np.random.default_rng(7)
+    return TwoBranchSoCNet(rng=rng), TwoBranchSoCNet(rng=rng)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        30, seed=5, ambient_temps_c=(25.0,), c_rates=(1.0, 2.0),
+        protocols=("discharge",), max_time_s=1800.0,
+    )
+
+
+# ----------------------------------------------------------------------
+class TestRegistryVersioning:
+    def test_publish_increments_versions(self, models, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        e1 = registry.publish("m", m1)
+        e2 = registry.publish("m", m2)
+        assert (e1.version, e2.version) == (1, 2)
+        assert e1.ref == "m@v1" and e2.ref == "m@v2"
+        assert registry.versions("m") == [1, 2]
+        assert registry.names() == ["m"]
+        assert registry.channels("m") == {"stable": 2}
+        assert (tmp_path / "m@v1.npz").exists() and (tmp_path / "m@v2.npz").exists()
+
+    def test_old_versions_stay_loadable(self, models, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", m1)
+        registry.publish("m", m2)
+        v1 = registry.load("m@v1").estimate_soc(3.7, 1.0, 25.0)
+        np.testing.assert_allclose(v1, m1.estimate_soc(3.7, 1.0, 25.0))
+        stable = registry.load("m").estimate_soc(3.7, 1.0, 25.0)
+        np.testing.assert_allclose(stable, m2.estimate_soc(3.7, 1.0, 25.0))
+
+    def test_canary_channel_does_not_touch_stable(self, models, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", m1)
+        registry.publish("m", m2, channel="canary")
+        assert registry.channels("m") == {"stable": 1, "canary": 2}
+        np.testing.assert_allclose(
+            registry.load("m").estimate_soc(3.7, 1.0, 25.0),
+            m1.estimate_soc(3.7, 1.0, 25.0),
+        )
+        np.testing.assert_allclose(
+            registry.load("m@canary").estimate_soc(3.7, 1.0, 25.0),
+            m2.estimate_soc(3.7, 1.0, 25.0),
+        )
+
+    def test_promote_and_rollback(self, models, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", m1)
+        registry.publish("m", m2, channel="canary")
+        assert registry.promote("m") == 2
+        assert registry.channels("m") == {"stable": 2}
+        with pytest.raises(KeyError, match="no canary"):
+            registry.promote("m")
+        registry.set_channel("m", "canary", 1)
+        assert registry.rollback("m") == 2
+        assert registry.channels("m") == {"stable": 2}
+        with pytest.raises(KeyError, match="no canary"):
+            registry.rollback("m")
+
+    def test_rollback_of_canary_only_name_is_non_destructive(self, models, tmp_path):
+        """A name staged straight to the canary channel has no stable to
+        fall back to: rollback must refuse up front, keeping the canary
+        pointer intact (promote is the way out)."""
+        m1, _ = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("staged", m1, channel="canary")
+        with pytest.raises(KeyError, match="promote instead"):
+            registry.rollback("staged")
+        assert registry.channels("staged") == {"canary": 1}  # nothing lost
+        # a restart must not silently promote the canary-only name
+        assert ModelRegistry(tmp_path).channels("staged") == {"canary": 1}
+        assert registry.promote("staged") == 1
+        assert registry.channels("staged") == {"stable": 1}
+
+    def test_channels_survive_reopen(self, models, tmp_path):
+        m1, m2 = models
+        first = ModelRegistry(tmp_path)
+        first.publish("m", m1)
+        first.publish("m", m2, channel="canary")
+        second = ModelRegistry(tmp_path)
+        assert second.channels("m") == {"stable": 1, "canary": 2}
+        assert second.versions("m") == [1, 2]
+
+    def test_legacy_unversioned_checkpoint_indexed_as_v1(self, models, tmp_path):
+        m1, _ = models
+        # the v1 schema wrote "<name>.npz" with no version field
+        meta = {
+            "registry_version": 1,
+            "name": "old",
+            "chemistry": "nca",
+            "dataset": None,
+            "hidden": list(m1.config.hidden),
+            "horizon_scale": m1.config.horizon_scale_s,
+        }
+        save_state(m1.state_dict(), tmp_path / "old.npz", meta=meta)
+        registry = ModelRegistry(tmp_path)
+        entry = registry.describe("old")
+        assert entry.version == 1
+        assert registry.channels("old") == {"stable": 1}
+        registry.publish("old", m1, chemistry="nca")
+        assert registry.versions("old") == [1, 2]
+        assert registry.channels("old")["stable"] == 2
+
+    def test_bad_refs_raise(self, models, tmp_path):
+        m1, _ = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", m1)
+        with pytest.raises(KeyError):
+            registry.describe("m@v9")
+        with pytest.raises(KeyError):
+            registry.describe("m@canary")
+        with pytest.raises(KeyError):
+            registry.describe("ghost")
+        assert "m" in registry and "m@v1" in registry
+        assert "m@v9" not in registry and "ghost" not in registry
+
+    def test_at_sign_rejected_in_names(self, models, tmp_path):
+        m1, _ = models
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ValueError):
+            registry.publish("bad@name", m1)
+        with pytest.raises(ValueError):
+            registry.publish("m", m1, channel="not a channel")
+
+    def test_resolve_channel(self, models, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("gen", m1)
+        assert registry.resolve() == "gen"
+        with pytest.raises(KeyError):
+            registry.resolve(channel="canary")
+        registry.publish("gen", m2, channel="canary")
+        assert registry.resolve(channel="canary") == "gen@canary"
+
+
+# ----------------------------------------------------------------------
+class TestCanarySlice:
+    def test_deterministic_and_fractional(self):
+        ids = [f"cell-{k:05d}" for k in range(4000)]
+        hits = [cid for cid in ids if in_canary_slice(cid, 0.2)]
+        assert hits == [cid for cid in ids if in_canary_slice(cid, 0.2)]
+        assert 0.12 < len(hits) / len(ids) < 0.28
+        assert not any(in_canary_slice(cid, 0.0) for cid in ids[:50])
+        assert all(in_canary_slice(cid, 1.0) for cid in ids[:50])
+
+    def test_salt_draws_independent_slices(self):
+        ids = [f"cell-{k:05d}" for k in range(2000)]
+        a = {cid for cid in ids if in_canary_slice(cid, 0.3, salt="a")}
+        b = {cid for cid in ids if in_canary_slice(cid, 0.3, salt="b")}
+        assert a != b
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            in_canary_slice("a", 1.5)
+
+
+# ----------------------------------------------------------------------
+class TestCanaryController:
+    @pytest.fixture()
+    def setup(self, models, fleet, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("prod", m1)
+        engine = FleetEngine(registry=registry)
+        engine.rollout_fleet(fleet.assignments(), step_s=120.0)
+        controller = CanaryController(engine, registry, "prod", fraction=0.4,
+                                      max_divergence=1e9)
+        return m1, m2, registry, engine, controller
+
+    def test_start_pins_the_hash_slice(self, setup, fleet):
+        _, m2, registry, engine, controller = setup
+        version = controller.start(candidate=m2)
+        assert version == 2
+        assert registry.channels("prod") == {"stable": 1, "canary": 2}
+        pinned = set(controller.canary_cells())
+        assert pinned  # the 40% slice of a 30-cell fleet is non-empty
+        for state in engine.cells():
+            if state.cell_id in pinned:
+                assert state.model_key == "prod@v2"
+                assert in_canary_slice(state.cell_id, 0.4)
+            else:
+                assert state.model_key == "prod"
+                assert not in_canary_slice(state.cell_id, 0.4)
+
+    def test_canary_slice_serves_candidate_weights(self, setup, fleet):
+        m1, m2, _, engine, controller = setup
+        controller.start(candidate=m2)
+        pinned = set(controller.canary_cells())
+        cid_canary = next(iter(pinned))
+        cid_stable = next(s.cell_id for s in engine.cells() if s.cell_id not in pinned)
+        got_canary = engine.estimate([cid_canary], 3.7, 1.0, 25.0)
+        got_stable = engine.estimate([cid_stable], 3.7, 1.0, 25.0)
+        np.testing.assert_allclose(got_canary, m2.estimate_soc(3.7, 1.0, 25.0), atol=1e-9)
+        np.testing.assert_allclose(got_stable, m1.estimate_soc(3.7, 1.0, 25.0), atol=1e-9)
+
+    def test_evaluate_reports_divergence(self, setup, fleet):
+        _, m2, _, _, controller = setup
+        controller.start(candidate=m2)
+        report = controller.evaluate(fleet.assignments(), step_s=120.0)
+        assert report.n_cells == len(controller.canary_cells())
+        assert report.n_points > report.n_cells
+        assert 0.0 <= report.mean_abs_divergence <= report.max_abs_divergence
+        assert report.passed  # budget was set huge
+        assert "PASS" in report.summary()
+
+    def test_promote_flips_stable_and_unpins(self, setup, fleet):
+        _, m2, registry, engine, controller = setup
+        controller.start(candidate=m2)
+        assert controller.promote() == 2
+        assert registry.channels("prod") == {"stable": 2}
+        assert not controller.active
+        assert all(s.model_key == "prod" for s in engine.cells())
+        # the whole fleet now serves the promoted weights
+        out = engine.estimate([next(engine.cells()).cell_id], 3.7, 1.0, 25.0)
+        np.testing.assert_allclose(out, m2.estimate_soc(3.7, 1.0, 25.0), atol=1e-9)
+
+    def test_rollback_keeps_stable_and_unpins(self, setup, fleet):
+        m1, m2, registry, engine, controller = setup
+        controller.start(candidate=m2)
+        assert controller.rollback() == 1
+        assert registry.channels("prod") == {"stable": 1}
+        assert all(s.model_key == "prod" for s in engine.cells())
+        out = engine.estimate([next(engine.cells()).cell_id], 3.7, 1.0, 25.0)
+        np.testing.assert_allclose(out, m1.estimate_soc(3.7, 1.0, 25.0), atol=1e-9)
+
+    def test_lifecycle_guards(self, setup, fleet):
+        _, m2, _, _, controller = setup
+        with pytest.raises(ValueError, match="no active canary"):
+            controller.promote()
+        with pytest.raises(ValueError, match="exactly one"):
+            controller.start()
+        controller.start(candidate=m2)
+        with pytest.raises(ValueError, match="already active"):
+            controller.start(candidate=m2)
+
+    def test_works_through_sharded_fleet(self, models, fleet, tmp_path):
+        m1, m2 = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("prod", m1)
+        sharded = ShardedFleet(4, registry=registry)
+        sharded.rollout_fleet(fleet.assignments(), step_s=120.0)
+        controller = CanaryController(sharded, registry, "prod", fraction=0.4,
+                                      max_divergence=1e9)
+        controller.start(candidate=m2)
+        pinned = set(controller.canary_cells())
+        assert pinned
+        report = controller.evaluate(fleet.assignments(), step_s=120.0)
+        assert report.n_cells == len(pinned)
+        controller.promote()
+        assert all(s.model_key == "prod" for s in sharded.cells())

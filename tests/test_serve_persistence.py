@@ -1,0 +1,286 @@
+"""Tests for durable serving state (:mod:`repro.serve.persistence`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.serve import FleetEngine, ShardedFleet, StateJournal, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        10, seed=3, ambient_temps_c=(10.0, 25.0), c_rates=(1.0,), max_time_s=1800.0
+    )
+
+
+class Crash(RuntimeError):
+    """Injected mid-rollout failure."""
+
+
+# ----------------------------------------------------------------------
+class TestStateJournal:
+    def test_roundtrip_across_reopen(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with StateJournal(path) as journal:
+            engine = FleetEngine(default_model=model, journal=journal)
+            engine.register_cell("a", chemistry="nmc")
+            engine.register_cell("b")
+            engine.estimate(["a", "b"], [3.7, 3.8], 1.0, 25.0, now_s=42.0)
+        snap = StateJournal(path).snapshot()
+        assert set(snap.cells) == {"a", "b"}
+        assert snap.cells["a"].chemistry == "nmc"
+        assert snap.cells["a"].n_requests == 1
+        assert snap.cells["a"].last_seen_s == 42.0
+        assert snap.cells["a"].soc is not None
+
+    def test_restore_rebuilds_engine_state(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        engine.estimate(["a"], 3.7, 1.0, 25.0)
+        want = engine.cell("a").soc
+        journal.close()
+        restored = FleetEngine.restore(StateJournal(path), default_model=model)
+        assert len(restored) == 1
+        assert restored.cell("a").soc == want  # exact: JSON floats round-trip
+        assert restored.cell("a").n_requests == 1
+
+    def test_drop_cell_survives_replay(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        engine.register_cell("b")
+        engine.deregister_cell("a")
+        journal.close()
+        snap = StateJournal(path).snapshot()
+        assert set(snap.cells) == {"b"}
+
+    def test_torn_final_line_tolerated(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        engine.register_cell("b")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "cell", "id": "c", "chem"')  # crash mid-write
+        snap = StateJournal(path).snapshot()
+        assert set(snap.cells) == {"a", "b"}
+
+    def test_torn_tail_truncated_before_new_appends(self, model, tmp_path):
+        """Reopening a torn journal must drop the fragment, not glue new
+        records onto it (which would silently lose them on the next
+        replay — or corrupt the whole file)."""
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "cell", "id": "b", "chem"')  # crash mid-write
+        reopened = StateJournal(path)
+        restored = FleetEngine.restore(reopened, default_model=model)
+        restored.register_cell("c")
+        restored.register_cell("d")
+        reopened.close()
+        snap = StateJournal(path).snapshot()  # replays clean every time
+        assert set(snap.cells) == {"a", "c", "d"}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"op": "cell", "id": "a", "chem": None, "key": "__default__",
+                                 "soc": 0.5, "seen": None, "n": 1}) + "\n")
+        with pytest.raises(ValueError, match="corrupt journal"):
+            StateJournal(path)
+
+    def test_unknown_op_raises(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        path.write_text(json.dumps({"op": "???"}) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown op"):
+            StateJournal(path)
+
+    def test_compaction_shrinks_and_preserves_state(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        for _ in range(200):  # 200 appended cell records for one live cell
+            engine.estimate(["a"], 3.7, 1.0, 25.0)
+        want = engine.cell("a").soc
+        before = journal.size_bytes()
+        journal.compact()
+        after = journal.size_bytes()
+        assert after < before / 10
+        journal.close()
+        snap = StateJournal(path).snapshot()
+        assert snap.cells["a"].soc == want
+        assert snap.cells["a"].n_requests == 200
+
+    def test_auto_compaction_bounds_file_size(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path, compact_every=50)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.register_cell("a")
+        for _ in range(500):
+            engine.estimate(["a"], 3.7, 1.0, 25.0)
+        # one live cell: the file can never grow past ~compact_every records
+        assert journal.size_bytes() < 50 * 120
+        assert len(journal) == 1
+        journal.close()
+
+    def test_rejects_bad_config(self, tmp_path):
+        with pytest.raises(ValueError):
+            StateJournal(tmp_path / "j", compact_every=-1)
+
+
+# ----------------------------------------------------------------------
+class TestCrashRestore:
+    """The acceptance property: kill an engine mid-rollout, restore from
+    the journal, and the resumed trajectory equals an uninterrupted run."""
+
+    def test_single_engine_resume_is_exact(self, model, fleet, tmp_path):
+        reference = FleetEngine(default_model=model).rollout_fleet(
+            fleet.assignments(), step_s=120.0
+        )
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+
+        def bomb(window):
+            if window >= 4:
+                raise Crash
+
+        with pytest.raises(Crash):
+            engine.rollout_fleet(fleet.assignments(), step_s=120.0, step_hook=bomb)
+        journal.close()
+
+        # "new process": reopen the journal, restore, resume
+        reopened = StateJournal(path)
+        restored = FleetEngine.restore(reopened, default_model=model)
+        resumed = restored.resume_rollout_fleet(fleet.assignments(), step_s=120.0)
+        assert set(resumed) == set(reference)
+        for cid, _ in fleet.assignments():
+            np.testing.assert_array_equal(resumed[cid].soc_pred, reference[cid].soc_pred)
+            np.testing.assert_array_equal(resumed[cid].time_s, reference[cid].time_s)
+            assert restored.cell(cid).soc == float(reference[cid].soc_pred[-1])
+        reopened.close()
+
+    def test_resume_skips_journaled_windows(self, model, fleet, tmp_path):
+        """Resume replays the journaled prefix instead of recomputing it:
+        windows before the crash point trigger no model forwards."""
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+
+        def bomb(window):
+            if window >= 4:
+                raise Crash
+
+        with pytest.raises(Crash):
+            engine.rollout_fleet(fleet.assignments(), step_s=120.0, step_hook=bomb)
+        journal.close()
+
+        reopened = StateJournal(path)
+        restored = FleetEngine.restore(reopened, default_model=model)
+        windows_run = []
+        calls = {"n": 0}
+        original = model.predict_soc
+
+        def counting_predict(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        model.predict_soc = counting_predict
+        try:
+            restored.resume_rollout_fleet(
+                fleet.assignments(), step_s=120.0, step_hook=windows_run.append
+            )
+        finally:
+            model.predict_soc = original
+        max_windows = max(windows_run)
+        # forwards happen only for the windows past the crash point
+        assert calls["n"] == max_windows - 4
+        reopened.close()
+
+    def test_sharded_resume_same_topology_is_exact(self, model, fleet, tmp_path):
+        reference = ShardedFleet(4, default_model=model).rollout_fleet(
+            fleet.assignments(), step_s=120.0
+        )
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        sharded = ShardedFleet(4, default_model=model, journal=journal)
+        calls = {"n": 0}
+
+        def bomb(window):
+            calls["n"] += 1
+            if calls["n"] >= 5:  # partway through some shard's fan-out
+                raise Crash
+
+        with pytest.raises(Crash):
+            sharded.rollout_fleet(fleet.assignments(), step_s=120.0, step_hook=bomb)
+        journal.close()
+
+        reopened = StateJournal(path)
+        restored = ShardedFleet.restore(reopened, n_shards=4, default_model=model)
+        resumed = restored.resume_rollout_fleet(fleet.assignments(), step_s=120.0)
+        for cid, _ in fleet.assignments():
+            np.testing.assert_array_equal(resumed[cid].soc_pred, reference[cid].soc_pred)
+        reopened.close()
+
+    def test_sharded_restore_at_different_shard_count(self, model, fleet, tmp_path):
+        """Restoring at another shard count re-places cells by hash and
+        still matches to the fleet's 1e-9 equivalence budget."""
+        reference = FleetEngine(default_model=model).rollout_fleet(
+            fleet.assignments(), step_s=120.0
+        )
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        sharded = ShardedFleet(2, default_model=model, journal=journal)
+        calls = {"n": 0}
+
+        def bomb(window):
+            calls["n"] += 1
+            if calls["n"] >= 5:
+                raise Crash
+
+        with pytest.raises(Crash):
+            sharded.rollout_fleet(fleet.assignments(), step_s=120.0, step_hook=bomb)
+        journal.close()
+
+        reopened = StateJournal(path)
+        restored = ShardedFleet.restore(reopened, n_shards=5, default_model=model)
+        resumed = restored.resume_rollout_fleet(fleet.assignments(), step_s=120.0)
+        for cid, _ in fleet.assignments():
+            np.testing.assert_allclose(
+                resumed[cid].soc_pred, reference[cid].soc_pred, atol=1e-9, rtol=0
+            )
+        reopened.close()
+
+    def test_resume_rejects_mismatched_step(self, model, fleet, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        engine.rollout_fleet(fleet.assignments()[:2], step_s=120.0)
+        with pytest.raises(ValueError, match="cannot resume"):
+            engine.resume_rollout_fleet(fleet.assignments()[:2], step_s=60.0)
+        journal.close()
+
+    def test_resume_requires_journal(self, model, fleet):
+        engine = FleetEngine(default_model=model)
+        with pytest.raises(ValueError, match="journal"):
+            engine.resume_rollout_fleet(fleet.assignments()[:1], step_s=120.0)
+        sharded = ShardedFleet(2, default_model=model)
+        with pytest.raises(ValueError, match="journal"):
+            sharded.resume_rollout_fleet(fleet.assignments()[:1], step_s=120.0)

@@ -1,0 +1,149 @@
+"""Tests for sharded fleet serving (:mod:`repro.serve.sharding`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.serve import FleetEngine, ModelRegistry, ShardedFleet, generate_fleet, shard_for
+
+FAST_FLEET = dict(
+    ambient_temps_c=(25.0,),
+    c_rates=(1.0, 2.0),
+    protocols=("discharge",),
+    max_time_s=1800.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Fleet spanning both protocols so cycle lengths differ per cell."""
+    return generate_fleet(
+        24, seed=3, ambient_temps_c=(10.0, 25.0), c_rates=(1.0,), max_time_s=1800.0
+    )
+
+
+# ----------------------------------------------------------------------
+class TestShardFor:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 5, 16):
+            for k in range(50):
+                s = shard_for(f"cell-{k:05d}", n)
+                assert 0 <= s < n
+                assert s == shard_for(f"cell-{k:05d}", n)
+
+    def test_distribution_roughly_uniform(self):
+        counts = [0] * 8
+        for k in range(4000):
+            counts[shard_for(f"cell-{k:05d}", 8)] += 1
+        assert min(counts) > 4000 / 8 * 0.7  # no starving shard
+
+    def test_stable_rebalancing_moves_about_one_over_n(self):
+        """Growing 4 -> 5 shards should re-home ~1/5 of cells, never more
+        than a full reshuffle's worth."""
+        ids = [f"cell-{k:05d}" for k in range(4000)]
+        moved = sum(shard_for(c, 4) != shard_for(c, 5) for c in ids)
+        assert 0.12 < moved / len(ids) < 0.30
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_for("a", 0)
+
+
+# ----------------------------------------------------------------------
+class TestShardedFleet:
+    def test_rejects_bad_config(self, model):
+        with pytest.raises(ValueError):
+            ShardedFleet(0, default_model=model)
+        with pytest.raises(ValueError):
+            ShardedFleet(2)  # no model, no registry
+
+    def test_rollout_matches_single_engine(self, model, fleet):
+        """The acceptance property: >=4 shards, 1e-9 agreement with the
+        single-engine path across heterogeneous cycle lengths."""
+        single = FleetEngine(default_model=model).rollout_fleet(fleet.assignments(), step_s=120.0)
+        sharded = ShardedFleet(4, default_model=model)
+        results = sharded.rollout_fleet(fleet.assignments(), step_s=120.0)
+        assert set(results) == set(single)
+        for cid, _ in fleet.assignments():
+            np.testing.assert_allclose(
+                results[cid].soc_pred, single[cid].soc_pred, atol=1e-9, rtol=0
+            )
+            np.testing.assert_array_equal(results[cid].time_s, single[cid].time_s)
+        assert sum(sharded.shard_sizes()) == len(fleet)
+        assert sorted(results) == sorted(cid for cid, _ in fleet.assignments())
+
+    def test_cells_live_on_their_hash_shard(self, model, fleet):
+        sharded = ShardedFleet(4, default_model=model)
+        sharded.rollout_fleet(fleet.assignments(), step_s=120.0)
+        for m in fleet.members:
+            assert m.cell_id in sharded
+            assert sharded.shard_of(m.cell_id) == shard_for(m.cell_id, 4)
+            assert sharded.cell(m.cell_id).soc is not None
+        assert len(sharded) == len(fleet)
+        assert len(list(sharded.cells())) == len(fleet)
+
+    def test_estimate_and_predict_match_single_engine(self, model):
+        ids = [f"c{k}" for k in range(10)]
+        single = FleetEngine(default_model=model)
+        sharded = ShardedFleet(4, default_model=model)
+        for cid in ids:
+            single.register_cell(cid)
+            sharded.register_cell(cid)
+        v = np.linspace(3.2, 4.0, 10)
+        i = np.linspace(0.5, 3.0, 10)
+        a = single.estimate(ids, v, i, 25.0, now_s=1.0)
+        b = sharded.estimate(ids, v, i, 25.0, now_s=1.0)
+        np.testing.assert_allclose(b, a, atol=1e-9, rtol=0)
+        ap = single.predict(ids, 2.0, 25.0, 120.0, commit=True, now_s=1.0)
+        bp = sharded.predict(ids, 2.0, 25.0, 120.0, commit=True, now_s=1.0)
+        np.testing.assert_allclose(bp, ap, atol=1e-9, rtol=0)
+        for cid in ids:
+            assert sharded.cell(cid).soc == pytest.approx(single.cell(cid).soc, abs=1e-9)
+            assert sharded.cell(cid).n_requests == 2
+            assert sharded.cell(cid).last_seen_s == 1.0
+
+    def test_unknown_cell_raises(self, model):
+        sharded = ShardedFleet(3, default_model=model)
+        with pytest.raises(KeyError):
+            sharded.cell("ghost")
+        with pytest.raises(KeyError):
+            sharded.estimate(["ghost"], 3.7, 1.0, 25.0)
+
+    def test_deregister_cell(self, model):
+        sharded = ShardedFleet(3, default_model=model)
+        sharded.register_cell("a")
+        state = sharded.deregister_cell("a")
+        assert state.cell_id == "a"
+        assert "a" not in sharded
+
+    def test_rebalance_preserves_state_and_moves_minimum(self, model, fleet):
+        sharded = ShardedFleet(4, default_model=model)
+        sharded.rollout_fleet(fleet.assignments(), step_s=120.0)
+        before = {s.cell_id: (s.soc, s.n_requests) for s in sharded.cells()}
+        moved = sharded.rebalance(6)
+        assert sharded.n_shards == 6
+        assert len(sharded) == len(fleet)
+        # only cells whose rendezvous winner changed may move
+        expected_moves = sum(
+            shard_for(m.cell_id, 4) != shard_for(m.cell_id, 6) for m in fleet.members
+        )
+        assert moved == expected_moves
+        for m in fleet.members:
+            assert sharded.shard_of(m.cell_id) == shard_for(m.cell_id, 6)
+            state = sharded.cell(m.cell_id)
+            assert (state.soc, state.n_requests) == before[m.cell_id]
+
+    def test_registry_routing_through_shards(self, fleet, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        rng = np.random.default_rng(1)
+        for chem in ("nca", "nmc", "lfp"):
+            registry.publish(chem, TwoBranchSoCNet(rng=rng), chemistry=chem)
+        sharded = ShardedFleet(4, registry=registry)
+        sharded.rollout_fleet(fleet.assignments(), step_s=120.0)
+        for m in fleet.members:
+            assert sharded.cell(m.cell_id).model_key == m.chemistry
