@@ -9,7 +9,10 @@ through the autoregressive paths:
 - **batched** — :meth:`repro.serve.FleetEngine.rollout_fleet`, one
   matrix op advancing every active cell per step;
 - **sharded** (``--shards N``) — the same fleet fanned across a
-  :class:`repro.serve.ShardedFleet`.
+  :class:`repro.serve.ShardedFleet`;
+- **process** (``--workers N``) — the same fleet fanned across
+  :class:`repro.serve.ProcessShardWorker` subprocesses (real OS
+  processes behind the sharded-fleet interface).
 
 All paths must agree to 1e-9 on every trajectory (they share the
 :func:`repro.core.rollout.cycle_windows` workloads); the report is
@@ -17,8 +20,17 @@ cells/sec and cell-steps/sec for each, plus the speedup.  At the
 default fleet size of 1,000 the batched path is expected to be >=20x
 faster.
 
-``--json OUT`` writes the numbers as a machine-readable record; CI
-uploads it as the ``BENCH_fleet.json`` artifact and
+``--gateway R`` additionally measures the asyncio
+:class:`repro.serve.SocGateway`'s sustained request throughput: ``R``
+single-cell requests from ``--gateway-clients`` concurrent closed-loop
+clients, against the **direct** path (one engine call per request —
+what serving without the gateway's micro-batching costs).  The gated
+metric is their machine-calibrated ratio ``gateway_ratio``
+(``--gateway-json`` writes the record CI compares to
+``benchmarks/baselines/BENCH_gateway_baseline.json``).
+
+``--json OUT`` writes the rollout numbers as a machine-readable
+record; CI uploads it as the ``BENCH_fleet.json`` artifact and
 ``benchmarks/check_bench_regression.py`` gates it against the
 committed baseline.
 
@@ -39,7 +51,106 @@ import numpy as np
 
 from repro.core import TwoBranchSoCNet, model_rollout
 from repro.eval.reporting import format_table
-from repro.serve import FleetEngine, ShardedFleet, generate_fleet
+from repro.serve import (
+    FleetEngine,
+    ProcessShardWorker,
+    ShardedFleet,
+    SocGateway,
+    generate_fleet,
+)
+
+
+def bench_gateway(
+    model,
+    cells: int,
+    requests: int,
+    clients: int,
+    seed: int,
+    max_batch: int = 64,
+    max_delay_s: float = 0.002,
+    json_out: str | None = None,
+) -> dict:
+    """Gateway sustained req/s vs the direct one-call-per-request path."""
+    import asyncio
+
+    fleet = generate_fleet(
+        cells,
+        seed=seed,
+        ambient_temps_c=(25.0,),
+        c_rates=(1.0, 2.0),
+        protocols=("discharge",),
+        max_time_s=1800.0,
+    )
+    members = list(fleet.members)
+    engine = FleetEngine(default_model=model)
+    for m in members:
+        engine.register_cell(m.cell_id, chemistry=m.chemistry)
+
+    def readings(j: int):
+        m = members[j % len(members)]
+        data = m.cycle.data
+        idx = (j * 13) % len(m.cycle)
+        return m.cell_id, float(data.voltage[idx]), float(data.current[idx]), float(data.temp_c[idx])
+
+    # direct path: the pre-gateway behaviour, one engine call per request
+    t0 = time.perf_counter()
+    for j in range(requests):
+        cell_id, v, i, t = readings(j)
+        engine.estimate([cell_id], v, i, t)
+    direct_s = time.perf_counter() - t0
+
+    per_client = max(1, requests // clients)
+
+    async def client(gateway: SocGateway, k: int) -> int:
+        bad = 0
+        for j in range(per_client):
+            cell_id, v, i, t = readings(k * per_client + j)
+            completion = await gateway.estimate(cell_id, v, i, t)
+            bad += not completion.ok
+        return bad
+
+    async def drive() -> tuple[SocGateway, int, float]:
+        gateway = SocGateway(
+            engine, max_batch=max_batch, max_delay_s=max_delay_s, max_in_flight=4 * clients
+        )
+        async with gateway:
+            t0 = time.perf_counter()
+            bad = sum(await asyncio.gather(*(client(gateway, k) for k in range(clients))))
+            elapsed = time.perf_counter() - t0
+        return gateway, bad, elapsed
+
+    gateway, errors, gateway_s = asyncio.run(drive())
+    served = per_client * clients
+    stats = gateway.stats_dict()["estimate"]
+    record = {
+        "cells": cells,
+        "requests": requests,
+        "clients": clients,
+        "max_batch": max_batch,
+        "max_delay_s": max_delay_s,
+        "seed": seed,
+        "gateway_req_s": served / gateway_s,
+        "direct_req_s": requests / direct_s,
+        "gateway_ratio": (served / gateway_s) / (requests / direct_s),
+        "errors": errors,
+        "shed": stats["shed"],
+        "p50_ms": stats["p50_ms"],
+        "p95_ms": stats["p95_ms"],
+        "p99_ms": stats["p99_ms"],
+    }
+    print(
+        f"gateway: {served} requests from {clients} clients in {gateway_s:.3f}s "
+        f"-> {record['gateway_req_s']:,.0f} req/s "
+        f"(direct {record['direct_req_s']:,.0f} req/s, "
+        f"ratio {record['gateway_ratio']:.1f}x, errors={errors}, shed={stats['shed']}); "
+        f"p50/p95/p99 = {stats['p50_ms']:.1f}/{stats['p95_ms']:.1f}/{stats['p99_ms']:.1f} ms"
+    )
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+    return record
 
 
 def run(
@@ -49,6 +160,7 @@ def run(
     fast: bool,
     min_speedup: float,
     shards: int = 0,
+    workers: int = 0,
     json_out: str | None = None,
 ) -> int:
     """Time the rollout paths over one generated fleet; 0 on success."""
@@ -83,6 +195,18 @@ def run(
         sharded_results = sharded.rollout_fleet(assignments, step_s=step_s)
         sharded_s = time.perf_counter() - t0
 
+    process_s = None
+    process_results = None
+    if workers:
+        process_fleet = ShardedFleet(
+            workers,
+            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"shard{k}"),
+        )
+        t0 = time.perf_counter()
+        process_results = process_fleet.rollout_fleet(assignments, step_s=step_s)
+        process_s = time.perf_counter() - t0
+        process_fleet.close()
+
     worst = 0.0
     for cid, _ in assignments:
         ref, got = loop_results[cid], batched_results[cid]
@@ -93,6 +217,10 @@ def run(
         if sharded_results is not None:
             worst = max(
                 worst, float(np.max(np.abs(ref.soc_pred - sharded_results[cid].soc_pred)))
+            )
+        if process_results is not None:
+            worst = max(
+                worst, float(np.max(np.abs(ref.soc_pred - process_results[cid].soc_pred)))
             )
     if worst > 1e-9:
         print(f"FAIL: rollout paths diverge (max |diff| {worst:.3e} > 1e-9)")
@@ -108,6 +236,10 @@ def run(
         rows.append(
             [f"sharded ({shards} workers)", sharded_s, cells / sharded_s, steps_total / sharded_s]
         )
+    if process_s is not None:
+        rows.append(
+            [f"process ({workers} workers)", process_s, cells / process_s, steps_total / process_s]
+        )
     print(format_table(["path", "wall [s]", "cells/s", "cell-steps/s"], rows, float_digits=3))
     print(f"speedup: {speedup:.1f}x over {steps_total} cell-steps "
           f"(max trajectory |diff| {worst:.2e})")
@@ -119,12 +251,15 @@ def run(
             "seed": seed,
             "fast": fast,
             "shards": shards,
+            "workers": workers,
             "steps_total": steps_total,
             "loop_s": loop_s,
             "batched_s": batched_s,
             "sharded_s": sharded_s,
+            "process_s": process_s,
             "speedup": speedup,
             "sharded_speedup": None if sharded_s is None else loop_s / sharded_s,
+            "process_speedup": None if process_s is None else loop_s / process_s,
             "cells_per_s_batched": cells / batched_s,
             "cell_steps_per_s_batched": steps_total / batched_s,
             "max_traj_diff": worst,
@@ -148,9 +283,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke mode: small fleet, light simulation")
     parser.add_argument("--shards", type=int, default=0,
-                        help="also time a ShardedFleet with this many workers")
+                        help="also time a ShardedFleet with this many in-process workers")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also time a ShardedFleet over this many subprocess workers")
     parser.add_argument("--json", dest="json_out", default=None,
                         help="write the timings to this JSON file")
+    parser.add_argument("--gateway", type=int, default=0,
+                        help="also bench the async gateway with this many requests (0 = off)")
+    parser.add_argument("--gateway-clients", type=int, default=64,
+                        help="concurrent closed-loop gateway clients")
+    parser.add_argument("--gateway-cells", type=int, default=96,
+                        help="fleet size for the gateway bench")
+    parser.add_argument("--gateway-json", default=None,
+                        help="write the gateway record to this JSON file")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail below this speedup (default: 20 at full size, off with --fast)")
     args = parser.parse_args(argv)
@@ -158,13 +303,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--cells must be at least 1")
     if args.shards < 0:
         parser.error("--shards cannot be negative")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
     if args.fast and args.cells == 1000:
         args.cells = 128
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.fast else 20.0
-    return run(args.cells, args.step, args.seed, args.fast, min_speedup,
-               shards=args.shards, json_out=args.json_out)
+    rc = run(args.cells, args.step, args.seed, args.fast, min_speedup,
+             shards=args.shards, workers=args.workers, json_out=args.json_out)
+    if rc == 0 and args.gateway:
+        model = TwoBranchSoCNet(rng=np.random.default_rng(args.seed))
+        record = bench_gateway(model, args.gateway_cells, args.gateway, args.gateway_clients,
+                               args.seed, json_out=args.gateway_json)
+        if record["errors"] or record["shed"]:
+            print(f"FAIL: gateway bench saw errors={record['errors']} shed={record['shed']}")
+            rc = 1
+    return rc
 
 
 if __name__ == "__main__":

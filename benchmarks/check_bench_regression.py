@@ -1,36 +1,44 @@
-"""Gate a fleet-throughput benchmark run against a committed baseline.
+"""Gate a benchmark run against a committed baseline.
 
-Raw cells/sec is not comparable across CI runners (the fleet on a
+Raw throughput is not comparable across CI runners (the fleet on a
 loaded shared VM can be half the speed of the same code on an idle
-one), so the gated metric is the **batched-over-loop speedup**: both
-paths run on the same machine in the same process, which makes their
-ratio a machine-calibrated measure of how much the serving layer's
-batching is actually buying.  A change that slows the batched path
-down shows up as a speedup drop regardless of runner hardware.
+one), so every gated metric is a **same-machine ratio**, which makes it
+a machine-calibrated measure of what the serving layer is actually
+buying:
 
-Checks applied to the current run (``--current``, written by
-``bench_fleet_throughput.py --json``):
+- ``speedup`` (from ``bench_fleet_throughput.py --json``): the batched
+  rollout over the per-cell loop, both timed in the same process.  A
+  change that slows the batched path down shows up as a speedup drop
+  regardless of runner hardware.
+- ``gateway_ratio`` (from ``--gateway --gateway-json``): the async
+  gateway's sustained req/s over the direct one-engine-call-per-request
+  path.  A change that breaks micro-batch coalescing or bloats the
+  event loop shows up as a ratio drop.
 
-- ``speedup`` must not fall more than ``--tolerance`` (default 30%)
-  below the baseline's;
-- ``max_traj_diff`` must stay within the 1e-9 equivalence budget
-  (a throughput "optimization" that changes the numbers is a bug);
-- ``sharded_speedup`` is reported for the log but **not** gated: at
-  smoke scale the sharded path's wall time is a few milliseconds and
-  occasionally doubles under runner contention, which would make the
-  gate flaky (the whole point of the separate bench job is that a
-  flake cannot mask a real failure — a flaky gate would reintroduce
-  exactly that noise).
+Checks applied to the current run (``--current``):
 
-Raw throughput is still printed for the log, and the current record is
-uploaded as a CI artifact so a slow creep across many PRs can be
+- the configured metric must not fall more than ``--tolerance``
+  (default 30%) below the baseline's;
+- for ``speedup``: ``max_traj_diff`` must stay within the 1e-9
+  equivalence budget (a throughput "optimization" that changes the
+  numbers is a bug); ``sharded_speedup``/``process_speedup`` are
+  reported for the log but **not** gated — at smoke scale their wall
+  time is a few milliseconds and occasionally doubles under runner
+  contention, which would make the gate flaky (the whole point of the
+  separate bench job is that a flake cannot mask a real failure);
+- for ``gateway_ratio``: the run must have zero errored and zero shed
+  completions (a gateway that hits throughput by dropping work has not
+  hit throughput).
+
+Raw numbers are still printed for the log, and the current records are
+uploaded as CI artifacts so a slow creep across many PRs can be
 audited after the fact.
 
 Usage::
 
     python benchmarks/check_bench_regression.py \\
         --baseline benchmarks/baselines/BENCH_fleet_baseline.json \\
-        --current BENCH_fleet.json [--tolerance 0.30]
+        --current BENCH_fleet.json [--tolerance 0.30] [--metric speedup]
 """
 
 from __future__ import annotations
@@ -39,11 +47,18 @@ import argparse
 import json
 import sys
 
+# keys that must match between baseline and current for the comparison
+# to be apples-to-apples, per gated metric
+_CONFIG_KEYS = {
+    "speedup": ("cells", "step_s", "fast"),
+    "gateway_ratio": ("cells", "requests", "clients", "max_batch"),
+}
 
-def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+
+def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedup") -> list[str]:
     """Compare a current benchmark record to a baseline; returns failures."""
     failures: list[str] = []
-    for key in ("cells", "step_s", "fast"):
+    for key in _CONFIG_KEYS[metric]:
         if baseline.get(key) != current.get(key):
             failures.append(
                 f"config mismatch on {key!r}: baseline {baseline.get(key)!r} "
@@ -51,31 +66,43 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
             )
     if failures:
         return failures
-    if current["max_traj_diff"] > 1e-9:
+    if metric == "speedup" and current["max_traj_diff"] > 1e-9:
         failures.append(f"trajectory divergence {current['max_traj_diff']:.3e} exceeds the 1e-9 budget")
-    base, cur = baseline["speedup"], current["speedup"]
+    if metric == "gateway_ratio" and (current.get("errors") or current.get("shed")):
+        failures.append(
+            f"gateway run dropped work: errors={current.get('errors')} shed={current.get('shed')} "
+            f"(throughput with dropped completions does not count)"
+        )
+    base, cur = baseline[metric], current[metric]
     floor = base * (1.0 - tolerance)
     verdict = "ok" if cur >= floor else "REGRESSION"
     print(
-        f"speedup: baseline {base:.1f}x, current {cur:.1f}x, "
+        f"{metric}: baseline {base:.1f}x, current {cur:.1f}x, "
         f"floor {floor:.1f}x ({tolerance:.0%} tolerance) -> {verdict}"
     )
     if cur < floor:
         failures.append(
-            f"speedup regressed: {cur:.1f}x is more than {tolerance:.0%} "
+            f"{metric} regressed: {cur:.1f}x is more than {tolerance:.0%} "
             f"below the baseline {base:.1f}x"
         )
-    if baseline.get("sharded_speedup") and current.get("sharded_speedup"):
+    for extra in ("sharded_speedup", "process_speedup"):
+        if baseline.get(extra) and current.get(extra):
+            print(
+                f"{extra} (informational, not gated): "
+                f"baseline {baseline[extra]:.1f}x, current {current[extra]:.1f}x"
+            )
+    if metric == "speedup":
         print(
-            f"sharded_speedup (informational, not gated): "
-            f"baseline {baseline['sharded_speedup']:.1f}x, "
-            f"current {current['sharded_speedup']:.1f}x"
+            f"raw throughput (informational): "
+            f"{current['cell_steps_per_s_batched']:,.0f} cell-steps/s batched "
+            f"(baseline recorded {baseline['cell_steps_per_s_batched']:,.0f})"
         )
-    print(
-        f"raw throughput (informational): "
-        f"{current['cell_steps_per_s_batched']:,.0f} cell-steps/s batched "
-        f"(baseline recorded {baseline['cell_steps_per_s_batched']:,.0f})"
-    )
+    else:
+        print(
+            f"raw throughput (informational): "
+            f"{current['gateway_req_s']:,.0f} req/s through the gateway "
+            f"(baseline recorded {baseline['gateway_req_s']:,.0f})"
+        )
     return failures
 
 
@@ -84,7 +111,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--current", required=True, help="fresh benchmark JSON")
     parser.add_argument(
-        "--tolerance", type=float, default=0.30, help="allowed fractional speedup drop (default 0.30)"
+        "--metric",
+        choices=sorted(_CONFIG_KEYS),
+        default="speedup",
+        help="which machine-calibrated ratio to gate (default: speedup)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop of the gated metric (default 0.30)",
     )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
@@ -93,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(fh)
     with open(args.current, encoding="utf-8") as fh:
         current = json.load(fh)
-    failures = check(baseline, current, args.tolerance)
+    failures = check(baseline, current, args.tolerance, metric=args.metric)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

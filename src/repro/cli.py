@@ -13,9 +13,13 @@ Gives the library a deployable surface without writing Python:
 - ``repro-soc inspect``   — parameters / memory / ops of a checkpoint;
 - ``repro-soc serve-sim`` — fleet-serving simulation: roll a synthetic
   multi-chemistry fleet through the batched
-  :class:`repro.serve.FleetEngine` (optionally sharded across workers,
-  journaled to durable per-cell state, and/or routed through a model
-  registry) and report throughput and fleet-wide accuracy;
+  :class:`repro.serve.FleetEngine` (optionally sharded across
+  in-process workers or ``--workers N`` subprocesses, journaled to
+  durable per-cell state, and/or routed through a model registry) and
+  report throughput and fleet-wide accuracy; ``--async`` additionally
+  drives concurrent client traffic through the
+  :class:`repro.serve.SocGateway` and reports latency percentiles,
+  shed counts and sustained req/s (the CI soak lane);
 - ``repro-soc registry`` — inspect and manage a model registry:
   ``list`` published versions/channels, ``promote`` a canary to
   stable, ``rollback`` (abandon) a canary.
@@ -32,6 +36,8 @@ Usage examples::
     repro-soc rollout model.npz --dataset lg --cycle us06-25C --step 30
     repro-soc serve-sim model.npz --cells 512 --step 60 --compare-loop
     repro-soc serve-sim model.npz --cells 100000 --shards 8 --journal fleet.journal
+    repro-soc serve-sim --untrained --async --workers 2 --cells 96 --fast \\
+        --clients 64 --requests 8000 --soak-json soak.json --fail-on-error
     repro-soc registry list ./registry
     repro-soc registry promote ./registry sandia-serve
 """
@@ -204,17 +210,92 @@ def _cmd_rollout(args) -> int:
     return 0
 
 
+def _gateway_traffic(engine, fleet, args):
+    """Drive the async gateway: one fleet rollout, then client traffic.
+
+    Returns ``(gateway, rollout_results, rollout_s, completions,
+    traffic_s)``; every client is closed-loop (submits its next request
+    when the previous completion resolves), so concurrency equals
+    ``--clients`` and throughput is the sustained rate.
+    """
+    import asyncio
+    import time
+
+    from .serve import SocGateway
+
+    members = list(fleet.members)
+    per_client = max(1, args.requests // args.clients)
+
+    async def client(gateway, k):
+        completions = []
+        for j in range(per_client):
+            member = members[(k * 37 + j * 7) % len(members)]
+            data = member.cycle.data
+            idx = (k * 11 + j * 13) % len(member.cycle)
+            if args.predict_every and j % args.predict_every == args.predict_every - 1:
+                completion = await gateway.predict(
+                    member.cell_id, float(data.current[idx]), member.ambient_c, args.step
+                )
+            else:
+                completion = await gateway.estimate(
+                    member.cell_id,
+                    float(data.voltage[idx]),
+                    float(data.current[idx]),
+                    float(data.temp_c[idx]),
+                )
+            completions.append(completion)
+        return completions
+
+    async def drive():
+        gateway = SocGateway(
+            engine,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1000.0,
+            max_in_flight=args.max_in_flight,
+        )
+        async with gateway:
+            t0 = time.perf_counter()
+            rollout_results = await gateway.rollout(fleet.assignments(), args.step)
+            rollout_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            batches = await asyncio.gather(*(client(gateway, k) for k in range(args.clients)))
+            traffic_s = time.perf_counter() - t0
+        completions = [c for batch in batches for c in batch]
+        return gateway, rollout_results, rollout_s, completions, traffic_s
+
+    return asyncio.run(drive())
+
+
 def _cmd_serve_sim(args) -> int:
     import time
 
     from .core.rollout import model_rollout as _loop_rollout
-    from .serve import FleetEngine, ModelRegistry, ShardedFleet, StateJournal, generate_fleet
+    from .serve import (
+        FleetEngine,
+        ModelRegistry,
+        ProcessShardWorker,
+        ShardedFleet,
+        StateJournal,
+        generate_fleet,
+    )
 
     if args.cells < 1:
         raise SystemExit("--cells must be at least 1")
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
-    model, meta = _load_model(args.model)
+    if args.workers < 0:
+        raise SystemExit("--workers cannot be negative")
+    if args.workers and args.shards > 1:
+        raise SystemExit("--workers (subprocess shards) and --shards (in-process) are exclusive")
+    if args.untrained:
+        if args.model:
+            raise SystemExit("give a checkpoint or --untrained, not both")
+        model = TwoBranchSoCNet(rng=np.random.default_rng(args.seed))
+        meta = {"dataset": None}
+    else:
+        if not args.model:
+            raise SystemExit("provide a checkpoint path (or --untrained)")
+        model, meta = _load_model(args.model)
     sim_kwargs = dict(seed=args.seed)
     if args.fast:
         sim_kwargs.update(
@@ -232,8 +313,20 @@ def _cmd_serve_sim(args) -> int:
         name = f"{dataset or 'default'}-serve"
         registry.publish(name, model, dataset=dataset)
         print(f"serving via registry {args.registry} (model {name!r})")
-    journal = StateJournal(args.journal) if args.journal else None
-    if args.shards > 1:
+    journal = None
+    if args.journal and not args.workers:
+        journal = StateJournal(args.journal)
+    if args.workers:
+        def worker_factory(k):
+            return ProcessShardWorker(
+                default_model=model,
+                registry_root=args.registry or None,
+                journal_path=f"{args.journal}.shard{k}" if args.journal else None,
+                name=f"shard{k}",
+            )
+
+        engine = ShardedFleet(args.workers, worker_factory=worker_factory)
+    elif args.shards > 1:
         engine = ShardedFleet(
             args.shards, default_model=model, registry=registry, journal=journal
         )
@@ -241,14 +334,22 @@ def _cmd_serve_sim(args) -> int:
         engine = FleetEngine(default_model=model, registry=registry, journal=journal)
     assignments = fleet.assignments()
 
-    t0 = time.perf_counter()
-    results = engine.rollout_fleet(assignments, step_s=args.step)
-    elapsed = time.perf_counter() - t0
+    gateway = None
+    completions = []
+    traffic_s = 0.0
+    if args.async_:
+        gateway, results, elapsed, completions, traffic_s = _gateway_traffic(engine, fleet, args)
+    else:
+        t0 = time.perf_counter()
+        results = engine.rollout_fleet(assignments, step_s=args.step)
+        elapsed = time.perf_counter() - t0
     steps_total = sum(len(r) - 1 for r in results.values())
     trajectories = list(results.values())
     chem = ", ".join(f"{c}={n}" for c, n in sorted(fleet.chemistries().items()))
     print(f"fleet: {len(fleet)} cells ({chem}), {fleet.n_conditions()} duty cycles")
-    if args.shards > 1:
+    if args.workers:
+        print(f"workers: {args.workers} subprocesses (cells per shard: {engine.shard_sizes()})")
+    elif args.shards > 1:
         print(f"shards: {args.shards} (cells per shard: {engine.shard_sizes()})")
     print(
         f"batched rollout: {steps_total} steps in {elapsed:.3f}s "
@@ -285,8 +386,80 @@ def _cmd_serve_sim(args) -> int:
             f"per-cell loop: {loop_elapsed:.3f}s -> {len(fleet) / loop_elapsed:,.0f} cells/s; "
             f"batched speedup {loop_elapsed / elapsed:.1f}x (max traj diff {worst:.2e})"
         )
+
+    rc = 0
+    if args.async_:
+        rc = _report_gateway(gateway, engine, completions, traffic_s, args)
     if journal is not None:
         journal.close()
+    if hasattr(engine, "close"):
+        engine.close()
+    return rc
+
+
+def _report_gateway(gateway, engine, completions, traffic_s, args) -> int:
+    """Print the gateway traffic report, write soak JSON, pick exit code."""
+    import json
+
+    from .eval.reporting import format_table
+
+    stats = gateway.stats_dict()
+    n_ok = sum(stats[e]["ok"] for e in ("estimate", "predict"))
+    n_err = sum(stats[e]["errors"] for e in ("estimate", "predict", "rollout"))
+    n_shed = sum(stats[e]["shed"] for e in ("estimate", "predict", "rollout"))
+    health = engine.worker_health() if hasattr(engine, "worker_health") else []
+    dead = [k for k, up in enumerate(health) if not up]
+    rows = []
+    for endpoint in ("estimate", "predict", "rollout"):
+        ep = stats[endpoint]
+        rows.append([
+            endpoint, ep["requests"], ep["ok"], ep["errors"], ep["shed"],
+            ep["p50_ms"], ep["p95_ms"], ep["p99_ms"],
+        ])
+    print(
+        f"gateway traffic: {len(completions)} requests over {args.clients} clients "
+        f"in {traffic_s:.3f}s -> {len(completions) / max(traffic_s, 1e-9):,.0f} req/s "
+        f"(ok={n_ok} errors={n_err} shed={n_shed})"
+    )
+    print(format_table(
+        ["endpoint", "reqs", "ok", "err", "shed", "p50 ms", "p95 ms", "p99 ms"], rows
+    ))
+    bstats = gateway.batcher.stats
+    print(
+        f"micro-batching: {bstats.flushes} flushes "
+        f"(size={bstats.size_flushes} deadline={bstats.deadline_flushes} "
+        f"forced={bstats.forced_flushes}), mean batch {bstats.mean_batch_size():.1f}"
+    )
+    if health:
+        state = "all alive" if not dead else f"DEAD: {dead}"
+        print(f"workers: {len(health)} subprocess shards ({state})")
+    if args.soak_json:
+        record = {
+            "cells": args.cells,
+            "clients": args.clients,
+            "requests": len(completions),
+            "ok": n_ok,
+            "errors": n_err,
+            "shed": n_shed,
+            "traffic_s": traffic_s,
+            "req_per_s": len(completions) / max(traffic_s, 1e-9),
+            "workers": args.workers,
+            "workers_alive": health,
+            "max_batch": args.max_batch,
+            "max_delay_ms": args.max_delay_ms,
+            "max_in_flight": args.max_in_flight,
+            "endpoints": stats,
+        }
+        with open(args.soak_json, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.soak_json}")
+    if args.fail_on_error and (n_err or n_shed or dead):
+        print(
+            f"FAIL: gateway soak saw errors={n_err} shed={n_shed} dead_workers={dead} "
+            f"(--fail-on-error)"
+        )
+        return 1
     return 0
 
 
@@ -384,21 +557,48 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.set_defaults(func=_cmd_inspect)
 
     serve = sub.add_parser("serve-sim", help="batched fleet-serving simulation")
-    serve.add_argument("model")
+    serve.add_argument("model", nargs="?", default=None,
+                       help="checkpoint path (omit with --untrained)")
+    serve.add_argument("--untrained", action="store_true",
+                       help="serve a deterministic untrained model (throughput/soak runs "
+                            "need no checkpoint: forward cost is identical)")
     serve.add_argument("--cells", type=int, default=256, help="fleet size")
     serve.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--fast", action="store_true", help="scaled-down fleet simulation")
     serve.add_argument("--shards", type=int, default=1,
-                       help="partition the fleet across this many shard workers")
+                       help="partition the fleet across this many in-process shard workers")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="partition the fleet across this many subprocess shard workers "
+                            "(ProcessShardWorker; 0 = in-process)")
     serve.add_argument("--journal", default=None,
-                       help="stream per-cell state to this journal file (restorable)")
+                       help="stream per-cell state to this journal file (restorable; with "
+                            "--workers each worker journals to <path>.shardK)")
     serve.add_argument("--registry", default=None,
                        help="serve through a model registry rooted at this directory")
     serve.add_argument("--show", type=int, default=0,
                        help="print per-cell trajectories for the first N cells")
     serve.add_argument("--compare-loop", action="store_true",
                        help="also time the per-cell loop path and report the speedup")
+    serve.add_argument("--async", dest="async_", action="store_true",
+                       help="serve through the asyncio SocGateway: fleet rollout plus "
+                            "concurrent client traffic with latency stats")
+    serve.add_argument("--clients", type=int, default=64,
+                       help="concurrent closed-loop clients driving the gateway")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="total gateway requests across all clients")
+    serve.add_argument("--predict-every", type=int, default=4,
+                       help="every Nth client request is a Branch 2 what-if (0 disables)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="gateway micro-batch size trigger")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="gateway micro-batch deadline trigger (milliseconds)")
+    serve.add_argument("--max-in-flight", type=int, default=1024,
+                       help="admission limit; requests beyond it are shed with ok=False")
+    serve.add_argument("--soak-json", default=None,
+                       help="write gateway soak results (counts, latency percentiles) here")
+    serve.add_argument("--fail-on-error", action="store_true",
+                       help="exit 1 on any errored/shed completion or dead worker")
     serve.set_defaults(func=_cmd_serve_sim)
 
     registry = sub.add_parser("registry", help="inspect and manage a model registry")

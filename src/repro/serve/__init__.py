@@ -20,26 +20,40 @@ and versioned checkpoint rollout.
   then promote or roll back;
 - :mod:`repro.serve.scheduler` — :class:`MicroBatcher`: size- and
   deadline-triggered request coalescing with latency accounting;
+- :mod:`repro.serve.gateway` — :class:`SocGateway`: asyncio front-end
+  accepting estimate/predict/rollout requests concurrently, with
+  admission control, load shedding, and per-endpoint latency stats;
+- :mod:`repro.serve.workers` — :class:`ProcessShardWorker`: a shard
+  engine in a subprocess behind a length-prefixed pipe protocol, with
+  crash detection, graceful drain, and journal-based restart recovery;
 - :mod:`repro.serve.fleet_sim` — synthetic heterogeneous fleets for
   benchmarks and the ``repro-soc serve-sim`` subcommand.
 
-See ``src/repro/serve/README.md`` for the sharding topology, journal
-format, and canary lifecycle.
+See ``src/repro/serve/README.md`` for the gateway architecture,
+sharding topology, worker wire protocol, journal format, and canary
+lifecycle.
 """
 
 from .canary import CanaryController, CanaryReport, in_canary_slice
 from .engine import CellState, FleetEngine
 from .fleet_sim import FleetMember, FleetScenario, generate_fleet
+from .gateway import EndpointStats, GatewayOverloaded, SocGateway
 from .persistence import JournalSnapshot, StateJournal
 from .registry import ModelEntry, ModelRegistry
 from .scheduler import BatchStats, Completion, MicroBatcher, Request
 from .sharding import ShardedFleet, shard_for
+from .workers import ProcessShardWorker, WorkerCrashError
 
 __all__ = [
     "CellState",
     "FleetEngine",
     "ShardedFleet",
     "shard_for",
+    "SocGateway",
+    "EndpointStats",
+    "GatewayOverloaded",
+    "ProcessShardWorker",
+    "WorkerCrashError",
     "StateJournal",
     "JournalSnapshot",
     "ModelEntry",

@@ -1,0 +1,388 @@
+"""Async serving gateway: concurrent request fan-in with admission control.
+
+The paper's two-branch model is a handful of tiny matmuls per step, so
+fleet-serving cost is dominated by transport and orchestration, not the
+forward pass.  :class:`SocGateway` is the transport-side front-end that
+regime calls for: an asyncio server surface that accepts ``estimate`` /
+``predict`` / ``rollout`` requests *concurrently*, funnels the
+request/response kinds through the
+:class:`~repro.serve.scheduler.MicroBatcher` (size/deadline coalescing,
+one batched engine call per flush, a future per request), and applies
+**admission control**:
+
+- at most ``max_in_flight`` requests may be waiting on completions;
+- a request arriving beyond that is **shed** — it immediately gets an
+  ``ok=False`` :class:`~repro.serve.scheduler.Completion` whose error
+  starts with ``"shed:"`` instead of joining an unbounded queue.  A
+  full queue that keeps accepting work converts overload into
+  unbounded latency for every caller; failing fast keeps the latency
+  of admitted requests bounded and gives callers an explicit signal to
+  back off (classic load-shed policy).  Rollouts past the limit raise
+  :class:`GatewayOverloaded` (they return trajectory dicts, not
+  completions).
+
+A background *flusher* task releases deadline-expired batches, so a
+lone request is never stranded waiting for batchmates.  Heavy
+``rollout`` calls run on the thread-pool executor holding the
+batcher's lock; the event loop only ever takes that lock
+*non-blocking* — when it is free (normal traffic) submissions and
+flushes run inline at full speed, and when a rollout holds it they
+fall back to the executor, so a multi-second rollout can never freeze
+the loop: it keeps accepting and shedding throughout, and queued
+batches flush as soon as the engine frees up.
+
+Per-endpoint accounting (:meth:`SocGateway.stats_dict`) reports
+request/ok/error/shed counts, latency percentiles, and sustained
+throughput — the numbers the CI soak lane and
+``benchmarks/bench_fleet_throughput.py`` gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import time
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.rollout import RolloutResult
+from ..datasets.base import CycleRecord
+from .scheduler import Completion, MicroBatcher
+
+__all__ = ["EndpointStats", "GatewayOverloaded", "SocGateway"]
+
+_LATENCY_RESERVOIR = 262_144  # plenty for any soak; bounds gateway memory
+
+
+class GatewayOverloaded(RuntimeError):
+    """A rollout was refused because the gateway is at capacity."""
+
+
+@dataclasses.dataclass
+class EndpointStats:
+    """Latency/throughput accounting for one gateway endpoint.
+
+    Attributes
+    ----------
+    requests:
+        Requests accepted *or* shed at this endpoint.
+    completed:
+        Requests that produced a completion (ok or error).
+    errors:
+        Completions with :attr:`Completion.ok` false (engine-level
+        failures; shed requests are counted separately).
+    shed:
+        Requests refused by admission control.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    shed: int = 0
+    latencies_s: list = dataclasses.field(default_factory=list)
+
+    def observe(self, latency_s: float, ok: bool) -> None:
+        """Record one completion's end-to-end latency."""
+        self.completed += 1
+        self.errors += not ok
+        if len(self.latencies_s) < _LATENCY_RESERVOIR:
+            self.latencies_s.append(latency_s)
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile (milliseconds) across observed completions."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q)) * 1e3
+
+
+class SocGateway:
+    """Asyncio front-end over a fleet engine (or sharded fleet).
+
+    Parameters
+    ----------
+    engine:
+        Any object with the :class:`~repro.serve.engine.FleetEngine`
+        serving API — a single engine, a
+        :class:`~repro.serve.sharding.ShardedFleet` of in-process
+        shards, or one backed by
+        :class:`~repro.serve.workers.ProcessShardWorker` subprocesses.
+    max_batch, max_delay_s:
+        Micro-batching knobs, passed to the internal
+        :class:`MicroBatcher`.
+    max_in_flight:
+        Admission limit: requests concurrently awaiting completions
+        (estimates, predicts and rollouts all count).  Arrivals beyond
+        it are shed.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+
+    Use as an async context manager (``async with SocGateway(...)``) so
+    the deadline flusher runs; without it, call :meth:`pump`
+    explicitly from the serving loop.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch: int = 64,
+        max_delay_s: float = 0.010,
+        max_in_flight: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.engine = engine
+        self.batcher = MicroBatcher(engine, max_batch=max_batch, max_delay_s=max_delay_s, clock=clock)
+        self.max_in_flight = max_in_flight
+        self.clock = clock
+        self.stats: dict[str, EndpointStats] = {
+            "estimate": EndpointStats(),
+            "predict": EndpointStats(),
+            "rollout": EndpointStats(),
+        }
+        self._started_s = clock()
+        self._in_flight = 0
+        self._waiters: dict[int, asyncio.Future] = {}
+        # completions drained (by another task's executor round-trip)
+        # before their submitter registered a waiter — claimed on return
+        self._orphans: dict[int, Completion] = {}
+        # requests whose submitter was cancelled mid-enqueue; their
+        # eventual completions are dropped instead of parked forever
+        self._abandoned: set[int] = set()
+        self._flusher: asyncio.Task | None = None
+        self._next_shed_id = -1  # shed requests never reach the batcher; give them distinct ids
+
+    # -- lifecycle -----------------------------------------------------
+    async def __aenter__(self) -> SocGateway:
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def start(self) -> None:
+        """Start the background deadline flusher (idempotent)."""
+        if self._flusher is None or self._flusher.done():
+            self._flusher = asyncio.get_running_loop().create_task(self._flush_loop())
+
+    async def stop(self) -> None:
+        """Stop the flusher and force out any queued batches.
+
+        Every admitted request is completed before this returns — the
+        gateway never strands a waiter on shutdown.  (An admitted
+        request may still be crossing the executor when the first
+        flush runs, so this drains until no waiter is left.)
+        """
+        if self._flusher is not None:
+            self._flusher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._flusher
+            self._flusher = None
+        loop = asyncio.get_running_loop()
+        self._dispatch(await loop.run_in_executor(None, self.batcher.flush))
+        while self._waiters:
+            await asyncio.sleep(0)  # let submitters finish registering
+            self._dispatch(await loop.run_in_executor(None, self.batcher.flush))
+
+    async def _flush_loop(self) -> None:
+        # poll well inside the deadline so a deadline flush fires at most
+        # ~25% late; the size trigger needs no polling at all
+        interval = max(self.batcher.max_delay_s / 4.0, 0.001)
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            if self.batcher.lock.acquire(blocking=False):
+                try:
+                    completions = self.batcher.poll()
+                finally:
+                    self.batcher.lock.release()
+                self._dispatch(completions)
+            else:
+                # a rollout holds the lock; poll on the executor so the
+                # flush fires the moment the engine frees up — without
+                # blocking the event loop in the meantime.  stop() may
+                # cancel this task while the poll blocks, but the thread
+                # still drains the outbox — dispatch from a callback that
+                # runs regardless of this task's fate, so those
+                # completions cannot be lost
+                poll_future = loop.run_in_executor(None, self.batcher.poll)
+                poll_future.add_done_callback(
+                    lambda f: None if f.cancelled() or f.exception() else self._dispatch(f.result())
+                )
+                await poll_future
+
+    def pump(self) -> int:
+        """Synchronously poll the batcher and resolve due completions.
+
+        Returns the number of completions dispatched.  Only for
+        gateways running without the flusher task (deterministic
+        tests, externally-driven serving loops) — unlike the flusher
+        this blocks on the batcher lock, so never call it with a
+        rollout in flight.
+        """
+        return self._dispatch(self.batcher.poll())
+
+    # -- endpoints -----------------------------------------------------
+    async def estimate(self, cell_id: str, voltage: float, current: float, temp_c: float) -> Completion:
+        """Branch 1 estimate for one cell; resolves when its batch fires."""
+        return await self._submit(
+            "estimate",
+            cell_id,
+            lambda: self.batcher.submit_estimate(cell_id, voltage, current, temp_c),
+        )
+
+    async def predict(
+        self, cell_id: str, current_avg: float, temp_avg_c: float, horizon_s: float
+    ) -> Completion:
+        """Branch 2 what-if for one cell; resolves when its batch fires."""
+        return await self._submit(
+            "predict",
+            cell_id,
+            lambda: self.batcher.submit_predict(cell_id, current_avg, temp_avg_c, horizon_s),
+        )
+
+    async def rollout(
+        self, assignments: Iterable[tuple[str, CycleRecord]], step_s: float
+    ) -> dict[str, RolloutResult]:
+        """Fleet rollout on a worker thread; the event loop stays live.
+
+        Raises :class:`GatewayOverloaded` when shed by admission
+        control.  The engine call holds the batcher lock, so request
+        batches queue (and are shed past ``max_in_flight``) while the
+        rollout computes, then flush when the engine frees up.
+        """
+        stats = self.stats["rollout"]
+        stats.requests += 1
+        if self._in_flight >= self.max_in_flight:
+            stats.shed += 1
+            raise GatewayOverloaded(f"shed: gateway at capacity ({self.max_in_flight} requests in flight)")
+        self._in_flight += 1
+        t_start = self.clock()
+        pairs = list(assignments)
+
+        def _run() -> dict[str, RolloutResult]:
+            with self.batcher.lock:
+                return self.engine.rollout_fleet(pairs, step_s)
+
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(None, _run)
+        except Exception:
+            self._in_flight -= 1
+            stats.completed += 1
+            stats.errors += 1
+            raise
+        self._in_flight -= 1
+        stats.observe(self.clock() - t_start, ok=True)
+        return result
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted and awaiting completions."""
+        return self._in_flight
+
+    def stats_dict(self) -> dict:
+        """Per-endpoint counters, latency percentiles and throughput."""
+        elapsed = max(self.clock() - self._started_s, 1e-9)
+        report: dict = {"elapsed_s": elapsed}
+        for name, ep in self.stats.items():
+            report[name] = {
+                "requests": ep.requests,
+                "completed": ep.completed,
+                "ok": ep.completed - ep.errors,
+                "errors": ep.errors,
+                "shed": ep.shed,
+                "p50_ms": ep.percentile_ms(50),
+                "p95_ms": ep.percentile_ms(95),
+                "p99_ms": ep.percentile_ms(99),
+                "req_per_s": ep.completed / elapsed,
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    async def _submit(self, kind: str, cell_id: str, enqueue: Callable[[], int]) -> Completion:
+        stats = self.stats[kind]
+        stats.requests += 1
+        if self._in_flight >= self.max_in_flight:
+            stats.shed += 1
+            shed_id, self._next_shed_id = self._next_shed_id, self._next_shed_id - 1
+            return Completion(
+                req_id=shed_id,
+                cell_id=cell_id,
+                kind=kind,
+                value=float("nan"),
+                wait_s=0.0,
+                batch_size=0,
+                error=f"shed: gateway at capacity ({self.max_in_flight} requests in flight)",
+            )
+        self._in_flight += 1
+        t_start = self.clock()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        try:
+            # the enqueue takes the batcher lock (and a size trigger runs
+            # the engine inline).  Uncontended — the common case — that
+            # is microseconds, so do it inline; when a rollout holds the
+            # lock for seconds, fall back to the executor rather than
+            # blocking the event loop on it
+            if self.batcher.lock.acquire(blocking=False):
+                try:
+                    req_id, ready = enqueue(), self.batcher.drain()
+                finally:
+                    self.batcher.lock.release()
+            else:
+                enq_future = loop.run_in_executor(
+                    None, lambda: (enqueue(), self.batcher.drain())
+                )
+                try:
+                    # shielded: if the caller is cancelled (a client
+                    # timeout) the enqueue still lands on the executor —
+                    # mark its request abandoned so the eventual
+                    # completion is dropped, not parked forever
+                    req_id, ready = await asyncio.shield(enq_future)
+                except asyncio.CancelledError:
+                    enq_future.add_done_callback(self._abandon_enqueued)
+                    raise
+            orphan = self._orphans.pop(req_id, None)
+            if orphan is not None:
+                # another task's drain beat us to our own completion
+                future.set_result(orphan)
+            else:
+                self._waiters[req_id] = future
+            # the enqueue may have size-triggered a flush (for this
+            # request and/or earlier waiters) — resolve those now
+            self._dispatch(ready)
+            completion: Completion = await future
+        finally:
+            self._in_flight -= 1
+        stats.observe(self.clock() - t_start, ok=completion.ok)
+        return completion
+
+    def _abandon_enqueued(self, future) -> None:
+        if future.cancelled() or future.exception():
+            return
+        req_id, ready = future.result()
+        self._waiters.pop(req_id, None)
+        if self._orphans.pop(req_id, None) is None:
+            self._abandoned.add(req_id)
+        self._dispatch(ready)
+
+    def _dispatch(self, completions: list[Completion]) -> int:
+        for completion in completions:
+            if completion.req_id in self._abandoned:
+                self._abandoned.discard(completion.req_id)
+                continue
+            waiter = self._waiters.pop(completion.req_id, None)
+            if waiter is not None:
+                if not waiter.done():
+                    waiter.set_result(completion)
+            else:
+                # drained before its submitter resumed from the executor;
+                # parked until that task claims it (shed ids never enter
+                # the batcher, so every unclaimed completion belongs to a
+                # submitter still in flight or just abandoned)
+                self._orphans[completion.req_id] = completion
+        return len(completions)

@@ -12,11 +12,20 @@ Time is injected (``clock``) so schedules are exactly reproducible in
 tests and simulations; production callers pass ``time.monotonic``.
 Every completion carries its queueing latency and the size of the
 batch that served it, and :attr:`MicroBatcher.stats` aggregates both.
+
+The batcher is thread-safe: submissions, polls and flushes serialize
+on one re-entrant lock (:attr:`MicroBatcher.lock`), so concurrent
+submitters — gateway executor threads, a polling serving loop — never
+tear a queue or double-serve a request.  Holding the lock across the
+engine call also means an engine shared with out-of-band work (e.g. a
+fleet rollout on a gateway executor thread) can be serialized against
+batch flushes by taking the same lock.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable
 
@@ -133,6 +142,9 @@ class MicroBatcher:
         self.max_delay_s = max_delay_s
         self.clock = clock
         self.stats = BatchStats()
+        # guards queues, outbox and stats against concurrent submitters;
+        # re-entrant because a size-triggered submit flushes inline
+        self.lock = threading.RLock()
         self._queues: dict[str, list[Request]] = {kind: [] for kind in _KINDS}
         self._outbox: list[Completion] = []
         self._next_id = 0
@@ -156,12 +168,13 @@ class MicroBatcher:
         return self._submit("predict", cell_id, (current_avg, temp_avg_c, horizon_s))
 
     def _submit(self, kind: str, cell_id: str, payload: tuple[float, ...]) -> int:
-        req = Request(self._next_id, kind, cell_id, payload, self.clock())
-        self._next_id += 1
-        self._queues[kind].append(req)
-        if len(self._queues[kind]) >= self.max_batch:
-            self._flush_kind(kind, "size")
-        return req.req_id
+        with self.lock:
+            req = Request(self._next_id, kind, cell_id, payload, self.clock())
+            self._next_id += 1
+            self._queues[kind].append(req)
+            if len(self._queues[kind]) >= self.max_batch:
+                self._flush_kind(kind, "size")
+            return req.req_id
 
     # -- release -------------------------------------------------------
     def poll(self) -> list[Completion]:
@@ -170,29 +183,33 @@ class MicroBatcher:
         Call this from the serving loop; returns all completions
         produced so far (including earlier size-triggered ones).
         """
-        now = self.clock()
-        for kind in _KINDS:
-            queue = self._queues[kind]
-            if queue and now - queue[0].submitted_s >= self.max_delay_s:
-                self._flush_kind(kind, "deadline")
-        return self.drain()
+        with self.lock:
+            now = self.clock()
+            for kind in _KINDS:
+                queue = self._queues[kind]
+                if queue and now - queue[0].submitted_s >= self.max_delay_s:
+                    self._flush_kind(kind, "deadline")
+            return self.drain()
 
     def flush(self) -> list[Completion]:
         """Force every queue out now and return all completions."""
-        for kind in _KINDS:
-            if self._queues[kind]:
-                self._flush_kind(kind, "forced")
-        return self.drain()
+        with self.lock:
+            for kind in _KINDS:
+                if self._queues[kind]:
+                    self._flush_kind(kind, "forced")
+            return self.drain()
 
     def drain(self) -> list[Completion]:
         """Return completions accumulated since the last drain."""
-        out, self._outbox = self._outbox, []
-        return out
+        with self.lock:
+            out, self._outbox = self._outbox, []
+            return out
 
     @property
     def pending(self) -> int:
         """Requests currently queued across both kinds."""
-        return sum(len(q) for q in self._queues.values())
+        with self.lock:
+            return sum(len(q) for q in self._queues.values())
 
     # ------------------------------------------------------------------
     def _flush_kind(self, kind: str, trigger: str) -> None:
@@ -212,9 +229,7 @@ class MicroBatcher:
         ]
         if served:
             try:
-                outcomes += [
-                    (r, float(v), None) for r, v in zip(served, self._run(kind, served, now))
-                ]
+                outcomes += [(r, float(v), None) for r, v in zip(served, self._run(kind, served, now))]
             except Exception:
                 # one poisoned request must not sink the batch: retry each
                 # request alone and report failures on their own completions
@@ -225,9 +240,7 @@ class MicroBatcher:
                         outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
         for r, value, error in outcomes:
             wait = now - r.submitted_s
-            self._outbox.append(
-                Completion(r.req_id, r.cell_id, kind, value, wait, len(batch), error)
-            )
+            self._outbox.append(Completion(r.req_id, r.cell_id, kind, value, wait, len(batch), error))
             self.stats.requests += 1
             self.stats.errors += error is not None
             self.stats.total_wait_s += wait

@@ -23,11 +23,12 @@ subset of a batch computes the same per-row numbers the single engine
 would have — typically bit-for-bit, and always far inside the fleet's
 1e-9 equivalence budget (re-partitioned batches can shift BLAS
 rounding at the ~1e-17 level), which the test suite asserts against
-the single-engine path.  The shards here run in-process (the engine's per-step work
-is a handful of tiny matmuls — process fan-out pays more in pickling
-than it buys in parallelism at this model size); the topology,
-interface and journal protocol are what a multiprocess or
-multi-machine deployment would keep.
+the single-engine path.  Shards default to in-process
+:class:`FleetEngine` workers; pass ``worker_factory`` to back them
+with anything else speaking the same duck-typed interface — notably
+:class:`~repro.serve.workers.ProcessShardWorker`, which runs each
+shard engine in its own OS process (crash isolation, per-worker
+journals, parallel rollouts) behind an identical fleet API.
 
 A shared :class:`~repro.serve.persistence.StateJournal` makes the
 whole sharded fleet durable: shards append cell/window records to the
@@ -83,12 +84,20 @@ class ShardedFleet:
     Parameters
     ----------
     n_shards:
-        Number of shard workers (each a :class:`FleetEngine`).
+        Number of shard workers (each a :class:`FleetEngine` by
+        default).
     default_model, registry:
-        Passed to every shard engine (shards share the registry's
-        model cache, so a checkpoint is materialized once).
+        Passed to every in-process shard engine (shards share the
+        registry's model cache, so a checkpoint is materialized once).
+        Ignored when ``worker_factory`` is given.
     journal:
-        Optional shared :class:`StateJournal` for the whole fleet.
+        Optional shared :class:`StateJournal` for the whole fleet
+        (in-process workers only — factory-made workers own their
+        durability, e.g. one journal per worker process).
+    worker_factory:
+        Optional ``factory(shard_index) -> worker`` building each shard
+        worker; workers must speak the engine serving API (see
+        :class:`~repro.serve.workers.ProcessShardWorker`).
     """
 
     def __init__(
@@ -97,16 +106,20 @@ class ShardedFleet:
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
         journal: StateJournal | None = None,
+        worker_factory: Callable[[int], FleetEngine] | None = None,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
+        if worker_factory is not None and journal is not None:
+            raise ValueError(
+                "worker_factory workers own their durability; "
+                "give each worker its own journal instead of a shared one"
+            )
         self._default_model = default_model
         self.registry = registry
         self.journal = journal
-        self._shards = [
-            FleetEngine(default_model=default_model, registry=registry, journal=journal)
-            for _ in range(n_shards)
-        ]
+        self._worker_factory = worker_factory
+        self._shards = [self._new_worker(k) for k in range(n_shards)]
 
     @classmethod
     def restore(
@@ -156,10 +169,7 @@ class ShardedFleet:
         if n_shards < 1:
             raise ValueError("need at least one shard")
         old = self._shards
-        self._shards = old[:n_shards] + [
-            FleetEngine(default_model=self._default_model, registry=self.registry, journal=self.journal)
-            for _ in range(n_shards - len(old))
-        ]
+        self._shards = old[:n_shards] + [self._new_worker(k) for k in range(len(old), n_shards)]
         moved = 0
         for source, shard in enumerate(old):
             for state in list(shard.cells()):
@@ -168,6 +178,8 @@ class ShardedFleet:
                     shard._evict_state(state.cell_id)
                     self._shards[target]._adopt_state(state)
                     moved += 1
+        for removed in old[n_shards:]:
+            self._close_worker(removed)
         return moved
 
     # -- fleet membership ----------------------------------------------
@@ -286,13 +298,47 @@ class ShardedFleet:
         Shards replay their own cells' journaled windows and compute
         only the remainder (see
         :meth:`FleetEngine.resume_rollout_fleet`); the shard count may
-        differ from the run that crashed.
+        differ from the run that crashed.  Durable factory-made workers
+        (e.g. journaled :class:`~repro.serve.workers.ProcessShardWorker`)
+        resume from their own per-worker journals instead of a shared
+        one.
         """
-        if self.journal is None:
+        if self.journal is None and not all(getattr(s, "durable", False) for s in self._shards):
             raise ValueError("resume requires a fleet with a journal attached")
         return self._fan_rollout(list(assignments), step_s, step_hook, resume=True)
 
+    # -- worker lifecycle ----------------------------------------------
+    def worker_health(self) -> list[bool]:
+        """Liveness per shard worker (in-process engines are always up)."""
+        return [bool(getattr(shard, "alive", True)) for shard in self._shards]
+
+    def close(self) -> None:
+        """Shut down shard workers that hold external resources.
+
+        Process-backed workers drain gracefully (journals flushed,
+        children reaped); in-process engines have nothing to release.
+        """
+        for shard in self._shards:
+            self._close_worker(shard)
+
+    def __enter__(self) -> ShardedFleet:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
+    def _new_worker(self, index: int):
+        if self._worker_factory is not None:
+            return self._worker_factory(index)
+        return FleetEngine(default_model=self._default_model, registry=self.registry, journal=self.journal)
+
+    @staticmethod
+    def _close_worker(worker) -> None:
+        closer = getattr(worker, "close", None)
+        if closer is not None:
+            closer()
+
     def _fan_rollout(
         self,
         pairs: list[tuple[str, CycleRecord]],

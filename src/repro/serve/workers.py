@@ -1,0 +1,505 @@
+"""Process-backed shard workers: a ``FleetEngine`` in a subprocess.
+
+:class:`~repro.serve.sharding.ShardedFleet` assumes nothing in-process
+about its shard workers — placement is a pure hash, the journal
+protocol is append-only files, and every worker call goes through the
+engine serving API.  :class:`ProcessShardWorker` cashes that in: it
+runs a full :class:`~repro.serve.engine.FleetEngine` in a child Python
+process and exposes the same duck-typed interface over a
+length-prefixed pipe protocol, so
+``ShardedFleet(n, worker_factory=...)`` serves an identical fleet with
+real OS-process isolation (a crashed shard loses one slice, not the
+fleet) and true parallelism for multi-shard rollouts.
+
+Wire protocol (parent <-> child over the child's stdin/stdout pipes)::
+
+    frame   := header body
+    header  := 4-byte big-endian unsigned length of body
+    body    := pickle of the payload
+    request := (op, args, kwargs)
+    reply   := ("ok", value) | ("err", exc_type_name, message)
+
+One reply per request, strictly in order (the parent serializes calls
+per worker).  Pickle is safe here because both ends are the same
+codebase on a private pipe — this is an IPC framing, not a public
+network protocol.  The child's ``sys.stdout`` is rebound to stderr so
+stray prints can never corrupt the frame stream.
+
+Failure semantics:
+
+- **crash detection** — a child that dies mid-call surfaces as
+  :class:`WorkerCrashError` (with the exit code) on the parent call
+  that hit the broken pipe; :attr:`ProcessShardWorker.alive` reports
+  liveness between calls.
+- **recovery** — give the worker a ``journal_path`` and its engine
+  journals every mutation; :meth:`ProcessShardWorker.restart` respawns
+  the child, which restores from that journal
+  (:meth:`FleetEngine.restore <repro.serve.engine.FleetEngine.restore>`),
+  so an interrupted fleet rollout resumes bit-for-bit via
+  ``resume_rollout_fleet`` — the same 1e-9 equivalence budget as the
+  in-process shards, since the child computes the very same batched
+  forwards.
+- **graceful drain** — :meth:`ProcessShardWorker.close` sends a
+  ``shutdown`` op: the child flushes and closes its journal, replies,
+  and exits 0; the parent escalates to ``kill`` only after a grace
+  period.
+
+Fault injection for tests: :meth:`ProcessShardWorker.crash_after_window`
+arms the child to hard-exit (``os._exit``, no journal close — the
+crash being simulated) after committing a given rollout window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import struct
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.model import TwoBranchSoCNet
+from ..core.rollout import RolloutResult
+from ..datasets.base import CycleRecord
+from .engine import CellState, FleetEngine
+from .persistence import StateJournal
+from .registry import ModelRegistry
+
+__all__ = ["ProcessShardWorker", "WorkerCrashError", "worker_main"]
+
+_HEADER = struct.Struct(">I")
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker subprocess died (or was down) during a call."""
+
+
+# -- framing -----------------------------------------------------------
+def _read_exact(stream, n: int) -> bytes | None:
+    chunks = []
+    while n:
+        chunk = stream.read(n)
+        if not chunk:
+            return None  # EOF (possibly mid-frame: the peer died)
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(stream):
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    body = _read_exact(stream, length)
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+def _write_frame(stream, payload) -> None:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(body)) + body)
+    stream.flush()
+
+
+# -- model shipping ----------------------------------------------------
+def _model_spec(model: TwoBranchSoCNet | None) -> dict | None:
+    """Serializable description of a model (config + weights)."""
+    if model is None:
+        return None
+    return {
+        "hidden": list(model.config.hidden),
+        "horizon_scale_s": float(model.config.horizon_scale_s),
+        "state": model.state_dict(),
+    }
+
+
+def _build_model(spec: dict | None) -> TwoBranchSoCNet | None:
+    if spec is None:
+        return None
+    config = ModelConfig(hidden=tuple(spec["hidden"]), horizon_scale_s=spec["horizon_scale_s"])
+    model = TwoBranchSoCNet(config, rng=np.random.default_rng(0))
+    model.load_state_dict(spec["state"])
+    return model
+
+
+class ProcessShardWorker:
+    """One shard worker running a :class:`FleetEngine` in a subprocess.
+
+    Implements the shard-worker interface :class:`ShardedFleet
+    <repro.serve.sharding.ShardedFleet>` assumes (``register_cell`` /
+    ``estimate`` / ``predict`` / ``rollout_fleet`` / state
+    adopt/evict / ``len`` / ``in``), each call one round-trip on the
+    wire protocol.
+
+    Parameters
+    ----------
+    default_model:
+        Model shipped to the child at init (weights over the wire).
+    registry_root:
+        Optional :class:`~repro.serve.registry.ModelRegistry` directory
+        the child opens for per-chemistry routing.
+    journal_path:
+        Optional per-worker :class:`~repro.serve.persistence.StateJournal`
+        file.  A restart restores the engine from it (crash recovery);
+        without one a restart comes back empty.
+    name:
+        Label used in error messages and health reports.
+    """
+
+    def __init__(
+        self,
+        default_model: TwoBranchSoCNet | None = None,
+        registry_root: str | Path | None = None,
+        journal_path: str | Path | None = None,
+        name: str = "shard",
+    ):
+        if default_model is None and registry_root is None:
+            raise ValueError("need a default model, a registry root, or both")
+        self.name = name
+        self._spec = {
+            "model": _model_spec(default_model),
+            "registry_root": None if registry_root is None else str(registry_root),
+            "journal_path": None if journal_path is None else str(journal_path),
+        }
+        self._proc: subprocess.Popen | None = None
+        self._exit_code: int | None = None
+        self.restarts = 0
+        self._spawn()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the child process is currently running."""
+        return self._proc is not None and self._proc.poll() is None
+
+    @property
+    def durable(self) -> bool:
+        """Whether this worker journals its state (restart restores it)."""
+        return self._spec["journal_path"] is not None
+
+    @property
+    def exit_code(self) -> int | None:
+        """Exit code of the last child to die (``None`` while alive)."""
+        return self._exit_code
+
+    def restart(self) -> None:
+        """Respawn a dead worker, restoring its engine from the journal.
+
+        With a ``journal_path`` the new child replays the journal
+        (cells, model routing, in-flight rollout progress) before
+        serving; an interrupted ``rollout_fleet`` is then completed
+        with :meth:`resume_rollout_fleet`.
+        """
+        if self.alive:
+            raise RuntimeError(f"shard worker {self.name!r} is still running")
+        self.restarts += 1
+        self._spawn()
+
+    def close(self, grace_s: float = 5.0) -> int | None:
+        """Gracefully drain and stop the child; returns its exit code.
+
+        Sends the ``shutdown`` op (the child flushes + closes its
+        journal and exits 0), waits up to ``grace_s``, then escalates
+        to ``kill``.  Safe to call on a dead or already-closed worker.
+        """
+        proc = self._proc
+        if proc is None:
+            return self._exit_code
+        if proc.poll() is None:
+            try:
+                self._call("shutdown")
+            except WorkerCrashError:
+                pass  # it died before acking; reap below
+        if self._proc is not None:
+            try:
+                self._exit_code = self._proc.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._exit_code = self._proc.wait()
+            self._release()
+        return self._exit_code
+
+    def __enter__(self) -> ProcessShardWorker:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: do not leak children
+        try:
+            if self._proc is not None and self._proc.poll() is None:
+                self._proc.kill()
+                self._proc.wait()
+        except Exception:
+            pass
+
+    # -- engine API (one RPC each) --------------------------------------
+    def register_cell(
+        self, cell_id: str, chemistry: str | None = None, model_name: str | None = None
+    ) -> CellState:
+        """Register a cell on the worker's engine (see ``FleetEngine``)."""
+        return self._call("register_cell", cell_id, chemistry=chemistry, model_name=model_name)
+
+    def deregister_cell(self, cell_id: str) -> CellState:
+        """Remove a cell; returns its final state."""
+        return self._call("deregister_cell", cell_id)
+
+    def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
+        """Re-resolve a cell's serving model in place."""
+        return self._call("reroute_cell", cell_id, model_name=model_name)
+
+    def cell(self, cell_id: str) -> CellState:
+        """State record for one registered cell (KeyError when unknown)."""
+        return self._call("cell", cell_id)
+
+    def cells(self) -> Iterator[CellState]:
+        """Iterate detached copies of all cells' state records."""
+        return iter(self._call("cells"))
+
+    def __len__(self) -> int:
+        return int(self._call("len"))
+
+    def __contains__(self, cell_id: str) -> bool:
+        return bool(self._call("contains", cell_id))
+
+    def estimate(
+        self,
+        cell_ids: Sequence[str],
+        voltage,
+        current,
+        temp_c,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 1 in the child (see ``FleetEngine.estimate``)."""
+        return self._call("estimate", list(cell_ids), voltage, current, temp_c, now_s=now_s)
+
+    def predict(
+        self,
+        cell_ids: Sequence[str],
+        current_avg,
+        temp_avg_c,
+        horizon_s,
+        soc_now=None,
+        commit: bool = False,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 2 in the child (see ``FleetEngine.predict``)."""
+        return self._call(
+            "predict",
+            list(cell_ids),
+            current_avg,
+            temp_avg_c,
+            horizon_s,
+            soc_now=soc_now,
+            commit=commit,
+            now_s=now_s,
+        )
+
+    def rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Fleet rollout in the child; numerically the in-process result.
+
+        ``step_hook`` cannot cross the process boundary — use
+        :meth:`crash_after_window` for fault injection instead.
+        """
+        if step_hook is not None:
+            raise ValueError("step_hook cannot cross the process boundary")
+        return self._call("rollout_fleet", list(assignments), float(step_s))
+
+    def resume_rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Finish an interrupted rollout from the worker's journal."""
+        if step_hook is not None:
+            raise ValueError("step_hook cannot cross the process boundary")
+        return self._call("resume_rollout_fleet", list(assignments), float(step_s))
+
+    def _adopt_state(self, state: CellState) -> None:
+        """Install a migrating cell's state (rebalance protocol).
+
+        A durable worker journals the adoption, so the migrated cell
+        survives a restart of its *new* owner.
+        """
+        self._call("adopt_state", state)
+
+    def _evict_state(self, cell_id: str) -> CellState:
+        """Remove and return a migrating cell's state (rebalance protocol).
+
+        A durable worker journals the drop, so a restart of the *old*
+        owner cannot resurrect a cell the hash no longer routes to it.
+        """
+        return self._call("evict_state", cell_id)
+
+    # -- fault injection -------------------------------------------------
+    def crash_after_window(self, window: int) -> None:
+        """Arm the child to hard-exit after committing rollout ``window``.
+
+        The child calls ``os._exit`` from the engine's ``step_hook`` —
+        after the window's journal records flushed, before any
+        shutdown path runs — simulating a mid-rollout process crash.
+        """
+        self._call("crash_after", int(window))
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        env = os.environ.copy()
+        src_root = str(Path(__file__).resolve().parents[2])
+        pythonpath = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not pythonpath else src_root + os.pathsep + pythonpath
+        # -c (not -m): runpy would re-execute this module on top of the
+        # copy the package __init__ already imported
+        bootstrap = "import sys; from repro.serve.workers import worker_main; sys.exit(worker_main())"
+        self._proc = subprocess.Popen(
+            [sys.executable, "-c", bootstrap],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        self._exit_code = None
+        self._call("init", self._spec)
+
+    def _release(self) -> None:
+        proc, self._proc = self._proc, None
+        if proc is not None:
+            for stream in (proc.stdin, proc.stdout):
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+
+    def _call(self, op: str, *args, **kwargs):
+        if self._proc is None:
+            raise WorkerCrashError(
+                f"shard worker {self.name!r} is not running "
+                f"(last exit code {self._exit_code}); call restart()"
+            )
+        try:
+            _write_frame(self._proc.stdin, (op, args, kwargs))
+            reply = _read_frame(self._proc.stdout)
+        except (BrokenPipeError, OSError):
+            reply = None
+        if reply is None:
+            self._exit_code = self._proc.wait()
+            self._release()
+            raise WorkerCrashError(
+                f"shard worker {self.name!r} died during {op!r} (exit code {self._exit_code})"
+            )
+        if reply[0] == "ok":
+            return reply[1]
+        _, exc_name, message = reply
+        exc_type = {"KeyError": KeyError, "ValueError": ValueError}.get(exc_name, RuntimeError)
+        raise exc_type(message)
+
+
+# -- child side --------------------------------------------------------
+def _build_engine(spec: dict) -> FleetEngine:
+    model = _build_model(spec["model"])
+    registry = None if spec["registry_root"] is None else ModelRegistry(spec["registry_root"])
+    journal_path = spec["journal_path"]
+    if journal_path is None:
+        return FleetEngine(default_model=model, registry=registry)
+    journal = StateJournal(journal_path)
+    snapshot = journal.snapshot()
+    if snapshot.cells or snapshot.windows:
+        return FleetEngine.restore(journal, default_model=model, registry=registry)
+    return FleetEngine(default_model=model, registry=registry, journal=journal)
+
+
+def _crash_hook(after_window: int) -> Callable[[int], None]:
+    def hook(window: int) -> None:
+        if window >= after_window:
+            os._exit(86)  # hard crash: skip journal close, atexit, everything
+
+    return hook
+
+
+def worker_main(stdin=None, stdout=None) -> int:
+    """Child-process serving loop: read frames, dispatch, reply.
+
+    Runs until the parent closes the pipe (implicit drain) or sends the
+    ``shutdown`` op (explicit drain: journal closed, reply sent, exit
+    0).  Exposed as ``python -m repro.serve.workers``.
+    """
+    rd = stdin if stdin is not None else sys.stdin.buffer
+    wr = stdout if stdout is not None else sys.stdout.buffer
+    sys.stdout = sys.stderr  # stray prints must not corrupt the frame stream
+    engine: FleetEngine | None = None
+    crash_after: int | None = None
+    while True:
+        frame = _read_frame(rd)
+        if frame is None:
+            if engine is not None and engine.journal is not None:
+                engine.journal.close()
+            return 0
+        op, args, kwargs = frame
+        try:
+            if op == "init":
+                engine = _build_engine(args[0])
+                result = "ready"
+            elif op == "shutdown":
+                if engine is not None and engine.journal is not None:
+                    engine.journal.close()
+                _write_frame(wr, ("ok", "bye"))
+                return 0
+            elif op == "ping":
+                result = "pong"
+            elif op == "crash_after":
+                crash_after = int(args[0])
+                result = crash_after
+            elif engine is None:
+                raise RuntimeError(f"worker received {op!r} before 'init'")
+            elif op in ("rollout_fleet", "resume_rollout_fleet"):
+                hook = None if crash_after is None else _crash_hook(crash_after)
+                result = getattr(engine, op)(args[0], args[1], step_hook=hook)
+            elif op == "cells":
+                result = [dataclasses.replace(state) for state in engine.cells()]
+            elif op == "len":
+                result = len(engine)
+            elif op == "contains":
+                result = args[0] in engine
+            elif op == "adopt_state":
+                # unlike in-process shards (whose shared journal already
+                # holds the record), this worker's own journal must learn
+                # about cells migrating in — or a restart would lose them
+                engine._adopt_state(args[0])
+                if engine.journal is not None:
+                    engine.journal.append_cell(args[0])
+                result = None
+            elif op == "evict_state":
+                result = engine._evict_state(args[0])
+                if engine.journal is not None:
+                    engine.journal.drop_cell(args[0])
+            elif op in (
+                "register_cell",
+                "deregister_cell",
+                "reroute_cell",
+                "cell",
+                "estimate",
+                "predict",
+            ):
+                result = getattr(engine, op)(*args, **kwargs)
+            else:
+                raise RuntimeError(f"unknown op {op!r}")
+        except Exception as exc:  # engine errors travel the wire, not the process
+            _write_frame(wr, ("err", type(exc).__name__, str(exc)))
+        else:
+            _write_frame(wr, ("ok", result))
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

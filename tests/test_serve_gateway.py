@@ -1,0 +1,303 @@
+"""Tests for the async gateway (:mod:`repro.serve.gateway`) and the
+thread-safety of the batcher underneath it."""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.serve import (
+    FleetEngine,
+    GatewayOverloaded,
+    MicroBatcher,
+    SocGateway,
+    generate_fleet,
+)
+
+FAST_FLEET = dict(
+    ambient_temps_c=(25.0,),
+    c_rates=(1.0, 2.0),
+    protocols=("discharge",),
+    max_time_s=1800.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+def make_engine(model, n_cells=32):
+    engine = FleetEngine(default_model=model)
+    for k in range(n_cells):
+        engine.register_cell(f"c{k}")
+    return engine
+
+
+class SlowRollout:
+    """Engine wrapper whose rollout takes a fixed wall-clock time."""
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def rollout_fleet(self, assignments, step_s, step_hook=None):
+        time.sleep(self._delay_s)
+        return self._inner.rollout_fleet(assignments, step_s, step_hook=step_hook)
+
+    def __contains__(self, cell_id):
+        return cell_id in self._inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+# ----------------------------------------------------------------------
+class TestMicroBatcherConcurrency:
+    def test_deadline_trigger_under_concurrent_submitters(self, model):
+        """Eight threads hammer the batcher while the main thread polls:
+        every request completes exactly once, none is lost or torn."""
+        engine = make_engine(model)
+        batcher = MicroBatcher(engine, max_batch=10_000, max_delay_s=0.005)
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+        submitted: list[int] = []
+        submitted_lock = threading.Lock()
+
+        def submitter(t: int) -> None:
+            barrier.wait()
+            ids = []
+            for j in range(per_thread):
+                ids.append(batcher.submit_estimate(f"c{(t + j) % 32}", 3.7, 1.0, 25.0))
+            with submitted_lock:
+                submitted.extend(ids)
+
+        threads = [threading.Thread(target=submitter, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        completions = []
+        deadline = time.monotonic() + 10.0
+        while len(completions) < n_threads * per_thread and time.monotonic() < deadline:
+            completions.extend(batcher.poll())
+            time.sleep(0.001)
+        for thread in threads:
+            thread.join()
+        completions.extend(batcher.flush())
+        assert len(completions) == n_threads * per_thread
+        assert {c.req_id for c in completions} == set(submitted)
+        assert all(c.ok for c in completions)
+        assert batcher.stats.deadline_flushes >= 1
+        assert batcher.pending == 0
+
+
+# ----------------------------------------------------------------------
+class TestSocGateway:
+    def test_rejects_bad_config(self, model):
+        with pytest.raises(ValueError):
+            SocGateway(make_engine(model), max_in_flight=0)
+
+    def test_concurrent_estimates_coalesce_into_one_batch(self, model):
+        engine = make_engine(model)
+        gateway = SocGateway(engine, max_batch=8, max_delay_s=10.0, max_in_flight=64)
+
+        async def drive():
+            async with gateway:
+                return await asyncio.gather(
+                    *(gateway.estimate(f"c{k}", 3.5 + 0.05 * k, 1.0, 25.0) for k in range(8))
+                )
+
+        completions = asyncio.run(drive())
+        assert all(c.ok for c in completions)
+        assert all(c.batch_size == 8 for c in completions)  # one coalesced engine call
+        for k, completion in enumerate(completions):
+            expected = float(model.estimate_soc(3.5 + 0.05 * k, 1.0, 25.0)[0])
+            assert completion.value == pytest.approx(expected, abs=1e-12)
+        stats = gateway.stats_dict()["estimate"]
+        assert stats["completed"] == 8 and stats["errors"] == 0 and stats["shed"] == 0
+
+    def test_lone_request_completes_via_deadline_flusher(self, model):
+        gateway = SocGateway(make_engine(model), max_batch=1000, max_delay_s=0.01)
+
+        async def drive():
+            async with gateway:
+                return await asyncio.wait_for(gateway.estimate("c0", 3.7, 1.0, 25.0), timeout=5.0)
+
+        completion = asyncio.run(drive())
+        assert completion.ok
+        assert completion.batch_size == 1
+        assert completion.wait_s >= 0.01  # released by the deadline, not a size trigger
+
+    def test_load_shed_returns_ok_false_instead_of_hanging(self, model):
+        """Beyond max_in_flight the gateway must answer immediately with
+        ok=False completions — never queue without bound."""
+        gateway = SocGateway(make_engine(model), max_batch=1000, max_delay_s=0.05, max_in_flight=4)
+
+        async def drive():
+            async with gateway:
+                return await asyncio.wait_for(
+                    asyncio.gather(*(gateway.estimate(f"c{k}", 3.7, 1.0, 25.0) for k in range(20))),
+                    timeout=5.0,
+                )
+
+        completions = asyncio.run(drive())
+        served = [c for c in completions if c.ok]
+        shed = [c for c in completions if not c.ok]
+        assert len(served) == 4 and len(shed) == 16
+        assert all(c.error.startswith("shed:") for c in shed)
+        assert all(np.isnan(c.value) for c in shed)
+        stats = gateway.stats_dict()["estimate"]
+        assert stats["shed"] == 16 and stats["completed"] == 4 and stats["errors"] == 0
+        assert gateway.in_flight == 0
+
+    def test_engine_error_surfaces_as_error_completion(self, model):
+        gateway = SocGateway(make_engine(model), max_batch=1, max_delay_s=10.0)
+
+        async def drive():
+            async with gateway:
+                return await gateway.predict("c0", 2.0, 25.0, 120.0)  # no stored SoC yet
+
+        completion = asyncio.run(drive())
+        assert not completion.ok
+        assert "no stored SoC" in completion.error
+        assert gateway.stats_dict()["predict"]["errors"] == 1
+
+    def test_rollout_endpoint_matches_direct_engine_call(self, model):
+        fleet = generate_fleet(10, seed=3, **FAST_FLEET)
+        ref = FleetEngine(default_model=model).rollout_fleet(fleet.assignments(), 120.0)
+        gateway = SocGateway(FleetEngine(default_model=model))
+
+        async def drive():
+            async with gateway:
+                return await gateway.rollout(fleet.assignments(), 120.0)
+
+        results = asyncio.run(drive())
+        for cell_id, _ in fleet.assignments():
+            np.testing.assert_allclose(results[cell_id].soc_pred, ref[cell_id].soc_pred, atol=1e-9, rtol=0)
+        stats = gateway.stats_dict()["rollout"]
+        assert stats["completed"] == 1 and stats["errors"] == 0
+
+    def test_rollout_sheds_with_exception_at_capacity(self, model):
+        fleet = generate_fleet(4, seed=3, **FAST_FLEET)
+        gateway = SocGateway(make_engine(model), max_batch=1000, max_delay_s=0.02, max_in_flight=1)
+
+        async def drive():
+            async with gateway:
+                pending = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+                await asyncio.sleep(0)  # let the estimate occupy the only slot
+                with pytest.raises(GatewayOverloaded, match="shed"):
+                    await gateway.rollout(fleet.assignments(), 120.0)
+                return await pending
+
+        completion = asyncio.run(drive())
+        assert completion.ok
+        assert gateway.stats_dict()["rollout"]["shed"] == 1
+
+    def test_event_loop_stays_live_during_rollout(self, model):
+        """A slow rollout holds the batcher lock on the executor; the
+        event loop must keep ticking (accepting/shedding) meanwhile —
+        not block on that lock in the flusher or a submission."""
+        fleet = generate_fleet(4, seed=3, **FAST_FLEET)
+        engine = SlowRollout(make_engine(model), delay_s=0.5)
+        gateway = SocGateway(engine, max_batch=1000, max_delay_s=0.01, max_in_flight=64)
+
+        async def drive():
+            async with gateway:
+                rollout_task = asyncio.ensure_future(gateway.rollout(fleet.assignments(), 120.0))
+                await asyncio.sleep(0)  # let the rollout claim the lock
+                submitted = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+                ticks = 0
+                while not rollout_task.done():  # heartbeat: frozen loop => ~0 ticks
+                    await asyncio.sleep(0.01)
+                    ticks += 1
+                results = await rollout_task
+                completion = await asyncio.wait_for(submitted, timeout=5.0)
+                return ticks, results, completion
+
+        ticks, results, completion = asyncio.run(drive())
+        assert ticks >= 10  # ~50 expected over a 0.5 s rollout
+        assert len(results) == 4
+        assert completion.ok  # queued behind the rollout, then served
+
+    def test_cancelled_submitter_does_not_leak_orphans(self, model):
+        """A client timeout while its submission is parked behind a
+        rollout must not leave an unclaimed completion behind."""
+        fleet = generate_fleet(4, seed=3, **FAST_FLEET)
+        engine = SlowRollout(make_engine(model), delay_s=0.3)
+        gateway = SocGateway(engine, max_batch=1000, max_delay_s=0.01, max_in_flight=64)
+
+        async def drive():
+            async with gateway:
+                rollout_task = asyncio.ensure_future(gateway.rollout(fleet.assignments(), 120.0))
+                await asyncio.sleep(0.05)  # rollout now holds the batcher lock
+                victim = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+                await asyncio.sleep(0.05)  # victim is parked on the executor
+                victim.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await victim
+                await rollout_task
+                return await asyncio.wait_for(gateway.estimate("c1", 3.7, 1.0, 25.0), timeout=5.0)
+
+        survivor = asyncio.run(drive())
+        assert survivor.ok  # the gateway still serves after the cancellation
+        assert gateway._orphans == {}  # the victim's completion was not parked forever
+        assert gateway._abandoned == set()
+        assert gateway.in_flight == 0
+
+    def test_stop_during_rollout_completes_queued_requests(self, model):
+        """stop() while a rollout blocks the flusher mid executor-poll
+        must still deliver queued completions, not discard them with
+        the cancelled task."""
+        fleet = generate_fleet(4, seed=3, **FAST_FLEET)
+        clock_start = time.monotonic()
+        engine = SlowRollout(make_engine(model), delay_s=0.4)
+        gateway = SocGateway(engine, max_batch=1000, max_delay_s=0.01)
+
+        async def drive():
+            gateway.start()
+            rollout_task = asyncio.ensure_future(gateway.rollout(fleet.assignments(), 120.0))
+            await asyncio.sleep(0.05)  # rollout holds the lock; flusher falls back to executor
+            pending = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+            await asyncio.sleep(0.05)
+            await gateway.stop()  # cancels the flusher mid-poll; must not strand the request
+            completion = await asyncio.wait_for(pending, timeout=5.0)
+            await rollout_task
+            return completion
+
+        completion = asyncio.run(drive())
+        assert completion.ok
+        assert time.monotonic() - clock_start < 10.0  # sanity: nothing dead-locked
+        assert gateway.in_flight == 0
+
+    def test_stop_completes_stragglers(self, model):
+        gateway = SocGateway(make_engine(model), max_batch=1000, max_delay_s=60.0)
+
+        async def drive():
+            gateway.start()
+            pending = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+            while gateway.batcher.pending == 0:  # submission crosses the executor
+                await asyncio.sleep(0.001)
+            await gateway.stop()  # must flush the queued request, not strand it
+            return await asyncio.wait_for(pending, timeout=1.0)
+
+        completion = asyncio.run(drive())
+        assert completion.ok
+
+    def test_pump_drives_completions_without_flusher(self, model):
+        clock_now = [0.0]
+        gateway = SocGateway(make_engine(model), max_batch=1000, max_delay_s=0.5, clock=lambda: clock_now[0])
+
+        async def drive():
+            pending = asyncio.ensure_future(gateway.estimate("c0", 3.7, 1.0, 25.0))
+            while gateway.batcher.pending == 0:  # submission crosses the executor
+                await asyncio.sleep(0.001)
+            assert gateway.pump() == 0  # deadline not reached on the fake clock
+            clock_now[0] = 1.0
+            assert gateway.pump() == 1
+            return await pending
+
+        completion = asyncio.run(drive())
+        assert completion.ok
+        assert completion.wait_s == pytest.approx(1.0)

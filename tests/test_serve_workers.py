@@ -1,0 +1,260 @@
+"""Tests for subprocess shard workers (:mod:`repro.serve.workers`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.serve import (
+    FleetEngine,
+    ProcessShardWorker,
+    ShardedFleet,
+    WorkerCrashError,
+    generate_fleet,
+)
+
+FAST_FLEET = dict(
+    ambient_temps_c=(25.0,),
+    c_rates=(1.0, 2.0),
+    protocols=("discharge",),
+    max_time_s=1800.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return generate_fleet(16, seed=7, **FAST_FLEET)
+
+
+# ----------------------------------------------------------------------
+class TestProcessShardWorker:
+    def test_serves_engine_api_across_the_wire(self, model):
+        local = FleetEngine(default_model=model)
+        with ProcessShardWorker(default_model=model, name="api") as worker:
+            for engine in (local, worker):
+                engine.register_cell("a", chemistry="nmc")
+                engine.register_cell("b", chemistry="lfp")
+            assert len(worker) == 2
+            assert "a" in worker and "ghost" not in worker
+            out = worker.estimate(["a", "b"], [3.7, 3.6], [1.0, 2.0], 25.0)
+            ref = local.estimate(["a", "b"], [3.7, 3.6], [1.0, 2.0], 25.0)
+            np.testing.assert_array_equal(out, ref)
+            out = worker.predict(["a", "b"], 2.0, 25.0, 120.0)
+            ref = local.predict(["a", "b"], 2.0, 25.0, 120.0)
+            np.testing.assert_array_equal(out, ref)
+            state = worker.cell("a")
+            assert state.soc == pytest.approx(local.cell("a").soc, abs=0)
+            assert {s.cell_id for s in worker.cells()} == {"a", "b"}
+            dropped = worker.deregister_cell("b")
+            assert dropped.cell_id == "b"
+            assert len(worker) == 1
+
+    def test_requires_model_or_registry(self):
+        with pytest.raises(ValueError):
+            ProcessShardWorker()
+
+    def test_engine_errors_travel_the_wire(self, model):
+        with ProcessShardWorker(default_model=model, name="err") as worker:
+            with pytest.raises(KeyError):
+                worker.cell("ghost")
+            with pytest.raises(ValueError, match="process boundary"):
+                worker.rollout_fleet([], 60.0, step_hook=lambda w: None)
+            # the worker survives engine-level errors
+            assert worker.alive
+
+    def test_rollout_matches_in_process_engine(self, model, small_fleet):
+        ref = FleetEngine(default_model=model).rollout_fleet(small_fleet.assignments(), 120.0)
+        with ProcessShardWorker(default_model=model, name="roll") as worker:
+            got = worker.rollout_fleet(small_fleet.assignments(), 120.0)
+        for cell_id, _ in small_fleet.assignments():
+            np.testing.assert_array_equal(got[cell_id].soc_pred, ref[cell_id].soc_pred)
+            np.testing.assert_array_equal(got[cell_id].time_s, ref[cell_id].time_s)
+
+    def test_graceful_close_exits_zero(self, model):
+        worker = ProcessShardWorker(default_model=model, name="drain")
+        worker.register_cell("a")
+        assert worker.close() == 0
+        assert not worker.alive
+        assert worker.close() == 0  # idempotent
+        with pytest.raises(WorkerCrashError, match="not running"):
+            worker.cell("a")
+
+    def test_crash_detection_reports_exit_code(self, model, small_fleet):
+        worker = ProcessShardWorker(default_model=model, name="crashy")
+        worker.crash_after_window(2)
+        with pytest.raises(WorkerCrashError, match="exit code 86"):
+            worker.rollout_fleet(small_fleet.assignments(), 120.0)
+        assert not worker.alive
+        assert worker.exit_code == 86
+        with pytest.raises(WorkerCrashError, match="not running"):
+            worker.estimate(["a"], 3.7, 1.0, 25.0)
+        worker.close()
+
+    def test_restart_without_journal_comes_back_empty(self, model):
+        worker = ProcessShardWorker(default_model=model, name="amnesiac")
+        worker.register_cell("a")
+        worker.close()
+        worker.restart()
+        assert worker.alive
+        assert worker.restarts == 1
+        assert len(worker) == 0
+        worker.close()
+
+    def test_restart_restores_state_from_journal(self, model, tmp_path):
+        path = tmp_path / "worker.journal"
+        worker = ProcessShardWorker(default_model=model, journal_path=path, name="durable")
+        assert worker.durable
+        worker.register_cell("a", chemistry="nmc")
+        worker.estimate(["a"], 3.7, 1.0, 25.0)
+        soc = worker.cell("a").soc
+        worker.close()
+        worker.restart()
+        state = worker.cell("a")
+        assert state.soc == soc
+        assert state.chemistry == "nmc"
+        worker.close()
+
+    def test_kill_and_restore_mid_rollout_bit_for_bit(self, model, small_fleet, tmp_path):
+        """The acceptance property: crash mid-rollout, restart from the
+        journal, resume — the stitched trajectories equal an
+        uninterrupted run exactly."""
+        assignments = small_fleet.assignments()
+        ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
+        worker = ProcessShardWorker(
+            default_model=model, journal_path=tmp_path / "crash.journal", name="phoenix"
+        )
+        worker.crash_after_window(3)
+        with pytest.raises(WorkerCrashError):
+            worker.rollout_fleet(assignments, 120.0)
+        worker.restart()
+        assert len(worker) == len(small_fleet)  # cells restored before serving
+        resumed = worker.resume_rollout_fleet(assignments, 120.0)
+        for cell_id, _ in assignments:
+            np.testing.assert_array_equal(resumed[cell_id].soc_pred, ref[cell_id].soc_pred)
+        worker.close()
+
+
+# ----------------------------------------------------------------------
+class TestShardedFleetProcessWorkers:
+    def test_matches_single_engine_on_1k_cell_rollout(self, model):
+        """The acceptance property: process-sharded == single engine to
+        1e-9 across a 1,000-cell fleet."""
+        fleet = generate_fleet(1000, seed=0, **FAST_FLEET)
+        assignments = fleet.assignments()
+        ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
+        sharded = ShardedFleet(
+            2,
+            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"s{k}"),
+        )
+        with sharded:
+            got = sharded.rollout_fleet(assignments, 120.0)
+            assert sum(sharded.shard_sizes()) == 1000
+        worst = 0.0
+        for cell_id, _ in assignments:
+            worst = max(worst, float(np.max(np.abs(got[cell_id].soc_pred - ref[cell_id].soc_pred))))
+        assert worst <= 1e-9
+
+    def test_estimate_fans_out_and_gathers_in_order(self, model):
+        ids = [f"c{k}" for k in range(12)]
+        single = FleetEngine(default_model=model)
+        sharded = ShardedFleet(
+            3,
+            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"e{k}"),
+        )
+        with sharded:
+            for cid in ids:
+                single.register_cell(cid)
+                sharded.register_cell(cid)
+            v = np.linspace(3.2, 4.0, len(ids))
+            i = np.linspace(0.5, 3.0, len(ids))
+            out = sharded.estimate(ids, v, i, 25.0)
+            ref = single.estimate(ids, v, i, 25.0)
+            np.testing.assert_allclose(out, ref, atol=1e-9, rtol=0)
+            assert sorted(sharded.worker_health()) == [True, True, True]
+
+    def test_rebalance_migrates_live_state_between_processes(self, model):
+        sharded = ShardedFleet(
+            2,
+            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"r{k}"),
+        )
+        with sharded:
+            ids = [f"c{k}" for k in range(20)]
+            for cid in ids:
+                sharded.register_cell(cid)
+            sharded.estimate(ids, 3.7, 1.0, 25.0)
+            socs = {cid: sharded.cell(cid).soc for cid in ids}
+            moved = sharded.rebalance(3)
+            assert sharded.n_shards == 3
+            assert 0 < moved < len(ids)  # stable rebalancing, not a reshuffle
+            for cid in ids:
+                assert sharded.cell(cid).soc == socs[cid]
+
+    def test_rebalance_migration_survives_worker_restarts(self, model, tmp_path):
+        """Migrated cells must land in their new owner's journal (and
+        leave the old owner's), or a restart after a rebalance loses
+        them / resurrects stale copies."""
+        workers = {}
+
+        def factory(k):
+            workers[k] = ProcessShardWorker(
+                default_model=model,
+                journal_path=tmp_path / f"shard{k}.journal",
+                name=f"m{k}",
+            )
+            return workers[k]
+
+        sharded = ShardedFleet(2, worker_factory=factory)
+        ids = [f"c{k}" for k in range(20)]
+        for cid in ids:
+            sharded.register_cell(cid)
+        sharded.estimate(ids, 3.7, 1.0, 25.0)
+        socs = {cid: sharded.cell(cid).soc for cid in ids}
+        assert sharded.rebalance(3) > 0
+        for k in sorted(workers):  # every worker restarts from its journal
+            workers[k].close()
+            workers[k].restart()
+        for cid in ids:
+            assert sharded.cell(cid).soc == socs[cid]
+        assert sum(sharded.shard_sizes()) == len(ids)  # no stale resurrections
+        sharded.close()
+
+    def test_shared_journal_is_rejected_with_worker_factory(self, model, tmp_path):
+        from repro.serve import StateJournal
+
+        journal = StateJournal(tmp_path / "shared.journal")
+        with pytest.raises(ValueError, match="own their durability"):
+            ShardedFleet(2, worker_factory=lambda k: None, journal=journal)
+
+    def test_fleet_resume_after_one_worker_crash(self, model, small_fleet, tmp_path):
+        """Kill one of two durable workers mid-rollout; restart it and
+        resume the *fleet* — results match an uninterrupted fleet run
+        bit-for-bit."""
+        assignments = small_fleet.assignments()
+        workers = {}
+
+        def factory(k):
+            workers[k] = ProcessShardWorker(
+                default_model=model,
+                journal_path=tmp_path / f"shard{k}.journal",
+                name=f"f{k}",
+            )
+            return workers[k]
+
+        ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
+        sharded = ShardedFleet(2, worker_factory=factory)
+        # ShardedFleet visits shards in index order, so arming shard 0
+        # interrupts the fleet rollout partway through
+        workers[0].crash_after_window(2)
+        with pytest.raises(WorkerCrashError):
+            sharded.rollout_fleet(assignments, 120.0)
+        assert sharded.worker_health() == [False, True]
+        workers[0].restart()
+        resumed = sharded.resume_rollout_fleet(assignments, 120.0)
+        for cell_id, _ in assignments:
+            np.testing.assert_array_equal(resumed[cell_id].soc_pred, ref[cell_id].soc_pred)
+        exit_codes = [workers[k].close() for k in sorted(workers)]
+        assert exit_codes == [0, 0]
