@@ -14,6 +14,11 @@ buying:
   gateway's sustained req/s over the direct one-engine-call-per-request
   path.  A change that breaks micro-batch coalescing or bloats the
   event loop shows up as a ratio drop.
+- ``kernel_speedup`` (from ``bench_kernel_latency.py --json``): the
+  compiled inference kernel's single-row estimate latency over the
+  Tensor path's, both timed in the same process.  A change that makes
+  the kernel allocate, re-slice buffers, or fall off the GEMM chain
+  shows up as a speedup drop.
 
 Checks applied to the current run (``--current``):
 
@@ -28,7 +33,12 @@ Checks applied to the current run (``--current``):
   separate bench job is that a flake cannot mask a real failure);
 - for ``gateway_ratio``: the run must have zero errored and zero shed
   completions (a gateway that hits throughput by dropping work has not
-  hit throughput).
+  hit throughput);
+- for ``kernel_speedup``: ``max_equiv_diff`` must stay within the 1e-9
+  golden-equivalence budget (same reasoning as ``max_traj_diff``), and
+  ``rollout_kernel_speedup``/``frames_speedup`` are reported for the
+  log but not gated (at smoke scale their wall time is small enough
+  for runner contention to flip them).
 
 Raw numbers are still printed for the log, and the current records are
 uploaded as CI artifacts so a slow creep across many PRs can be
@@ -52,6 +62,7 @@ import sys
 _CONFIG_KEYS = {
     "speedup": ("cells", "step_s", "fast"),
     "gateway_ratio": ("cells", "requests", "clients", "max_batch"),
+    "kernel_speedup": ("reps", "batch", "step_s", "fast"),
 }
 
 
@@ -68,6 +79,11 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
         return failures
     if metric == "speedup" and current["max_traj_diff"] > 1e-9:
         failures.append(f"trajectory divergence {current['max_traj_diff']:.3e} exceeds the 1e-9 budget")
+    if metric == "kernel_speedup" and current["max_equiv_diff"] > 1e-9:
+        failures.append(
+            f"kernel divergence {current['max_equiv_diff']:.3e} exceeds the 1e-9 "
+            f"golden-equivalence budget"
+        )
     if metric == "gateway_ratio" and (current.get("errors") or current.get("shed")):
         failures.append(
             f"gateway run dropped work: errors={current.get('errors')} shed={current.get('shed')} "
@@ -85,7 +101,12 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
             f"{metric} regressed: {cur:.1f}x is more than {tolerance:.0%} "
             f"below the baseline {base:.1f}x"
         )
-    for extra in ("sharded_speedup", "process_speedup"):
+    extras = {
+        "speedup": ("sharded_speedup", "process_speedup"),
+        "gateway_ratio": (),
+        "kernel_speedup": ("batched_speedup", "rollout_kernel_speedup", "frames_speedup"),
+    }[metric]
+    for extra in extras:
         if baseline.get(extra) and current.get(extra):
             print(
                 f"{extra} (informational, not gated): "
@@ -96,6 +117,12 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
             f"raw throughput (informational): "
             f"{current['cell_steps_per_s_batched']:,.0f} cell-steps/s batched "
             f"(baseline recorded {baseline['cell_steps_per_s_batched']:,.0f})"
+        )
+    elif metric == "kernel_speedup":
+        print(
+            f"raw latency (informational): "
+            f"kernel single-row p50 {current['kernel_p50_us']:.1f}us "
+            f"(baseline recorded {baseline['kernel_p50_us']:.1f}us)"
         )
     else:
         print(

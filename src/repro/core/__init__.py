@@ -6,6 +6,7 @@
 - :mod:`repro.core.physics` — Coulomb-counting collocation (Eq. 1);
 - :mod:`repro.core.trainer` — split training with the Eq. 2 loss;
 - :mod:`repro.core.rollout` — autoregressive prediction (Fig. 2/5);
+- :mod:`repro.core.kernels` — compiled allocation-free inference;
 - :mod:`repro.core.complexity` — Table I's Mem/Ops accounting.
 """
 
@@ -13,6 +14,7 @@ from .branches import Branch1, Branch2
 from .complexity import ComplexityReport, lstm_complexity, mlp_complexity, model_complexity
 from .ensemble import SoHEnsemble
 from .config import ModelConfig, PhysicsConfig, TrainConfig
+from .kernels import CompiledBranchKernel, CompiledTwoBranchKernel
 from .model import TwoBranchSoCNet
 from .physics import CollocationBatch, CollocationSampler
 from .rollout import RolloutResult, WindowPlan, cycle_windows, model_rollout, rollout_cycle
@@ -25,6 +27,8 @@ __all__ = [
     "PhysicsConfig",
     "TrainConfig",
     "TwoBranchSoCNet",
+    "CompiledBranchKernel",
+    "CompiledTwoBranchKernel",
     "SoHEnsemble",
     "CollocationBatch",
     "CollocationSampler",

@@ -1,0 +1,273 @@
+"""Compiled inference kernels: the two-branch network without the graph.
+
+The paper's model is 2,322 parameters (~9 kB) — a forward pass is four
+tiny GEMMs per branch.  Running it through :mod:`repro.nn` builds one
+autograd :class:`~repro.nn.tensor.Tensor` (a Python object plus a fresh
+array) per layer per call, so the serving hot path is almost entirely
+interpreter and allocator overhead, not arithmetic.
+
+:class:`CompiledTwoBranchKernel` strips all of that out:
+
+- the trained weights are exported once
+  (:func:`repro.nn.layers.export_affine_chain`) into flat, contiguous
+  weight blocks — no ``Module``/``Tensor`` objects survive;
+- the fixed feature scalers are **fused into the first layer's affine
+  transform** (``((x - o)/s) @ W + b == x @ (W/s) + (b - (o/s) @ W)``),
+  so raw physical-unit inputs go straight into the first GEMM;
+- biases ride inside the GEMMs as an extra **bias row** driven by a
+  constant ones channel in the input buffer; ReLU-family activations
+  map 1 to 1 exactly, so the channel propagates through the hidden
+  stack and every ``out += bias`` ufunc call disappears (activations
+  that do not preserve the channel fall back to explicit bias adds);
+- each forward is a fixed chain of ``np.dot(..., out=...)`` calls with
+  in-place activations over **preallocated buffers** that grow
+  geometrically with the largest batch seen, with the sliced views for
+  the active batch size cached between calls — steady-state inference
+  allocates nothing but the returned result row.
+
+Numerics: with the default ``dtype=float64`` the kernel matches the
+Tensor path to ~1e-13 over full autoregressive rollouts (the only
+differences are scaler-fusion and bias-row summation-order rounding at
+the machine-epsilon level), far inside the fleet's 1e-9 equivalence
+budget — the golden-equivalence suite in ``tests/test_core_kernels.py``
+pins this.  ``dtype=float32`` halves the memory traffic (the
+deployment-shaped BMS configuration) at single-precision accuracy,
+~1e-6.
+
+The kernel is a *snapshot*: it copies the weights at construction.
+After mutating the model (training, ``load_state_dict``), call
+:meth:`CompiledTwoBranchKernel.refresh` or build a new kernel.
+:class:`repro.serve.FleetEngine` compiles one kernel per distinct model
+object and uses it for ``estimate``/``predict``/``rollout_fleet``
+unless constructed with ``use_kernel=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..datasets.preprocessing import FeatureScaler
+from ..nn.layers import export_affine_chain
+from .model import TwoBranchSoCNet
+
+__all__ = ["CompiledBranchKernel", "CompiledTwoBranchKernel"]
+
+# activations that map the constant 1.0 to exactly 1.0, so a ones
+# channel appended to a layer's output can keep driving bias rows
+_ONES_PRESERVING = ("relu", "identity")
+
+
+def _inplace_activation(tag: str) -> Callable[[np.ndarray], None] | None:
+    """In-place elementwise activation for one exported chain stage."""
+    if tag == "identity":
+        return None
+    if tag == "relu":
+        return lambda out: np.maximum(out, 0.0, out=out)
+    if tag == "tanh":
+        return lambda out: np.tanh(out, out=out)
+    if tag == "sigmoid":
+
+        def sigmoid(out: np.ndarray) -> None:
+            np.negative(out, out=out)
+            np.exp(out, out=out)
+            out += 1.0
+            np.reciprocal(out, out=out)
+
+        return sigmoid
+    if tag.startswith("leaky_relu:"):
+        slope = float(tag.split(":", 1)[1])
+
+        def leaky(out: np.ndarray) -> None:
+            neg = np.minimum(out, 0.0)
+            np.maximum(out, 0.0, out=out)
+            neg *= slope
+            out += neg
+
+        return leaky
+    raise ValueError(f"unsupported activation tag {tag!r}")
+
+
+def _preserves_ones(tag: str) -> bool:
+    return tag in _ONES_PRESERVING or tag.startswith("leaky_relu:")
+
+
+class CompiledBranchKernel:
+    """One branch compiled to a fixed GEMM + in-place activation chain.
+
+    Parameters
+    ----------
+    module:
+        The branch's :class:`~repro.nn.layers.MLP` (or any stack
+        :func:`~repro.nn.layers.export_affine_chain` accepts).
+    scaler:
+        The branch's fixed :class:`FeatureScaler`, fused into the first
+        affine stage so the kernel consumes raw physical units.
+    dtype:
+        Block dtype: ``float64`` (default, 1e-9-equivalent to the
+        Tensor path) or ``float32`` (deployment-sized).
+    """
+
+    def __init__(self, module, scaler: FeatureScaler, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        chain = export_affine_chain(module)
+        if chain[0][0].shape[0] != scaler.n_features:
+            raise ValueError(
+                f"scaler has {scaler.n_features} features, first layer takes {chain[0][0].shape[0]}"
+            )
+        scales = np.asarray(scaler.scales, dtype=np.float64)
+        offsets = np.asarray(scaler.offsets, dtype=np.float64)
+        # (weight block, explicit bias or None, in-place activation or None)
+        self._stages: list[tuple[np.ndarray, np.ndarray | None, Callable | None]] = []
+        carry = True  # the stage's input carries a trailing ones channel
+        for k, (weight, bias, tag) in enumerate(chain):
+            if k == 0:
+                # scaler fusion: raw x in, first hidden pre-activation out
+                fused_bias = (0.0 if bias is None else bias) - (offsets / scales) @ weight
+                weight, bias = weight / scales[:, None], fused_bias
+            bias_vec = np.zeros(weight.shape[1]) if bias is None else np.asarray(bias, dtype=np.float64)
+            last = k == len(chain) - 1
+            out_ones = not last and carry and _preserves_ones(tag)
+            if carry:
+                # bias row: the input's ones channel turns the bias add
+                # into one more GEMM row
+                block = np.vstack([weight, bias_vec])
+                explicit_bias = None
+            else:
+                block, explicit_bias = weight, bias_vec.astype(self.dtype)
+            if out_ones:
+                # extra column keeps the ones channel flowing: only the
+                # bias row feeds it, so it computes exactly 1.0
+                column = np.zeros((block.shape[0], 1))
+                column[-1, 0] = 1.0
+                block = np.hstack([block, column])
+            self._stages.append(
+                (np.ascontiguousarray(block, dtype=self.dtype), explicit_bias, _inplace_activation(tag))
+            )
+            carry = out_ones
+        self.n_inputs = int(chain[0][0].shape[0])
+        self.n_outputs = int(chain[-1][0].shape[1])
+        self._capacity = 0
+        self._x: np.ndarray | None = None
+        self._bufs: list[np.ndarray] = []
+        # sliced views for the active batch size, rebuilt only when it changes
+        self._n_active = -1
+        self._xv: np.ndarray | None = None
+        self._sv: list[tuple[np.ndarray, np.ndarray | None, Callable | None, np.ndarray]] = []
+
+    def num_bytes(self) -> int:
+        """On-heap size of the flat weight blocks."""
+        return int(sum(block.nbytes for block, _, _ in self._stages))
+
+    def _activate(self, n: int) -> None:
+        """Point the cached views at ``n``-row slices, growing buffers as needed."""
+        if n > self._capacity:
+            cap = max(n, 2 * self._capacity)
+            self._x = np.empty((cap, self.n_inputs + 1), dtype=self.dtype)
+            self._x[:, -1] = 1.0  # the ones channel driving bias rows
+            self._bufs = [np.empty((cap, block.shape[1]), dtype=self.dtype) for block, _, _ in self._stages]
+            self._capacity = cap
+        self._xv = self._x[:n]
+        self._sv = [(block, bias, act, buf[:n]) for (block, bias, act), buf in zip(self._stages, self._bufs)]
+        self._n_active = n
+
+    def forward_columns(self, cols: Sequence) -> np.ndarray:
+        """Run the chain over per-feature columns in raw physical units.
+
+        ``cols`` holds one scalar or 1-D array per input feature;
+        arrays must share one length (length-1 arrays and scalars
+        broadcast).  Returns a fresh ``(n,)`` array of the first output
+        unit — the branches are scalar SoC heads.
+        """
+        cols = list(cols)
+        if len(cols) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} feature columns, got {len(cols)}")
+        n = 1
+        for j, col in enumerate(cols):
+            shape = getattr(col, "shape", None)
+            if shape is None:
+                if not isinstance(col, (int, float)):
+                    cols[j] = col = np.asarray(col, dtype=np.float64)
+                    shape = col.shape
+                else:
+                    continue
+            if shape:
+                if len(shape) != 1:
+                    raise ValueError(f"feature columns must be scalars or 1-D, got shape {shape}")
+                size = shape[0]
+                if size != 1 and size != n:
+                    if n != 1:
+                        raise ValueError(f"feature columns disagree on batch size ({size} vs {n})")
+                    n = size
+        if n != self._n_active:
+            self._activate(n)
+        x = self._xv
+        for j, col in enumerate(cols):
+            x[:, j] = col
+        h = x
+        for block, bias, act, out in self._sv:
+            np.dot(h, block, out=out)
+            if bias is not None:
+                out += bias
+            if act is not None:
+                act(out)
+            h = out
+        return h[:, 0].copy()
+
+
+class CompiledTwoBranchKernel:
+    """Both branches and the cascade as allocation-free compiled chains.
+
+    Mirrors the raw-physical-units inference API of
+    :class:`~repro.core.model.TwoBranchSoCNet` (``estimate_soc`` /
+    ``predict_soc`` / ``predict_from_sensors``), so serving code can
+    swap between the Tensor path and the compiled path object-for-object.
+
+    Parameters
+    ----------
+    model:
+        The trained network to export; kept as :attr:`model` so cache
+        owners can detect staleness by identity.
+    dtype:
+        ``float64`` (default; ~1e-13 of the Tensor path) or
+        ``float32`` (deployment-sized, ~1e-6).
+    """
+
+    def __init__(self, model: TwoBranchSoCNet, dtype=np.float64):
+        self.model = model
+        self.dtype = np.dtype(dtype)
+        self.branch1: CompiledBranchKernel
+        self.branch2: CompiledBranchKernel
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-export the model's current weights into fresh blocks."""
+        self.branch1 = CompiledBranchKernel(self.model.branch1.mlp, self.model.scaler1, self.dtype)
+        self.branch2 = CompiledBranchKernel(self.model.branch2.mlp, self.model.scaler2, self.dtype)
+
+    def num_bytes(self) -> int:
+        """Total size of both branches' weight blocks."""
+        return self.branch1.num_bytes() + self.branch2.num_bytes()
+
+    # -- inference API (mirrors TwoBranchSoCNet) ------------------------
+    def estimate_soc(self, voltage, current, temp_c) -> np.ndarray:
+        """Branch 1: estimate SoC(t) from raw sensor readings."""
+        return self.branch1.forward_columns((voltage, current, temp_c))
+
+    def predict_soc(self, soc_now, current_avg, temp_avg_c, horizon_s) -> np.ndarray:
+        """Branch 2: predict SoC(t+N) from a known SoC and workload."""
+        return self.branch2.forward_columns((soc_now, current_avg, temp_avg_c, horizon_s))
+
+    def predict_from_sensors(
+        self, voltage, current, temp_c, current_avg, temp_avg_c, horizon_s
+    ) -> np.ndarray:
+        """Full cascade: Branch 1 seeds Branch 2."""
+        soc_now = self.estimate_soc(voltage, current, temp_c)
+        return self.predict_soc(soc_now, current_avg, temp_avg_c, horizon_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTwoBranchKernel(dtype={self.dtype.name}, "
+            f"bytes={self.num_bytes()}, model={self.model!r})"
+        )

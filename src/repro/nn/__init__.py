@@ -31,6 +31,7 @@ from .layers import (
     Sequential,
     Sigmoid,
     Tanh,
+    export_affine_chain,
 )
 from .losses import HuberLoss, MAELoss, MSELoss, huber_loss, mae_loss, mse_loss
 from .optim import (
@@ -92,6 +93,7 @@ __all__ = [
     "LayerNorm",
     "Sequential",
     "MLP",
+    "export_affine_chain",
     "LSTM",
     "LSTMCell",
     "LSTMRegressor",

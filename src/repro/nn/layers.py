@@ -29,6 +29,7 @@ __all__ = [
     "LayerNorm",
     "Sequential",
     "MLP",
+    "export_affine_chain",
 ]
 
 
@@ -326,3 +327,71 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.net(x)
+
+
+def export_affine_chain(module: Module) -> list[tuple[np.ndarray, np.ndarray | None, str]]:
+    """Flatten a feed-forward stack into ``(weight, bias, activation)`` triples.
+
+    This is the weight-export half of the compiled inference path (see
+    :class:`repro.core.kernels.CompiledTwoBranchKernel`): an :class:`MLP`
+    or :class:`Sequential` of affine layers and elementwise activations
+    is reduced to plain contiguous numpy blocks — one ``(in, out)``
+    weight matrix, one ``(out,)`` bias (or ``None``) and an activation
+    tag per affine stage — with no :class:`Module`/:class:`Tensor`
+    machinery left.  Weights are *copies* detached from autograd, so a
+    compiled consumer is a snapshot of the module at export time.
+
+    Activation tags are ``"identity"``, ``"relu"``, ``"tanh"``,
+    ``"sigmoid"`` or ``"leaky_relu:<slope>"``; a trailing affine layer
+    (the usual linear head) exports with ``"identity"``.
+
+    Raises
+    ------
+    TypeError
+        When the stack contains anything other than :class:`Linear`
+        layers and supported elementwise activations (``Dropout``,
+        ``LayerNorm`` and friends are not affine-chain material).
+    ValueError
+        When an activation appears with no affine layer before it.
+    """
+    if isinstance(module, MLP):
+        module = module.net
+    if isinstance(module, Linear):
+        layers: list[Module] = [module]
+    elif isinstance(module, Sequential):
+        layers = list(module.layers)
+    else:
+        raise TypeError(f"cannot export {type(module).__name__} as an affine chain")
+    simple_tags = {ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid", Identity: "identity"}
+    staged: list[tuple[Linear, str]] = []
+    pending: Linear | None = None
+    for layer in layers:
+        if isinstance(layer, Linear):
+            if pending is not None:
+                staged.append((pending, "identity"))
+            pending = layer
+            continue
+        if isinstance(layer, LeakyReLU):
+            tag = f"leaky_relu:{layer.negative_slope!r}"
+        elif type(layer) in simple_tags:
+            tag = simple_tags[type(layer)]
+        else:
+            raise TypeError(f"cannot export layer {layer!r} into an affine chain")
+        if tag == "identity":
+            continue
+        if pending is None:
+            raise ValueError(f"activation {tag!r} has no affine layer before it")
+        staged.append((pending, tag))
+        pending = None
+    if pending is not None:
+        staged.append((pending, "identity"))
+    if not staged:
+        raise ValueError("empty affine chain: no Linear layers to export")
+    return [
+        (
+            np.ascontiguousarray(lin.weight.data, dtype=np.float64),
+            None if lin.bias is None else np.ascontiguousarray(lin.bias.data, dtype=np.float64),
+            tag,
+        )
+        for lin, tag in staged
+    ]

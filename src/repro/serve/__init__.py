@@ -26,12 +26,21 @@ and versioned checkpoint rollout.
 - :mod:`repro.serve.workers` — :class:`ProcessShardWorker`: a shard
   engine in a subprocess behind a length-prefixed pipe protocol, with
   crash detection, graceful drain, and journal-based restart recovery;
+- :mod:`repro.serve.wire` — the worker frame codec: pickled control
+  frames plus v2 zero-copy frames (struct header + raw array payloads
+  decoded via ``np.frombuffer``) for the bulk inference messages;
 - :mod:`repro.serve.fleet_sim` — synthetic heterogeneous fleets for
   benchmarks and the ``repro-soc serve-sim`` subcommand.
 
-See ``src/repro/serve/README.md`` for the gateway architecture,
-sharding topology, worker wire protocol, journal format, and canary
-lifecycle.
+Inference defaults to the compiled kernel path
+(:mod:`repro.core.kernels`) — flat weight blocks, fused scalers,
+preallocated GEMM chains — with ``use_kernel=False`` as the Tensor-path
+escape hatch on :class:`FleetEngine`, :class:`ShardedFleet` and
+:class:`ProcessShardWorker`.
+
+See ``src/repro/serve/README.md`` for the compiled-kernel
+architecture, gateway architecture, sharding topology, worker wire
+protocol (v1/v2 frame layout), journal format, and canary lifecycle.
 """
 
 from .canary import CanaryController, CanaryReport, in_canary_slice

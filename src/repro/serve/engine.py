@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..core.kernels import CompiledTwoBranchKernel
 from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult, cycle_windows
 from ..datasets.base import CycleRecord
@@ -83,6 +84,19 @@ class FleetEngine:
         per-cell state mutation (registration, estimates, predictions,
         rollout windows) is appended to it, making the fleet restorable
         via :meth:`restore` / :meth:`resume_rollout_fleet`.
+    use_kernel:
+        Serve inference through per-model
+        :class:`~repro.core.kernels.CompiledTwoBranchKernel` compiled
+        chains (default).  The escape hatch ``use_kernel=False`` routes
+        every forward through the original autograd ``Tensor`` path
+        instead — the kernels carry a golden-equivalence guarantee
+        (1e-9 across batch sizes, branches and the cascade; see
+        ``tests/test_core_kernels.py``), so this is for debugging and
+        A/B timing, not correctness.  Kernels snapshot a model's
+        weights at first use and are recompiled automatically when a
+        model *object* is replaced (e.g. a registry promote); mutating
+        weights in place on a live engine requires a new engine or
+        ``use_kernel=False``.
 
     At least one of ``default_model`` / ``registry`` must be provided.
     """
@@ -92,12 +106,15 @@ class FleetEngine:
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
         journal: StateJournal | None = None,
+        use_kernel: bool = True,
     ):
         if default_model is None and registry is None:
             raise ValueError("need a default model, a registry, or both")
         self.registry = registry
         self.journal = journal
+        self.use_kernel = use_kernel
         self._models: dict[str, TwoBranchSoCNet] = {}
+        self._kernels: dict[str, CompiledTwoBranchKernel] = {}
         if default_model is not None:
             self._models[_DEFAULT_MODEL_KEY] = default_model
         self._cells: dict[str, CellState] = {}
@@ -109,6 +126,7 @@ class FleetEngine:
         journal: StateJournal,
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
+        use_kernel: bool = True,
     ) -> FleetEngine:
         """Rebuild an engine from a journal after a restart.
 
@@ -118,7 +136,9 @@ class FleetEngine:
         interrupted fleet rollout can then be completed with
         :meth:`resume_rollout_fleet`.
         """
-        engine = cls(default_model=default_model, registry=registry, journal=journal)
+        engine = cls(
+            default_model=default_model, registry=registry, journal=journal, use_kernel=use_kernel
+        )
         for state in journal.snapshot().cells.values():
             engine._adopt_state(dataclasses.replace(state))
         return engine
@@ -220,13 +240,15 @@ class FleetEngine:
         t = np.broadcast_to(np.asarray(temp_c, dtype=np.float64), (len(cell_ids),))
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
-            out[idx] = self._model(key).estimate_soc(v[idx], i[idx], t[idx])
+            out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
+        states = []
         for k, cid in enumerate(cell_ids):
             state = self._cells[cid]
             state.soc = float(out[k])
             state.n_requests += 1
             state.last_seen_s = now_s
-            self._record(state)
+            states.append(state)
+        self._record_many(states)
         return out
 
     def predict(
@@ -270,14 +292,16 @@ class FleetEngine:
         horizon = np.broadcast_to(np.asarray(horizon_s, dtype=np.float64), (len(cell_ids),))
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
-            out[idx] = self._model(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+            out[idx] = self._infer(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+        states = []
         for k, cid in enumerate(cell_ids):
             state = self._cells[cid]
             if commit:
                 state.soc = float(out[k])
             state.n_requests += 1
             state.last_seen_s = now_s
-            self._record(state)
+            states.append(state)
+        self._record_many(states)
         return out
 
     # -- batched rollout ------------------------------------------------
@@ -381,21 +405,42 @@ class FleetEngine:
             by_model.setdefault(self._cells[cell_id].model_key, []).append(k)
 
         for key, members in by_model.items():
-            model = self._model(key)
-            plans = [plan_for(pairs[k][1]) for k in members]
+            infer = self._infer(key)
             cycles = [pairs[k][1] for k in members]
             ids = [pairs[k][0] for k in members]
             n = len(members)
-            n_w = np.array([p.n_windows for p in plans])
-            max_w = int(n_w.max())
-            # padded per-window workload matrices (NaN past each cell's end)
-            i_mat = np.full((n, max_w), np.nan)
-            t_mat = np.full((n, max_w), np.nan)
-            h_mat = np.full((n, max_w), np.nan)
-            for r, p in enumerate(plans):
-                i_mat[r, : p.n_windows] = p.i_avg
-                t_mat[r, : p.n_windows] = p.t_avg
-                h_mat[r, : p.n_windows] = p.horizon_s
+            # unique recorded traces: cells following the same cycle share
+            # one window plan and one row of the stacked workload arrays,
+            # so plan assembly is per *trace*, then fancy-indexed out to
+            # the fleet — not rebuilt per cell, element by element
+            u_index: dict[int, int] = {}
+            u_cycles: list[CycleRecord] = []
+            u_of = np.empty(n, dtype=np.intp)
+            for r, cycle in enumerate(cycles):
+                u = u_index.setdefault(id(cycle), len(u_cycles))
+                if u == len(u_cycles):
+                    u_cycles.append(cycle)
+                u_of[r] = u
+            u_plans = [plan_for(c) for c in u_cycles]
+            u_nw = np.array([p.n_windows for p in u_plans])
+            max_w = int(u_nw.max())
+            # padded per-window workload matrices (NaN past each trace's end)
+            in_window = np.arange(max_w) < u_nw[:, None]
+            u_i = np.full((len(u_plans), max_w), np.nan)
+            u_t = np.full((len(u_plans), max_w), np.nan)
+            u_h = np.full((len(u_plans), max_w), np.nan)
+            u_i[in_window] = np.concatenate([p.i_avg for p in u_plans])
+            u_t[in_window] = np.concatenate([p.t_avg for p in u_plans])
+            u_h[in_window] = np.concatenate([p.horizon_s for p in u_plans])
+            # first sensor sample per trace, for Branch 1 seeding
+            u_first = np.array(
+                [[c.data.voltage[0], c.data.current[0], c.data.temp_c[0]] for c in u_cycles]
+            )
+            plans = [u_plans[u] for u in u_of]
+            n_w = u_nw[u_of]
+            i_mat = u_i[u_of]
+            t_mat = u_t[u_of]
+            h_mat = u_h[u_of]
             preds = np.empty((n, max_w + 1))
             # replay journaled windows: start_w[r] is the last window
             # whose SoC is already known (its value seeds the recursion)
@@ -415,12 +460,11 @@ class FleetEngine:
                 soc[r] = done[k_done]
                 start_w[r] = k_done
             if fresh:
-                # one Branch 1 forward seeds all not-yet-started cells
+                # one Branch 1 forward seeds all not-yet-started cells;
+                # the sensor rows come from the stacked per-trace array
                 idx = np.asarray(fresh)
-                v0 = np.array([cycles[r].data.voltage[0] for r in fresh])
-                i0 = np.array([cycles[r].data.current[0] for r in fresh])
-                t0 = np.array([cycles[r].data.temp_c[0] for r in fresh])
-                seed = model.estimate_soc(v0, i0, t0)
+                first = u_first[u_of[idx]]
+                seed = infer.estimate_soc(first[:, 0], first[:, 1], first[:, 2])
                 soc[idx] = seed
                 preds[idx, 0] = seed
                 if self.journal is not None:
@@ -428,13 +472,14 @@ class FleetEngine:
             for w in range(max_w):
                 idx = np.flatnonzero((n_w > w) & (start_w <= w))
                 if len(idx):
-                    out = model.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
+                    out = infer.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
                     soc[idx] = out
                     preds[idx, w + 1] = out
                     if self.journal is not None:
                         self.journal.append_windows((ids[r], w + 1, float(soc[r])) for r in idx)
                 if step_hook is not None:
                     step_hook(w + 1)
+            states = []
             for r, k in enumerate(members):
                 cell_id, cycle = pairs[k]
                 p = plans[r]
@@ -449,13 +494,19 @@ class FleetEngine:
                 state = self._cells[cell_id]
                 state.soc = float(preds[r, p.n_windows])
                 state.n_requests += 1
-                self._record(state)
+                states.append(state)
+            self._record_many(states)
         return {cell_id: results[cell_id] for cell_id, _ in pairs}
 
     # ------------------------------------------------------------------
     def _record(self, state: CellState) -> None:
         if self.journal is not None:
             self.journal.append_cell(state)
+
+    def _record_many(self, states: list[CellState]) -> None:
+        """Journal a batch of cell states with one write (see ``append_cells``)."""
+        if self.journal is not None and states:
+            self.journal.append_cells(states)
 
     def _adopt_state(self, state: CellState) -> None:
         """Install a cell's state record without journaling it.
@@ -497,6 +548,26 @@ class FleetEngine:
         # immutable and cached by pinned ref), so a live engine follows
         # publishes and promotes without a rebuild
         return self.registry.load(key)
+
+    def _infer(self, key: str):
+        """Serving implementation for a model key: compiled kernel or Tensor model.
+
+        With ``use_kernel`` (the default) the model is compiled once
+        into a :class:`~repro.core.kernels.CompiledTwoBranchKernel`,
+        cached per model key and invalidated by model-object identity —
+        a registry promote that loads a new checkpoint object triggers
+        a recompile on its next use (replacing the old entry, so the
+        cache stays bounded at one kernel per key) and a live engine
+        never serves stale weights.
+        """
+        model = self._model(key)
+        if not self.use_kernel:
+            return model
+        kernel = self._kernels.get(key)
+        if kernel is None or kernel.model is not model:
+            kernel = CompiledTwoBranchKernel(model)
+            self._kernels[key] = kernel
+        return kernel
 
     def _group_by_model(self, cell_ids: Sequence[str]) -> dict[str, np.ndarray]:
         groups: dict[str, list[int]] = {}

@@ -60,9 +60,12 @@ class GatewayOverloaded(RuntimeError):
     """A rollout was refused because the gateway is at capacity."""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class EndpointStats:
     """Latency/throughput accounting for one gateway endpoint.
+
+    Slotted like the scheduler's per-request records: ``observe`` runs
+    once per completion on the hot path.
 
     Attributes
     ----------

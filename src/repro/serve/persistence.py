@@ -73,13 +73,21 @@ class StateJournal:
     compact_every:
         Auto-compact after this many appended records (0 disables
         automatic compaction; :meth:`compact` stays available).
+    fsync:
+        ``os.fsync`` the file after every flushed batch (default off).
+        The default survives process crashes — the engine's guarantee —
+        at one flush per *batch* of records; turn this on to also
+        survive OS/power failure, paying one disk sync per batch
+        (which is exactly why appends are batched: the cost is per
+        flush, not per record).
     """
 
-    def __init__(self, path: str | Path, compact_every: int = 65536):
+    def __init__(self, path: str | Path, compact_every: int = 65536, fsync: bool = False):
         if compact_every < 0:
             raise ValueError("compact_every cannot be negative")
         self.path = Path(path)
         self.compact_every = compact_every
+        self.fsync = fsync
         self._cells: dict[str, dict] = {}
         self._windows: dict[str, dict[int, float]] = {}
         self._step_s: float | None = None
@@ -95,17 +103,30 @@ class StateJournal:
     # -- appending -----------------------------------------------------
     def append_cell(self, state: CellState) -> None:
         """Journal the latest state of one cell (a ``cell`` op)."""
-        record = {
-            "op": "cell",
-            "id": state.cell_id,
-            "chem": state.chemistry,
-            "key": state.model_key,
-            "soc": state.soc,
-            "seen": state.last_seen_s,
-            "n": state.n_requests,
-        }
-        self._cells[state.cell_id] = record
-        self._append(record)
+        self.append_cells([state])
+
+    def append_cells(self, states: Iterable[CellState]) -> None:
+        """Journal many cells' latest states with one write + flush.
+
+        The batched counterpart of :meth:`append_cell`: a fleet-wide
+        ``estimate``/``predict``/rollout commit journals every touched
+        cell in a single syscall (and, with ``fsync`` enabled, a single
+        disk sync) instead of one per cell.
+        """
+        records = []
+        for state in states:
+            record = {
+                "op": "cell",
+                "id": state.cell_id,
+                "chem": state.chemistry,
+                "key": state.model_key,
+                "soc": state.soc,
+                "seen": state.last_seen_s,
+                "n": state.n_requests,
+            }
+            self._cells[state.cell_id] = record
+            records.append(record)
+        self._append_many(records)
 
     def drop_cell(self, cell_id: str) -> None:
         """Journal the removal of a cell (a ``drop`` op)."""
@@ -241,6 +262,8 @@ class StateJournal:
             raise ValueError(f"journal {self.path} is closed")
         self._fh.write("".join(json.dumps(record) + "\n" for record in records))
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
         self._appended += len(records)
         if self.compact_every and self._appended >= self.compact_every:
             self.compact()

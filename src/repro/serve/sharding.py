@@ -98,6 +98,11 @@ class ShardedFleet:
         Optional ``factory(shard_index) -> worker`` building each shard
         worker; workers must speak the engine serving API (see
         :class:`~repro.serve.workers.ProcessShardWorker`).
+    use_kernel:
+        Passed to every in-process shard engine: serve through compiled
+        inference kernels (default) or the Tensor path (see
+        :class:`FleetEngine`).  Ignored when ``worker_factory`` is
+        given — factory-made workers pick their own inference path.
     """
 
     def __init__(
@@ -107,6 +112,7 @@ class ShardedFleet:
         registry: ModelRegistry | None = None,
         journal: StateJournal | None = None,
         worker_factory: Callable[[int], FleetEngine] | None = None,
+        use_kernel: bool = True,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -118,6 +124,7 @@ class ShardedFleet:
         self._default_model = default_model
         self.registry = registry
         self.journal = journal
+        self.use_kernel = use_kernel
         self._worker_factory = worker_factory
         self._shards = [self._new_worker(k) for k in range(n_shards)]
 
@@ -128,6 +135,7 @@ class ShardedFleet:
         n_shards: int,
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
+        use_kernel: bool = True,
     ) -> ShardedFleet:
         """Rebuild a sharded fleet from a journal after a restart.
 
@@ -138,7 +146,13 @@ class ShardedFleet:
         exact; a different count re-partitions the batches, which can
         shift trajectories by BLAS rounding ~1e-17.)
         """
-        fleet = cls(n_shards, default_model=default_model, registry=registry, journal=journal)
+        fleet = cls(
+            n_shards,
+            default_model=default_model,
+            registry=registry,
+            journal=journal,
+            use_kernel=use_kernel,
+        )
         for state in journal.snapshot().cells.values():
             shard = shard_for(state.cell_id, n_shards)
             fleet._shards[shard]._adopt_state(dataclasses.replace(state))
@@ -331,7 +345,12 @@ class ShardedFleet:
     def _new_worker(self, index: int):
         if self._worker_factory is not None:
             return self._worker_factory(index)
-        return FleetEngine(default_model=self._default_model, registry=self.registry, journal=self.journal)
+        return FleetEngine(
+            default_model=self._default_model,
+            registry=self.registry,
+            journal=self.journal,
+            use_kernel=self.use_kernel,
+        )
 
     @staticmethod
     def _close_worker(worker) -> None:

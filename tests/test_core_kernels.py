@@ -1,0 +1,203 @@
+"""Golden-equivalence tests for compiled inference kernels.
+
+The compiled path (:mod:`repro.core.kernels`) must match the autograd
+Tensor path to 1e-9 across batch sizes, both branches and the cascade
+— that is the contract that lets :class:`repro.serve.FleetEngine`
+serve through kernels by default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompiledTwoBranchKernel,
+    ModelConfig,
+    TwoBranchSoCNet,
+    model_rollout,
+)
+from repro.nn import MLP, Linear, Sequential, Tanh, export_affine_chain
+from repro.serve import FleetEngine, generate_fleet
+
+BATCH_SIZES = (1, 7, 1024)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def kernel(model):
+    return CompiledTwoBranchKernel(model)
+
+
+def _inputs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "voltage": rng.uniform(2.8, 4.2, n),
+        "current": rng.uniform(-5.0, 5.0, n),
+        "temp_c": rng.uniform(-5.0, 45.0, n),
+        "soc": rng.uniform(0.0, 1.0, n),
+        "horizon_s": rng.uniform(1.0, 400.0, n),
+    }
+
+
+# ----------------------------------------------------------------------
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_branch1_matches_tensor_path(self, model, kernel, n):
+        x = _inputs(n, seed=n)
+        ref = model.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        got = kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_branch2_matches_tensor_path(self, model, kernel, n):
+        x = _inputs(n, seed=n + 1)
+        ref = model.predict_soc(x["soc"], x["current"], x["temp_c"], x["horizon_s"])
+        got = kernel.predict_soc(x["soc"], x["current"], x["temp_c"], x["horizon_s"])
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_cascade_matches_tensor_path(self, model, kernel, n):
+        x = _inputs(n, seed=n + 2)
+        args = (x["voltage"], x["current"], x["temp_c"], x["current"], x["temp_c"], x["horizon_s"])
+        np.testing.assert_allclose(
+            kernel.predict_from_sensors(*args), model.predict_from_sensors(*args), atol=1e-9, rtol=0
+        )
+
+    def test_scalar_inputs_match(self, model, kernel):
+        ref = model.estimate_soc(3.7, 1.0, 25.0)
+        got = kernel.estimate_soc(3.7, 1.0, 25.0)
+        assert got.shape == (1,)
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    def test_holds_for_trained_like_weights(self):
+        # a different seed and a non-default architecture
+        model = TwoBranchSoCNet(ModelConfig(hidden=(8, 8)), rng=np.random.default_rng(99))
+        kernel = CompiledTwoBranchKernel(model)
+        x = _inputs(64, seed=5)
+        np.testing.assert_allclose(
+            kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"]),
+            model.estimate_soc(x["voltage"], x["current"], x["temp_c"]),
+            atol=1e-9,
+            rtol=0,
+        )
+
+
+class TestBuffers:
+    def test_batch_size_churn_stays_correct(self, model, kernel):
+        """Growing, shrinking and regrowing the batch reuses buffers safely."""
+        x = _inputs(1024, seed=9)
+        expected = {}
+        for n in (3, 1024, 1, 7, 512, 1024):
+            got = kernel.estimate_soc(x["voltage"][:n], x["current"][:n], x["temp_c"][:n])
+            ref = expected.setdefault(
+                n, model.estimate_soc(x["voltage"][:n], x["current"][:n], x["temp_c"][:n])
+            )
+            np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    def test_results_do_not_alias_buffers(self, kernel):
+        x = _inputs(8, seed=10)
+        first = kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        snapshot = first.copy()
+        kernel.estimate_soc(x["voltage"][::-1].copy(), x["current"], x["temp_c"])
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_length_mismatch_raises(self, kernel):
+        with pytest.raises(ValueError, match="batch size"):
+            kernel.estimate_soc(np.zeros(3), np.zeros(4), 25.0)
+
+
+class TestDtypeAndExport:
+    def test_float32_mode_is_single_precision_close(self, model):
+        kernel = CompiledTwoBranchKernel(model, dtype=np.float32)
+        x = _inputs(256, seed=3)
+        ref = model.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        got = kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        assert np.max(np.abs(got - ref)) < 1e-4
+        assert kernel.num_bytes() < CompiledTwoBranchKernel(model).num_bytes()
+
+    def test_refresh_picks_up_new_weights(self, model):
+        kernel = CompiledTwoBranchKernel(model)
+        before = kernel.estimate_soc(3.7, 1.0, 25.0)
+        state = model.state_dict()
+        try:
+            model.load_state_dict({k: v * 1.5 for k, v in state.items()})
+            stale = kernel.estimate_soc(3.7, 1.0, 25.0)
+            np.testing.assert_array_equal(stale, before)  # snapshot semantics
+            kernel.refresh()
+            refreshed = kernel.estimate_soc(3.7, 1.0, 25.0)
+            np.testing.assert_allclose(refreshed, model.estimate_soc(3.7, 1.0, 25.0), atol=1e-9, rtol=0)
+            assert not np.array_equal(refreshed, before)
+        finally:
+            model.load_state_dict(state)
+
+    def test_export_affine_chain_shapes(self, model):
+        chain = export_affine_chain(model.branch1.mlp)
+        widths = [(w.shape, tag) for w, _, tag in chain]
+        assert widths == [((3, 16), "relu"), ((16, 32), "relu"), ((32, 16), "relu"), ((16, 1), "identity")]
+        for _, bias, _ in chain:
+            assert bias is not None
+
+    def test_export_rejects_non_affine_stacks(self):
+        from repro.nn import Dropout
+
+        with pytest.raises(TypeError):
+            export_affine_chain(Sequential(Linear(4, 4), Dropout(0.5)))
+
+    def test_tanh_chain_compiles(self):
+        """Activations that do not preserve the bias channel still work."""
+        mlp = MLP(3, hidden=(8,), activation=Tanh, rng=np.random.default_rng(2))
+        from repro.core.kernels import CompiledBranchKernel
+        from repro.datasets.preprocessing import branch1_scaler
+
+        kernel = CompiledBranchKernel(mlp, branch1_scaler())
+        x = np.random.default_rng(4).uniform(2.8, 4.2, (32, 3))
+        from repro import nn
+
+        with nn.no_grad():
+            ref = mlp(nn.Tensor(branch1_scaler().transform(x))).data[:, 0]
+        got = kernel.forward_columns((x[:, 0], x[:, 1], x[:, 2]))
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+
+class TestEngineIntegration:
+    def test_engine_rollout_matches_tensor_escape_hatch(self):
+        """FleetEngine on kernels == FleetEngine on Tensors == scalar loop."""
+        model = TwoBranchSoCNet(rng=np.random.default_rng(1))
+        fleet = generate_fleet(
+            12,
+            seed=3,
+            ambient_temps_c=(25.0,),
+            c_rates=(1.0, 2.0),
+            protocols=("discharge",),
+            max_time_s=1800.0,
+        )
+        assignments = fleet.assignments()
+        kernel_engine = FleetEngine(default_model=model)
+        tensor_engine = FleetEngine(default_model=model, use_kernel=False)
+        with_kernel = kernel_engine.rollout_fleet(assignments, step_s=120.0)
+        without = tensor_engine.rollout_fleet(assignments, step_s=120.0)
+        for cell_id, cycle in assignments:
+            ref = model_rollout(model, cycle, 120.0)
+            np.testing.assert_allclose(with_kernel[cell_id].soc_pred, ref.soc_pred, atol=1e-9, rtol=0)
+            np.testing.assert_allclose(
+                with_kernel[cell_id].soc_pred, without[cell_id].soc_pred, atol=1e-9, rtol=0
+            )
+            np.testing.assert_array_equal(with_kernel[cell_id].time_s, ref.time_s)
+
+    def test_engine_estimate_predict_match_escape_hatch(self):
+        model = TwoBranchSoCNet(rng=np.random.default_rng(2))
+        x = _inputs(32, seed=6)
+        outs = {}
+        for use_kernel in (True, False):
+            engine = FleetEngine(default_model=model, use_kernel=use_kernel)
+            ids = [f"c{k}" for k in range(32)]
+            for cid in ids:
+                engine.register_cell(cid)
+            est = engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+            pred = engine.predict(ids, x["current"], x["temp_c"], 60.0)
+            outs[use_kernel] = (est, pred)
+        np.testing.assert_allclose(outs[True][0], outs[False][0], atol=1e-9, rtol=0)
+        np.testing.assert_allclose(outs[True][1], outs[False][1], atol=1e-9, rtol=0)

@@ -140,6 +140,54 @@ class TestStateJournal:
         assert len(journal) == 1
         journal.close()
 
+    def test_batched_appends_write_once_per_batch(self, model, tmp_path, monkeypatch):
+        """A fleet estimate journals every cell in one write syscall."""
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path)
+        engine = FleetEngine(default_model=model, journal=journal)
+        ids = [f"c{k}" for k in range(16)]
+        for cid in ids:
+            engine.register_cell(cid)
+        writes = []
+        original = journal._fh.write
+        monkeypatch.setattr(journal._fh, "write", lambda s: writes.append(s) or original(s))
+        engine.estimate(ids, 3.7, 1.0, 25.0)
+        assert len(writes) == 1  # one write for all 16 cell records
+        journal.close()
+        snap = StateJournal(path).snapshot()
+        assert all(snap.cells[cid].n_requests == 1 for cid in ids)
+
+    def test_append_cells_matches_per_cell_appends(self, model, tmp_path):
+        a = StateJournal(tmp_path / "a.journal")
+        b = StateJournal(tmp_path / "b.journal")
+        engine = FleetEngine(default_model=model)
+        states = [engine.register_cell(f"c{k}", chemistry="nmc") for k in range(5)]
+        for state in states:
+            a.append_cell(state)
+        b.append_cells(states)
+        a.close()
+        b.close()
+        assert (tmp_path / "a.journal").read_bytes() == (tmp_path / "b.journal").read_bytes()
+
+    def test_fsync_flag_syncs_each_flush(self, model, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr("repro.serve.persistence.os.fsync", lambda fd: synced.append(fd))
+        journal = StateJournal(tmp_path / "fleet.journal", fsync=True)
+        engine = FleetEngine(default_model=model, journal=journal)
+        ids = [f"c{k}" for k in range(8)]
+        for cid in ids:
+            engine.register_cell(cid)
+        before = len(synced)
+        assert before == len(ids) + 1  # one per registration + header
+        engine.estimate(ids, 3.7, 1.0, 25.0)
+        assert len(synced) == before + 1  # the whole batch: one sync
+        journal.close()
+        # default stays unsynced
+        quiet = StateJournal(tmp_path / "other.journal")
+        quiet.append_cell(engine.cell("c0"))
+        quiet.close()
+        assert len(synced) == before + 1
+
     def test_rejects_bad_config(self, tmp_path):
         with pytest.raises(ValueError):
             StateJournal(tmp_path / "j", compact_every=-1)
@@ -193,7 +241,9 @@ class TestCrashRestore:
         journal.close()
 
         reopened = StateJournal(path)
-        restored = FleetEngine.restore(reopened, default_model=model)
+        # the Tensor path, so the spy below sees every model forward
+        # (the default compiled-kernel path never calls the model)
+        restored = FleetEngine.restore(reopened, default_model=model, use_kernel=False)
         windows_run = []
         calls = {"n": 0}
         original = model.predict_soc
