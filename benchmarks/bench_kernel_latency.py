@@ -85,6 +85,34 @@ def bench_batched(model, kernel, batch: int, reps: int) -> dict:
     }
 
 
+def bench_monitor_overhead(model, reps: int) -> dict:
+    """Single-row engine estimate p50: bare engine vs fully monitored.
+
+    The monitor PR's acceptance budget is <10% on this path (metrics
+    counters + physics-bounds checks per call); the ratio is reported
+    in the JSON record as ``monitor_overhead``.
+    """
+    from repro.monitor import DriftMonitor, MetricsRegistry
+
+    plain = FleetEngine(default_model=model)
+    plain.register_cell("bench-cell")
+    metrics = MetricsRegistry()
+    monitored = FleetEngine(
+        default_model=model, metrics=metrics, drift=DriftMonitor(metrics=metrics)
+    )
+    monitored.register_cell("bench-cell")
+    ids = ["bench-cell"]
+    plain.estimate(ids, 3.7, 1.0, 25.0)  # warm both kernels
+    monitored.estimate(ids, 3.7, 1.0, 25.0)
+    plain_us = _p50_us(lambda: plain.estimate(ids, 3.7, 1.0, 25.0), reps)
+    monitored_us = _p50_us(lambda: monitored.estimate(ids, 3.7, 1.0, 25.0), reps)
+    return {
+        "engine_plain_p50_us": plain_us,
+        "engine_monitored_p50_us": monitored_us,
+        "monitor_overhead": monitored_us / plain_us,
+    }
+
+
 def bench_rollout(model, cells: int, step_s: float, seed: int) -> dict:
     """Fleet rollout through kernels vs the Tensor escape hatch."""
     fleet = generate_fleet(
@@ -182,6 +210,7 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
 
     single = bench_single_row(model, kernel, reps)
     batched = bench_batched(model, kernel, batch, max(reps // 10, 50))
+    monitor = bench_monitor_overhead(model, max(reps // 2, 100))
     rollout = bench_rollout(model, cells, step_s, seed)
     wire_rec = bench_wire(rollout.pop("_results"), batch, max(reps // 10, 50))
 
@@ -193,6 +222,7 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
         "fast": fast,
         **single,
         **batched,
+        **monitor,
         **rollout,
         **wire_rec,
     }
@@ -209,6 +239,9 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
     print(format_table(["path", "p50 [us]", "rows/s"], rows, float_digits=1))
     print(f"kernel speedup: {record['kernel_speedup']:.1f}x single-row, "
           f"{record['batched_speedup']:.1f}x at batch {batch}")
+    print(f"monitoring overhead: engine estimate x1 {monitor['engine_plain_p50_us']:.1f}us bare "
+          f"vs {monitor['engine_monitored_p50_us']:.1f}us monitored "
+          f"-> {(record['monitor_overhead'] - 1) * 100:+.1f}% (budget +10%)")
     print(f"rollout_fleet ({cells} cells): Tensor {rollout['rollout_tensor_s']:.3f}s, "
           f"kernel {rollout['rollout_kernel_s']:.3f}s "
           f"-> {record['rollout_kernel_speedup']:.1f}x "

@@ -21,6 +21,10 @@ ALLOWLIST = [
     "benchmarks/check_bench_regression.py",
     "scripts/check_format.py",
     "src/repro/core/kernels.py",
+    "src/repro/monitor/__init__.py",
+    "src/repro/monitor/autopilot.py",
+    "src/repro/monitor/drift.py",
+    "src/repro/monitor/metrics.py",
     "src/repro/serve/__init__.py",
     "src/repro/serve/canary.py",
     "src/repro/serve/gateway.py",
@@ -30,6 +34,9 @@ ALLOWLIST = [
     "src/repro/serve/wire.py",
     "src/repro/serve/workers.py",
     "tests/test_core_kernels.py",
+    "tests/test_monitor_autopilot.py",
+    "tests/test_monitor_drift.py",
+    "tests/test_monitor_metrics.py",
     "tests/test_serve_gateway.py",
     "tests/test_serve_wire.py",
     "tests/test_serve_workers.py",

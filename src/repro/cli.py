@@ -22,7 +22,11 @@ Gives the library a deployable surface without writing Python:
   shed counts and sustained req/s (the CI soak lane);
 - ``repro-soc registry`` — inspect and manage a model registry:
   ``list`` published versions/channels, ``promote`` a canary to
-  stable, ``rollback`` (abandon) a canary.
+  stable, ``rollback`` (abandon) a canary;
+- ``repro-soc monitor`` — read metrics snapshots written by
+  ``serve-sim --metrics-json``: ``snapshot`` pretty-prints one,
+  ``watch`` polls a snapshot file as a run refreshes it, ``export``
+  converts to Prometheus text exposition.
 
 Installed as the ``repro-soc`` console script (see ``setup.py``); also
 reachable as ``python -m repro.cli``.
@@ -40,6 +44,9 @@ Usage examples::
         --clients 64 --requests 8000 --soak-json soak.json --fail-on-error
     repro-soc registry list ./registry
     repro-soc registry promote ./registry sandia-serve
+    repro-soc serve-sim model.npz --cells 256 --metrics-json metrics.json --fail-on-drift
+    repro-soc monitor snapshot metrics.json
+    repro-soc monitor export metrics.json --out metrics.prom
 """
 
 from __future__ import annotations
@@ -210,7 +217,7 @@ def _cmd_rollout(args) -> int:
     return 0
 
 
-def _gateway_traffic(engine, fleet, args):
+def _gateway_traffic(engine, fleet, args, metrics=None):
     """Drive the async gateway: one fleet rollout, then client traffic.
 
     Returns ``(gateway, rollout_results, rollout_s, completions,
@@ -252,6 +259,7 @@ def _gateway_traffic(engine, fleet, args):
             max_batch=args.max_batch,
             max_delay_s=args.max_delay_ms / 1000.0,
             max_in_flight=args.max_in_flight,
+            metrics=metrics,
         )
         async with gateway:
             t0 = time.perf_counter()
@@ -313,6 +321,13 @@ def _cmd_serve_sim(args) -> int:
         name = f"{dataset or 'default'}-serve"
         registry.publish(name, model, dataset=dataset)
         print(f"serving via registry {args.registry} (model {name!r})")
+    monitoring = bool(args.metrics_json or args.fail_on_drift)
+    metrics = drift = None
+    if monitoring:
+        from .monitor import DriftMonitor, MetricsRegistry
+
+        metrics = MetricsRegistry()
+        drift = DriftMonitor(metrics=metrics)
     journal = None
     if args.journal and not args.workers:
         journal = StateJournal(args.journal)
@@ -323,22 +338,29 @@ def _cmd_serve_sim(args) -> int:
                 registry_root=args.registry or None,
                 journal_path=f"{args.journal}.shard{k}" if args.journal else None,
                 name=f"shard{k}",
+                monitor=monitoring,
             )
 
         engine = ShardedFleet(args.workers, worker_factory=worker_factory)
     elif args.shards > 1:
         engine = ShardedFleet(
-            args.shards, default_model=model, registry=registry, journal=journal
+            args.shards, default_model=model, registry=registry, journal=journal,
+            metrics=metrics, drift=drift,
         )
     else:
-        engine = FleetEngine(default_model=model, registry=registry, journal=journal)
+        engine = FleetEngine(
+            default_model=model, registry=registry, journal=journal,
+            metrics=metrics, drift=drift,
+        )
     assignments = fleet.assignments()
 
     gateway = None
     completions = []
     traffic_s = 0.0
     if args.async_:
-        gateway, results, elapsed, completions, traffic_s = _gateway_traffic(engine, fleet, args)
+        gateway, results, elapsed, completions, traffic_s = _gateway_traffic(
+            engine, fleet, args, metrics=metrics
+        )
     else:
         t0 = time.perf_counter()
         results = engine.rollout_fleet(assignments, step_s=args.step)
@@ -390,6 +412,9 @@ def _cmd_serve_sim(args) -> int:
     rc = 0
     if args.async_:
         rc = _report_gateway(gateway, engine, completions, traffic_s, args)
+    if monitoring:
+        drift_rc = _report_monitoring(engine, metrics, drift, args)
+        rc = rc or drift_rc
     if journal is not None:
         journal.close()
     if hasattr(engine, "close"):
@@ -460,6 +485,135 @@ def _report_gateway(gateway, engine, completions, traffic_s, args) -> int:
             f"(--fail-on-error)"
         )
         return 1
+    return 0
+
+
+def _report_monitoring(engine, metrics, drift, args) -> int:
+    """Merge the run's metrics, write the snapshot, apply the drift gate.
+
+    The merged view covers the parent registry (engine or gateway
+    series plus parent-side drift counters) and — for ``--workers``
+    topologies — every subprocess shard's registry via
+    ``ShardedFleet.metrics()``.  With ``--fail-on-drift`` any
+    drift/physics-bounds event anywhere in the topology exits 1: the
+    CI false-positive gate for the detectors on clean traffic.
+    """
+    import json
+
+    from .monitor import merge_snapshots
+
+    snapshots = [metrics.snapshot()]
+    fleet_metrics = getattr(engine, "metrics", None)
+    if callable(fleet_metrics) and getattr(engine, "metrics_registry", None) is not metrics:
+        # subprocess workers carry their own registries; in-process
+        # shards share the parent registry already snapshotted above
+        snapshots.append(fleet_metrics())
+    merged = merge_snapshots(snapshots)
+    drift_total = sum(
+        value for key, value in merged["counters"].items() if key.startswith("drift_events_total")
+    )
+    events = [
+        {
+            "kind": e.kind,
+            "cell_id": e.cell_id,
+            "value": e.value,
+            "threshold": e.threshold,
+            "window": e.window,
+            "detail": e.detail,
+        }
+        for e in drift.events()
+    ]
+    if args.metrics_json:
+        record = {
+            "metrics": merged,
+            "drift_event_total": drift_total,
+            "drift_events": events,
+        }
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}")
+    print(f"monitoring: {int(drift_total)} drift/physics events across the topology")
+    if args.fail_on_drift and drift_total:
+        by_kind = {
+            key.split('kind="', 1)[1].rstrip('"}'): int(value)
+            for key, value in merged["counters"].items()
+            if key.startswith("drift_events_total")
+        }
+        print(f"FAIL: drift detectors fired on clean traffic: {by_kind} (--fail-on-drift)")
+        return 1
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    """Read, pretty-print, watch or export a metrics snapshot file."""
+    import json
+    import time as _time
+
+    from .eval.reporting import format_table
+    from .monitor import prometheus_text
+
+    def load_snapshot():
+        with open(args.snapshot_file, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        # accept both a bare registry snapshot and a serve-sim report
+        return record.get("metrics", record), record
+
+    def render(snapshot, record) -> None:
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        if counters or gauges:
+            rows = [[key, f"{value:g}"] for key, value in sorted(counters.items())]
+            rows += [[key, f"{value:g}"] for key, value in sorted(gauges.items())]
+            print(format_table(["series", "value"], rows))
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            rows = []
+            for key, summary in sorted(histograms.items()):
+                quantiles = summary.get("quantiles") or {}
+                count = summary.get("count", 0)
+                rows.append([
+                    key,
+                    count,
+                    (summary.get("sum", 0.0) / count) if count else float("nan"),
+                    quantiles.get("0.5", float("nan")),
+                    quantiles.get("0.95", float("nan")),
+                    quantiles.get("0.99", float("nan")),
+                ])
+            print(format_table(["histogram", "count", "mean", "p50", "p95", "p99"], rows))
+        if "drift_event_total" in record:
+            print(f"drift events: {int(record['drift_event_total'])}")
+            for event in record.get("drift_events", [])[:10]:
+                print(
+                    f"  [{event['kind']}] cell {event['cell_id']}: value {event['value']:.4g} "
+                    f"vs threshold {event['threshold']:.4g} (window {event['window']})"
+                )
+
+    if args.monitor_command == "snapshot":
+        snapshot, record = load_snapshot()
+        if args.prometheus:
+            print(prometheus_text(snapshot), end="")
+        else:
+            render(snapshot, record)
+        return 0
+    if args.monitor_command == "export":
+        snapshot, _ = load_snapshot()
+        text = prometheus_text(snapshot)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+        return 0
+    # watch: poll the snapshot file as a serving run refreshes it
+    for tick in range(args.count):
+        try:
+            snapshot, record = load_snapshot()
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"[watch {tick + 1}/{args.count}] snapshot unreadable: {exc}")
+        else:
+            print(f"[watch {tick + 1}/{args.count}] {args.snapshot_file}")
+            render(snapshot, record)
+        if tick + 1 < args.count:
+            _time.sleep(args.interval)
     return 0
 
 
@@ -599,7 +753,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write gateway soak results (counts, latency percentiles) here")
     serve.add_argument("--fail-on-error", action="store_true",
                        help="exit 1 on any errored/shed completion or dead worker")
+    serve.add_argument("--metrics-json", default=None,
+                       help="enable monitoring (metrics registry + drift detectors across "
+                            "every layer, incl. subprocess workers) and write the merged "
+                            "snapshot here (read it with 'repro-soc monitor')")
+    serve.add_argument("--fail-on-drift", action="store_true",
+                       help="enable monitoring and exit 1 if any drift/physics-bounds "
+                            "event fires (the detector false-positive gate)")
     serve.set_defaults(func=_cmd_serve_sim)
+
+    monitor = sub.add_parser("monitor", help="read metrics snapshots (serve-sim --metrics-json)")
+    monitor_sub = monitor.add_subparsers(dest="monitor_command", required=True)
+    mon_snapshot = monitor_sub.add_parser("snapshot", help="pretty-print one snapshot file")
+    mon_snapshot.add_argument("snapshot_file", help="metrics JSON written by serve-sim")
+    mon_snapshot.add_argument("--prometheus", action="store_true",
+                              help="print Prometheus text exposition instead of tables")
+    mon_snapshot.set_defaults(func=_cmd_monitor)
+    mon_watch = monitor_sub.add_parser("watch", help="poll a snapshot file as a run refreshes it")
+    mon_watch.add_argument("snapshot_file")
+    mon_watch.add_argument("--interval", type=float, default=2.0, help="seconds between polls")
+    mon_watch.add_argument("--count", type=int, default=5, help="number of polls")
+    mon_watch.set_defaults(func=_cmd_monitor)
+    mon_export = monitor_sub.add_parser("export", help="convert a snapshot to Prometheus text")
+    mon_export.add_argument("snapshot_file")
+    mon_export.add_argument("--out", required=True, help="write the exposition text here")
+    mon_export.set_defaults(func=_cmd_monitor)
 
     registry = sub.add_parser("registry", help="inspect and manage a model registry")
     registry_sub = registry.add_subparsers(dest="registry_command", required=True)

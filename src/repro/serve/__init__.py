@@ -22,7 +22,8 @@ and versioned checkpoint rollout.
   deadline-triggered request coalescing with latency accounting;
 - :mod:`repro.serve.gateway` — :class:`SocGateway`: asyncio front-end
   accepting estimate/predict/rollout requests concurrently, with
-  admission control, load shedding, and per-endpoint latency stats;
+  admission control, load shedding, worker-crash retry, and
+  registry-backed per-endpoint latency stats;
 - :mod:`repro.serve.workers` — :class:`ProcessShardWorker`: a shard
   engine in a subprocess behind a length-prefixed pipe protocol, with
   crash detection, graceful drain, and journal-based restart recovery;
@@ -46,7 +47,7 @@ protocol (v1/v2 frame layout), journal format, and canary lifecycle.
 from .canary import CanaryController, CanaryReport, in_canary_slice
 from .engine import CellState, FleetEngine
 from .fleet_sim import FleetMember, FleetScenario, generate_fleet
-from .gateway import EndpointStats, GatewayOverloaded, SocGateway
+from .gateway import GatewayOverloaded, SocGateway
 from .persistence import JournalSnapshot, StateJournal
 from .registry import ModelEntry, ModelRegistry
 from .scheduler import BatchStats, Completion, MicroBatcher, Request
@@ -59,7 +60,6 @@ __all__ = [
     "ShardedFleet",
     "shard_for",
     "SocGateway",
-    "EndpointStats",
     "GatewayOverloaded",
     "ProcessShardWorker",
     "WorkerCrashError",

@@ -33,6 +33,8 @@ from ..datasets.base import CycleRecord
 from .registry import ModelRegistry
 
 if TYPE_CHECKING:
+    from ..monitor.drift import DriftMonitor
+    from ..monitor.metrics import MetricsRegistry
     from .persistence import StateJournal
 
 __all__ = ["CellState", "FleetEngine"]
@@ -97,6 +99,20 @@ class FleetEngine:
         model *object* is replaced (e.g. a registry promote); mutating
         weights in place on a live engine requires a new engine or
         ``use_kernel=False``.
+    metrics:
+        Optional :class:`~repro.monitor.metrics.MetricsRegistry`; when
+        attached the engine reports per-model request counters
+        (``engine_requests_total{op=,model=,path=}``), rollout window
+        counts, per-window physics-residual summaries
+        (``engine_physics_residual{model=}``) and a fleet-size gauge.
+        ``None`` (the default) keeps the hot path entirely
+        instrumentation-free.
+    drift:
+        Optional :class:`~repro.monitor.drift.DriftMonitor`; estimates
+        and predictions get physics-bounds checks, and fleet rollouts
+        stream the per-cell ``|coulomb ΔSoC − predicted ΔSoC|``
+        residual (the Branch 2 correction magnitude over Eq. 1) into
+        its Page–Hinkley/CUSUM banks.
 
     At least one of ``default_model`` / ``registry`` must be provided.
     """
@@ -107,14 +123,23 @@ class FleetEngine:
         registry: ModelRegistry | None = None,
         journal: StateJournal | None = None,
         use_kernel: bool = True,
+        metrics: MetricsRegistry | None = None,
+        drift: DriftMonitor | None = None,
     ):
         if default_model is None and registry is None:
             raise ValueError("need a default model, a registry, or both")
         self.registry = registry
         self.journal = journal
         self.use_kernel = use_kernel
+        self.metrics = metrics
+        self.drift = drift
         self._models: dict[str, TwoBranchSoCNet] = {}
         self._kernels: dict[str, CompiledTwoBranchKernel] = {}
+        # instrument objects cached per (op, model key): the registry's
+        # get-or-create builds a label-string key per call, which is too
+        # much work for the per-batch hot path
+        self._op_counters: dict[tuple[str, str], object] = {}
+        self._residual_hists: dict[str, object] = {}
         if default_model is not None:
             self._models[_DEFAULT_MODEL_KEY] = default_model
         self._cells: dict[str, CellState] = {}
@@ -127,6 +152,8 @@ class FleetEngine:
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
         use_kernel: bool = True,
+        metrics: MetricsRegistry | None = None,
+        drift: DriftMonitor | None = None,
     ) -> FleetEngine:
         """Rebuild an engine from a journal after a restart.
 
@@ -137,7 +164,12 @@ class FleetEngine:
         :meth:`resume_rollout_fleet`.
         """
         engine = cls(
-            default_model=default_model, registry=registry, journal=journal, use_kernel=use_kernel
+            default_model=default_model,
+            registry=registry,
+            journal=journal,
+            use_kernel=use_kernel,
+            metrics=metrics,
+            drift=drift,
         )
         for state in journal.snapshot().cells.values():
             engine._adopt_state(dataclasses.replace(state))
@@ -164,9 +196,12 @@ class FleetEngine:
             resolution.
         """
         key = self._resolve_key(chemistry, model_name)
+        new = cell_id not in self._cells
         state = CellState(cell_id=cell_id, chemistry=chemistry, model_key=key)
         self._cells[cell_id] = state
         self._record(state)
+        if new:
+            self._track_size(1)
         return state
 
     def deregister_cell(self, cell_id: str) -> CellState:
@@ -175,6 +210,7 @@ class FleetEngine:
         del self._cells[cell_id]
         if self.journal is not None:
             self.journal.drop_cell(cell_id)
+        self._track_size(-1)
         return state
 
     def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
@@ -241,13 +277,26 @@ class FleetEngine:
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
             out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
+            if self.metrics is not None:
+                self._op_counter("estimate", key).inc(len(idx))
+        # physics-bounds guard, folded into the state-update loop below:
+        # two float compares per cell ride the pass that already
+        # materializes each SoC, so the clean path pays ~nothing and the
+        # vectorized monitor only runs when a violation actually exists
+        bounds = self.drift.bounds if self.drift is not None else None
+        in_bounds = True
         states = []
         for k, cid in enumerate(cell_ids):
             state = self._cells[cid]
-            state.soc = float(out[k])
+            soc = float(out[k])
+            state.soc = soc
             state.n_requests += 1
             state.last_seen_s = now_s
             states.append(state)
+            if bounds is not None and (soc < bounds.soc_min or soc > bounds.soc_max):
+                in_bounds = False
+        if not in_bounds:
+            self.drift.observe_soc(cell_ids, out)
         self._record_many(states)
         return out
 
@@ -293,6 +342,10 @@ class FleetEngine:
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
             out[idx] = self._infer(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+            if self.metrics is not None:
+                self._op_counter("predict", key).inc(len(idx))
+        if self.drift is not None:
+            self.drift.observe_soc(cell_ids, out, delta=out - soc, horizon_s=horizon)
         states = []
         for k, cid in enumerate(cell_ids):
             state = self._cells[cid]
@@ -442,6 +495,30 @@ class FleetEngine:
             t_mat = u_t[u_of]
             h_mat = u_h[u_of]
             preds = np.empty((n, max_w + 1))
+            # observability scratch: the per-window physics residual
+            # |predicted ΔSoC − coulomb ΔSoC| (the Branch 2 correction
+            # magnitude over Eq. 1) is computed entirely in these
+            # buffers, allocated once per model group — the window loop
+            # below adds no allocations over the unmonitored path
+            monitored = self.metrics is not None or self.drift is not None
+            if monitored:
+                cap_row = np.array([c.capacity_ah for c in u_cycles])[u_of]
+                rb_prev = np.empty(n)
+                rb_res = np.empty(n)
+                rb_tmp = np.empty(n)
+                rb_i = np.empty(n)
+                rb_h = np.empty(n)
+                rb_cap = np.empty(n)
+                resid_hist = None
+                windows_counter = None
+                if self.metrics is not None:
+                    self._op_counter("rollout", key).inc(n)
+                    resid_hist = self._residual_hist(key)
+                    windows_counter = self.metrics.counter("engine_rollout_windows_total", model=key)
+                gidx = rb_g = None
+                if self.drift is not None:
+                    gidx = self.drift.track(ids)
+                    rb_g = np.empty(n, dtype=np.intp)
             # replay journaled windows: start_w[r] is the last window
             # whose SoC is already known (its value seeds the recursion)
             start_w = np.zeros(n, dtype=int)
@@ -467,14 +544,42 @@ class FleetEngine:
                 seed = infer.estimate_soc(first[:, 0], first[:, 1], first[:, 2])
                 soc[idx] = seed
                 preds[idx, 0] = seed
+                if self.drift is not None:
+                    self.drift.observe_soc(ids, seed, positions=idx, window=0)
                 if self.journal is not None:
                     self.journal.append_windows((ids[r], 0, float(soc[r])) for r in fresh)
             for w in range(max_w):
                 idx = np.flatnonzero((n_w > w) & (start_w <= w))
                 if len(idx):
+                    m = len(idx)
+                    if monitored:
+                        np.take(soc, idx, out=rb_prev[:m])
                     out = infer.predict_soc(soc[idx], i_mat[idx, w], t_mat[idx, w], h_mat[idx, w])
                     soc[idx] = out
                     preds[idx, w + 1] = out
+                    if monitored:
+                        # residual = |(out − prev) − (−I·N / (3600·C))|,
+                        # assembled in the preallocated scratch buffers
+                        np.take(i_mat[:, w], idx, out=rb_i[:m])
+                        np.take(h_mat[:, w], idx, out=rb_h[:m])
+                        np.take(cap_row, idx, out=rb_cap[:m])
+                        np.subtract(out, rb_prev[:m], out=rb_res[:m])  # predicted ΔSoC
+                        if self.drift is not None:
+                            self.drift.observe_soc(
+                                ids, out, delta=rb_res[:m], horizon_s=rb_h[:m],
+                                positions=idx, window=w + 1,
+                            )
+                        np.multiply(rb_i[:m], rb_h[:m], out=rb_tmp[:m])
+                        np.divide(rb_tmp[:m], rb_cap[:m], out=rb_tmp[:m])
+                        rb_tmp[:m] /= -3600.0  # coulomb-counting ΔSoC (Eq. 1)
+                        np.subtract(rb_res[:m], rb_tmp[:m], out=rb_res[:m])
+                        np.abs(rb_res[:m], out=rb_res[:m])
+                        if resid_hist is not None:
+                            resid_hist.observe_batch(rb_res[:m])
+                            windows_counter.inc(m)
+                        if self.drift is not None:
+                            np.take(gidx, idx, out=rb_g[:m])
+                            self.drift.observe_residuals(rb_g[:m], rb_res[:m], window=w + 1)
                     if self.journal is not None:
                         self.journal.append_windows((ids[r], w + 1, float(soc[r])) for r in idx)
                 if step_hook is not None:
@@ -498,6 +603,52 @@ class FleetEngine:
             self._record_many(states)
         return {cell_id: results[cell_id] for cell_id, _ in pairs}
 
+    # -- observability -------------------------------------------------
+    def metrics_snapshot(self) -> dict | None:
+        """JSON snapshot of the attached metrics registry (``None`` without one).
+
+        The uniform readout surface across worker kinds: in-process
+        engines answer directly,
+        :class:`~repro.serve.workers.ProcessShardWorker` forwards the
+        call over the wire, and
+        :meth:`ShardedFleet.metrics <repro.serve.sharding.ShardedFleet.metrics>`
+        merges the whole topology.
+        """
+        return None if self.metrics is None else self.metrics.snapshot()
+
+    def _op_counter(self, op: str, key: str):
+        """Cached ``engine_requests_total`` counter for one (op, model)."""
+        counter = self._op_counters.get((op, key))
+        if counter is None:
+            counter = self.metrics.counter(
+                "engine_requests_total",
+                op=op,
+                model=key,
+                path="kernel" if self.use_kernel else "tensor",
+            )
+            self._op_counters[(op, key)] = counter
+        return counter
+
+    def _residual_hist(self, key: str):
+        """Cached per-model physics-residual histogram."""
+        hist = self._residual_hists.get(key)
+        if hist is None:
+            hist = self.metrics.histogram("engine_physics_residual", model=key)
+            self._residual_hists[key] = hist
+        return hist
+
+    def _track_size(self, delta: int) -> None:
+        """Adjust the fleet-size gauge by ``delta``.
+
+        Delta-based on purpose: in-process shards *share* one registry,
+        so ``set(len(self._cells))`` would clobber the gauge with a
+        single shard's count — increments from every shard sum to the
+        fleet size, matching how :func:`merge_snapshots` sums gauges
+        across subprocess workers.
+        """
+        if self.metrics is not None:
+            self.metrics.gauge("engine_cells").inc(delta)
+
     # ------------------------------------------------------------------
     def _record(self, state: CellState) -> None:
         if self.journal is not None:
@@ -514,7 +665,10 @@ class FleetEngine:
         Used by :meth:`restore` (the journal already holds the record)
         and by shard rebalancing (the move does not change the state).
         """
+        new = state.cell_id not in self._cells
         self._cells[state.cell_id] = state
+        if new:
+            self._track_size(1)
 
     def _evict_state(self, cell_id: str) -> CellState:
         """Remove and return a cell's state without journaling a drop.
@@ -522,7 +676,9 @@ class FleetEngine:
         The shard-rebalancing counterpart of :meth:`_adopt_state`: the
         cell is moving, not leaving the fleet.
         """
-        return self._cells.pop(cell_id)
+        state = self._cells.pop(cell_id)
+        self._track_size(-1)
+        return state
 
     def _resolve_key(self, chemistry: str | None, model_name: str | None) -> str:
         if model_name is not None:

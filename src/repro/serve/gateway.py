@@ -34,70 +34,76 @@ batches flush as soon as the engine frees up.
 Per-endpoint accounting (:meth:`SocGateway.stats_dict`) reports
 request/ok/error/shed counts, latency percentiles, and sustained
 throughput — the numbers the CI soak lane and
-``benchmarks/bench_fleet_throughput.py`` gate.
+``benchmarks/bench_fleet_throughput.py`` gate.  Since the monitor PR
+those series live in a :class:`~repro.monitor.metrics.MetricsRegistry`
+(pass one in to share it with the engine and drift monitors): counters
+per endpoint plus a streaming-quantile latency histogram — the old
+``EndpointStats`` reservoir (262k floats per endpoint) is retired in
+favor of ~45 floats of P² sketch state, and the same numbers become
+available as Prometheus text and mergeable JSON snapshots.
+
+The gateway is also where **crash retry** lands: when a batched engine
+call dies with :class:`~repro.serve.workers.WorkerCrashError` (a shard
+worker subprocess crashed mid-request), the gateway restarts the dead
+workers (``engine.restart_dead_workers()``) and the batcher retries
+the affected batch once against the healed fleet — journaled workers
+come back with their cells, so the requests succeed instead of
+surfacing ``ok=False``.  ``gateway_retries_total`` counts the
+recoveries.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-import dataclasses
 import time
 from typing import Callable, Iterable
 
-import numpy as np
-
 from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
+from ..monitor.metrics import MetricsRegistry
 from .scheduler import Completion, MicroBatcher
 
-__all__ = ["EndpointStats", "GatewayOverloaded", "SocGateway"]
+__all__ = ["GatewayOverloaded", "SocGateway"]
 
-_LATENCY_RESERVOIR = 262_144  # plenty for any soak; bounds gateway memory
+_ENDPOINTS = ("estimate", "predict", "rollout")
 
 
 class GatewayOverloaded(RuntimeError):
     """A rollout was refused because the gateway is at capacity."""
 
 
-@dataclasses.dataclass(slots=True)
-class EndpointStats:
-    """Latency/throughput accounting for one gateway endpoint.
+class _Endpoint:
+    """Registry-backed accounting for one gateway endpoint.
 
-    Slotted like the scheduler's per-request records: ``observe`` runs
-    once per completion on the hot path.
-
-    Attributes
-    ----------
-    requests:
-        Requests accepted *or* shed at this endpoint.
-    completed:
-        Requests that produced a completion (ok or error).
-    errors:
-        Completions with :attr:`Completion.ok` false (engine-level
-        failures; shed requests are counted separately).
-    shed:
-        Requests refused by admission control.
+    Replaces the retired ``EndpointStats`` reservoir: the four
+    counters and the latency histogram are plain registry series (so
+    they ship in snapshots and merge across processes), and the
+    instrument objects are cached here because ``observe`` runs once
+    per completion on the hot path.
     """
 
-    requests: int = 0
-    completed: int = 0
-    errors: int = 0
-    shed: int = 0
-    latencies_s: list = dataclasses.field(default_factory=list)
+    __slots__ = ("requests", "completed", "errors", "shed", "latency")
+
+    def __init__(self, metrics: MetricsRegistry, endpoint: str):
+        self.requests = metrics.counter("gateway_requests_total", endpoint=endpoint)
+        self.completed = metrics.counter("gateway_completed_total", endpoint=endpoint)
+        self.errors = metrics.counter("gateway_errors_total", endpoint=endpoint)
+        self.shed = metrics.counter("gateway_shed_total", endpoint=endpoint)
+        self.latency = metrics.histogram("gateway_latency_seconds", endpoint=endpoint)
 
     def observe(self, latency_s: float, ok: bool) -> None:
         """Record one completion's end-to-end latency."""
-        self.completed += 1
-        self.errors += not ok
-        if len(self.latencies_s) < _LATENCY_RESERVOIR:
-            self.latencies_s.append(latency_s)
+        self.completed.inc()
+        if not ok:
+            self.errors.inc()
+        self.latency.observe(latency_s)
 
     def percentile_ms(self, q: float) -> float:
-        """Latency percentile (milliseconds) across observed completions."""
-        if not self.latencies_s:
+        """Streaming latency quantile (milliseconds); 0 before any sample."""
+        if self.latency.count == 0:
             return 0.0
-        return float(np.percentile(np.asarray(self.latencies_s), q)) * 1e3
+        return self.latency.quantile(q / 100.0) * 1e3
 
 
 class SocGateway:
@@ -120,6 +126,11 @@ class SocGateway:
         it are shed.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    metrics:
+        Optional :class:`~repro.monitor.metrics.MetricsRegistry` the
+        per-endpoint series land in; pass the registry shared with the
+        engine/drift monitors to get one coherent snapshot, or omit it
+        and the gateway creates its own (``gateway.metrics``).
 
     Use as an async context manager (``async with SocGateway(...)``) so
     the deadline flusher runs; without it, call :meth:`pump`
@@ -134,18 +145,23 @@ class SocGateway:
         max_delay_s: float = 0.010,
         max_in_flight: int = 1024,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
         self.engine = engine
-        self.batcher = MicroBatcher(engine, max_batch=max_batch, max_delay_s=max_delay_s, clock=clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batcher = MicroBatcher(
+            engine,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            clock=clock,
+            on_worker_crash=self._recover_workers,
+        )
         self.max_in_flight = max_in_flight
         self.clock = clock
-        self.stats: dict[str, EndpointStats] = {
-            "estimate": EndpointStats(),
-            "predict": EndpointStats(),
-            "rollout": EndpointStats(),
-        }
+        self.stats: dict[str, _Endpoint] = {name: _Endpoint(self.metrics, name) for name in _ENDPOINTS}
+        self._retries = self.metrics.counter("gateway_retries_total")
         self._started_s = clock()
         self._in_flight = 0
         self._waiters: dict[int, asyncio.Future] = {}
@@ -255,12 +271,17 @@ class SocGateway:
         Raises :class:`GatewayOverloaded` when shed by admission
         control.  The engine call holds the batcher lock, so request
         batches queue (and are shed past ``max_in_flight``) while the
-        rollout computes, then flush when the engine frees up.
+        rollout computes, then flush when the engine frees up.  A
+        :class:`~repro.serve.workers.WorkerCrashError` mid-rollout
+        triggers worker recovery and one retry (journaled workers
+        resume from their journals), like the request endpoints.
         """
+        from .workers import WorkerCrashError  # late: workers imports serve modules
+
         stats = self.stats["rollout"]
-        stats.requests += 1
+        stats.requests.inc()
         if self._in_flight >= self.max_in_flight:
-            stats.shed += 1
+            stats.shed.inc()
             raise GatewayOverloaded(f"shed: gateway at capacity ({self.max_in_flight} requests in flight)")
         self._in_flight += 1
         t_start = self.clock()
@@ -270,12 +291,22 @@ class SocGateway:
             with self.batcher.lock:
                 return self.engine.rollout_fleet(pairs, step_s)
 
+        loop = asyncio.get_running_loop()
         try:
-            result = await asyncio.get_running_loop().run_in_executor(None, _run)
+            try:
+                result = await loop.run_in_executor(None, _run)
+            except WorkerCrashError:
+                if getattr(self.engine, "restart_dead_workers", None) is None:
+                    raise  # nothing to heal: single engines, in-process shards
+                # retry even when _recover_workers restarted nothing — a
+                # concurrent recovery (another request batch, the control
+                # loop) may already have healed the fleet for us
+                self._recover_workers()
+                result = await loop.run_in_executor(None, _run)
         except Exception:
             self._in_flight -= 1
-            stats.completed += 1
-            stats.errors += 1
+            stats.completed.inc()
+            stats.errors.inc()
             raise
         self._in_flight -= 1
         stats.observe(self.clock() - t_start, ok=True)
@@ -288,29 +319,60 @@ class SocGateway:
         return self._in_flight
 
     def stats_dict(self) -> dict:
-        """Per-endpoint counters, latency percentiles and throughput."""
+        """Per-endpoint counters, latency percentiles and throughput.
+
+        Same shape as before the metrics registry existed (the soak
+        lane and throughput bench consume it); the underlying series
+        are registry-backed, so :meth:`metrics_snapshot` carries the
+        identical numbers in the mergeable format.
+        """
         elapsed = max(self.clock() - self._started_s, 1e-9)
-        report: dict = {"elapsed_s": elapsed}
+        report: dict = {"elapsed_s": elapsed, "retries": int(self._retries.value)}
         for name, ep in self.stats.items():
+            completed = int(ep.completed.value)
+            errors = int(ep.errors.value)
             report[name] = {
-                "requests": ep.requests,
-                "completed": ep.completed,
-                "ok": ep.completed - ep.errors,
-                "errors": ep.errors,
-                "shed": ep.shed,
+                "requests": int(ep.requests.value),
+                "completed": completed,
+                "ok": completed - errors,
+                "errors": errors,
+                "shed": int(ep.shed.value),
                 "p50_ms": ep.percentile_ms(50),
                 "p95_ms": ep.percentile_ms(95),
                 "p99_ms": ep.percentile_ms(99),
-                "req_per_s": ep.completed / elapsed,
+                "req_per_s": completed / elapsed,
             }
         return report
+
+    def metrics_snapshot(self) -> dict:
+        """JSON snapshot of the gateway's metrics registry."""
+        return self.metrics.snapshot()
+
+    def _recover_workers(self) -> bool:
+        """Restart dead shard workers so a crashed batch can retry.
+
+        Wired as the batcher's ``on_worker_crash`` hook (and used by
+        :meth:`rollout` directly).  Engines without
+        ``restart_dead_workers`` — single engines, in-process shards —
+        have nothing to heal, so the crash propagates as before.
+        """
+        restart = getattr(self.engine, "restart_dead_workers", None)
+        if restart is None:
+            return False
+        try:
+            restarted = restart()
+        except Exception:
+            return False  # a worker that cannot respawn stays dead; requests error per cell
+        if restarted:
+            self._retries.inc()
+        return bool(restarted)
 
     # ------------------------------------------------------------------
     async def _submit(self, kind: str, cell_id: str, enqueue: Callable[[], int]) -> Completion:
         stats = self.stats[kind]
-        stats.requests += 1
+        stats.requests.inc()
         if self._in_flight >= self.max_in_flight:
-            stats.shed += 1
+            stats.shed.inc()
             shed_id, self._next_shed_id = self._next_shed_id, self._next_shed_id - 1
             return Completion(
                 req_id=shed_id,

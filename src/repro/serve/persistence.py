@@ -14,14 +14,23 @@ durable with the classic write-ahead pattern:
   a crash mid-rollout loses at most the window being computed;
 - :meth:`compact` rewrites the file down to one record per live cell
   (plus any in-flight rollout progress) via an atomic replace, and
-  runs automatically every ``compact_every`` appended records.
+  runs automatically every ``compact_every`` appended records;
+- with ``max_segment_bytes`` set, the journal **rotates**: when the
+  active file crosses the limit it is sealed in place as
+  ``<name>.00001.jsonl`` (monotonically numbered) and a fresh active
+  file begins.  Replay walks the sealed segments in order, then the
+  active file; compaction collapses everything back into one active
+  file.  Rotation is what keeps a single append target small enough
+  for >1M-cell fleets: sealing is one ``rename`` (no data copied), and
+  compaction cost is bounded by *live* state, not append history.
 
 JSON floats round-trip ``float`` values exactly (``repr`` precision),
 which is what lets :meth:`FleetEngine.restore
 <repro.serve.engine.FleetEngine.restore>` followed by
 ``resume_rollout_fleet`` reproduce an uninterrupted rollout bit for
-bit.  A torn final line (crash mid-write) is tolerated on replay;
-corruption anywhere else raises.
+bit.  A torn final line (crash mid-write) is tolerated on replay —
+only in the *active* file, the one a crash can tear; sealed segments
+must parse cleanly — and corruption anywhere else raises.
 """
 
 from __future__ import annotations
@@ -37,7 +46,11 @@ from .engine import CellState
 
 __all__ = ["JournalSnapshot", "StateJournal", "JOURNAL_FORMAT_VERSION"]
 
-JOURNAL_FORMAT_VERSION = 1
+# v2 added the `compact` op (state-reset marker written by compaction)
+# and segment rotation; older readers see the version header and reject
+# the file cleanly instead of reporting the unknown op as corruption.
+# v1 files remain readable.
+JOURNAL_FORMAT_VERSION = 2
 
 
 @dataclasses.dataclass
@@ -80,22 +93,38 @@ class StateJournal:
         survive OS/power failure, paying one disk sync per batch
         (which is exactly why appends are batched: the cost is per
         flush, not per record).
+    max_segment_bytes:
+        Roll the active file into a sealed, numbered segment once it
+        grows past this size (0, the default, disables rotation).  The
+        check runs per flushed batch, so a segment may overshoot by up
+        to one batch.
     """
 
-    def __init__(self, path: str | Path, compact_every: int = 65536, fsync: bool = False):
+    def __init__(
+        self,
+        path: str | Path,
+        compact_every: int = 65536,
+        fsync: bool = False,
+        max_segment_bytes: int = 0,
+    ):
         if compact_every < 0:
             raise ValueError("compact_every cannot be negative")
+        if max_segment_bytes < 0:
+            raise ValueError("max_segment_bytes cannot be negative")
         self.path = Path(path)
         self.compact_every = compact_every
         self.fsync = fsync
+        self.max_segment_bytes = int(max_segment_bytes)
         self._cells: dict[str, dict] = {}
         self._windows: dict[str, dict[int, float]] = {}
         self._step_s: float | None = None
         self._appended = 0  # records since the last compaction
         self._scope_depth = 0
         self._fh = None
+        for segment in self.segments():
+            self._load_file(segment, allow_torn=False)
         if self.path.exists():
-            self._load()
+            self._load_file(self.path, allow_torn=True)
         self._open()
         if self._fresh:
             self._append({"op": "journal", "version": JOURNAL_FORMAT_VERSION})
@@ -200,13 +229,41 @@ class StateJournal:
         return len(self._cells)
 
     def size_bytes(self) -> int:
-        """On-disk size of the journal file."""
+        """On-disk size of the journal (active file plus sealed segments)."""
         self._fh.flush()
-        return self.path.stat().st_size
+        return self.path.stat().st_size + sum(seg.stat().st_size for seg in self.segments())
+
+    # -- segment rotation ----------------------------------------------
+    def segments(self) -> list[Path]:
+        """Sealed segment files, oldest first (empty without rotation)."""
+        found = []
+        for candidate in self.path.parent.glob(f"{self.path.name}.*.jsonl"):
+            stem = candidate.name[len(self.path.name) + 1 : -len(".jsonl")]
+            if stem.isdigit():
+                found.append((int(stem), candidate))
+        return [path for _, path in sorted(found)]
+
+    def _segment_path(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index:05d}.jsonl")
+
+    def _rotate(self) -> None:
+        """Seal the active file as the next numbered segment.
+
+        One ``rename`` — no data moves — then a fresh active file
+        opens with its own format header.  Called from the append path
+        once the active file crosses ``max_segment_bytes``.
+        """
+        self._fh.close()
+        existing = self.segments()
+        next_index = (int(existing[-1].name[len(self.path.name) + 1 : -6]) + 1) if existing else 1
+        os.replace(self.path, self._segment_path(next_index))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps({"op": "journal", "version": JOURNAL_FORMAT_VERSION}) + "\n")
+        self._fh.flush()
 
     # -- compaction ----------------------------------------------------
     def compact(self) -> None:
-        """Rewrite the file to its minimal equivalent state, atomically.
+        """Rewrite the journal to its minimal equivalent state, atomically.
 
         Keeps one ``cell`` record per live cell plus the in-flight
         rollout marker and per-window progress (so a resume after a
@@ -214,10 +271,19 @@ class StateJournal:
         the full prefix).  The replacement is a write-to-temp +
         ``os.replace``, so a crash mid-compaction leaves either the old
         or the new file, never a torn one.
+
+        A rotated journal collapses back to a single active file: the
+        compacted file opens with a ``compact`` marker — "the state
+        resets here" — so replay discards anything from sealed
+        segments a crash may have left behind, then the stale segments
+        are deleted.  (Unlink-after-replace is the crash-safe order:
+        the marker makes leftover segments harmless, whereas deleting
+        first would lose history if the replace never happened.)
         """
         tmp = self.path.with_suffix(self.path.suffix + ".compact")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(json.dumps({"op": "journal", "version": JOURNAL_FORMAT_VERSION}) + "\n")
+            fh.write(json.dumps({"op": "compact"}) + "\n")
             for cid in sorted(self._cells):
                 fh.write(json.dumps(self._cells[cid]) + "\n")
             if self._step_s is not None and any(self._windows.values()):
@@ -231,6 +297,8 @@ class StateJournal:
         if self._fh is not None:
             self._fh.close()
         os.replace(tmp, self.path)
+        for segment in self.segments():
+            segment.unlink()
         self._appended = 0
         self._open()
 
@@ -265,11 +333,14 @@ class StateJournal:
         if self.fsync:
             os.fsync(self._fh.fileno())
         self._appended += len(records)
+        if self.max_segment_bytes and self._fh.tell() >= self.max_segment_bytes:
+            self._rotate()
         if self.compact_every and self._appended >= self.compact_every:
             self.compact()
 
-    def _load(self) -> None:
-        data = self.path.read_bytes()
+    def _load_file(self, path: Path, allow_torn: bool) -> None:
+        """Replay one journal file (a sealed segment or the active file)."""
+        data = path.read_bytes()
         lines = data.splitlines(keepends=True)
         offset = 0
         for k, raw_line in enumerate(lines):
@@ -280,14 +351,14 @@ class StateJournal:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                if k == len(lines) - 1:
+                if allow_torn and k == len(lines) - 1:
                     # torn final line from a crash mid-write: truncate it
                     # away so the next append starts on a clean boundary
                     # instead of gluing onto the fragment
-                    with open(self.path, "r+b") as fh:
+                    with open(path, "r+b") as fh:
                         fh.truncate(offset)
                     return
-                raise ValueError(f"corrupt journal {self.path}: bad record on line {k + 1}")
+                raise ValueError(f"corrupt journal {path}: bad record on line {k + 1}")
             op = record.get("op")
             if op == "cell":
                 self._cells[record["id"]] = record
@@ -299,12 +370,19 @@ class StateJournal:
                 self._step_s = float(record["step_s"])
             elif op == "w":
                 self._windows.setdefault(record["id"], {})[int(record["w"])] = float(record["soc"])
+            elif op == "compact":
+                # everything before this marker was collapsed into the
+                # records that follow; discard any state replayed from
+                # segments a crash-during-compaction left behind
+                self._cells.clear()
+                self._windows.clear()
+                self._step_s = None
             elif op == "journal":
                 if record.get("version", 0) > JOURNAL_FORMAT_VERSION:
                     raise ValueError(
-                        f"journal {self.path} uses format v{record['version']} "
+                        f"journal {path} uses format v{record['version']} "
                         f"(this build reads up to v{JOURNAL_FORMAT_VERSION})"
                     )
             else:
-                raise ValueError(f"corrupt journal {self.path}: unknown op {op!r}")
+                raise ValueError(f"corrupt journal {path}: unknown op {op!r}")
             offset += len(raw_line)

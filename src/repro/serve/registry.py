@@ -125,6 +125,10 @@ class ModelRegistry:
         self._entries: dict[str, ModelEntry] = {}  # keyed by "name@vN"
         self._channels: dict[str, dict[str, int]] = {}
         self._models: dict[str, TwoBranchSoCNet] = {}
+        # (mtime_ns, size) of the channels file as last read; lets every
+        # lookup cheaply notice out-of-process publishes/promotes (a
+        # shard worker's registry follows the parent's channels.json)
+        self._channels_sig: tuple[int, int] | None = None
         self.refresh()
 
     # -- publishing ----------------------------------------------------
@@ -174,6 +178,7 @@ class ModelRegistry:
     # -- channel management --------------------------------------------
     def channels(self, name: str) -> dict[str, int]:
         """Channel -> version pointers for one name."""
+        self._sync_channels()
         if name not in self._channels:
             raise KeyError(f"no model named {name!r}; have {self.names()}")
         return dict(self._channels[name])
@@ -288,6 +293,7 @@ class ModelRegistry:
         KeyError
             When nothing matches (not even a generalist entry).
         """
+        self._sync_channels()
         chemistry = chemistry.lower() if chemistry else None
 
         def conflicts(entry_value, query_value) -> bool:
@@ -354,7 +360,20 @@ class ModelRegistry:
         return True
 
     # ------------------------------------------------------------------
-    def _parse_ref(self, ref: str) -> tuple[str, int]:
+    def _parse_ref(self, ref: str, _retry: bool = True) -> tuple[str, int]:
+        self._sync_channels()
+        try:
+            return self._parse_ref_once(ref)
+        except KeyError:
+            if not _retry:
+                raise
+            # the reference may name a version/channel another process
+            # just published (a canary staged by the parent, resolved by
+            # a shard worker): re-index from disk once and retry
+            self.refresh()
+            return self._parse_ref(ref, _retry=False)
+
+    def _parse_ref_once(self, ref: str) -> tuple[str, int]:
         name, sep, tag = ref.partition("@")
         if name not in {e.name for e in self._entries.values()}:
             raise KeyError(f"no model named {name!r}; have {self.names()}")
@@ -373,6 +392,46 @@ class ModelRegistry:
                 f"model {name!r} has no {tag!r} channel; have {self.channels(name)}"
             )
         return name, version
+
+    def _sync_channels(self) -> None:
+        """Re-read ``channels.json`` when another process changed it.
+
+        One ``stat`` per lookup keeps a live engine's bare-name and
+        channel references following out-of-process promotes/rollbacks
+        (the control plane runs in the parent, serving in shard worker
+        children; the channels file is their shared source of truth).
+        Version files are immutable, so entries only need re-indexing
+        when a *reference* misses (see :meth:`_parse_ref`).
+        """
+        path = self.root / _CHANNELS_FILE
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature == self._channels_sig:
+            return
+        self._channels_sig = signature
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        if any(
+            int(version) not in self.versions(name)
+            for name, pointers in raw.items()
+            for version in pointers.values()
+        ):
+            # a pointer names a version this process has not indexed yet
+            # (another process just published it): re-index from disk so
+            # the pointer lands on a real entry instead of being dropped
+            # — dropping it would leave resolve()/channels() without a
+            # stable pointer until some _parse_ref retry re-indexed
+            self.refresh()
+            return
+        self._channels = {
+            name: {ch: int(v) for ch, v in pointers.items()}
+            for name, pointers in raw.items()
+        }
+        for name in self.names():
+            if name not in self._channels:
+                self._channels[name] = {"stable": max(self.versions(name))}
 
     def _index(self, path: Path, meta: dict) -> ModelEntry:
         chemistry = meta.get("chemistry")

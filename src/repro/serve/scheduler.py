@@ -135,6 +135,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_delay_s: float = 0.010,
         clock: Callable[[], float] = time.monotonic,
+        on_worker_crash: Callable[[], bool] | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -144,6 +145,11 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.clock = clock
+        # recovery hook: invoked (under the batcher lock) when a batched
+        # engine call dies with WorkerCrashError; return True after
+        # restarting/rebalancing workers and the batch is retried once
+        # against the healed fleet instead of erroring out per request
+        self.on_worker_crash = on_worker_crash
         self.stats = BatchStats()
         # guards queues, outbox and stats against concurrent submitters;
         # re-entrant because a size-triggered submit flushes inline
@@ -221,26 +227,7 @@ class MicroBatcher:
             return
         batch, self._queues[kind] = queue, []
         now = self.clock()
-        # pre-flight: requests for unregistered cells get their own error
-        # completions up front, so one bad cell id neither sinks its
-        # batchmates nor degrades them to per-request engine calls
-        rejected = [r for r in batch if r.cell_id not in self.engine]
-        served = [r for r in batch if r.cell_id in self.engine]
-        outcomes = [
-            (r, float("nan"), f"unknown cell {r.cell_id!r}: not registered with the engine")
-            for r in rejected
-        ]
-        if served:
-            try:
-                outcomes += [(r, float(v), None) for r, v in zip(served, self._run(kind, served, now))]
-            except Exception:
-                # one poisoned request must not sink the batch: retry each
-                # request alone and report failures on their own completions
-                for r in served:
-                    try:
-                        outcomes.append((r, float(self._run(kind, [r], now)[0]), None))
-                    except Exception as exc:
-                        outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
+        outcomes = self._serve_batch(kind, batch, now)
         for r, value, error in outcomes:
             wait = now - r.submitted_s
             self._outbox.append(Completion(r.req_id, r.cell_id, kind, value, wait, len(batch), error))
@@ -250,6 +237,76 @@ class MicroBatcher:
             self.stats.max_wait_s = max(self.stats.max_wait_s, wait)
         self.stats.flushes += 1
         setattr(self.stats, f"{trigger}_flushes", getattr(self.stats, f"{trigger}_flushes") + 1)
+
+    def _attempt_batch(self, kind: str, batch: list[Request], now: float):
+        """Pre-flight the batch and serve the registered slice in one call.
+
+        Requests for unregistered cells get their own error completions
+        up front, so one bad cell id neither sinks its batchmates nor
+        degrades them to per-request engine calls.  The membership
+        probes themselves touch the engine (an RPC per shard on a
+        process-backed fleet), which is why this whole attempt — not
+        just the batched run — sits under the caller's crash-recovery
+        umbrella.
+        """
+        rejected = [r for r in batch if r.cell_id not in self.engine]
+        served = [r for r in batch if r.cell_id in self.engine]
+        outcomes = [
+            (r, float("nan"), f"unknown cell {r.cell_id!r}: not registered with the engine")
+            for r in rejected
+        ]
+        if served:
+            outcomes += [(r, float(v), None) for r, v in zip(served, self._run(kind, served, now))]
+        return outcomes
+
+    def _serve_batch(self, kind: str, batch: list[Request], now: float):
+        """Serve one flushed batch, surviving crashes and poison requests.
+
+        A :class:`~repro.serve.workers.WorkerCrashError` anywhere in the
+        attempt (a shard worker subprocess died) triggers the
+        ``on_worker_crash`` hook; if it reports a successful
+        restart/rebalance the batch is retried **once** against the
+        healed fleet.  Any other failure — or a retry that fails again —
+        falls back to per-request isolation, where every request is
+        individually wrapped so this method can never raise: a flush
+        that threw would kill the gateway's flusher task and strand
+        every queued waiter.  (Cells on surviving shards are served
+        twice by a batch retry; estimates/predictions are idempotent
+        reads, so only their request counters notice.)
+        """
+        from .workers import WorkerCrashError  # late: workers imports this module's engine types
+
+        try:
+            return self._attempt_batch(kind, batch, now)
+        except WorkerCrashError:
+            # the hook itself touches the fleet (respawn + init), so a
+            # persistently-crashing worker can raise right here — treat
+            # that as "not recovered", never let it escape the flush
+            try:
+                recovered = self.on_worker_crash is not None and self.on_worker_crash()
+            except Exception:
+                recovered = False
+            if recovered:
+                try:
+                    return self._attempt_batch(kind, batch, now)
+                except Exception:
+                    pass
+        except Exception:
+            pass
+        # one poisoned request must not sink the batch: retry each
+        # request alone and report failures on their own completions
+        outcomes = []
+        for r in batch:
+            try:
+                if r.cell_id not in self.engine:
+                    outcomes.append(
+                        (r, float("nan"), f"unknown cell {r.cell_id!r}: not registered with the engine")
+                    )
+                else:
+                    outcomes.append((r, float(self._run(kind, [r], now)[0]), None))
+            except Exception as exc:
+                outcomes.append((r, float("nan"), f"{type(exc).__name__}: {exc}"))
+        return outcomes
 
     def _run(self, kind: str, batch: list[Request], now: float):
         cell_ids = [r.cell_id for r in batch]

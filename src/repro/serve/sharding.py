@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -51,6 +51,11 @@ from ..datasets.base import CycleRecord
 from .engine import CellState, FleetEngine
 from .persistence import StateJournal
 from .registry import ModelRegistry
+from .workers import WorkerCrashError
+
+if TYPE_CHECKING:
+    from ..monitor.drift import DriftMonitor
+    from ..monitor.metrics import MetricsRegistry
 
 __all__ = ["ShardedFleet", "shard_for"]
 
@@ -89,7 +94,13 @@ class ShardedFleet:
     default_model, registry:
         Passed to every in-process shard engine (shards share the
         registry's model cache, so a checkpoint is materialized once).
-        Ignored when ``worker_factory`` is given.
+        With a ``worker_factory``, ``default_model`` is ignored, but
+        ``registry`` may still be given: factory-made workers open
+        their own copy of the same registry *root*, and the parent-side
+        instance is what fleet-level tooling
+        (:class:`~repro.serve.canary.CanaryController`, the autopilot)
+        publishes and promotes through — workers follow via the shared
+        ``channels.json``.
     journal:
         Optional shared :class:`StateJournal` for the whole fleet
         (in-process workers only — factory-made workers own their
@@ -103,6 +114,13 @@ class ShardedFleet:
         inference kernels (default) or the Tensor path (see
         :class:`FleetEngine`).  Ignored when ``worker_factory`` is
         given — factory-made workers pick their own inference path.
+    metrics, drift:
+        Optional :class:`~repro.monitor.metrics.MetricsRegistry` /
+        :class:`~repro.monitor.drift.DriftMonitor` shared by every
+        in-process shard engine (one registry, one detector bank —
+        cell ids are fleet-unique, so shards cannot collide).  Ignored
+        with a ``worker_factory``; subprocess workers carry their own
+        (``monitor=True``) and :meth:`metrics` merges them.
     """
 
     def __init__(
@@ -113,6 +131,8 @@ class ShardedFleet:
         journal: StateJournal | None = None,
         worker_factory: Callable[[int], FleetEngine] | None = None,
         use_kernel: bool = True,
+        metrics: MetricsRegistry | None = None,
+        drift: DriftMonitor | None = None,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -125,6 +145,10 @@ class ShardedFleet:
         self.registry = registry
         self.journal = journal
         self.use_kernel = use_kernel
+        # named metrics_registry (not .metrics) because .metrics() is the
+        # topology-wide snapshot method — mirroring ISSUE/API naming
+        self.metrics_registry = metrics
+        self.drift = drift
         self._worker_factory = worker_factory
         self._shards = [self._new_worker(k) for k in range(n_shards)]
 
@@ -136,6 +160,8 @@ class ShardedFleet:
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
         use_kernel: bool = True,
+        metrics: MetricsRegistry | None = None,
+        drift: DriftMonitor | None = None,
     ) -> ShardedFleet:
         """Rebuild a sharded fleet from a journal after a restart.
 
@@ -152,6 +178,8 @@ class ShardedFleet:
             registry=registry,
             journal=journal,
             use_kernel=use_kernel,
+            metrics=metrics,
+            drift=drift,
         )
         for state in journal.snapshot().cells.values():
             shard = shard_for(state.cell_id, n_shards)
@@ -326,6 +354,65 @@ class ShardedFleet:
         """Liveness per shard worker (in-process engines are always up)."""
         return [bool(getattr(shard, "alive", True)) for shard in self._shards]
 
+    def restart_dead_workers(self) -> list[int]:
+        """Respawn every dead shard worker; returns the healed indices.
+
+        The recovery half of gateway retry (and the
+        :class:`~repro.monitor.autopilot.ControlLoop` health tick):
+        journaled :class:`~repro.serve.workers.ProcessShardWorker`
+        children restore their cells and in-flight rollout progress
+        from their journals, so requests retried after this call land
+        on a fleet that looks exactly like the one that crashed.
+        In-process engines cannot die, so this is a no-op for them.
+        """
+        restarted: list[int] = []
+        for k, shard in enumerate(self._shards):
+            if getattr(shard, "alive", True):
+                continue
+            restart = getattr(shard, "restart", None)
+            if restart is None:
+                continue
+            try:
+                restart()
+            except WorkerCrashError:
+                continue  # died again during respawn/init; stays dead, callers see per-cell errors
+            except RuntimeError:
+                continue  # a concurrent recovery beat us to it (worker already running)
+            restarted.append(k)
+        return restarted
+
+    # -- observability --------------------------------------------------
+    def metrics(self) -> dict:
+        """One merged metrics snapshot across the whole shard topology.
+
+        In-process shards sharing one registry contribute it once
+        (deduplicated by object identity); subprocess workers built
+        with ``monitor=True`` ship their snapshots over the wire
+        (``metrics`` op).  Dead workers are skipped — their series
+        resume after :meth:`restart_dead_workers`.  Merge rules are
+        those of :func:`repro.monitor.metrics.merge_snapshots`.
+        """
+        from ..monitor.metrics import merge_snapshots
+
+        snapshots: list[dict] = []
+        seen: set[int] = set()
+        for shard in self._shards:
+            snapshot_fn = getattr(shard, "metrics_snapshot", None)
+            if snapshot_fn is None:
+                continue
+            registry = getattr(shard, "metrics", None)
+            if registry is not None:
+                if id(registry) in seen:
+                    continue
+                seen.add(id(registry))
+            try:
+                snapshot = snapshot_fn()
+            except WorkerCrashError:
+                continue
+            if snapshot:
+                snapshots.append(snapshot)
+        return merge_snapshots(snapshots)
+
     def close(self) -> None:
         """Shut down shard workers that hold external resources.
 
@@ -350,6 +437,8 @@ class ShardedFleet:
             registry=self.registry,
             journal=self.journal,
             use_kernel=self.use_kernel,
+            metrics=self.metrics_registry,
+            drift=self.drift,
         )
 
     @staticmethod

@@ -158,6 +158,16 @@ class ProcessShardWorker:
         Whether the child engine serves through compiled inference
         kernels (default) or the Tensor path (see
         :class:`~repro.serve.engine.FleetEngine`).
+    monitor:
+        Build the child engine with its own
+        :class:`~repro.monitor.metrics.MetricsRegistry` and
+        :class:`~repro.monitor.drift.DriftMonitor` (default
+        configurations).  The parent reads the registry over the wire
+        via :meth:`metrics_snapshot` (the ``metrics`` op), which
+        :meth:`ShardedFleet.metrics
+        <repro.serve.sharding.ShardedFleet.metrics>` merges across the
+        topology; drift/physics-bounds alarms surface in the snapshot
+        as ``drift_events_total{kind=...}`` counters.
     """
 
     def __init__(
@@ -167,6 +177,7 @@ class ProcessShardWorker:
         journal_path: str | Path | None = None,
         name: str = "shard",
         use_kernel: bool = True,
+        monitor: bool = False,
     ):
         if default_model is None and registry_root is None:
             raise ValueError("need a default model, a registry root, or both")
@@ -176,6 +187,7 @@ class ProcessShardWorker:
             "registry_root": None if registry_root is None else str(registry_root),
             "journal_path": None if journal_path is None else str(journal_path),
             "use_kernel": use_kernel,
+            "monitor": monitor,
         }
         self._proc: subprocess.Popen | None = None
         self._exit_code: int | None = None
@@ -379,6 +391,15 @@ class ProcessShardWorker:
             return wire.decode_rollout_results(reply.meta, reply.arrays)
         return reply
 
+    def metrics_snapshot(self) -> dict | None:
+        """The child engine's metrics snapshot (``None`` unless ``monitor``).
+
+        One ``metrics`` round-trip; the snapshot is plain JSON, so it
+        merges with other workers' via
+        :func:`repro.monitor.metrics.merge_snapshots`.
+        """
+        return self._call("metrics")
+
     def _adopt_state(self, state: CellState) -> None:
         """Install a migrating cell's state (rebalance protocol).
 
@@ -468,14 +489,22 @@ def _build_engine(spec: dict) -> FleetEngine:
     model = _build_model(spec["model"])
     registry = None if spec["registry_root"] is None else ModelRegistry(spec["registry_root"])
     use_kernel = spec.get("use_kernel", True)
+    metrics = drift = None
+    if spec.get("monitor"):
+        from ..monitor.drift import DriftMonitor
+        from ..monitor.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        drift = DriftMonitor(metrics=metrics)
+    kwargs = dict(default_model=model, registry=registry, use_kernel=use_kernel, metrics=metrics, drift=drift)
     journal_path = spec["journal_path"]
     if journal_path is None:
-        return FleetEngine(default_model=model, registry=registry, use_kernel=use_kernel)
+        return FleetEngine(**kwargs)
     journal = StateJournal(journal_path)
     snapshot = journal.snapshot()
     if snapshot.cells or snapshot.windows:
-        return FleetEngine.restore(journal, default_model=model, registry=registry, use_kernel=use_kernel)
-    return FleetEngine(default_model=model, registry=registry, journal=journal, use_kernel=use_kernel)
+        return FleetEngine.restore(journal, **kwargs)
+    return FleetEngine(journal=journal, **kwargs)
 
 
 def _crash_hook(after_window: int) -> Callable[[int], None]:
@@ -553,6 +582,8 @@ def worker_main(stdin=None, stdout=None) -> int:
                 return 0
             elif op == "ping":
                 result = "pong"
+            elif op == "metrics":
+                result = None if engine is None else engine.metrics_snapshot()
             elif op == "crash_after":
                 crash_after = int(args[0])
                 result = crash_after

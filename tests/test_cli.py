@@ -118,6 +118,51 @@ class TestServeSim:
         assert "serving via registry" in out
         assert (tmp_path / "reg" / "sandia-serve@v1.npz").exists()
 
+    def test_metrics_json_snapshot_and_drift_gate(self, checkpoint, capsys, tmp_path):
+        """serve-sim --metrics-json writes a merged snapshot and a
+        trained checkpoint keeps the drift gate green on clean traffic."""
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "serve-sim", checkpoint, "--cells", "6", "--fast", "--step", "120",
+            "--metrics-json", str(metrics_path), "--fail-on-drift",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitoring: 0 drift/physics events" in out
+        record = json.loads(metrics_path.read_text())
+        counters = record["metrics"]["counters"]
+        rollout = next(v for k, v in counters.items() if 'op="rollout"' in k)
+        assert rollout == 6.0
+        assert record["drift_event_total"] == 0
+        assert record["drift_events"] == []
+        assert any(k.startswith("engine_physics_residual") for k in record["metrics"]["histograms"])
+
+    def test_monitor_snapshot_watch_and_export(self, checkpoint, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "serve-sim", checkpoint, "--cells", "4", "--fast", "--step", "120",
+            "--metrics-json", str(metrics_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["monitor", "snapshot", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine_requests_total" in out
+        assert "drift events: 0" in out
+        assert main(["monitor", "snapshot", str(metrics_path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_requests_total counter" in out
+        prom_path = tmp_path / "metrics.prom"
+        assert main(["monitor", "export", str(metrics_path), "--out", str(prom_path)]) == 0
+        assert "# TYPE" in prom_path.read_text()
+        capsys.readouterr()
+        assert main([
+            "monitor", "watch", str(metrics_path), "--interval", "0.01", "--count", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[watch") == 2
+
     def test_sharded_and_journaled(self, checkpoint, capsys, tmp_path):
         journal = tmp_path / "fleet.journal"
         code = main([

@@ -275,3 +275,44 @@ class TestCanaryController:
         assert report.n_cells == len(pinned)
         controller.promote()
         assert all(s.model_key == "prod" for s in sharded.cells())
+
+
+# ----------------------------------------------------------------------
+class TestRegistryLiveFollow:
+    """A registry instance follows publishes/promotes made by *another*
+    instance on the same root (the shard-worker scenario: the parent's
+    control plane mutates channels.json, children must see it live)."""
+
+    def test_follower_resolves_a_foreign_publish_and_promote(self, models, tmp_path):
+        m1, m2 = models
+        publisher = ModelRegistry(tmp_path)
+        publisher.publish("prod", m1)
+        follower = ModelRegistry(tmp_path)  # a shard worker's instance
+        assert follower.resolve() == "prod"
+
+        # foreign canary publish: the follower resolves the pinned ref
+        # and the canary channel without an explicit refresh
+        publisher.publish("prod", m2, channel="canary")
+        assert follower.describe("prod@v2").version == 2
+        assert follower.resolve(channel="canary") == "prod@canary"
+        assert follower.channels("prod") == {"stable": 1, "canary": 2}
+
+        # foreign promote: bare-name resolution follows stable -> v2,
+        # including for chemistry queries routed through resolve()
+        publisher.promote("prod")
+        assert follower.describe("prod").version == 2
+        assert follower.resolve() == "prod"
+        assert follower.channels("prod") == {"stable": 2}
+
+    def test_follower_survives_pointer_to_brand_new_version(self, models, tmp_path):
+        """channels.json can point at a version the follower has never
+        indexed; the pointer must trigger a re-index, not be dropped
+        (dropping it would make resolve() fail for every new cell)."""
+        m1, m2 = models
+        publisher = ModelRegistry(tmp_path)
+        publisher.publish("prod", m1)
+        follower = ModelRegistry(tmp_path)
+        publisher.publish("prod", m2)  # stable jumps straight to v2
+        assert follower.resolve() == "prod"
+        assert follower.describe("prod").version == 2
+        assert follower.load("prod").state_dict().keys() == m2.state_dict().keys()

@@ -13,6 +13,8 @@ from repro.serve import (
     FleetEngine,
     GatewayOverloaded,
     MicroBatcher,
+    ProcessShardWorker,
+    ShardedFleet,
     SocGateway,
     generate_fleet,
 )
@@ -301,3 +303,114 @@ class TestSocGateway:
         completion = asyncio.run(drive())
         assert completion.ok
         assert completion.wait_s == pytest.approx(1.0)
+
+    def test_registry_backed_stats_expose_metrics_snapshot(self, model):
+        """The retired EndpointStats reservoir is gone: the same numbers
+        come from the metrics registry, in both stats_dict shape and
+        the mergeable snapshot format."""
+        gateway = SocGateway(make_engine(model), max_batch=4, max_delay_s=10.0)
+
+        async def drive():
+            async with gateway:
+                return await asyncio.gather(*(gateway.estimate(f"c{k}", 3.7, 1.0, 25.0) for k in range(4)))
+
+        completions = asyncio.run(drive())
+        assert all(c.ok for c in completions)
+        snap = gateway.metrics_snapshot()
+        assert snap["counters"]['gateway_requests_total{endpoint="estimate"}'] == 4.0
+        assert snap["counters"]['gateway_completed_total{endpoint="estimate"}'] == 4.0
+        hist = snap["histograms"]['gateway_latency_seconds{endpoint="estimate"}']
+        assert hist["count"] == 4
+        stats = gateway.stats_dict()["estimate"]
+        assert stats["completed"] == 4 and stats["p50_ms"] >= 0.0
+        assert gateway.stats_dict()["retries"] == 0
+
+    def test_shared_registry_is_used_when_given(self, model):
+        from repro.monitor import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        gateway = SocGateway(make_engine(model), metrics=metrics)
+        assert gateway.metrics is metrics
+        gateway.stats["estimate"].requests.inc()
+        assert metrics.counter_value("gateway_requests_total", endpoint="estimate") == 1.0
+
+
+# ----------------------------------------------------------------------
+class TestWorkerCrashRetry:
+    """Gateway retry/hedging: a WorkerCrashError mid-flight restarts the
+    dead (journaled) worker and retries the affected cells once, instead
+    of surfacing ok=False."""
+
+    def _worker_fleet(self, model, tmp_path, n_cells=8):
+        def factory(k):
+            return ProcessShardWorker(
+                default_model=model,
+                journal_path=tmp_path / f"w{k}.journal",
+                name=f"w{k}",
+            )
+
+        fleet = ShardedFleet(2, worker_factory=factory)
+        ids = [f"c{k}" for k in range(n_cells)]
+        for cid in ids:
+            fleet.register_cell(cid)
+        return fleet, ids
+
+    @staticmethod
+    def _kill_worker(fleet, shard: int) -> None:
+        worker = fleet._shards[shard]
+        worker._proc.kill()
+        worker._proc.wait()
+
+    def test_estimates_survive_a_worker_crash(self, model, tmp_path):
+        fleet, ids = self._worker_fleet(model, tmp_path)
+        try:
+            gateway = SocGateway(fleet, max_batch=len(ids), max_delay_s=10.0)
+            self._kill_worker(fleet, 0)
+            assert fleet.worker_health() == [False, True]
+
+            async def drive():
+                async with gateway:
+                    return await asyncio.gather(*(gateway.estimate(cid, 3.7, 1.0, 25.0) for cid in ids))
+
+            completions = asyncio.run(drive())
+            assert all(c.ok for c in completions), [c.error for c in completions]
+            assert fleet.worker_health() == [True, True]
+            assert gateway.stats_dict()["retries"] == 1
+            assert gateway.metrics.counter_value("gateway_retries_total") == 1.0
+            # the restarted worker restored its cells from its journal
+            reference = FleetEngine(default_model=model)
+            for cid in ids:
+                reference.register_cell(cid)
+            expected = reference.estimate(ids, 3.7, 1.0, 25.0)
+            by_cell = {c.cell_id: c.value for c in completions}
+            for k, cid in enumerate(ids):
+                assert by_cell[cid] == pytest.approx(float(expected[k]), abs=1e-12)
+        finally:
+            fleet.close()
+
+    def test_rollout_survives_a_worker_crash(self, model, tmp_path):
+        fleet, ids = self._worker_fleet(model, tmp_path)
+        try:
+            small = generate_fleet(6, seed=3, **FAST_FLEET)
+            assignments = [(cid, cycle) for cid, (_, cycle) in zip(ids[:6], small.assignments())]
+            gateway = SocGateway(fleet)
+            self._kill_worker(fleet, 1)
+
+            async def drive():
+                async with gateway:
+                    return await gateway.rollout(assignments, 120.0)
+
+            results = asyncio.run(drive())
+            assert set(results) == set(ids[:6])
+            assert fleet.worker_health() == [True, True]
+            assert gateway.stats_dict()["retries"] == 1
+            ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
+            for cid, _ in assignments:
+                np.testing.assert_allclose(results[cid].soc_pred, ref[cid].soc_pred, atol=1e-9, rtol=0)
+        finally:
+            fleet.close()
+
+    def test_unrecoverable_engines_still_surface_errors(self, model):
+        """Single engines have no workers to heal: behavior is unchanged."""
+        gateway = SocGateway(make_engine(model))
+        assert gateway._recover_workers() is False

@@ -191,6 +191,132 @@ class TestStateJournal:
     def test_rejects_bad_config(self, tmp_path):
         with pytest.raises(ValueError):
             StateJournal(tmp_path / "j", compact_every=-1)
+        with pytest.raises(ValueError):
+            StateJournal(tmp_path / "j", max_segment_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+class TestSegmentRotation:
+    """Size-based rotation: sealed numbered segments, in-order replay,
+    compaction collapsing them — the >1M-cell fleet prerequisite."""
+
+    def test_appends_roll_into_numbered_segments(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path, max_segment_bytes=512, compact_every=0)
+        engine = FleetEngine(default_model=model, journal=journal)
+        for k in range(40):
+            engine.register_cell(f"c{k:03d}")
+        names = [segment.name for segment in journal.segments()]
+        assert len(names) >= 3
+        assert names[0] == "fleet.journal.00001.jsonl"
+        assert names == sorted(names)
+        # the active file stays bounded; total size covers all segments
+        journal._fh.flush()
+        assert path.stat().st_size <= 512 + 200
+        assert journal.size_bytes() > path.stat().st_size
+        journal.close()
+
+    def test_restore_replays_segments_in_order(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with StateJournal(path, max_segment_bytes=400, compact_every=0) as journal:
+            engine = FleetEngine(default_model=model, journal=journal)
+            ids = [f"c{k:03d}" for k in range(30)]
+            for cid in ids:
+                engine.register_cell(cid)
+            # several passes: each cell's latest record lives in a later
+            # segment than its first, so ordering mistakes would surface
+            for _ in range(3):
+                engine.estimate(ids, 3.7, 1.0, 25.0)
+            want = {cid: engine.cell(cid).soc for cid in ids}
+            n_requests = {cid: engine.cell(cid).n_requests for cid in ids}
+        reopened = StateJournal(path, max_segment_bytes=400)
+        snap = reopened.snapshot()
+        assert {cid: snap.cells[cid].soc for cid in ids} == want
+        assert {cid: snap.cells[cid].n_requests for cid in ids} == n_requests
+        restored = FleetEngine.restore(reopened, default_model=model)
+        assert {s.cell_id: s.soc for s in restored.cells()} == want
+        reopened.close()
+
+    def test_drop_in_a_later_segment_wins(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with StateJournal(path, max_segment_bytes=300, compact_every=0) as journal:
+            engine = FleetEngine(default_model=model, journal=journal)
+            for k in range(20):
+                engine.register_cell(f"c{k:03d}")
+            engine.deregister_cell("c000")
+        snap = StateJournal(path, max_segment_bytes=300).snapshot()
+        assert "c000" not in snap.cells
+        assert len(snap.cells) == 19
+
+    def test_compaction_collapses_sealed_segments(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path, max_segment_bytes=400, compact_every=0)
+        engine = FleetEngine(default_model=model, journal=journal)
+        ids = [f"c{k:03d}" for k in range(25)]
+        for cid in ids:
+            engine.register_cell(cid)
+        for _ in range(4):
+            engine.estimate(ids, 3.7, 1.0, 25.0)
+        assert journal.segments()
+        before = journal.size_bytes()
+        journal.compact()
+        assert journal.segments() == []
+        assert journal.size_bytes() < before
+        journal.close()
+        snap = StateJournal(path).snapshot()
+        assert len(snap.cells) == 25
+        assert all(snap.cells[cid].n_requests == 4 for cid in ids)
+
+    def test_stale_segments_after_compaction_are_harmless(self, model, tmp_path):
+        """A crash between the compaction's replace and its segment
+        unlink leaves old segments behind; the compact marker makes the
+        replay discard them."""
+        path = tmp_path / "fleet.journal"
+        journal = StateJournal(path, max_segment_bytes=300, compact_every=0)
+        engine = FleetEngine(default_model=model, journal=journal)
+        for k in range(20):
+            engine.register_cell(f"c{k:03d}")
+        engine.deregister_cell("c001")
+        stale = journal.segments()[0].read_bytes()  # holds c001's registration
+        journal.compact()
+        journal.close()
+        # resurrect a pre-compaction segment, as a crash mid-compact would
+        (tmp_path / "fleet.journal.00001.jsonl").write_bytes(stale)
+        snap = StateJournal(path).snapshot()
+        assert "c001" not in snap.cells
+        assert len(snap.cells) == 19
+
+    def test_rollout_windows_survive_rotation(self, model, fleet, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with StateJournal(path, max_segment_bytes=1024, compact_every=0) as journal:
+            engine = FleetEngine(default_model=model, journal=journal)
+            want = engine.rollout_fleet(fleet.assignments(), step_s=300.0)
+        reopened = StateJournal(path, max_segment_bytes=1024)
+        assert reopened.segments()  # the rollout really rotated
+        snap = reopened.snapshot()
+        assert snap.step_s == 300.0
+        for cell_id, _ in fleet.assignments():
+            trajectory = want[cell_id].soc_pred
+            journaled = snap.windows[cell_id]
+            assert journaled[len(journaled) - 1] == trajectory[len(journaled) - 1]
+        reopened.close()
+
+    def test_torn_tail_only_tolerated_on_the_active_file(self, model, tmp_path):
+        path = tmp_path / "fleet.journal"
+        with StateJournal(path, max_segment_bytes=300, compact_every=0) as journal:
+            engine = FleetEngine(default_model=model, journal=journal)
+            for k in range(20):
+                engine.register_cell(f"c{k:03d}")
+        # torn tail on the active file: tolerated
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "cell", "id": "torn"')
+        assert len(StateJournal(path).snapshot().cells) == 20
+        # the same tear inside a sealed segment: corruption
+        segment = StateJournal(path).segments()[0]
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "cell", "id": "torn"')
+        with pytest.raises(ValueError, match="corrupt journal"):
+            StateJournal(path)
 
 
 # ----------------------------------------------------------------------

@@ -258,3 +258,64 @@ class TestShardedFleetProcessWorkers:
             np.testing.assert_array_equal(resumed[cell_id].soc_pred, ref[cell_id].soc_pred)
         exit_codes = [workers[k].close() for k in sorted(workers)]
         assert exit_codes == [0, 0]
+
+
+# ----------------------------------------------------------------------
+class TestWorkerMetrics:
+    """The ``metrics`` wire op: each worker ships its registry snapshot
+    to the parent, and ``ShardedFleet.metrics()`` merges the topology."""
+
+    def test_snapshot_is_none_without_monitoring(self, model):
+        with ProcessShardWorker(default_model=model, name="quiet") as worker:
+            worker.register_cell("a")
+            worker.estimate(["a"], 3.7, 1.0, 25.0)
+            assert worker.metrics_snapshot() is None
+
+    def test_monitored_worker_ships_its_snapshot(self, model):
+        with ProcessShardWorker(default_model=model, name="mon", monitor=True) as worker:
+            worker.register_cell("a")
+            worker.register_cell("b")
+            worker.estimate(["a", "b"], 3.7, 1.0, 25.0)
+            snap = worker.metrics_snapshot()
+        key = 'engine_requests_total{model="__default__",op="estimate",path="kernel"}'
+        assert snap["counters"][key] == 2.0
+        assert snap["gauges"]["engine_cells"] == 2.0
+
+    def test_sharded_fleet_merges_all_workers(self, model, small_fleet):
+        def factory(k):
+            return ProcessShardWorker(default_model=model, name=f"m{k}", monitor=True)
+
+        with ShardedFleet(2, worker_factory=factory) as fleet:
+            ids = [m.cell_id for m in small_fleet.members]
+            for cid in ids:
+                fleet.register_cell(cid)
+            assert all(size > 0 for size in fleet.shard_sizes())  # both shards populated
+            fleet.estimate(ids, 3.7, 1.0, 25.0)
+            fleet.rollout_fleet(small_fleet.assignments(), 120.0)
+            merged = fleet.metrics()
+        key = 'engine_requests_total{model="__default__",op="estimate",path="kernel"}'
+        assert merged["counters"][key] == float(len(ids))
+        rollout_key = 'engine_requests_total{model="__default__",op="rollout",path="kernel"}'
+        assert merged["counters"][rollout_key] == float(len(ids))
+        assert merged["gauges"]["engine_cells"] == float(len(ids))  # gauges sum across shards
+        hist = merged["histograms"]['engine_physics_residual{model="__default__"}']
+        assert hist["count"] > 0
+        assert hist["min"] >= 0.0
+
+    def test_dead_workers_are_skipped_not_fatal(self, model):
+        def factory(k):
+            return ProcessShardWorker(default_model=model, name=f"d{k}", monitor=True)
+
+        fleet = ShardedFleet(2, worker_factory=factory)
+        try:
+            for k in range(8):
+                fleet.register_cell(f"c{k}")
+            fleet.estimate([f"c{k}" for k in range(8)], 3.7, 1.0, 25.0)
+            victim = fleet._shards[0]
+            victim._proc.kill()
+            victim._proc.wait()
+            merged = fleet.metrics()  # no raise; surviving shard reports
+            key = 'engine_requests_total{model="__default__",op="estimate",path="kernel"}'
+            assert 0 < merged["counters"][key] < 8.0
+        finally:
+            fleet.close()
