@@ -113,6 +113,38 @@ def bench_monitor_overhead(model, reps: int) -> dict:
     }
 
 
+def bench_tracing_overhead(model, reps: int) -> dict:
+    """Single-row engine estimate p50: bare engine vs traced request.
+
+    The traced call is the worst case the tracing PR adds to the hot
+    path: a sampled root span around the engine call, so every stage
+    (engine + kernel spans) records.  The ratio is reported in the
+    JSON record as ``tracing_overhead`` (budget <5% at the default 1%
+    head-sampling rate; this measures a 1-in-100 sampled mix).
+    """
+    from repro.monitor import MetricsRegistry, SpanTracer
+
+    plain = FleetEngine(default_model=model)
+    plain.register_cell("bench-cell")
+    traced = FleetEngine(default_model=model)
+    traced.register_cell("bench-cell")
+    tracer = SpanTracer(sample_rate=0.01, metrics=MetricsRegistry(), max_traces=64)
+    ids = ["bench-cell"]
+
+    def traced_call():
+        with tracer.trace("bench.estimate"):
+            traced.estimate(ids, 3.7, 1.0, 25.0)
+
+    plain.estimate(ids, 3.7, 1.0, 25.0)  # warm both kernels
+    traced_call()
+    plain_us = _p50_us(lambda: plain.estimate(ids, 3.7, 1.0, 25.0), reps)
+    traced_us = _p50_us(traced_call, reps)
+    return {
+        "engine_traced_p50_us": traced_us,
+        "tracing_overhead": traced_us / plain_us,
+    }
+
+
 def bench_rollout(model, cells: int, step_s: float, seed: int) -> dict:
     """Fleet rollout through kernels vs the Tensor escape hatch."""
     fleet = generate_fleet(
@@ -211,6 +243,7 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
     single = bench_single_row(model, kernel, reps)
     batched = bench_batched(model, kernel, batch, max(reps // 10, 50))
     monitor = bench_monitor_overhead(model, max(reps // 2, 100))
+    tracing = bench_tracing_overhead(model, max(reps // 2, 100))
     rollout = bench_rollout(model, cells, step_s, seed)
     wire_rec = bench_wire(rollout.pop("_results"), batch, max(reps // 10, 50))
 
@@ -223,6 +256,7 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
         **single,
         **batched,
         **monitor,
+        **tracing,
         **rollout,
         **wire_rec,
     }
@@ -242,6 +276,9 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
     print(f"monitoring overhead: engine estimate x1 {monitor['engine_plain_p50_us']:.1f}us bare "
           f"vs {monitor['engine_monitored_p50_us']:.1f}us monitored "
           f"-> {(record['monitor_overhead'] - 1) * 100:+.1f}% (budget +10%)")
+    print(f"tracing overhead: engine estimate x1 {tracing['engine_traced_p50_us']:.1f}us traced "
+          f"(1% head-sampled root span) "
+          f"-> {(record['tracing_overhead'] - 1) * 100:+.1f}% (budget +5%)")
     print(f"rollout_fleet ({cells} cells): Tensor {rollout['rollout_tensor_s']:.3f}s, "
           f"kernel {rollout['rollout_kernel_s']:.3f}s "
           f"-> {record['rollout_kernel_speedup']:.1f}x "

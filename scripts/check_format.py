@@ -47,6 +47,12 @@ ALLOWLIST = [
 # src/repro/cli.py, src/repro/serve/engine.py,
 # benchmarks/bench_fleet_throughput.py,
 # benchmarks/bench_kernel_latency.py, tests/test_serve_persistence.py
+#
+# Written without ruff on the machine, so not yet pinned to its exact
+# output — first PR with ruff available should format + move them up:
+# src/repro/monitor/tracing.py, src/repro/monitor/exposition.py,
+# scripts/scrape_exposition.py, tests/test_monitor_tracing.py,
+# tests/test_serve_tracing.py, tests/test_serve_registry_follow.py
 
 
 def main() -> int:

@@ -1,0 +1,141 @@
+"""Poll a live exposition server and validate its Prometheus output.
+
+CI helper for the serve-soak lane: while ``repro-soc serve-sim
+--metrics-port`` runs in the background, this script polls ``/healthz``
+until the server is up and healthy, then fetches ``/metrics`` and
+checks that
+
+- the body parses as Prometheus text exposition (every non-comment
+  line is ``<name>{labels}<space><float>``), and
+- every ``--require``'d metric family name appears.
+
+Exit 0 on success (optionally writing the scraped body to ``--out``),
+exit 1 if the deadline passes first.  stdlib only — no requests, no
+prometheus_client.
+
+Usage::
+
+    python scripts/scrape_exposition.py --url http://127.0.0.1:9923 \\
+        --require gateway_requests_total --require trace_stage_seconds \\
+        --timeout 240 --out scrape.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+# metric line: name, optional {labels}, space, value parseable as float
+_SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{.*\})? (\S+)$")
+
+
+def _get(url: str, timeout_s: float = 5.0) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", errors="replace")
+
+
+def validate_exposition(body: str, required: list[str]) -> list[str]:
+    """Return a list of problems (empty = valid exposition, all present)."""
+    problems = []
+    seen = set()
+    for lineno, line in enumerate(body.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: not a metric sample: {line!r}")
+            continue
+        try:
+            float(match.group(3))
+        except ValueError:
+            problems.append(f"line {lineno}: unparseable value: {line!r}")
+            continue
+        seen.add(match.group(1))
+    for name in required:
+        # histogram families expose name_bucket/_sum/_count series
+        if name not in seen and not any(s.startswith(name + "_") for s in seen):
+            problems.append(f"required metric family missing: {name}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:9923")
+    parser.add_argument("--require", action="append", default=[],
+                        help="metric family that must appear (repeatable)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between poll attempts")
+    parser.add_argument("--out", default=None,
+                        help="write the successful /metrics body here")
+    args = parser.parse_args(argv)
+
+    base = args.url.rstrip("/")
+    deadline = time.monotonic() + args.timeout
+    attempt = 0
+    last_error = "no attempt made"
+    while time.monotonic() < deadline:
+        attempt += 1
+        try:
+            status, body = _get(base + "/healthz")
+        except (OSError, urllib.error.URLError) as exc:
+            last_error = f"/healthz unreachable: {exc}"
+            time.sleep(args.interval)
+            continue
+        if status != 200:
+            last_error = f"/healthz returned {status}: {body.strip()[:200]}"
+            time.sleep(args.interval)
+            continue
+        try:
+            health = json.loads(body)
+        except json.JSONDecodeError as exc:
+            last_error = f"/healthz not JSON: {exc}"
+            time.sleep(args.interval)
+            continue
+        if not health.get("ok"):
+            last_error = f"/healthz not ok: {health}"
+            time.sleep(args.interval)
+            continue
+
+        try:
+            status, metrics_body = _get(base + "/metrics")
+        except (OSError, urllib.error.URLError) as exc:
+            last_error = f"/metrics unreachable: {exc}"
+            time.sleep(args.interval)
+            continue
+        if status != 200:
+            last_error = f"/metrics returned {status}"
+            time.sleep(args.interval)
+            continue
+        problems = validate_exposition(metrics_body, args.require)
+        if problems:
+            # the run may not have emitted the required series yet
+            last_error = "; ".join(problems[:5])
+            time.sleep(args.interval)
+            continue
+
+        lines = len(metrics_body.splitlines())
+        print(f"scrape ok after {attempt} attempt(s): {lines} exposition lines, "
+              f"health={health}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(metrics_body)
+            print(f"wrote {args.out}")
+        return 0
+
+    print(f"FAIL: no valid scrape within {args.timeout:g}s "
+          f"({attempt} attempts; last error: {last_error})", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,8 @@ Gives the library a deployable surface without writing Python:
 - ``repro-soc monitor`` — read metrics snapshots written by
   ``serve-sim --metrics-json``: ``snapshot`` pretty-prints one,
   ``watch`` polls a snapshot file as a run refreshes it, ``export``
-  converts to Prometheus text exposition.
+  converts to Prometheus text exposition, ``serve`` exposes a
+  snapshot file over HTTP (``/metrics``, ``/healthz``) for scrapers.
 
 Installed as the ``repro-soc`` console script (see ``setup.py``); also
 reachable as ``python -m repro.cli``.
@@ -45,8 +46,11 @@ Usage examples::
     repro-soc registry list ./registry
     repro-soc registry promote ./registry sandia-serve
     repro-soc serve-sim model.npz --cells 256 --metrics-json metrics.json --fail-on-drift
+    repro-soc serve-sim --untrained --fast --cells 64 --async --workers 2 \\
+        --metrics-port 9923 --trace-json traces.json --trace-sample 0.1
     repro-soc monitor snapshot metrics.json
     repro-soc monitor export metrics.json --out metrics.prom
+    repro-soc monitor serve metrics.json --port 9923
 """
 
 from __future__ import annotations
@@ -217,7 +221,7 @@ def _cmd_rollout(args) -> int:
     return 0
 
 
-def _gateway_traffic(engine, fleet, args, metrics=None):
+def _gateway_traffic(engine, fleet, args, metrics=None, tracer=None):
     """Drive the async gateway: one fleet rollout, then client traffic.
 
     Returns ``(gateway, rollout_results, rollout_s, completions,
@@ -260,6 +264,7 @@ def _gateway_traffic(engine, fleet, args, metrics=None):
             max_delay_s=args.max_delay_ms / 1000.0,
             max_in_flight=args.max_in_flight,
             metrics=metrics,
+            tracer=tracer,
         )
         async with gateway:
             t0 = time.perf_counter()
@@ -321,13 +326,18 @@ def _cmd_serve_sim(args) -> int:
         name = f"{dataset or 'default'}-serve"
         registry.publish(name, model, dataset=dataset)
         print(f"serving via registry {args.registry} (model {name!r})")
-    monitoring = bool(args.metrics_json or args.fail_on_drift)
-    metrics = drift = None
+    tracing = args.metrics_port is not None or bool(args.trace_json)
+    monitoring = bool(args.metrics_json or args.fail_on_drift) or tracing
+    metrics = drift = tracer = None
     if monitoring:
         from .monitor import DriftMonitor, MetricsRegistry
 
         metrics = MetricsRegistry()
         drift = DriftMonitor(metrics=metrics)
+    if tracing:
+        from .monitor import SpanTracer
+
+        tracer = SpanTracer(sample_rate=args.trace_sample, metrics=metrics, service="gateway")
     journal = None
     if args.journal and not args.workers:
         journal = StateJournal(args.journal)
@@ -339,6 +349,7 @@ def _cmd_serve_sim(args) -> int:
                 journal_path=f"{args.journal}.shard{k}" if args.journal else None,
                 name=f"shard{k}",
                 monitor=monitoring,
+                trace=tracing,
             )
 
         engine = ShardedFleet(args.workers, worker_factory=worker_factory)
@@ -354,16 +365,38 @@ def _cmd_serve_sim(args) -> int:
         )
     assignments = fleet.assignments()
 
+    server = None
+    if args.metrics_port is not None:
+        from .monitor import ExpositionServer
+
+        def _health():
+            health = engine.worker_health() if hasattr(engine, "worker_health") else []
+            return {"ok": not health or all(health), "workers": list(health)}
+
+        # Serve the parent registry only: a scrape must never RPC the
+        # subprocess workers mid-request (their pipes carry binary
+        # frames, not HTTP).  worker_health() is pipe-free.
+        server = ExpositionServer(
+            metrics=metrics, tracer=tracer, health=_health,
+            host="127.0.0.1", port=args.metrics_port,
+        )
+        server.start()
+        print(f"exposition server listening on {server.url}", file=sys.stderr)
+
     gateway = None
     completions = []
     traffic_s = 0.0
     if args.async_:
         gateway, results, elapsed, completions, traffic_s = _gateway_traffic(
-            engine, fleet, args, metrics=metrics
+            engine, fleet, args, metrics=metrics, tracer=tracer
         )
     else:
         t0 = time.perf_counter()
-        results = engine.rollout_fleet(assignments, step_s=args.step)
+        if tracer is not None:
+            with tracer.trace("serve.rollout", cells=len(fleet)):
+                results = engine.rollout_fleet(assignments, step_s=args.step)
+        else:
+            results = engine.rollout_fleet(assignments, step_s=args.step)
         elapsed = time.perf_counter() - t0
     steps_total = sum(len(r) - 1 for r in results.values())
     trajectories = list(results.values())
@@ -415,6 +448,27 @@ def _cmd_serve_sim(args) -> int:
     if monitoring:
         drift_rc = _report_monitoring(engine, metrics, drift, args)
         rc = rc or drift_rc
+    if tracer is not None:
+        counts = tracer.counts()
+        print(
+            f"tracing: {counts['committed']} traces committed "
+            f"({counts['sampled']} head-sampled of {counts['started']} started, "
+            f"{counts['spans_dropped']} spans dropped)"
+        )
+        if args.trace_json:
+            import json
+
+            record = {
+                "summary": counts,
+                "traces": tracer.trace_trees(),
+                "traceEvents": tracer.to_chrome()["traceEvents"],
+            }
+            with open(args.trace_json, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.trace_json}")
+    if server is not None:
+        server.stop()
     if journal is not None:
         journal.close()
     if hasattr(engine, "close"):
@@ -520,6 +574,7 @@ def _report_monitoring(engine, metrics, drift, args) -> int:
             "threshold": e.threshold,
             "window": e.window,
             "detail": e.detail,
+            "trace_ids": list(e.trace_ids),
         }
         for e in drift.events()
     ]
@@ -602,6 +657,31 @@ def _cmd_monitor(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+        return 0
+    if args.monitor_command == "serve":
+        from .monitor import ExpositionServer
+
+        def _snapshot_source():
+            # re-read on every scrape so a refreshing serve-sim run
+            # shows up live; unreadable file -> empty exposition
+            try:
+                return load_snapshot()[0]
+            except (OSError, json.JSONDecodeError):
+                return {}
+
+        server = ExpositionServer(
+            metrics=_snapshot_source, host=args.host, port=args.port
+        )
+        with server:
+            print(f"serving {args.snapshot_file} on {server.url} (GET /metrics, /healthz)")
+            try:
+                if args.duration is not None:
+                    _time.sleep(args.duration)
+                else:
+                    while True:
+                        _time.sleep(3600.0)
+            except KeyboardInterrupt:
+                pass
         return 0
     # watch: poll the snapshot file as a serving run refreshes it
     for tick in range(args.count):
@@ -760,6 +840,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fail-on-drift", action="store_true",
                        help="enable monitoring and exit 1 if any drift/physics-bounds "
                             "event fires (the detector false-positive gate)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="enable tracing and serve /metrics, /traces and /healthz over "
+                            "HTTP on 127.0.0.1:PORT for the life of the run (0 = ephemeral)")
+    serve.add_argument("--trace-json", default=None,
+                       help="enable tracing and write sampled span trees (plus Chrome "
+                            "trace events for chrome://tracing) to this file")
+    serve.add_argument("--trace-sample", type=float, default=0.05,
+                       help="head-sampling rate for request traces (1.0 = every request; "
+                            "slow traces are captured regardless)")
     serve.set_defaults(func=_cmd_serve_sim)
 
     monitor = sub.add_parser("monitor", help="read metrics snapshots (serve-sim --metrics-json)")
@@ -778,6 +867,15 @@ def build_parser() -> argparse.ArgumentParser:
     mon_export.add_argument("snapshot_file")
     mon_export.add_argument("--out", required=True, help="write the exposition text here")
     mon_export.set_defaults(func=_cmd_monitor)
+    mon_serve = monitor_sub.add_parser(
+        "serve", help="expose a snapshot file over HTTP for Prometheus scrapers"
+    )
+    mon_serve.add_argument("snapshot_file", help="metrics JSON written by serve-sim")
+    mon_serve.add_argument("--host", default="127.0.0.1")
+    mon_serve.add_argument("--port", type=int, default=0, help="listen port (0 = ephemeral)")
+    mon_serve.add_argument("--duration", type=float, default=None,
+                           help="serve for this many seconds then exit (default: forever)")
+    mon_serve.set_defaults(func=_cmd_monitor)
 
     registry = sub.add_parser("registry", help="inspect and manage a model registry")
     registry_sub = registry.add_subparsers(dest="registry_command", required=True)

@@ -18,10 +18,18 @@ live traffic.
   :class:`DivergenceProbe` + :class:`ControlLoop`: live stable-vs-
   candidate divergence measured through the serving path, an EWMA
   budget / drift-veto / cooldown decision rule, automatic
-  ``CanaryController.promote()/rollback()``.
+  ``CanaryController.promote()/rollback()``;
+- :mod:`repro.monitor.tracing` — :class:`SpanTracer`: sampling span
+  tracer with explicit :class:`TraceContext` propagation through the
+  serving path (gateway → batcher → shards → wire → worker → kernel),
+  slow-trace tail capture, per-stage histogram rollup, and Chrome
+  trace-event export;
+- :mod:`repro.monitor.exposition` — :class:`ExpositionServer`: a
+  stdlib-threaded HTTP endpoint serving ``/metrics`` (Prometheus
+  text), ``/traces`` (span trees as JSON), and ``/healthz``.
 
 See ``src/repro/monitor/README.md`` for signal definitions, the
-exposition formats, and the autopilot decision rule.
+exposition formats, the span taxonomy, and the autopilot decision rule.
 """
 
 from .autopilot import AutoCanaryPolicy, AutopilotConfig, ControlLoop, DivergenceProbe
@@ -35,15 +43,18 @@ from .drift import (
     PhysicsBounds,
     residual_stream,
 )
+from .exposition import ExpositionServer
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     P2Quantile,
+    escape_label_value,
     merge_snapshots,
     prometheus_text,
 )
+from .tracing import Span, SpanTracer, TraceContext, activate, current_context, stage
 
 __all__ = [
     "AutoCanaryPolicy",
@@ -55,6 +66,7 @@ __all__ = [
     "DivergenceProbe",
     "DriftEvent",
     "DriftMonitor",
+    "ExpositionServer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -62,7 +74,14 @@ __all__ = [
     "PageHinkley",
     "PageHinkleyConfig",
     "PhysicsBounds",
+    "Span",
+    "SpanTracer",
+    "TraceContext",
+    "activate",
+    "current_context",
+    "escape_label_value",
     "merge_snapshots",
     "prometheus_text",
     "residual_stream",
+    "stage",
 ]

@@ -46,6 +46,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .metrics import MetricsRegistry
+from .tracing import TRACE_STATE
 
 __all__ = [
     "Cusum",
@@ -80,6 +81,11 @@ class DriftEvent:
         observations).
     detail:
         Human-readable context.
+    trace_ids:
+        Exemplar trace ids: when the alarm fired inside a traced
+        request (an active :mod:`~repro.monitor.tracing` context on the
+        emitting thread), the ids link this event to the span trees
+        that produced it — the drift dashboard's "show me the request".
     """
 
     kind: str
@@ -88,6 +94,7 @@ class DriftEvent:
     threshold: float
     window: int | None = None
     detail: str = ""
+    trace_ids: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -477,6 +484,11 @@ class DriftMonitor:
         return emitted
 
     def _emit(self, event: DriftEvent) -> int:
+        # exemplar: when the alarm fires inside a traced request, pin the
+        # trace id to the event so it links back to the span tree
+        ctx = getattr(TRACE_STATE, "ctx", None)
+        if ctx is not None and not event.trace_ids:
+            event = dataclasses.replace(event, trace_ids=(ctx.trace_id,))
         self._events.append(event)
         self.events_total += 1
         self._kind_counts[event.kind] = self._kind_counts.get(event.kind, 0) + 1

@@ -49,6 +49,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "P2Quantile",
+    "escape_label_value",
     "merge_snapshots",
     "prometheus_text",
     "series_key",
@@ -254,11 +255,23 @@ class Histogram:
         }
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    exposition format requires escaping inside a quoted label value;
+    anything else passes through.  Applied at series-key construction,
+    so snapshot keys (the wire/merge format) are already exposition-safe
+    and :func:`prometheus_text` can emit them verbatim.
+    """
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def series_key(name: str, labels: dict[str, str] | None) -> str:
     """Canonical series identity: ``name`` or ``name{k="v",...}`` (sorted)."""
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -417,7 +430,7 @@ def prometheus_text(snapshot: dict) -> str:
         for p, q in sorted((summary.get("quantiles") or {}).items()):
             if q is None:
                 continue
-            label_str = f'quantile="{p}"' + (f",{inner}" if inner else "")
+            label_str = f'quantile="{escape_label_value(p)}"' + (f",{inner}" if inner else "")
             lines.append(f"{name}{{{label_str}}} {q:g}")
         lines.append(f"{name}_count{labels} {summary.get('count', 0):g}")
         lines.append(f"{name}_sum{labels} {summary.get('sum', 0.0):g}")

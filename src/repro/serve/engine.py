@@ -22,6 +22,7 @@ and batches every operation across all cells that share a model:
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
@@ -30,6 +31,8 @@ from ..core.kernels import CompiledTwoBranchKernel
 from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult, cycle_windows
 from ..datasets.base import CycleRecord
+from ..monitor.tracing import current_context
+from ..monitor.tracing import stage as trace_stage
 from .registry import ModelRegistry
 
 if TYPE_CHECKING:
@@ -276,7 +279,8 @@ class FleetEngine:
         t = np.broadcast_to(np.asarray(temp_c, dtype=np.float64), (len(cell_ids),))
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
-            out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
+            with trace_stage("engine.estimate", model=key, rows=len(idx)):
+                out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
             if self.metrics is not None:
                 self._op_counter("estimate", key).inc(len(idx))
         # physics-bounds guard, folded into the state-update loop below:
@@ -341,7 +345,8 @@ class FleetEngine:
         horizon = np.broadcast_to(np.asarray(horizon_s, dtype=np.float64), (len(cell_ids),))
         out = np.empty(len(cell_ids))
         for key, idx in self._group_by_model(cell_ids).items():
-            out[idx] = self._infer(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+            with trace_stage("engine.predict", model=key, rows=len(idx)):
+                out[idx] = self._infer(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
             if self.metrics is not None:
                 self._op_counter("predict", key).inc(len(idx))
         if self.drift is not None:
@@ -457,7 +462,12 @@ class FleetEngine:
         for k, (cell_id, _) in enumerate(pairs):
             by_model.setdefault(self._cells[cell_id].model_key, []).append(k)
 
+        # trace attribution without re-indenting the group body: record
+        # one explicit engine.rollout span per model group (the kernel's
+        # own spans still parent under the ambient context)
+        trace_ctx = current_context()
         for key, members in by_model.items():
+            t_group = time.perf_counter() if trace_ctx is not None else 0.0
             infer = self._infer(key)
             cycles = [pairs[k][1] for k in members]
             ids = [pairs[k][0] for k in members]
@@ -601,6 +611,15 @@ class FleetEngine:
                 state.n_requests += 1
                 states.append(state)
             self._record_many(states)
+            if trace_ctx is not None:
+                trace_ctx.tracer.record(
+                    trace_ctx,
+                    "engine.rollout",
+                    t_group,
+                    time.perf_counter(),
+                    model=key,
+                    cells=len(members),
+                )
         return {cell_id: results[cell_id] for cell_id, _ in pairs}
 
     # -- observability -------------------------------------------------

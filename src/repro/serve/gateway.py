@@ -62,6 +62,7 @@ from typing import Callable, Iterable
 from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
 from ..monitor.metrics import MetricsRegistry
+from ..monitor.tracing import activate
 from .scheduler import Completion, MicroBatcher
 
 __all__ = ["GatewayOverloaded", "SocGateway"]
@@ -131,6 +132,13 @@ class SocGateway:
         per-endpoint series land in; pass the registry shared with the
         engine/drift monitors to get one coherent snapshot, or omit it
         and the gateway creates its own (``gateway.metrics``).
+    tracer:
+        Optional :class:`~repro.monitor.tracing.SpanTracer`.  When set,
+        the gateway opens a root span per request (subject to the
+        tracer's sampling policy) and threads the trace context through
+        the batcher, shards, wire protocol and kernels — per-request
+        latency attribution at the cost of one sampling decision per
+        request.  ``None`` (default) keeps the request path trace-free.
 
     Use as an async context manager (``async with SocGateway(...)``) so
     the deadline flusher runs; without it, call :meth:`pump`
@@ -146,10 +154,12 @@ class SocGateway:
         max_in_flight: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
         self.engine = engine
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.batcher = MicroBatcher(
             engine,
@@ -250,7 +260,7 @@ class SocGateway:
         return await self._submit(
             "estimate",
             cell_id,
-            lambda: self.batcher.submit_estimate(cell_id, voltage, current, temp_c),
+            lambda trace: self.batcher.submit_estimate(cell_id, voltage, current, temp_c, trace=trace),
         )
 
     async def predict(
@@ -260,7 +270,9 @@ class SocGateway:
         return await self._submit(
             "predict",
             cell_id,
-            lambda: self.batcher.submit_predict(cell_id, current_avg, temp_avg_c, horizon_s),
+            lambda trace: self.batcher.submit_predict(
+                cell_id, current_avg, temp_avg_c, horizon_s, trace=trace
+            ),
         )
 
     async def rollout(
@@ -286,9 +298,13 @@ class SocGateway:
         self._in_flight += 1
         t_start = self.clock()
         pairs = list(assignments)
+        root = None if self.tracer is None else self.tracer.start_trace("gateway.rollout", cells=len(pairs))
+        ctx = None if root is None else root.ctx
 
         def _run() -> dict[str, RolloutResult]:
-            with self.batcher.lock:
+            # activate on the executor thread so shard/engine/kernel
+            # spans parent under this rollout's root
+            with self.batcher.lock, activate(ctx):
                 return self.engine.rollout_fleet(pairs, step_s)
 
         loop = asyncio.get_running_loop()
@@ -303,13 +319,17 @@ class SocGateway:
                 # loop) may already have healed the fleet for us
                 self._recover_workers()
                 result = await loop.run_in_executor(None, _run)
-        except Exception:
+        except Exception as exc:
             self._in_flight -= 1
             stats.completed.inc()
             stats.errors.inc()
+            if root is not None:
+                root.finish(error=type(exc).__name__)
             raise
         self._in_flight -= 1
         stats.observe(self.clock() - t_start, ok=True)
+        if root is not None:
+            root.finish()
         return result
 
     # -- accounting ----------------------------------------------------
@@ -368,7 +388,7 @@ class SocGateway:
         return bool(restarted)
 
     # ------------------------------------------------------------------
-    async def _submit(self, kind: str, cell_id: str, enqueue: Callable[[], int]) -> Completion:
+    async def _submit(self, kind: str, cell_id: str, enqueue: Callable[[object], int]) -> Completion:
         stats = self.stats[kind]
         stats.requests.inc()
         if self._in_flight >= self.max_in_flight:
@@ -385,6 +405,12 @@ class SocGateway:
             )
         self._in_flight += 1
         t_start = self.clock()
+        # root span opens after admission (shed requests record nothing);
+        # its context rides on the queued Request so the batcher, shards
+        # and workers can attribute their stages to this trace
+        root = None if self.tracer is None else self.tracer.start_trace(f"gateway.{kind}", cell_id=cell_id)
+        trace_ctx = None if root is None else root.ctx
+        completion: Completion | None = None
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         try:
@@ -395,12 +421,12 @@ class SocGateway:
             # blocking the event loop on it
             if self.batcher.lock.acquire(blocking=False):
                 try:
-                    req_id, ready = enqueue(), self.batcher.drain()
+                    req_id, ready = enqueue(trace_ctx), self.batcher.drain()
                 finally:
                     self.batcher.lock.release()
             else:
                 enq_future = loop.run_in_executor(
-                    None, lambda: (enqueue(), self.batcher.drain())
+                    None, lambda: (enqueue(trace_ctx), self.batcher.drain())
                 )
                 try:
                     # shielded: if the caller is cancelled (a client
@@ -420,9 +446,14 @@ class SocGateway:
             # the enqueue may have size-triggered a flush (for this
             # request and/or earlier waiters) — resolve those now
             self._dispatch(ready)
-            completion: Completion = await future
+            completion = await future
         finally:
             self._in_flight -= 1
+            if root is not None:
+                if completion is None:  # cancelled before its batch fired
+                    root.finish(error="cancelled")
+                else:
+                    root.finish(ok=completion.ok, batch_size=completion.batch_size)
         stats.observe(self.clock() - t_start, ok=completion.ok)
         return completion
 

@@ -336,6 +336,17 @@ class ModelRegistry:
             self._index(path, meta)
         channels_path = self.root / _CHANNELS_FILE
         if channels_path.exists():
+            # record the signature of what we are about to read (stat
+            # BEFORE read: a concurrent rewrite then re-triggers
+            # _sync_channels rather than being masked) so a full
+            # re-index also counts as having seen the current file —
+            # without this, the next _sync_channels would re-read a file
+            # refresh() just consumed
+            try:
+                stat = channels_path.stat()
+                self._channels_sig = (stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                pass
             raw = json.loads(channels_path.read_text(encoding="utf-8"))
             for name, pointers in raw.items():
                 self._channels[name] = {

@@ -43,6 +43,11 @@ class Request:
     ``payload`` holds the kind-specific operands: ``(V, I, T)`` for an
     estimate, ``(I_avg, T_avg, N)`` for a prediction.
 
+    ``trace`` optionally carries the submitter's
+    :class:`~repro.monitor.tracing.TraceContext` so the batcher can
+    attribute queue-wait and batch-serve time to the originating
+    request's trace (``None`` — the common case — costs nothing).
+
     Slotted: at gateway rates (~10k req/s) one of these is allocated
     per request, and ``__slots__`` drops the per-instance ``__dict__``.
     """
@@ -52,6 +57,7 @@ class Request:
     cell_id: str
     payload: tuple[float, ...]
     submitted_s: float
+    trace: object | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -159,26 +165,29 @@ class MicroBatcher:
         self._next_id = 0
 
     # -- submission ----------------------------------------------------
-    def submit_estimate(self, cell_id: str, voltage: float, current: float, temp_c: float) -> int:
+    def submit_estimate(self, cell_id: str, voltage: float, current: float, temp_c: float, trace=None) -> int:
         """Queue a Branch 1 request; returns its request id.
 
         Fires the ``estimate`` queue immediately if this submission
-        fills it.
+        fills it.  ``trace`` optionally attaches the submitter's trace
+        context (see :class:`Request`).
         """
-        return self._submit("estimate", cell_id, (voltage, current, temp_c))
+        return self._submit("estimate", cell_id, (voltage, current, temp_c), trace)
 
-    def submit_predict(self, cell_id: str, current_avg: float, temp_avg_c: float, horizon_s: float) -> int:
+    def submit_predict(
+        self, cell_id: str, current_avg: float, temp_avg_c: float, horizon_s: float, trace=None
+    ) -> int:
         """Queue a Branch 2 what-if request; returns its request id.
 
         The cell needs a stored SoC by the time the batch fires (i.e.
         an earlier estimate completed); otherwise its completion comes
         back with :attr:`Completion.error` set.
         """
-        return self._submit("predict", cell_id, (current_avg, temp_avg_c, horizon_s))
+        return self._submit("predict", cell_id, (current_avg, temp_avg_c, horizon_s), trace)
 
-    def _submit(self, kind: str, cell_id: str, payload: tuple[float, ...]) -> int:
+    def _submit(self, kind: str, cell_id: str, payload: tuple[float, ...], trace=None) -> int:
         with self.lock:
-            req = Request(self._next_id, kind, cell_id, payload, self.clock())
+            req = Request(self._next_id, kind, cell_id, payload, self.clock(), trace)
             self._next_id += 1
             self._queues[kind].append(req)
             if len(self._queues[kind]) >= self.max_batch:
@@ -227,7 +236,27 @@ class MicroBatcher:
             return
         batch, self._queues[kind] = queue, []
         now = self.clock()
-        outcomes = self._serve_batch(kind, batch, now)
+        # trace attribution: every traced request gets a queue-wait span;
+        # the engine call itself runs under ONE representative context
+        # (the first traced request), so engine/shard/wire/kernel child
+        # spans nest in that trace — the others record a flat batch.serve
+        # span with the same timing, which is the honest picture: one
+        # engine call served them all.
+        rep = next((r.trace for r in batch if r.trace is not None), None)
+        if rep is None:
+            outcomes = self._serve_batch(kind, batch, now)
+        else:
+            with rep.tracer.span(rep, "batch.serve", batch_size=len(batch), trigger=trigger):
+                outcomes = self._serve_batch(kind, batch, now)
+            t_done = self.clock()
+            for r in batch:
+                if r.trace is None:
+                    continue
+                r.trace.tracer.record(r.trace, "batch.queue_wait", r.submitted_s, now)
+                if r.trace is not rep:
+                    r.trace.tracer.record(
+                        r.trace, "batch.serve", now, t_done, batch_size=len(batch), trigger=trigger
+                    )
         for r, value, error in outcomes:
             wait = now - r.submitted_s
             self._outbox.append(Completion(r.req_id, r.cell_id, kind, value, wait, len(batch), error))

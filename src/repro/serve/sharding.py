@@ -48,6 +48,7 @@ import numpy as np
 from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
+from ..monitor.tracing import stage
 from .engine import CellState, FleetEngine
 from .persistence import StateJournal
 from .registry import ModelRegistry
@@ -275,7 +276,8 @@ class ShardedFleet:
         out = np.empty(len(cell_ids))
         for shard, idx in self._partition(cell_ids).items():
             sub_ids = [cell_ids[k] for k in idx]
-            out[idx] = self._shards[shard].estimate(sub_ids, v[idx], i[idx], t[idx], now_s=now_s)
+            with stage("shard.estimate", shard=str(shard), rows=len(idx)):
+                out[idx] = self._shards[shard].estimate(sub_ids, v[idx], i[idx], t[idx], now_s=now_s)
         return out
 
     def predict(
@@ -298,15 +300,16 @@ class ShardedFleet:
         out = np.empty(len(cell_ids))
         for shard, idx in self._partition(cell_ids).items():
             sub_ids = [cell_ids[k] for k in idx]
-            out[idx] = self._shards[shard].predict(
-                sub_ids,
-                i_avg[idx],
-                t_avg[idx],
-                horizon[idx],
-                soc_now=None if soc is None else soc[idx],
-                commit=commit,
-                now_s=now_s,
-            )
+            with stage("shard.predict", shard=str(shard), rows=len(idx)):
+                out[idx] = self._shards[shard].predict(
+                    sub_ids,
+                    i_avg[idx],
+                    t_avg[idx],
+                    horizon[idx],
+                    soc_now=None if soc is None else soc[idx],
+                    commit=commit,
+                    now_s=now_s,
+                )
         return out
 
     # -- batched rollout ------------------------------------------------
@@ -460,10 +463,13 @@ class ShardedFleet:
         results: dict[str, RolloutResult] = {}
         for shard, shard_pairs in sorted(by_shard.items()):
             engine = self._shards[shard]
-            if resume:
-                results.update(engine.resume_rollout_fleet(shard_pairs, step_s, step_hook=step_hook))
-            else:
-                results.update(engine.rollout_fleet(shard_pairs, step_s, step_hook=step_hook))
+            with stage("shard.rollout", shard=str(shard), cells=len(shard_pairs)):
+                if resume:
+                    results.update(
+                        engine.resume_rollout_fleet(shard_pairs, step_s, step_hook=step_hook)
+                    )
+                else:
+                    results.update(engine.rollout_fleet(shard_pairs, step_s, step_hook=step_hook))
         return {cell_id: results[cell_id] for cell_id, _ in pairs}
 
     def _owner(self, cell_id: str) -> FleetEngine:

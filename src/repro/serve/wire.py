@@ -40,6 +40,16 @@ shutdown, registration, state migration) stay on pickle — they are
 rare and structural — and anything v2 cannot express (e.g. cycle tags
 that are not JSON) falls back to pickle per message, never per
 session.
+
+**Trace context.**  The kind-specific ``meta`` block is free-form
+JSON, so distributed-tracing context rides as one optional meta key
+(:data:`TRACE_META_KEY`): the compact ``[trace_id, span_id, flags]``
+triple from :func:`pack_trace_context`.  Replies from a
+trace-enabled worker may carry the sibling key ``"spans"`` — span
+dicts recorded in the child, re-joined to the parent's trace via
+:meth:`repro.monitor.tracing.SpanTracer.absorb`.  Decoders ignore
+both keys; pickle-fallback messages carry no trace context (those
+paths stay untraced).
 """
 
 from __future__ import annotations
@@ -57,7 +67,9 @@ from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
 
 __all__ = [
+    "TRACE_META_KEY",
     "V2Frame",
+    "pack_trace_context",
     "read_frame",
     "write_pickle",
     "write_v2",
@@ -74,6 +86,19 @@ V2_MAGIC = 0xB2
 V2_VERSION = 2
 _LENGTH = struct.Struct(">I")
 _V2_HEAD = struct.Struct(">BBIH")
+
+# Optional meta key carrying trace context across the process boundary.
+TRACE_META_KEY = "tc"
+
+
+def pack_trace_context(ctx) -> list[int]:
+    """``[trace_id, span_id, flags]`` for the :data:`TRACE_META_KEY` meta slot.
+
+    Duck-typed on :class:`~repro.monitor.tracing.TraceContext` so this
+    module keeps zero monitor imports; bit 0 of ``flags`` is the
+    head-sampled bit.
+    """
+    return [int(ctx.trace_id), int(ctx.span_id), 1 if ctx.sampled else 0]
 
 
 @dataclasses.dataclass

@@ -65,6 +65,7 @@ import dataclasses
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -74,6 +75,8 @@ from ..core.config import ModelConfig
 from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
+from ..monitor.tracing import activate
+from ..monitor.tracing import stage as trace_stage
 from . import wire
 from .engine import CellState, FleetEngine
 from .persistence import StateJournal
@@ -168,6 +171,14 @@ class ProcessShardWorker:
         <repro.serve.sharding.ShardedFleet.metrics>` merges across the
         topology; drift/physics-bounds alarms surface in the snapshot
         as ``drift_events_total{kind=...}`` counters.
+    trace:
+        Enable distributed-tracing support in the child: requests whose
+        v2 frame carries trace context (see
+        :data:`repro.serve.wire.TRACE_META_KEY`) get
+        ``worker.deserialize`` / ``worker.compute`` /
+        ``worker.serialize`` child spans recorded in the subprocess and
+        shipped back in the reply meta.  Requests without context — the
+        common, unsampled case — pay only a dict lookup.
     """
 
     def __init__(
@@ -178,6 +189,7 @@ class ProcessShardWorker:
         name: str = "shard",
         use_kernel: bool = True,
         monitor: bool = False,
+        trace: bool = False,
     ):
         if default_model is None and registry_root is None:
             raise ValueError("need a default model, a registry root, or both")
@@ -188,6 +200,7 @@ class ProcessShardWorker:
             "journal_path": None if journal_path is None else str(journal_path),
             "use_kernel": use_kernel,
             "monitor": monitor,
+            "trace": trace,
         }
         self._proc: subprocess.Popen | None = None
         self._exit_code: int | None = None
@@ -306,16 +319,23 @@ class ProcessShardWorker:
         ids = list(cell_ids)
         n = len(ids)
         arrays = [_wire_col(col) for col in (voltage, current, temp_c)]
-        try:
-            request = wire.encode_v2(
-                "estimate", {"n": n, "now_s": now_s}, [wire.encode_str_list(ids), *arrays]
-            )
-        except TypeError:
-            return self._call("estimate", ids, voltage, current, temp_c, now_s=now_s)
-        reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "estimate")
-        # copy out of the frame body: callers get writable arrays, as
-        # they would from an in-process engine
-        return reply.arrays[0].copy()
+        meta = {"n": n, "now_s": now_s}
+        # the wire.request span covers encode + round-trip + decode; its
+        # context rides in the frame meta so the child's worker.* spans
+        # parent under it (the pickle fallback stays untraced)
+        with trace_stage("wire.request", op="estimate") as h:
+            if h is not None:
+                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+            try:
+                request = wire.encode_v2("estimate", meta, [wire.encode_str_list(ids), *arrays])
+            except TypeError:
+                return self._call("estimate", ids, voltage, current, temp_c, now_s=now_s)
+            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "estimate")
+            if h is not None:
+                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+            # copy out of the frame body: callers get writable arrays, as
+            # they would from an in-process engine
+            return reply.arrays[0].copy()
 
     def predict(
         self,
@@ -334,21 +354,26 @@ class ProcessShardWorker:
         if soc_now is not None:
             arrays.append(_wire_col(soc_now))
         meta = {"n": n, "has_soc": soc_now is not None, "commit": bool(commit), "now_s": now_s}
-        try:
-            request = wire.encode_v2("predict", meta, [wire.encode_str_list(ids), *arrays])
-        except TypeError:
-            return self._call(
-                "predict",
-                ids,
-                current_avg,
-                temp_avg_c,
-                horizon_s,
-                soc_now=soc_now,
-                commit=commit,
-                now_s=now_s,
-            )
-        reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "predict")
-        return reply.arrays[0].copy()
+        with trace_stage("wire.request", op="predict") as h:
+            if h is not None:
+                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+            try:
+                request = wire.encode_v2("predict", meta, [wire.encode_str_list(ids), *arrays])
+            except TypeError:
+                return self._call(
+                    "predict",
+                    ids,
+                    current_avg,
+                    temp_avg_c,
+                    horizon_s,
+                    soc_now=soc_now,
+                    commit=commit,
+                    now_s=now_s,
+                )
+            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "predict")
+            if h is not None:
+                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+            return reply.arrays[0].copy()
 
     def rollout_fleet(
         self,
@@ -380,16 +405,21 @@ class ProcessShardWorker:
         if step_hook is not None:
             raise ValueError("step_hook cannot cross the process boundary")
         pairs = list(assignments)
-        try:
-            meta, arrays = wire.encode_rollout_request(pairs, float(step_s))
-            request = wire.encode_v2(op, meta, arrays)
-        except TypeError:
-            # something in the cycles is not v2-expressible; pickle it
-            return self._call(op, pairs, float(step_s))
-        reply = self._roundtrip(lambda stream: _write_chunks(stream, request), op)
-        if isinstance(reply, wire.V2Frame):
-            return wire.decode_rollout_results(reply.meta, reply.arrays)
-        return reply
+        with trace_stage("wire.request", op=op) as h:
+            try:
+                meta, arrays = wire.encode_rollout_request(pairs, float(step_s))
+                if h is not None:
+                    meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+                request = wire.encode_v2(op, meta, arrays)
+            except TypeError:
+                # something in the cycles is not v2-expressible; pickle it
+                return self._call(op, pairs, float(step_s))
+            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), op)
+            if isinstance(reply, wire.V2Frame):
+                if h is not None:
+                    h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+                return wire.decode_rollout_results(reply.meta, reply.arrays)
+            return reply
 
     def metrics_snapshot(self) -> dict | None:
         """The child engine's metrics snapshot (``None`` unless ``monitor``).
@@ -515,37 +545,73 @@ def _crash_hook(after_window: int) -> Callable[[int], None]:
     return hook
 
 
-def _serve_v2(wr, engine: FleetEngine | None, frame: wire.V2Frame, crash_after: int | None) -> None:
-    """Dispatch one bulk (v2-framed) request and write its reply."""
+def _serve_v2(
+    wr, engine: FleetEngine | None, frame: wire.V2Frame, crash_after: int | None, tracer=None
+) -> None:
+    """Dispatch one bulk (v2-framed) request and write its reply.
+
+    When the frame meta carries trace context and this worker was built
+    with ``trace=True``, the child records ``worker.deserialize`` /
+    ``worker.compute`` / ``worker.serialize`` spans against the
+    propagated trace and ships them back in the reply meta (``"spans"``).
+    The serialize span covers reply-payload *assembly* only — the spans
+    ride inside the frame, so the frame write itself cannot be timed
+    from in here.  Timestamps are ``time.monotonic``, machine-wide on
+    Linux, so they align with the parent's spans.
+    """
     kind, meta, arrays = frame.kind, frame.meta, frame.arrays
+    ctx = None
+    if tracer is not None and meta.get(wire.TRACE_META_KEY):
+        ctx = tracer.from_wire(meta[wire.TRACE_META_KEY])
     try:
         if engine is None:
             raise RuntimeError(f"worker received {kind!r} before 'init'")
+        t0 = time.monotonic()
         if kind == "estimate":
             ids = wire.decode_str_list(arrays[0], meta["n"])
-            out = engine.estimate(ids, arrays[1], arrays[2], arrays[3], now_s=meta["now_s"])
-            wire.write_v2(wr, "ok", {}, [out])
+            if ctx is not None:
+                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
+            with activate(ctx), trace_stage("worker.compute", op=kind):
+                out = engine.estimate(ids, arrays[1], arrays[2], arrays[3], now_s=meta["now_s"])
+            reply_meta, reply_arrays = {}, [out]
         elif kind == "predict":
             ids = wire.decode_str_list(arrays[0], meta["n"])
-            out = engine.predict(
-                ids,
-                arrays[1],
-                arrays[2],
-                arrays[3],
-                soc_now=arrays[4] if meta["has_soc"] else None,
-                commit=meta["commit"],
-                now_s=meta["now_s"],
-            )
-            wire.write_v2(wr, "ok", {}, [out])
+            if ctx is not None:
+                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
+            with activate(ctx), trace_stage("worker.compute", op=kind):
+                out = engine.predict(
+                    ids,
+                    arrays[1],
+                    arrays[2],
+                    arrays[3],
+                    soc_now=arrays[4] if meta["has_soc"] else None,
+                    commit=meta["commit"],
+                    now_s=meta["now_s"],
+                )
+            reply_meta, reply_arrays = {}, [out]
         elif kind in ("rollout_fleet", "resume_rollout_fleet"):
             pairs, step_s = wire.decode_rollout_request(meta, arrays)
+            if ctx is not None:
+                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
             hook = None if crash_after is None else _crash_hook(crash_after)
-            results = getattr(engine, kind)(pairs, step_s, step_hook=hook)
+            with activate(ctx), trace_stage("worker.compute", op=kind):
+                results = getattr(engine, kind)(pairs, step_s, step_hook=hook)
+            t_ser = time.monotonic()
             reply_meta, reply_arrays = wire.encode_rollout_results(results)
-            wire.write_v2(wr, "ok", reply_meta, reply_arrays)
+            if ctx is not None:
+                tracer.record(ctx, "worker.serialize", t_ser, time.monotonic(), op=kind)
         else:
             raise RuntimeError(f"unknown v2 op {kind!r}")
+        if ctx is not None:
+            if kind in ("estimate", "predict"):
+                # zero-copy replies have no assembly step; the span marks
+                # the (empty) serialize stage so trees stay uniform
+                tracer.record(ctx, "worker.serialize", time.monotonic(), time.monotonic(), op=kind)
+            reply_meta["spans"] = tracer.drain(ctx.trace_id)
+        wire.write_v2(wr, "ok", reply_meta, reply_arrays)
     except Exception as exc:  # engine errors travel the wire, not the process
+        if ctx is not None:
+            tracer.drain(ctx.trace_id)  # discard: never leak a live buffer on errors
         _write_frame(wr, ("err", type(exc).__name__, str(exc)))
 
 
@@ -561,6 +627,7 @@ def worker_main(stdin=None, stdout=None) -> int:
     sys.stdout = sys.stderr  # stray prints must not corrupt the frame stream
     engine: FleetEngine | None = None
     crash_after: int | None = None
+    tracer = None
     while True:
         frame = _read_frame(rd)
         if frame is None:
@@ -568,12 +635,18 @@ def worker_main(stdin=None, stdout=None) -> int:
                 engine.journal.close()
             return 0
         if isinstance(frame, wire.V2Frame):
-            _serve_v2(wr, engine, frame, crash_after)
+            _serve_v2(wr, engine, frame, crash_after, tracer)
             continue
         op, args, kwargs = frame
         try:
             if op == "init":
                 engine = _build_engine(args[0])
+                if args[0].get("trace"):
+                    from ..monitor.tracing import SpanTracer
+
+                    # recorder only: no head sampling, no metrics — the
+                    # parent commits traces and owns the rollup
+                    tracer = SpanTracer(sample_rate=0.0, service="worker")
                 result = "ready"
             elif op == "shutdown":
                 if engine is not None and engine.journal is not None:

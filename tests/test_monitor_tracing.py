@@ -1,0 +1,431 @@
+"""Tests for the span tracer and HTTP exposition
+(:mod:`repro.monitor.tracing`, :mod:`repro.monitor.exposition`)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.monitor import (
+    DriftMonitor,
+    ExpositionServer,
+    MetricsRegistry,
+    SpanTracer,
+    activate,
+    escape_label_value,
+    prometheus_text,
+    stage,
+)
+from repro.monitor.drift import PhysicsBounds
+from repro.monitor.tracing import TRACE_STATE, Span, _NOOP
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+class TestHeadSampling:
+    def test_first_request_always_samples(self):
+        tracer = SpanTracer(sample_rate=0.001)
+        with tracer.trace("req"):
+            pass
+        assert tracer.counts()["committed"] == 1
+
+    def test_one_in_n_deterministic(self):
+        tracer = SpanTracer(sample_rate=0.25)
+        for _ in range(12):
+            with tracer.trace("req"):
+                pass
+        counts = tracer.counts()
+        assert counts["started"] == 12
+        assert counts["sampled"] == 3  # requests 0, 4, 8
+        assert counts["committed"] == 3
+
+    def test_rate_one_records_everything(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        for _ in range(5):
+            with tracer.trace("req"):
+                pass
+        assert tracer.counts()["committed"] == 5
+
+    def test_rate_zero_records_nothing_without_slow_capture(self):
+        tracer = SpanTracer(sample_rate=0.0)
+        assert tracer.start_trace("req") is None
+        handle = tracer.trace("req")
+        assert handle is _NOOP
+        with handle:
+            pass
+        assert tracer.counts() == {
+            "started": 2, "sampled": 0, "committed": 0,
+            "discarded": 0, "spans_dropped": 0, "live": 0, "stored": 0,
+        }
+
+    def test_unsampled_request_leaves_no_context(self):
+        tracer = SpanTracer(sample_rate=0.5)
+        with tracer.trace("req"):  # request 0: sampled
+            assert getattr(TRACE_STATE, "ctx", None) is not None
+        with tracer.trace("req"):  # request 1: not sampled -> _NOOP
+            assert getattr(TRACE_STATE, "ctx", None) is None
+
+
+class TestSlowCapture:
+    def test_slow_unsampled_request_commits(self):
+        clock = FakeClock()
+        tracer = SpanTracer(sample_rate=0.0, slow_trace_s=0.5, clock=clock)
+        with tracer.trace("req"):
+            clock.advance(0.9)
+        counts = tracer.counts()
+        assert counts["sampled"] == 0 and counts["committed"] == 1
+        assert tracer.trace_trees()[0]["sampled"] == "slow"
+
+    def test_fast_unsampled_request_discards(self):
+        clock = FakeClock()
+        tracer = SpanTracer(sample_rate=0.0, slow_trace_s=0.5, clock=clock)
+        with tracer.trace("req"):
+            clock.advance(0.1)
+        counts = tracer.counts()
+        assert counts["committed"] == 0 and counts["discarded"] == 1
+        assert counts["live"] == 0  # provisional buffer must not leak
+
+    def test_head_sampled_commits_regardless_of_duration(self):
+        clock = FakeClock()
+        tracer = SpanTracer(sample_rate=1.0, slow_trace_s=10.0, clock=clock)
+        with tracer.trace("req"):
+            clock.advance(0.01)
+        assert tracer.counts()["committed"] == 1
+        assert tracer.trace_trees()[0]["sampled"] == "head"
+
+
+class TestBounds:
+    def test_trace_ring_evicts_oldest(self):
+        tracer = SpanTracer(sample_rate=1.0, max_traces=3)
+        for k in range(5):
+            with tracer.trace(f"req{k}"):
+                pass
+        trees = tracer.trace_trees()
+        assert [t["root_name"] for t in trees] == ["req4", "req3", "req2"]
+        assert tracer.counts()["stored"] == 3
+
+    def test_span_budget_drops_and_counts(self):
+        tracer = SpanTracer(sample_rate=1.0, max_spans_per_trace=4)
+        with tracer.trace("req"):
+            for k in range(10):
+                with stage(f"child{k}"):
+                    pass
+        counts = tracer.counts()
+        # 4 children buffered, 6 dropped; the root itself then exceeds
+        # the budget and is dropped too (counted, never silent)
+        assert counts["spans_dropped"] == 7
+        assert counts["committed"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SpanTracer(max_traces=0)
+        with pytest.raises(ValueError):
+            SpanTracer(max_spans_per_trace=1)
+
+
+class TestSpansAndContext:
+    def test_nested_stages_build_a_tree(self):
+        clock = FakeClock()
+        tracer = SpanTracer(sample_rate=1.0, clock=clock)
+        with tracer.trace("root", kind="estimate"):
+            clock.advance(0.010)
+            with stage("child", shard="0"):
+                clock.advance(0.020)
+                with stage("grandchild"):
+                    clock.advance(0.030)
+            clock.advance(0.005)
+        (tree,) = tracer.trace_trees()
+        root = tree["root"]
+        assert root["name"] == "root" and root["attrs"] == {"kind": "estimate"}
+        assert tree["orphans"] == []
+        (child,) = root["children"]
+        assert child["name"] == "child"
+        (grand,) = child["children"]
+        assert grand["name"] == "grandchild"
+        assert grand["end_s"] - grand["start_s"] == pytest.approx(0.030)
+        # children nest inside the parent window
+        assert root["start_s"] <= child["start_s"] <= grand["start_s"]
+        assert grand["end_s"] <= child["end_s"] <= root["end_s"]
+
+    def test_stage_without_context_is_shared_noop(self):
+        assert stage("anything") is _NOOP
+        with stage("anything") as handle:
+            assert handle is None
+
+    def test_exception_closes_span_with_error_attr(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        with pytest.raises(RuntimeError):
+            with tracer.trace("root"):
+                raise RuntimeError("boom")
+        (tree,) = tracer.trace_trees()
+        assert tree["root"]["attrs"] == {"error": "RuntimeError"}
+
+    def test_finish_is_idempotent_and_merges_attrs(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        handle = tracer.start_trace("root")
+        handle.finish(ok=True, batch_size=3)
+        handle.finish(ok=False)  # ignored: already closed
+        (tree,) = tracer.trace_trees()
+        assert tree["root"]["attrs"] == {"ok": True, "batch_size": 3}
+        assert tracer.counts()["committed"] == 1
+
+    def test_activate_carries_context_across_threads(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        handle = tracer.start_trace("root")
+        seen = {}
+
+        def worker():
+            with activate(handle.ctx):
+                with stage("thread.child"):
+                    pass
+            seen["after"] = getattr(TRACE_STATE, "ctx", None)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        handle.finish()
+        assert seen["after"] is None
+        (tree,) = tracer.trace_trees()
+        assert [c["name"] for c in tree["root"]["children"]] == ["thread.child"]
+
+    def test_record_appends_pre_timed_span(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        handle = tracer.start_trace("root")
+        tracer.record(handle.ctx, "queue_wait", 1.0, 1.25, batch_size=8)
+        handle.finish()
+        (tree,) = tracer.trace_trees()
+        (child,) = tree["root"]["children"]
+        assert child["name"] == "queue_wait"
+        assert child["end_s"] - child["start_s"] == pytest.approx(0.25)
+        assert child["attrs"] == {"batch_size": 8}
+
+
+class TestCrossProcessPropagation:
+    def test_wire_round_trip_joins_one_tree(self):
+        parent = SpanTracer(sample_rate=1.0, service="gateway")
+        child = SpanTracer(sample_rate=0.0, service="worker")
+        root = parent.start_trace("gateway.estimate")
+        wire_triple = root.ctx.to_wire()
+
+        # "worker process": rebuild the context, record, drain
+        ctx = child.from_wire(list(wire_triple))
+        assert ctx.sampled is True
+        with child.span(ctx, "worker.compute", op="estimate"):
+            pass
+        shipped = child.drain(ctx.trace_id)
+        assert child.counts()["live"] == 0
+        assert all(isinstance(r, dict) for r in shipped)
+        json.dumps(shipped)  # reply meta must be JSON-safe
+
+        parent.absorb(shipped)
+        root.finish()
+        (tree,) = parent.trace_trees()
+        assert tree["orphans"] == []
+        (compute,) = tree["root"]["children"]
+        assert compute["name"] == "worker.compute"
+        assert compute["service"] == "worker"
+
+    def test_absorb_after_trace_closed_is_dropped(self):
+        parent = SpanTracer(sample_rate=1.0)
+        root = parent.start_trace("req")
+        span = Span(
+            trace_id=root.ctx.trace_id, span_id=999, parent_id=root.ctx.span_id,
+            name="late", start_s=0.0, end_s=1.0, service="worker", pid=1, attrs={},
+        )
+        root.finish()
+        parent.absorb([span.to_dict()])  # no live buffer -> dropped quietly
+        (tree,) = parent.trace_trees()
+        assert tree["root"]["children"] == []
+        assert parent.counts()["live"] == 0
+
+    def test_ids_are_process_qualified(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        import os
+
+        assert tracer._next_id() >> 32 == os.getpid()
+
+
+class TestMetricsRollup:
+    def test_committed_trace_rolls_into_stage_histograms(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        tracer = SpanTracer(sample_rate=1.0, metrics=metrics, clock=clock)
+        with tracer.trace("gateway.estimate"):
+            with stage("engine.estimate"):
+                clock.advance(0.040)
+        snapshot = metrics.snapshot()
+        hists = snapshot["histograms"]
+        assert 'trace_stage_seconds{stage="engine.estimate"}' in hists
+        assert 'trace_stage_seconds{stage="gateway.estimate"}' in hists
+        assert hists['trace_stage_seconds{stage="engine.estimate"}']["count"] == 1
+        assert snapshot["counters"]['trace_traces_total{sampled="head"}'] == 1.0
+
+    def test_discarded_trace_does_not_roll_up(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        tracer = SpanTracer(sample_rate=0.0, slow_trace_s=5.0, metrics=metrics, clock=clock)
+        with tracer.trace("req"):
+            clock.advance(0.01)
+        assert metrics.snapshot()["histograms"] == {}
+
+    def test_rollup_renders_as_prometheus_text(self):
+        metrics = MetricsRegistry()
+        tracer = SpanTracer(sample_rate=1.0, metrics=metrics)
+        with tracer.trace("req"):
+            with stage("batch.serve"):
+                pass
+        text = prometheus_text(metrics.snapshot())
+        assert 'trace_stage_seconds{stage="batch.serve"}_count 1' not in text  # sanity: names are sane
+        assert 'stage="batch.serve"' in text
+        assert "trace_traces_total" in text
+
+
+class TestChromeExport:
+    def test_export_shape_and_units(self):
+        clock = FakeClock()
+        tracer = SpanTracer(sample_rate=1.0, service="gateway", clock=clock)
+        with tracer.trace("req"):
+            with stage("child"):
+                clock.advance(0.002)
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        child = next(e for e in doc["traceEvents"] if e["name"] == "child")
+        assert child["ph"] == "X"
+        assert child["cat"] == "gateway"
+        assert child["dur"] == pytest.approx(2000.0)  # microseconds
+        json.dumps(doc)
+
+    def test_limit_keeps_newest(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        for k in range(4):
+            with tracer.trace(f"req{k}"):
+                pass
+        names = {e["name"] for e in tracer.to_chrome(limit=2)["traceEvents"]}
+        assert names == {"req2", "req3"}
+
+
+class TestDriftExemplars:
+    def test_drift_event_carries_active_trace_id(self):
+        tracer = SpanTracer(sample_rate=1.0)
+        monitor = DriftMonitor(bounds=PhysicsBounds())
+        handle = tracer.start_trace("req")
+        with handle:
+            monitor.observe_soc(["c1"], np.array([2.0]))  # > soc_max
+        (event,) = monitor.events()
+        assert event.trace_ids == (handle.ctx.trace_id,)
+
+    def test_no_active_trace_means_no_exemplar(self):
+        monitor = DriftMonitor(bounds=PhysicsBounds())
+        monitor.observe_soc(["c1"], np.array([2.0]))
+        (event,) = monitor.events()
+        assert event.trace_ids == ()
+
+
+class TestLabelEscaping:
+    def test_escape_rules(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert escape_label_value("plain") == "plain"
+
+    def test_round_trip_through_exposition(self):
+        metrics = MetricsRegistry()
+        metrics.counter("requests_total", path='a\\b"c\nx').inc()
+        text = prometheus_text(metrics.snapshot())
+        (line,) = [ln for ln in text.splitlines() if ln.startswith("requests_total")]
+        assert line == 'requests_total{path="a\\\\b\\"c\\nx"} 1'
+        # the escaped label value decodes back to the original
+        raw = line.split('path="', 1)[1].rsplit('"', 1)[0]
+        decoded = raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        assert decoded == 'a\\b"c\nx'
+
+
+# ----------------------------------------------------------------------
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type", ""), exc.read().decode("utf-8")
+
+
+class TestExpositionServer:
+    def test_metrics_traces_healthz(self):
+        metrics = MetricsRegistry()
+        metrics.counter("gateway_requests_total", endpoint="estimate").inc(2)
+        tracer = SpanTracer(sample_rate=1.0, metrics=metrics)
+        with tracer.trace("gateway.estimate"):
+            with stage("engine.estimate"):
+                pass
+        with ExpositionServer(
+            metrics=metrics, tracer=tracer, health=lambda: {"ok": True, "workers": [True]}
+        ) as server:
+            status, ctype, body = _get(server.url + "/metrics")
+            assert status == 200 and ctype.startswith("text/plain")
+            assert 'gateway_requests_total{endpoint="estimate"} 2' in body
+            assert 'trace_stage_seconds' in body
+
+            status, ctype, body = _get(server.url + "/traces")
+            assert status == 200 and ctype.startswith("application/json")
+            doc = json.loads(body)
+            assert doc["summary"]["committed"] == 1
+            assert doc["traces"][0]["root_name"] == "gateway.estimate"
+
+            status, _, body = _get(server.url + "/traces?format=chrome")
+            assert status == 200
+            assert json.loads(body)["displayTimeUnit"] == "ms"
+
+            status, _, body = _get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"ok": True, "workers": [True]}
+
+    def test_unhealthy_is_503_and_unknown_path_404(self):
+        with ExpositionServer(health=lambda: {"ok": False, "workers": [False]}) as server:
+            status, _, body = _get(server.url + "/healthz")
+            assert status == 503
+            assert json.loads(body)["ok"] is False
+            status, _, _ = _get(server.url + "/nope")
+            assert status == 404
+
+    def test_bad_limit_is_400_and_callable_metrics_source(self):
+        snapshot = {"counters": {"x_total": 1.0}, "gauges": {}, "histograms": {}}
+        with ExpositionServer(metrics=lambda: snapshot, tracer=SpanTracer()) as server:
+            status, _, _ = _get(server.url + "/traces?limit=banana")
+            assert status == 400
+            status, _, body = _get(server.url + "/metrics")
+            assert status == 200
+            assert "x_total 1" in body
+
+    def test_no_sources_serves_empty(self):
+        with ExpositionServer() as server:
+            status, _, body = _get(server.url + "/metrics")
+            assert status == 200 and body == ""
+            status, _, body = _get(server.url + "/traces")
+            assert status == 200
+            assert json.loads(body) == {"traces": [], "summary": {}}
+            status, _, body = _get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"ok": True}
+
+    def test_double_start_raises_and_stop_is_idempotent(self):
+        server = ExpositionServer()
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+            server.stop()
