@@ -53,9 +53,9 @@ from repro.core import TwoBranchSoCNet, model_rollout
 from repro.eval.reporting import format_table
 from repro.serve import (
     FleetEngine,
-    ProcessShardWorker,
     ShardedFleet,
     SocGateway,
+    WorkerSpec,
     generate_fleet,
 )
 
@@ -190,7 +190,7 @@ def run(
     sharded_s = None
     sharded_results = None
     if shards:
-        sharded = ShardedFleet(shards, default_model=model)
+        sharded = ShardedFleet(shards, spec=WorkerSpec(model=model))
         t0 = time.perf_counter()
         sharded_results = sharded.rollout_fleet(assignments, step_s=step_s)
         sharded_s = time.perf_counter() - t0
@@ -199,8 +199,7 @@ def run(
     process_results = None
     if workers:
         process_fleet = ShardedFleet(
-            workers,
-            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"shard{k}"),
+            workers, spec=WorkerSpec(url="pipe://", model=model)
         )
         t0 = time.perf_counter()
         process_results = process_fleet.rollout_fleet(assignments, step_s=step_s)

@@ -52,7 +52,12 @@ ALLOWLIST = [
 # output — first PR with ruff available should format + move them up:
 # src/repro/monitor/tracing.py, src/repro/monitor/exposition.py,
 # scripts/scrape_exposition.py, tests/test_monitor_tracing.py,
-# tests/test_serve_tracing.py, tests/test_serve_registry_follow.py
+# tests/test_serve_tracing.py, tests/test_serve_registry_follow.py,
+# src/repro/serve/transport.py, src/repro/serve/daemon.py,
+# src/repro/serve/client.py, src/repro/serve/archive.py,
+# examples/serve_client.py, tests/test_serve_transport.py,
+# tests/test_serve_remote_workers.py, tests/test_serve_archive.py,
+# tests/test_serve_daemon.py
 
 
 def main() -> int:

@@ -20,6 +20,17 @@ Gives the library a deployable surface without writing Python:
   drives concurrent client traffic through the
   :class:`repro.serve.SocGateway` and reports latency percentiles,
   shed counts and sustained req/s (the CI soak lane);
+- ``repro-soc serve``     — the long-running serving daemon: gateway +
+  control loop + scrape endpoint listening on a control URL
+  (``tcp://host:port`` or ``unix:///path``) that
+  :class:`repro.serve.SocClient` clients and ``repro-soc worker
+  --connect`` workers dial into; workers spawned locally reach it
+  over pipes, TCP or Unix sockets (``--worker-transport``), sealed
+  journal segments tier into ``--archive-dir``;
+- ``repro-soc worker``    — one standalone shard worker: ``--listen``
+  binds a socket URL for a fleet to dial, ``--connect`` joins a
+  running daemon by name (restart-by-reconnect re-attaches it to its
+  old shard);
 - ``repro-soc registry`` — inspect and manage a model registry:
   ``list`` published versions/channels, ``promote`` a canary to
   stable, ``rollback`` (abandon) a canary;
@@ -43,6 +54,10 @@ Usage examples::
     repro-soc serve-sim model.npz --cells 100000 --shards 8 --journal fleet.journal
     repro-soc serve-sim --untrained --async --workers 2 --cells 96 --fast \\
         --clients 64 --requests 8000 --soak-json soak.json --fail-on-error
+    repro-soc serve model.npz --listen tcp://0.0.0.0:7355 --workers 2 \\
+        --worker-transport tcp --journal fleet.journal --archive-dir ./cold \\
+        --metrics-port 9923
+    repro-soc worker --connect tcp://daemon-host:7355 --name rack3
     repro-soc registry list ./registry
     repro-soc registry promote ./registry sandia-serve
     repro-soc serve-sim model.npz --cells 256 --metrics-json metrics.json --fail-on-drift
@@ -279,6 +294,68 @@ def _gateway_traffic(engine, fleet, args, metrics=None, tracer=None):
     return asyncio.run(drive())
 
 
+def _resolve_serve_model(args):
+    """Checkpoint or ``--untrained`` model, shared by serve-sim and serve."""
+    if args.untrained:
+        if args.model:
+            raise SystemExit("give a checkpoint or --untrained, not both")
+        model = TwoBranchSoCNet(rng=np.random.default_rng(args.seed))
+        return model, {"dataset": None}
+    if not args.model:
+        raise SystemExit("provide a checkpoint path (or --untrained)")
+    return _load_model(args.model)
+
+
+def _worker_url_template(args) -> str | None:
+    """Worker address template from the transport flags.
+
+    ``--worker-url`` wins (addresses of already-running workers, so
+    ``spawn`` stays off); otherwise ``--worker-transport`` picks the
+    medium and the workers are spawned locally.
+    """
+    if getattr(args, "worker_url", None):
+        return args.worker_url
+    transport = getattr(args, "worker_transport", "pipe")
+    if transport == "pipe":
+        return "pipe://"
+    if transport == "tcp":
+        return "tcp://127.0.0.1:0"
+    import os
+    import tempfile
+
+    return f"unix://{tempfile.gettempdir()}/repro-soc-{os.getpid()}.shard{{shard}}.sock"
+
+
+def _subprocess_worker_spec(args, model, monitoring: bool, tracing: bool):
+    """The :class:`~repro.serve.WorkerSpec` for ``--workers`` topologies."""
+    from .serve import WorkerSpec
+
+    url = _worker_url_template(args)
+    return WorkerSpec(
+        url=url,
+        model=model,
+        registry=args.registry or None,
+        journal=args.journal,
+        monitor=monitoring,
+        trace=tracing,
+        archive_root=getattr(args, "archive_dir", None),
+        journal_segment_bytes=_segment_bytes(args),
+        spawn=not getattr(args, "worker_url", None),
+    )
+
+
+def _segment_bytes(args) -> int:
+    return int(getattr(args, "journal_segment_kb", 0) or 0) * 1024
+
+
+def _archive_store(args):
+    if not getattr(args, "archive_dir", None):
+        return None
+    from .serve import DirectoryArchiveStore
+
+    return DirectoryArchiveStore(args.archive_dir)
+
+
 def _cmd_serve_sim(args) -> int:
     import time
 
@@ -286,9 +363,9 @@ def _cmd_serve_sim(args) -> int:
     from .serve import (
         FleetEngine,
         ModelRegistry,
-        ProcessShardWorker,
         ShardedFleet,
         StateJournal,
+        WorkerSpec,
         generate_fleet,
     )
 
@@ -300,15 +377,7 @@ def _cmd_serve_sim(args) -> int:
         raise SystemExit("--workers cannot be negative")
     if args.workers and args.shards > 1:
         raise SystemExit("--workers (subprocess shards) and --shards (in-process) are exclusive")
-    if args.untrained:
-        if args.model:
-            raise SystemExit("give a checkpoint or --untrained, not both")
-        model = TwoBranchSoCNet(rng=np.random.default_rng(args.seed))
-        meta = {"dataset": None}
-    else:
-        if not args.model:
-            raise SystemExit("provide a checkpoint path (or --untrained)")
-        model, meta = _load_model(args.model)
+    model, meta = _resolve_serve_model(args)
     sim_kwargs = dict(seed=args.seed)
     if args.fast:
         sim_kwargs.update(
@@ -340,23 +409,19 @@ def _cmd_serve_sim(args) -> int:
         tracer = SpanTracer(sample_rate=args.trace_sample, metrics=metrics, service="gateway")
     journal = None
     if args.journal and not args.workers:
-        journal = StateJournal(args.journal)
+        journal = StateJournal(
+            args.journal, archive=_archive_store(args), max_segment_bytes=_segment_bytes(args)
+        )
     if args.workers:
-        def worker_factory(k):
-            return ProcessShardWorker(
-                default_model=model,
-                registry_root=args.registry or None,
-                journal_path=f"{args.journal}.shard{k}" if args.journal else None,
-                name=f"shard{k}",
-                monitor=monitoring,
-                trace=tracing,
-            )
-
-        engine = ShardedFleet(args.workers, worker_factory=worker_factory)
+        engine = ShardedFleet(
+            args.workers, spec=_subprocess_worker_spec(args, model, monitoring, tracing)
+        )
     elif args.shards > 1:
         engine = ShardedFleet(
-            args.shards, default_model=model, registry=registry, journal=journal,
-            metrics=metrics, drift=drift,
+            args.shards,
+            spec=WorkerSpec(
+                model=model, registry=registry, journal=journal, metrics=metrics, drift=drift
+            ),
         )
     else:
         engine = FleetEngine(
@@ -600,6 +665,93 @@ def _report_monitoring(engine, metrics, drift, args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Long-running multi-host serving daemon (``repro-soc serve``)."""
+    from .serve import FleetEngine, ModelRegistry, ShardedFleet, StateJournal, WorkerSpec
+    from .serve.daemon import SocDaemon, run_daemon
+
+    if args.workers < 0:
+        raise SystemExit("--workers cannot be negative")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.workers and args.shards > 1:
+        raise SystemExit("--workers (subprocess shards) and --shards (in-process) are exclusive")
+    model, meta = _resolve_serve_model(args)
+    registry = None
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        dataset = meta.get("dataset")
+        name = f"{dataset or 'default'}-serve"
+        registry.publish(name, model, dataset=dataset)
+        print(f"serving via registry {args.registry} (model {name!r})", file=sys.stderr)
+    tracing = args.metrics_port is not None or bool(args.trace_json)
+    metrics = tracer = None
+    from .monitor import DriftMonitor, MetricsRegistry
+
+    metrics = MetricsRegistry()
+    drift = DriftMonitor(metrics=metrics)
+    if tracing:
+        from .monitor import SpanTracer
+
+        tracer = SpanTracer(sample_rate=args.trace_sample, metrics=metrics, service="gateway")
+
+    worker_spec = _subprocess_worker_spec(args, model, monitoring=True, tracing=tracing)
+    if args.workers:
+        engine = ShardedFleet(args.workers, spec=worker_spec)
+    elif args.shards > 1:
+        journal = (
+            StateJournal(args.journal, archive=_archive_store(args), max_segment_bytes=_segment_bytes(args))
+            if args.journal
+            else None
+        )
+        engine = ShardedFleet(
+            args.shards,
+            spec=WorkerSpec(
+                model=model, registry=registry, journal=journal, metrics=metrics, drift=drift
+            ),
+        )
+    else:
+        journal = (
+            StateJournal(args.journal, archive=_archive_store(args), max_segment_bytes=_segment_bytes(args))
+            if args.journal
+            else None
+        )
+        engine = FleetEngine(
+            default_model=model, registry=registry, journal=journal,
+            metrics=metrics, drift=drift,
+        )
+    daemon = SocDaemon(
+        engine,
+        args.listen,
+        worker_spec=worker_spec,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        max_in_flight=args.max_in_flight,
+        metrics=metrics,
+        tracer=tracer,
+        control_interval_s=args.control_interval,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        exposition_port=args.metrics_port,
+    )
+    return run_daemon(daemon)
+
+
+def _cmd_worker(args) -> int:
+    """Standalone shard worker (``repro-soc worker``)."""
+    from .serve.workers import run_worker, run_worker_connect
+
+    if bool(args.listen) == bool(args.connect):
+        raise SystemExit("give exactly one of --listen URL or --connect URL")
+    if args.listen:
+        return run_worker(args.listen, once=args.once)
+    return run_worker_connect(
+        args.connect,
+        args.name,
+        reconnect=not args.no_reconnect,
+        connect_timeout_s=args.connect_timeout,
+    )
+
+
 def _cmd_monitor(args) -> int:
     """Read, pretty-print, watch or export a metrics snapshot file."""
     import json
@@ -744,10 +896,103 @@ def _cmd_inspect(args) -> int:
 
 
 # ----------------------------------------------------------------------
+_SERVE_EPILOG = """\
+flag groups (shared by serve-sim, serve and worker):
+  fleet topology     how cells are partitioned: in-process shards,
+                     subprocess/socket workers, journals, registries
+  gateway            micro-batching and admission control
+  observability      metrics/drift/tracing and the HTTP scrape endpoint
+  worker transport   the medium shard workers are reached over
+                     (pipe://, unix:///path, tcp://host:port) and
+                     where sealed journal segments are archived
+"""
+
+_WORKER_EPILOG = """\
+topologies:
+  --listen tcp://0.0.0.0:7356    bind and wait for a fleet to dial in
+                                 (prints 'worker listening on <url>')
+  --connect tcp://daemon:7355    dial a 'repro-soc serve' daemon and
+                                 serve as the shard named by --name;
+                                 reconnects after daemon restarts
+The worker is stateless at startup: the connecting fleet sends the
+engine description (model, registry, journal, archive) in its first
+frame, and the journal restores per-cell state.
+"""
+
+
+def _flag_parents() -> dict[str, argparse.ArgumentParser]:
+    """Shared flag groups for the serving subcommands (parent parsers)."""
+    fleet = argparse.ArgumentParser(add_help=False)
+    g = fleet.add_argument_group("fleet topology")
+    g.add_argument("--shards", type=int, default=1,
+                   help="partition the fleet across this many in-process shard workers")
+    g.add_argument("--workers", type=int, default=0,
+                   help="partition the fleet across this many worker subprocesses "
+                        "(medium set by --worker-transport; 0 = in-process)")
+    g.add_argument("--journal", default=None,
+                   help="stream per-cell state to this journal file (restorable; with "
+                        "--workers each worker journals to <path>.shardK)")
+    g.add_argument("--journal-segment-kb", type=int, default=0,
+                   help="rotate the journal into sealed segments once the active file "
+                        "crosses this size (0 = no rotation); with --archive-dir, "
+                        "sealed segments ship to the cold store")
+    g.add_argument("--registry", default=None,
+                   help="serve through a model registry rooted at this directory")
+
+    gateway = argparse.ArgumentParser(add_help=False)
+    g = gateway.add_argument_group("gateway")
+    g.add_argument("--max-batch", type=int, default=64,
+                   help="gateway micro-batch size trigger")
+    g.add_argument("--max-delay-ms", type=float, default=5.0,
+                   help="gateway micro-batch deadline trigger (milliseconds)")
+    g.add_argument("--max-in-flight", type=int, default=1024,
+                   help="admission limit; requests beyond it are shed with ok=False")
+
+    observability = argparse.ArgumentParser(add_help=False)
+    g = observability.add_argument_group("observability")
+    g.add_argument("--metrics-json", default=None,
+                   help="enable monitoring (metrics registry + drift detectors across "
+                        "every layer, incl. subprocess workers) and write the merged "
+                        "snapshot here (read it with 'repro-soc monitor')")
+    g.add_argument("--fail-on-drift", action="store_true",
+                   help="enable monitoring and exit 1 if any drift/physics-bounds "
+                        "event fires (the detector false-positive gate)")
+    g.add_argument("--metrics-port", type=int, default=None,
+                   help="enable tracing and serve /metrics, /traces and /healthz over "
+                        "HTTP on 127.0.0.1:PORT (0 = ephemeral)")
+    g.add_argument("--trace-json", default=None,
+                   help="enable tracing and write sampled span trees (plus Chrome "
+                        "trace events for chrome://tracing) to this file")
+    g.add_argument("--trace-sample", type=float, default=0.05,
+                   help="head-sampling rate for request traces (1.0 = every request; "
+                        "slow traces are captured regardless)")
+
+    transport = argparse.ArgumentParser(add_help=False)
+    g = transport.add_argument_group("worker transport")
+    g.add_argument("--worker-transport", choices=("pipe", "tcp", "unix"), default="pipe",
+                   help="medium for --workers shards: stdio pipes (local fast path), "
+                        "TCP sockets on 127.0.0.1, or Unix-domain sockets (default: pipe)")
+    g.add_argument("--worker-url", default=None,
+                   help="address template of already-running workers (e.g. "
+                        "'tcp://host:73{shard}'); overrides --worker-transport and "
+                        "disables spawning")
+    g.add_argument("--archive-dir", default=None,
+                   help="cold store for sealed journal segments: rotation ships "
+                        "segments here and unlinks them locally; restore replays "
+                        "them back (see repro.serve.archive)")
+    return {
+        "fleet": fleet,
+        "gateway": gateway,
+        "observability": observability,
+        "transport": transport,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro-soc", description=__doc__.split("\n")[0])
     sub = parser.add_subparsers(dest="command", required=True)
+    parents = _flag_parents()
 
     train = sub.add_parser("train", help="train a model on a synthetic campaign")
     train.add_argument("--dataset", choices=sorted(_DATASET_DEFAULTS), default="sandia")
@@ -790,66 +1035,85 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("model")
     inspect.set_defaults(func=_cmd_inspect)
 
-    serve = sub.add_parser("serve-sim", help="batched fleet-serving simulation")
+    serve_sim = sub.add_parser(
+        "serve-sim",
+        help="batched fleet-serving simulation",
+        parents=list(parents.values()),
+        epilog=_SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve_sim.add_argument("model", nargs="?", default=None,
+                           help="checkpoint path (omit with --untrained)")
+    serve_sim.add_argument("--untrained", action="store_true",
+                           help="serve a deterministic untrained model (throughput/soak runs "
+                                "need no checkpoint: forward cost is identical)")
+    serve_sim.add_argument("--cells", type=int, default=256, help="fleet size")
+    serve_sim.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
+    serve_sim.add_argument("--seed", type=int, default=0)
+    serve_sim.add_argument("--fast", action="store_true", help="scaled-down fleet simulation")
+    serve_sim.add_argument("--show", type=int, default=0,
+                           help="print per-cell trajectories for the first N cells")
+    serve_sim.add_argument("--compare-loop", action="store_true",
+                           help="also time the per-cell loop path and report the speedup")
+    serve_sim.add_argument("--async", dest="async_", action="store_true",
+                           help="serve through the asyncio SocGateway: fleet rollout plus "
+                                "concurrent client traffic with latency stats")
+    serve_sim.add_argument("--clients", type=int, default=64,
+                           help="concurrent closed-loop clients driving the gateway")
+    serve_sim.add_argument("--requests", type=int, default=2000,
+                           help="total gateway requests across all clients")
+    serve_sim.add_argument("--predict-every", type=int, default=4,
+                           help="every Nth client request is a Branch 2 what-if (0 disables)")
+    serve_sim.add_argument("--soak-json", default=None,
+                           help="write gateway soak results (counts, latency percentiles) here")
+    serve_sim.add_argument("--fail-on-error", action="store_true",
+                           help="exit 1 on any errored/shed completion or dead worker")
+    serve_sim.set_defaults(func=_cmd_serve_sim)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running serving daemon (clients and workers dial in by URL)",
+        parents=list(parents.values()),
+        epilog=_SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     serve.add_argument("model", nargs="?", default=None,
                        help="checkpoint path (omit with --untrained)")
     serve.add_argument("--untrained", action="store_true",
-                       help="serve a deterministic untrained model (throughput/soak runs "
-                            "need no checkpoint: forward cost is identical)")
-    serve.add_argument("--cells", type=int, default=256, help="fleet size")
-    serve.add_argument("--step", type=float, default=60.0, help="rollout step (s)")
+                       help="serve a deterministic untrained model")
+    serve.add_argument("--listen", default="tcp://127.0.0.1:7355",
+                       help="control URL clients and inbound workers dial "
+                            "(tcp://host:port, port 0 = ephemeral, or unix:///path)")
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--fast", action="store_true", help="scaled-down fleet simulation")
-    serve.add_argument("--shards", type=int, default=1,
-                       help="partition the fleet across this many in-process shard workers")
-    serve.add_argument("--workers", type=int, default=0,
-                       help="partition the fleet across this many subprocess shard workers "
-                            "(ProcessShardWorker; 0 = in-process)")
-    serve.add_argument("--journal", default=None,
-                       help="stream per-cell state to this journal file (restorable; with "
-                            "--workers each worker journals to <path>.shardK)")
-    serve.add_argument("--registry", default=None,
-                       help="serve through a model registry rooted at this directory")
-    serve.add_argument("--show", type=int, default=0,
-                       help="print per-cell trajectories for the first N cells")
-    serve.add_argument("--compare-loop", action="store_true",
-                       help="also time the per-cell loop path and report the speedup")
-    serve.add_argument("--async", dest="async_", action="store_true",
-                       help="serve through the asyncio SocGateway: fleet rollout plus "
-                            "concurrent client traffic with latency stats")
-    serve.add_argument("--clients", type=int, default=64,
-                       help="concurrent closed-loop clients driving the gateway")
-    serve.add_argument("--requests", type=int, default=2000,
-                       help="total gateway requests across all clients")
-    serve.add_argument("--predict-every", type=int, default=4,
-                       help="every Nth client request is a Branch 2 what-if (0 disables)")
-    serve.add_argument("--max-batch", type=int, default=64,
-                       help="gateway micro-batch size trigger")
-    serve.add_argument("--max-delay-ms", type=float, default=5.0,
-                       help="gateway micro-batch deadline trigger (milliseconds)")
-    serve.add_argument("--max-in-flight", type=int, default=1024,
-                       help="admission limit; requests beyond it are shed with ok=False")
-    serve.add_argument("--soak-json", default=None,
-                       help="write gateway soak results (counts, latency percentiles) here")
-    serve.add_argument("--fail-on-error", action="store_true",
-                       help="exit 1 on any errored/shed completion or dead worker")
-    serve.add_argument("--metrics-json", default=None,
-                       help="enable monitoring (metrics registry + drift detectors across "
-                            "every layer, incl. subprocess workers) and write the merged "
-                            "snapshot here (read it with 'repro-soc monitor')")
-    serve.add_argument("--fail-on-drift", action="store_true",
-                       help="enable monitoring and exit 1 if any drift/physics-bounds "
-                            "event fires (the detector false-positive gate)")
-    serve.add_argument("--metrics-port", type=int, default=None,
-                       help="enable tracing and serve /metrics, /traces and /healthz over "
-                            "HTTP on 127.0.0.1:PORT for the life of the run (0 = ephemeral)")
-    serve.add_argument("--trace-json", default=None,
-                       help="enable tracing and write sampled span trees (plus Chrome "
-                            "trace events for chrome://tracing) to this file")
-    serve.add_argument("--trace-sample", type=float, default=0.05,
-                       help="head-sampling rate for request traces (1.0 = every request; "
-                            "slow traces are captured regardless)")
-    serve.set_defaults(func=_cmd_serve_sim)
+    serve.add_argument("--control-interval", type=float, default=1.0,
+                       help="seconds between control-plane ticks (heartbeat probes + "
+                            "heal/canary pass; 0 disables)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                       help="per-worker ping deadline during a control tick (seconds)")
+    serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="standalone shard worker (--listen for inbound, --connect to join a daemon)",
+        epilog=_WORKER_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    g = worker.add_argument_group("worker transport")
+    g.add_argument("--listen", default=None,
+                   help="bind this URL and serve fleets that dial in "
+                        "(tcp://host:port, port 0 = ephemeral, or unix:///path)")
+    g.add_argument("--connect", default=None,
+                   help="dial this daemon control URL and serve as one of its shards")
+    g.add_argument("--name", default="worker",
+                   help="shard name sent with worker_hello; reconnecting under the "
+                        "same name re-attaches to the old shard (default: worker)")
+    g.add_argument("--once", action="store_true",
+                   help="with --listen: exit after the first connection closes")
+    g.add_argument("--no-reconnect", action="store_true",
+                   help="with --connect: exit when the daemon goes away instead of redialing")
+    g.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="how long to retry a refused dial (seconds)")
+    worker.set_defaults(func=_cmd_worker)
 
     monitor = sub.add_parser("monitor", help="read metrics snapshots (serve-sim --metrics-json)")
     monitor_sub = monitor.add_subparsers(dest="monitor_command", required=True)

@@ -24,9 +24,22 @@ and versioned checkpoint rollout.
   accepting estimate/predict/rollout requests concurrently, with
   admission control, load shedding, worker-crash retry, and
   registry-backed per-endpoint latency stats;
-- :mod:`repro.serve.workers` — :class:`ProcessShardWorker`: a shard
-  engine in a subprocess behind a length-prefixed pipe protocol, with
-  crash detection, graceful drain, and journal-based restart recovery;
+- :mod:`repro.serve.workers` — shard workers behind one declarative
+  factory (:class:`WorkerSpec`): :class:`ProcessShardWorker` over
+  stdio pipes (the local fast path), :class:`RemoteShardWorker` over
+  sockets, and the standalone serving loops (``repro-soc worker``);
+- :mod:`repro.serve.transport` — :class:`Transport`: the framed
+  connection seam under every worker (``pipe://``, ``unix:///path``,
+  ``tcp://host:port``), with torn-stream and deadline peer-death
+  detection;
+- :mod:`repro.serve.daemon` — :class:`SocDaemon`: the ``repro-soc
+  serve`` process — gateway + control loop + scrape endpoint on one
+  control URL that clients and workers dial into;
+- :mod:`repro.serve.client` — :class:`SocClient`: the public
+  by-URL client for a running daemon;
+- :mod:`repro.serve.archive` — :class:`DirectoryArchiveStore` and
+  :func:`restore_from_archive`: cold storage for sealed journal
+  segments (rotation ships, restore replays);
 - :mod:`repro.serve.wire` — the worker frame codec: pickled control
   frames plus v2 zero-copy frames (struct header + raw array payloads
   decoded via ``np.frombuffer``) for the bulk inference messages;
@@ -44,7 +57,9 @@ architecture, gateway architecture, sharding topology, worker wire
 protocol (v1/v2 frame layout), journal format, and canary lifecycle.
 """
 
+from .archive import ArchiveError, DirectoryArchiveStore, MissingSegmentError, restore_from_archive
 from .canary import CanaryController, CanaryReport, in_canary_slice
+from .client import DaemonUnavailable, SocClient
 from .engine import CellState, FleetEngine
 from .fleet_sim import FleetMember, FleetScenario, generate_fleet
 from .gateway import GatewayOverloaded, SocGateway
@@ -52,7 +67,8 @@ from .persistence import JournalSnapshot, StateJournal
 from .registry import ModelEntry, ModelRegistry
 from .scheduler import BatchStats, Completion, MicroBatcher, Request
 from .sharding import ShardedFleet, shard_for
-from .workers import ProcessShardWorker, WorkerCrashError
+from .transport import PeerGone, Transport, TransportError, TransportTimeout
+from .workers import ProcessShardWorker, RemoteShardWorker, WorkerCrashError, WorkerSpec
 
 __all__ = [
     "CellState",
@@ -62,7 +78,19 @@ __all__ = [
     "SocGateway",
     "GatewayOverloaded",
     "ProcessShardWorker",
+    "RemoteShardWorker",
+    "WorkerSpec",
     "WorkerCrashError",
+    "Transport",
+    "TransportError",
+    "TransportTimeout",
+    "PeerGone",
+    "SocClient",
+    "DaemonUnavailable",
+    "ArchiveError",
+    "MissingSegmentError",
+    "DirectoryArchiveStore",
+    "restore_from_archive",
     "StateJournal",
     "JournalSnapshot",
     "ModelEntry",

@@ -1,0 +1,437 @@
+"""``repro-soc serve``: the long-running multi-host serving daemon.
+
+Everything below existed as parts — :class:`~repro.serve.gateway.SocGateway`
+for admission + micro-batching, :class:`~repro.serve.sharding.ShardedFleet`
+for placement, :class:`~repro.monitor.autopilot.ControlLoop` for healing
+and canary steering, :class:`~repro.monitor.exposition.ExpositionServer`
+for scrapes — but only wired together inside one simulation process
+(``serve-sim``).  :class:`SocDaemon` is the deployment shape: one
+process that owns those pieces *indefinitely*, listens on a control URL
+(``unix://`` or ``tcp://``, same :mod:`~repro.serve.transport` frames as
+the workers), and lets two kinds of peers dial in:
+
+- **clients** (:class:`~repro.serve.client.SocClient`): pickle-framed
+  request ops (``estimate``/``predict``/``rollout``/registration/
+  stats) bridged onto the gateway's asyncio loop — one connection, one
+  handler thread, requests resolved through the same micro-batcher as
+  every other client's;
+- **workers** (``repro-soc worker --connect``): a ``worker_hello``
+  frame flips the connection's roles — the daemon wraps the transport
+  in a :class:`~repro.serve.workers.RemoteShardWorker` and the dialer
+  becomes a served shard.  Registration by name makes
+  restart-by-reconnect work: a worker that crashes and dials back in
+  is re-attached to its old shard (journal restore + ``init`` over the
+  new transport), not added as new capacity.  Workers can also be
+  registered *outbound* by URL (``add_worker``) when the daemon can
+  reach them.
+
+Concurrency: the gateway's batcher lock is the one serialization
+point, exactly as in-process — client handler threads take it for
+direct engine ops, the control thread takes it for heartbeat probes
+and heal ticks (transport frames must never interleave with traffic),
+and the asyncio loop's executor takes it for batched inference.  The
+exposition server stays lock-free (cached health, snapshot metrics),
+so ``/metrics`` and ``/healthz`` answer even while a worker is dead
+and healing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+
+from ..monitor.autopilot import ControlLoop
+from .gateway import SocGateway
+from .transport import Transport, TransportError, TransportListener, TransportTimeout
+from .workers import RemoteShardWorker, WorkerSpec
+
+__all__ = ["SocDaemon", "run_daemon"]
+
+_CLIENT_OPS = (
+    "hello",
+    "ping",
+    "estimate",
+    "predict",
+    "rollout",
+    "register_cell",
+    "deregister_cell",
+    "reroute_cell",
+    "cell",
+    "cells",
+    "len",
+    "contains",
+    "stats",
+    "metrics",
+    "worker_health",
+    "heartbeat",
+    "add_worker",
+    "shutdown",
+)
+
+
+class SocDaemon:
+    """One long-running serving plane: gateway + control loop + scrapes.
+
+    Parameters
+    ----------
+    engine:
+        The fleet to serve — a :class:`~repro.serve.engine.FleetEngine`
+        or (for worker registration / healing to mean anything) a
+        :class:`~repro.serve.sharding.ShardedFleet`.  The daemon owns
+        it: :meth:`stop` closes it.
+    listen:
+        Control URL to accept clients and inbound workers on
+        (``unix:///path`` or ``tcp://host:port``; port 0 binds an
+        ephemeral port — read :attr:`url`).
+    worker_spec:
+        Template :class:`~repro.serve.workers.WorkerSpec` for workers
+        that join later (``worker_hello`` or ``add_worker``): model,
+        registry root, journal template, monitor/trace flags.  Without
+        it, inbound workers are rejected and ``add_worker`` needs the
+        fleet's own spec template.
+    max_batch, max_delay_s, max_in_flight, metrics, tracer:
+        Passed to the :class:`~repro.serve.gateway.SocGateway`.
+    control_interval_s:
+        Control-plane pacing: every interval the daemon takes the
+        batcher lock, pings probe-capable workers
+        (:meth:`ShardedFleet.heartbeat
+        <repro.serve.sharding.ShardedFleet.heartbeat>`), and runs one
+        :class:`~repro.monitor.autopilot.ControlLoop` tick (heal dead
+        workers, steer the canary).  0 disables the thread; call
+        :meth:`control_tick` yourself.
+    autopilot, probe:
+        Optional canary policy + divergence probe for the control loop.
+    exposition_host, exposition_port:
+        Bind an :class:`~repro.monitor.exposition.ExpositionServer`
+        (``/metrics``, ``/traces``, ``/healthz``) when
+        ``exposition_port`` is not ``None`` (0 = ephemeral; read
+        :attr:`exposition_url`).
+    """
+
+    def __init__(
+        self,
+        engine,
+        listen: str,
+        *,
+        worker_spec: WorkerSpec | None = None,
+        max_batch: int = 64,
+        max_delay_s: float = 0.010,
+        max_in_flight: int = 1024,
+        metrics=None,
+        tracer=None,
+        control_interval_s: float = 1.0,
+        autopilot=None,
+        probe=None,
+        heartbeat_timeout_s: float = 2.0,
+        exposition_host: str = "127.0.0.1",
+        exposition_port: int | None = None,
+    ):
+        self.engine = engine
+        self.worker_spec = worker_spec
+        self.gateway = SocGateway(
+            engine,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            max_in_flight=max_in_flight,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        self.control = ControlLoop(
+            engine=engine,
+            autopilot=autopilot,
+            probe=probe,
+            interval_s=control_interval_s,
+            metrics=self.gateway.metrics,
+        )
+        self.control_interval_s = float(control_interval_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self._listener = TransportListener(listen)
+        self.url = str(self._listener.url)
+        self.exposition = None
+        if exposition_port is not None:
+            from ..monitor.exposition import ExpositionServer
+
+            self.exposition = ExpositionServer(
+                metrics=self.gateway.metrics_snapshot,
+                tracer=tracer,
+                health=self._health,
+                host=exposition_host,
+                port=exposition_port,
+            )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._control_thread: threading.Thread | None = None
+        self._client_threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def exposition_url(self) -> str | None:
+        """Base URL of the scrape endpoint (``None`` when not exposed)."""
+        return None if self.exposition is None else self.exposition.url
+
+    def start(self) -> SocDaemon:
+        """Bring the plane up: asyncio loop, acceptor, control thread, scrapes."""
+        if self._started:
+            return self
+        self._started = True
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def _run_loop() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(ready.set)
+            self._loop.run_forever()
+
+        self._loop_thread = threading.Thread(target=_run_loop, name="soc-daemon-loop", daemon=True)
+        self._loop_thread.start()
+        ready.wait()
+        self._await(self._async_start_gateway())
+        if self.exposition is not None:
+            self.exposition.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="soc-daemon-accept", daemon=True
+        )
+        self._accept_thread.start()
+        if self.control_interval_s > 0:
+            self._control_thread = threading.Thread(
+                target=self._control_loop, name="soc-daemon-control", daemon=True
+            )
+            self._control_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and tear down: listener, gateway, workers, scrapes."""
+        if not self._started or self._stopping.is_set():
+            self._stopping.set()
+            return
+        self._stopping.set()
+        self._listener.close()
+        for thread in (self._accept_thread, self._control_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        for thread in list(self._client_threads):
+            thread.join(timeout=5.0)
+        self._await(self.gateway.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=5.0)
+        self._loop.close()
+        if self.exposition is not None:
+            self.exposition.stop()
+        closer = getattr(self.engine, "close", None)
+        if closer is not None:
+            closer()
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until :meth:`stop` is requested (a client ``shutdown``
+        op, or another thread); returns whether it was."""
+        return self._stopping.wait(timeout=timeout_s)
+
+    def __enter__(self) -> SocDaemon:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def control_tick(self) -> dict:
+        """One control-plane pass under the batcher lock (probe + heal)."""
+        with self.gateway.batcher.lock:
+            heartbeat = getattr(self.engine, "heartbeat", None)
+            if heartbeat is not None:
+                heartbeat(self.heartbeat_timeout_s)
+            return self.control.tick()
+
+    # -- internals -----------------------------------------------------
+    async def _async_start_gateway(self) -> None:
+        self.gateway.start()
+
+    def _await(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _health(self) -> dict:
+        # the daemon answering IS the liveness signal; worker state is
+        # detail (a dead worker mid-heal must not flip /healthz to 503)
+        health = getattr(self.engine, "worker_health", None)
+        workers = health() if health is not None else []
+        return {"ok": True, "workers": list(workers), "url": self.url}
+
+    def _control_loop(self) -> None:
+        while not self._stopping.wait(self.control_interval_s):
+            try:
+                self.control_tick()
+            except Exception:
+                continue  # one bad tick must not kill the control plane
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                peer = self._listener.accept(timeout_s=0.25)
+            except TransportTimeout:
+                continue
+            except TransportError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(peer,), name="soc-daemon-client", daemon=True
+            )
+            self._client_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, transport: Transport) -> None:
+        """Serve one inbound connection until it closes (or flips roles)."""
+        handed_off = False
+        try:
+            while not self._stopping.is_set():
+                # idle-wait without a recv deadline: a deadline poisons
+                # the stream, wait_readable just polls the stop flag
+                if not transport.wait_readable(timeout_s=0.25):
+                    continue
+                try:
+                    frame = transport.recv_frame()
+                except TransportError:
+                    break
+                if frame is None:
+                    break
+                op, args, kwargs = frame
+                if op == "worker_hello":
+                    # role flip: the dialer is a worker, not a client.
+                    # Reply first (the worker waits for the ack before
+                    # serving), then hand the transport to the fleet.
+                    name = args[0] if args else kwargs.get("name", "worker")
+                    try:
+                        transport.send_pickle(("ok", "attach"))
+                        self._attach_worker(str(name), transport)
+                    except Exception:
+                        break
+                    handed_off = True
+                    return  # the transport now belongs to the shard worker
+                try:
+                    result = self._dispatch(op, args, kwargs)
+                except Exception as exc:
+                    try:
+                        transport.send_pickle(("err", type(exc).__name__, str(exc)))
+                    except TransportError:
+                        break
+                else:
+                    try:
+                        transport.send_pickle(("ok", result))
+                    except TransportError:
+                        break
+                if op == "shutdown":
+                    threading.Thread(target=self.stop, daemon=True).start()
+                    break
+        finally:
+            if not handed_off:
+                transport.close()
+
+    def _attach_worker(self, name: str, transport: Transport) -> None:
+        """Re-attach a returning worker by name, or adopt it as new capacity."""
+        with self.gateway.batcher.lock:
+            reattach = getattr(self.engine, "reattach_worker", None)
+            if reattach is not None and reattach(name, transport) is not None:
+                return
+            spec = self.worker_spec
+            if spec is None:
+                raise RuntimeError(
+                    "daemon has no worker_spec; inbound workers cannot be provisioned"
+                )
+            adopt = getattr(self.engine, "adopt_worker", None)
+            if adopt is None:
+                raise RuntimeError("engine does not accept workers (not a ShardedFleet)")
+            worker = RemoteShardWorker.from_transport(
+                transport,
+                name=name,
+                default_model=spec.model,
+                registry_root=(
+                    spec.registry.root if hasattr(spec.registry, "root") else spec.registry
+                ),
+                journal_path=self._join_journal_path(name),
+                use_kernel=spec.use_kernel,
+                monitor=spec.monitor,
+                trace=spec.trace,
+                archive_root=spec.archive_root,
+                journal_segment_bytes=spec.journal_segment_bytes,
+            )
+            adopt(worker)
+
+    def _join_journal_path(self, name: str) -> str | None:
+        journal = None if self.worker_spec is None else self.worker_spec.journal
+        if journal is None:
+            return None
+        template = str(journal)
+        if "{shard}" in template:
+            return template.format(shard=name)
+        return f"{template}.{name}"
+
+    def _dispatch(self, op: str, args: tuple, kwargs: dict):
+        """One client op; engine mutations go under the batcher lock."""
+        gateway = self.gateway
+        if op == "hello":
+            return {"service": "repro-soc", "url": self.url, "ops": list(_CLIENT_OPS)}
+        if op == "ping":
+            return "pong"
+        if op == "estimate":
+            completion = self._await(gateway.estimate(*args, **kwargs))
+            if completion.error is not None:
+                raise RuntimeError(completion.error)
+            return float(completion.value)
+        if op == "predict":
+            completion = self._await(gateway.predict(*args, **kwargs))
+            if completion.error is not None:
+                raise RuntimeError(completion.error)
+            return float(completion.value)
+        if op == "rollout":
+            return self._await(gateway.rollout(*args, **kwargs))
+        if op == "stats":
+            return gateway.stats_dict()
+        if op == "metrics":
+            return gateway.metrics_snapshot()
+        if op == "worker_health":
+            health = getattr(self.engine, "worker_health", None)
+            return [] if health is None else list(health())
+        if op == "heartbeat":
+            with gateway.batcher.lock:
+                heartbeat = getattr(self.engine, "heartbeat", None)
+                return [] if heartbeat is None else list(heartbeat(self.heartbeat_timeout_s))
+        if op == "add_worker":
+            with gateway.batcher.lock:
+                add = getattr(self.engine, "add_worker", None)
+                if add is None:
+                    raise RuntimeError("engine does not accept workers (not a ShardedFleet)")
+                spec = args[0]
+                if isinstance(spec, str) and self.worker_spec is not None:
+                    spec = _respec(self.worker_spec, spec)
+                return int(add(spec))
+        if op == "shutdown":
+            return "stopping"
+        with gateway.batcher.lock:
+            if op == "cells":
+                return list(self.engine.cells())
+            if op == "len":
+                return len(self.engine)
+            if op == "contains":
+                return args[0] in self.engine
+            if op in ("register_cell", "deregister_cell", "reroute_cell", "cell"):
+                return getattr(self.engine, op)(*args, **kwargs)
+        raise RuntimeError(f"unknown daemon op {op!r}")
+
+
+def _respec(template: WorkerSpec, url: str) -> WorkerSpec:
+    return dataclasses.replace(template, url=url, spawn=False)
+
+
+def run_daemon(daemon: SocDaemon, announce=print) -> int:
+    """CLI run loop: start, announce the control/scrape URLs, block."""
+    daemon.start()
+    announce(f"daemon listening on {daemon.url}")
+    if daemon.exposition_url is not None:
+        announce(f"exposition at {daemon.exposition_url}")
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+    return 0

@@ -22,7 +22,16 @@ durable with the classic write-ahead pattern:
   active file; compaction collapses everything back into one active
   file.  Rotation is what keeps a single append target small enough
   for >1M-cell fleets: sealing is one ``rename`` (no data copied), and
-  compaction cost is bounded by *live* state, not append history.
+  compaction cost is bounded by *live* state, not append history;
+- with ``archive`` set to an :class:`~repro.serve.archive.ArchiveStore`,
+  sealed segments are **shipped to the cold store** and deleted
+  locally — the hot directory holds only the active file.  Replay
+  fetches archived segments back first (so a journal restores on a
+  host that never wrote it; see
+  :func:`repro.serve.archive.restore_from_archive`), and a gap in the
+  archived numbering raises
+  :class:`~repro.serve.archive.MissingSegmentError` — replaying around
+  a missing segment would silently corrupt state.
 
 JSON floats round-trip ``float`` values exactly (``repr`` precision),
 which is what lets :meth:`FleetEngine.restore
@@ -98,6 +107,13 @@ class StateJournal:
         grows past this size (0, the default, disables rotation).  The
         check runs per flushed batch, so a segment may overshoot by up
         to one batch.
+    archive:
+        Optional :class:`~repro.serve.archive.ArchiveStore`: sealed
+        segments are shipped there on rotation and removed locally;
+        replay fetches any archived segments back before reading.
+        Shipping happens on the append path, so a down store surfaces
+        as an :class:`~repro.serve.archive.ArchiveError` on the append
+        that triggered rotation — state is never silently un-archived.
     """
 
     def __init__(
@@ -106,6 +122,7 @@ class StateJournal:
         compact_every: int = 65536,
         fsync: bool = False,
         max_segment_bytes: int = 0,
+        archive=None,
     ):
         if compact_every < 0:
             raise ValueError("compact_every cannot be negative")
@@ -115,14 +132,21 @@ class StateJournal:
         self.compact_every = compact_every
         self.fsync = fsync
         self.max_segment_bytes = int(max_segment_bytes)
+        self.archive = archive
         self._cells: dict[str, dict] = {}
         self._windows: dict[str, dict[int, float]] = {}
         self._step_s: float | None = None
         self._appended = 0  # records since the last compaction
         self._scope_depth = 0
         self._fh = None
+        if self.archive is not None:
+            self._fetch_archived_segments()
         for segment in self.segments():
             self._load_file(segment, allow_torn=False)
+            if self.archive is not None:
+                # local copies of shipped segments are cache, not record:
+                # drop them once replayed so the hot tier stays one file
+                segment.unlink()
         if self.path.exists():
             self._load_file(self.path, allow_torn=True)
         self._open()
@@ -235,28 +259,88 @@ class StateJournal:
 
     # -- segment rotation ----------------------------------------------
     def segments(self) -> list[Path]:
-        """Sealed segment files, oldest first (empty without rotation)."""
+        """Local sealed segment files, oldest first (empty without rotation).
+
+        With an ``archive``, sealed segments live in the cold store —
+        see :meth:`archived_segments` — and this is (transiently) empty.
+        """
         found = []
         for candidate in self.path.parent.glob(f"{self.path.name}.*.jsonl"):
-            stem = candidate.name[len(self.path.name) + 1 : -len(".jsonl")]
-            if stem.isdigit():
-                found.append((int(stem), candidate))
+            index = self._segment_index(candidate.name)
+            if index is not None:
+                found.append((index, candidate))
         return [path for _, path in sorted(found)]
+
+    def archived_segments(self) -> list[str]:
+        """Names of this journal's segments in the cold store, oldest first."""
+        if self.archive is None:
+            return []
+        names = []
+        for name in self.archive.list(prefix=f"{self.path.name}."):
+            index = self._segment_index(name)
+            if index is not None:
+                names.append((index, name))
+        return [name for _, name in sorted(names)]
+
+    def _segment_index(self, name: str) -> int | None:
+        if not (name.startswith(f"{self.path.name}.") and name.endswith(".jsonl")):
+            return None
+        stem = name[len(self.path.name) + 1 : -len(".jsonl")]
+        return int(stem) if stem.isdigit() else None
 
     def _segment_path(self, index: int) -> Path:
         return self.path.with_name(f"{self.path.name}.{index:05d}.jsonl")
+
+    def _fetch_archived_segments(self) -> None:
+        """Pull archived segments down for replay; reject gappy history.
+
+        Runs before local replay: the union of archived and local
+        segment numbers must be contiguous from 1 (a journal's state
+        is the *ordered* record union — replaying around a hole would
+        silently resurrect dropped cells), so a missing segment raises
+        :class:`~repro.serve.archive.MissingSegmentError` instead of
+        restoring wrong state.  Segments already local (a crash
+        between ship and unlink) are not re-fetched.
+        """
+        from .archive import MissingSegmentError
+
+        local = {self._segment_index(path.name) for path in self.segments()}
+        archived = {self._segment_index(name) for name in self.archived_segments()}
+        indices = sorted(local | archived)
+        if indices:
+            expected = list(range(1, indices[-1] + 1))
+            if indices != expected:
+                missing = sorted(set(expected) - set(indices))
+                raise MissingSegmentError(
+                    f"journal {self.path.name} history has gaps: missing segment(s) "
+                    f"{missing} (have {indices})"
+                )
+        for index in indices:
+            if index not in local:
+                self.archive.fetch(self._segment_path(index).name, self._segment_path(index))
+        self._next_segment_index = (indices[-1] + 1) if indices else 1
 
     def _rotate(self) -> None:
         """Seal the active file as the next numbered segment.
 
         One ``rename`` — no data moves — then a fresh active file
-        opens with its own format header.  Called from the append path
+        opens with its own format header.  With an ``archive``, the
+        sealed segment is shipped to the cold store and the local copy
+        deleted (ship-then-unlink: a crash in between leaves a
+        harmless duplicate, never a gap).  Called from the append path
         once the active file crosses ``max_segment_bytes``.
         """
         self._fh.close()
-        existing = self.segments()
-        next_index = (int(existing[-1].name[len(self.path.name) + 1 : -6]) + 1) if existing else 1
-        os.replace(self.path, self._segment_path(next_index))
+        next_index = getattr(self, "_next_segment_index", None)
+        if next_index is None:
+            existing = self.segments()
+            next_index = (self._segment_index(existing[-1].name) + 1) if existing else 1
+        sealed = self._segment_path(next_index)
+        os.replace(self.path, sealed)
+        self._next_segment_index = next_index + 1
+        if self.archive is not None:
+            self.archive.put(sealed.name, sealed)
+            sealed.unlink()
         self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(json.dumps({"op": "journal", "version": JOURNAL_FORMAT_VERSION}) + "\n")
         self._fh.flush()
@@ -299,6 +383,12 @@ class StateJournal:
         os.replace(tmp, self.path)
         for segment in self.segments():
             segment.unlink()
+        if self.archive is not None:
+            # archived history is now redundant with the compacted file;
+            # delete after the replace for the same crash-safe ordering
+            for name in self.archived_segments():
+                self.archive.delete(name)
+        self._next_segment_index = 1
         self._appended = 0
         self._open()
 

@@ -23,12 +23,13 @@ subset of a batch computes the same per-row numbers the single engine
 would have — typically bit-for-bit, and always far inside the fleet's
 1e-9 equivalence budget (re-partitioned batches can shift BLAS
 rounding at the ~1e-17 level), which the test suite asserts against
-the single-engine path.  Shards default to in-process
-:class:`FleetEngine` workers; pass ``worker_factory`` to back them
-with anything else speaking the same duck-typed interface — notably
-:class:`~repro.serve.workers.ProcessShardWorker`, which runs each
-shard engine in its own OS process (crash isolation, per-worker
-journals, parallel rollouts) behind an identical fleet API.
+the single-engine path.  Worker topology is declared with one
+:class:`~repro.serve.workers.WorkerSpec` — ``url=None`` for in-process
+:class:`FleetEngine` shards (the default), ``url="pipe://"`` for
+subprocess workers, ``url="tcp://..."``/``"unix://..."`` for socket
+workers on this or any other host — and every shard, whatever the
+medium, speaks the same duck-typed engine API.  (The pre-spec
+``worker_factory`` callable still works but is deprecated.)
 
 A shared :class:`~repro.serve.persistence.StateJournal` makes the
 whole sharded fleet durable: shards append cell/window records to the
@@ -41,6 +42,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
@@ -52,7 +54,7 @@ from ..monitor.tracing import stage
 from .engine import CellState, FleetEngine
 from .persistence import StateJournal
 from .registry import ModelRegistry
-from .workers import WorkerCrashError
+from .workers import WorkerCrashError, WorkerSpec
 
 if TYPE_CHECKING:
     from ..monitor.drift import DriftMonitor
@@ -92,11 +94,18 @@ class ShardedFleet:
     n_shards:
         Number of shard workers (each a :class:`FleetEngine` by
         default).
+    spec:
+        A :class:`~repro.serve.workers.WorkerSpec` (one template for
+        every shard) or a sequence of them (per-shard; growth beyond
+        the sequence reuses its last entry).  The spec carries the
+        whole worker description — transport URL, model, registry,
+        journal template, monitor/trace flags — so it replaces the
+        ``default_model``/``journal``/``metrics``/``drift`` kwargs,
+        which cannot be combined with it.
     default_model, registry:
         Passed to every in-process shard engine (shards share the
         registry's model cache, so a checkpoint is materialized once).
-        With a ``worker_factory``, ``default_model`` is ignored, but
-        ``registry`` may still be given: factory-made workers open
+        With a ``spec``, ``registry`` may still be given: workers open
         their own copy of the same registry *root*, and the parent-side
         instance is what fleet-level tooling
         (:class:`~repro.serve.canary.CanaryController`, the autopilot)
@@ -104,24 +113,27 @@ class ShardedFleet:
         ``channels.json``.
     journal:
         Optional shared :class:`StateJournal` for the whole fleet
-        (in-process workers only — factory-made workers own their
-        durability, e.g. one journal per worker process).
+        (in-process workers only — process/socket workers own their
+        durability, e.g. one journal per worker process, declared via
+        ``WorkerSpec.journal``).
     worker_factory:
-        Optional ``factory(shard_index) -> worker`` building each shard
-        worker; workers must speak the engine serving API (see
-        :class:`~repro.serve.workers.ProcessShardWorker`).
+        **Deprecated** (still works, emits ``DeprecationWarning``):
+        ``factory(shard_index) -> worker`` building each shard worker.
+        Use ``spec=WorkerSpec(...)`` instead — one declarative
+        description resolved through one factory, whatever the
+        transport.
     use_kernel:
         Passed to every in-process shard engine: serve through compiled
         inference kernels (default) or the Tensor path (see
-        :class:`FleetEngine`).  Ignored when ``worker_factory`` is
-        given — factory-made workers pick their own inference path.
+        :class:`FleetEngine`).  Ignored when ``spec``/``worker_factory``
+        is given — specs carry their own ``use_kernel``.
     metrics, drift:
         Optional :class:`~repro.monitor.metrics.MetricsRegistry` /
         :class:`~repro.monitor.drift.DriftMonitor` shared by every
         in-process shard engine (one registry, one detector bank —
-        cell ids are fleet-unique, so shards cannot collide).  Ignored
-        with a ``worker_factory``; subprocess workers carry their own
-        (``monitor=True``) and :meth:`metrics` merges them.
+        cell ids are fleet-unique, so shards cannot collide).  With a
+        ``spec``, declare monitoring there instead (``monitor=True``);
+        worker snapshots merge in :meth:`metrics`.
     """
 
     def __init__(
@@ -134,13 +146,36 @@ class ShardedFleet:
         use_kernel: bool = True,
         metrics: MetricsRegistry | None = None,
         drift: DriftMonitor | None = None,
+        spec: WorkerSpec | Sequence[WorkerSpec] | None = None,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
-        if worker_factory is not None and journal is not None:
-            raise ValueError(
-                "worker_factory workers own their durability; "
-                "give each worker its own journal instead of a shared one"
+        if worker_factory is not None:
+            warnings.warn(
+                "worker_factory is deprecated; pass spec=WorkerSpec(url=..., ...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if spec is not None:
+                raise ValueError("give spec or worker_factory, not both")
+            if journal is not None:
+                raise ValueError(
+                    "worker_factory workers own their durability; "
+                    "give each worker its own journal instead of a shared one"
+                )
+        self._specs: list[WorkerSpec] | None = None
+        if spec is not None:
+            if default_model is not None or journal is not None or metrics is not None or drift is not None:
+                raise ValueError(
+                    "spec carries the worker description; drop the "
+                    "default_model/journal/metrics/drift kwargs"
+                )
+            self._specs = [spec] if isinstance(spec, WorkerSpec) else list(spec)
+            if not self._specs:
+                raise ValueError("spec sequence cannot be empty")
+            self._check_spec_addresses(n_shards)
+            journal = next(
+                (s.journal for s in self._specs if isinstance(s.journal, StateJournal)), None
             )
         self._default_model = default_model
         self.registry = registry
@@ -384,6 +419,89 @@ class ShardedFleet:
             restarted.append(k)
         return restarted
 
+    def heartbeat(self, timeout_s: float = 2.0) -> list[bool]:
+        """Actively probe every shard worker; returns liveness per shard.
+
+        :meth:`worker_health` is the cached view (cheap, but a
+        silently-dead *remote* peer stays green until a call fails);
+        this one sends each probe-capable worker a deadline-bounded
+        ping (:meth:`RemoteShardWorker.check_alive
+        <repro.serve.workers.RemoteShardWorker.check_alive>`), marking
+        unresponsive workers dead so :meth:`restart_dead_workers` can
+        heal them.  Workers without a probe (in-process engines,
+        pipe-backed children whose death ``waitpid`` already sees)
+        report their cached liveness.  Callers serialize this against
+        traffic — probes share the request channel.
+        """
+        health: list[bool] = []
+        for shard in self._shards:
+            probe = getattr(shard, "check_alive", None)
+            if probe is not None:
+                health.append(bool(probe(timeout_s)))
+            else:
+                health.append(bool(getattr(shard, "alive", True)))
+        return health
+
+    def add_worker(self, spec: WorkerSpec | str) -> int:
+        """Grow the fleet by one shard worker; returns its index.
+
+        ``spec`` may be a full :class:`~repro.serve.workers.WorkerSpec`
+        or just a transport URL string — the daemon's worker
+        registration path — in which case the fleet's spec template is
+        reused with the new address (same model, journal template,
+        monitor flags).  Rendezvous hashing then migrates ~1/n of the
+        cells onto the new shard, live state intact.
+        """
+        if isinstance(spec, str):
+            template = self._spec_for(len(self._shards))
+            spec = dataclasses.replace(template, url=spec, spawn=False)
+        worker = spec.resolve(len(self._shards))
+        if self._specs is not None:
+            self._specs.append(spec)
+        return self.adopt_worker(worker)
+
+    def adopt_worker(self, worker) -> int:
+        """Attach an already-built worker as a new shard; returns its index.
+
+        The inbound-registration half of the serve daemon: a worker
+        that dialed in (``repro-soc worker --connect``) arrives as a
+        live :class:`~repro.serve.workers.RemoteShardWorker`, not a
+        spec to resolve.  Cells the new shard now wins migrate in with
+        their state (the same move :meth:`rebalance` performs).
+        """
+        self._shards.append(worker)
+        n = len(self._shards)
+        for source, shard in enumerate(self._shards[:-1]):
+            for state in list(shard.cells()):
+                target = shard_for(state.cell_id, n)
+                if target != source:
+                    shard._evict_state(state.cell_id)
+                    self._shards[target]._adopt_state(state)
+        return n - 1
+
+    def reattach_worker(self, name: str, transport) -> int | None:
+        """Re-home a returning ``--connect`` worker onto its old shard.
+
+        Matches a *dead* shard worker by ``name`` and hands it the
+        fresh transport (:meth:`RemoteShardWorker.attach
+        <repro.serve.workers.RemoteShardWorker.attach>`): the worker
+        re-inits, restores from its journal, and the shard heals in
+        place — no rebalance, no lost cells.  Returns the shard index,
+        or ``None`` when no dead worker carries that name (the caller
+        should :meth:`adopt_worker` it as new capacity instead).
+        """
+        for k, shard in enumerate(self._shards):
+            if getattr(shard, "name", None) != name:
+                continue
+            if getattr(shard, "alive", True):
+                continue
+            attach = getattr(shard, "attach", None)
+            if attach is None:
+                continue
+            attach(transport)
+            return k
+        return None
+
     # -- observability --------------------------------------------------
     def metrics(self) -> dict:
         """One merged metrics snapshot across the whole shard topology.
@@ -435,14 +553,46 @@ class ShardedFleet:
     def _new_worker(self, index: int):
         if self._worker_factory is not None:
             return self._worker_factory(index)
-        return FleetEngine(
-            default_model=self._default_model,
+        return self._spec_for(index).resolve(index)
+
+    def _spec_for(self, index: int) -> WorkerSpec:
+        """The :class:`WorkerSpec` governing shard ``index``.
+
+        Legacy kwargs are folded into an in-process spec, so there is
+        exactly one construction path whatever the API vintage.
+        """
+        if self._specs is not None:
+            return self._specs[min(index, len(self._specs) - 1)]
+        return WorkerSpec(
+            url=None,
+            model=self._default_model,
             registry=self.registry,
             journal=self.journal,
             use_kernel=self.use_kernel,
             metrics=self.metrics_registry,
             drift=self.drift,
         )
+
+    def _check_spec_addresses(self, n_shards: int) -> None:
+        """Reject socket topologies where shards would share one endpoint.
+
+        A standalone worker serves one connection at a time, so two
+        shards dialing the same fixed URL would deadlock the second;
+        catching it at construction beats a hung ``connect``.  Spawned
+        workers (fresh process per shard) and ``{shard}``-templated
+        URLs are fine, as is a spec list with distinct addresses.
+        """
+        fixed: set[str] = set()
+        for index in range(n_shards):
+            s = self._specs[min(index, len(self._specs) - 1)]
+            if s.url is None or s.spawn or "{shard}" in s.url or s.scheme == "pipe":
+                continue
+            if s.url in fixed:
+                raise ValueError(
+                    f"{n_shards} shards would share one worker endpoint {s.url!r}; "
+                    "use a {shard} URL template, spawn=True, or distinct per-shard specs"
+                )
+            fixed.add(s.url)
 
     @staticmethod
     def _close_worker(worker) -> None:

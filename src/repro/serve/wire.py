@@ -67,10 +67,16 @@ from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
 
 __all__ = [
+    "LENGTH_PREFIX_SIZE",
     "TRACE_META_KEY",
     "V2Frame",
     "pack_trace_context",
     "read_frame",
+    "read_exact",
+    "frame_header",
+    "frame_length",
+    "pickle_body",
+    "decode_body",
     "write_pickle",
     "write_v2",
     "encode_v2",
@@ -111,7 +117,11 @@ class V2Frame:
 
 
 # -- transport ---------------------------------------------------------
-def _read_exact(stream, n: int) -> bytes | None:
+LENGTH_PREFIX_SIZE = _LENGTH.size
+
+
+def read_exact(stream, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF (possibly mid-read)."""
     chunks = []
     while n:
         chunk = stream.read(n)
@@ -122,23 +132,52 @@ def _read_exact(stream, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def read_frame(stream):
-    """Read one frame; a pickle payload, a :class:`V2Frame`, or ``None`` on EOF."""
-    header = _read_exact(stream, _LENGTH.size)
-    if header is None:
-        return None
+_read_exact = read_exact  # internal alias, kept for call-site brevity
+
+
+def frame_header(body_length: int) -> bytes:
+    """The 4-byte length prefix for a ``body_length``-byte frame body."""
+    return _LENGTH.pack(body_length)
+
+
+def frame_length(header: bytes) -> int:
+    """Decode a length prefix read with :func:`read_exact`."""
     (length,) = _LENGTH.unpack(header)
-    body = _read_exact(stream, length)
-    if body is None:
-        return None
+    return length
+
+
+def pickle_body(payload) -> bytes:
+    """A v1 frame body: the payload pickled at the highest protocol."""
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_body(body: bytes):
+    """Decode one frame body: a :class:`V2Frame` or an unpickled payload.
+
+    The first byte dispatches — ``0xB2`` is the v2 magic, ``0x80`` the
+    pickle protocol-2+ opcode — exactly as the stream-level
+    :func:`read_frame` always did; transports that read bodies
+    themselves (for torn-stream detection) decode through this.
+    """
     if body[:1] == bytes([V2_MAGIC]):
         return _decode_v2(body)
     return pickle.loads(body)
 
 
+def read_frame(stream):
+    """Read one frame; a pickle payload, a :class:`V2Frame`, or ``None`` on EOF."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    body = _read_exact(stream, frame_length(header))
+    if body is None:
+        return None
+    return decode_body(body)
+
+
 def write_pickle(stream, payload) -> None:
     """Write one v1 frame (a pickled payload)."""
-    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    body = pickle_body(payload)
     stream.write(_LENGTH.pack(len(body)) + body)
     stream.flush()
 

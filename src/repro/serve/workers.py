@@ -1,18 +1,29 @@
-"""Process-backed shard workers: a ``FleetEngine`` in a subprocess.
+"""Shard workers behind the :class:`~repro.serve.transport.Transport` seam.
 
 :class:`~repro.serve.sharding.ShardedFleet` assumes nothing in-process
 about its shard workers — placement is a pure hash, the journal
 protocol is append-only files, and every worker call goes through the
-engine serving API.  :class:`ProcessShardWorker` cashes that in: it
-runs a full :class:`~repro.serve.engine.FleetEngine` in a child Python
-process and exposes the same duck-typed interface over a
-length-prefixed pipe protocol, so
-``ShardedFleet(n, worker_factory=...)`` serves an identical fleet with
-real OS-process isolation (a crashed shard loses one slice, not the
-fleet) and true parallelism for multi-shard rollouts.
+engine serving API.  The worker classes here cash that in: a full
+:class:`~repro.serve.engine.FleetEngine` runs behind the same
+duck-typed interface over the length-prefixed frame protocol
+(:mod:`repro.serve.wire`), carried by any
+:class:`~repro.serve.transport.Transport`:
 
-Wire protocol (parent <-> child over the child's stdin/stdout pipes;
-see :mod:`repro.serve.wire` for the codec)::
+- :class:`ProcessShardWorker` — the local fast path: a child process
+  over its stdin/stdout pipes (``pipe://``), crash detection backed by
+  ``waitpid`` exit codes;
+- :class:`RemoteShardWorker` — the same protocol over a Unix or TCP
+  socket (``unix:///path``, ``tcp://host:port``): a worker on another
+  host, or a locally ``spawn``-ed standalone process.  No ``waitpid``
+  here — peer death surfaces in-band (torn stream, reset) or via the
+  :meth:`~RemoteShardWorker.check_alive` ping heartbeat;
+- :class:`WorkerSpec` — the single declarative description both
+  resolve from (and the in-process engine too):
+  ``WorkerSpec(url=...).resolve(k)`` is the one worker factory
+  :class:`ShardedFleet <repro.serve.sharding.ShardedFleet>` uses.
+
+Wire protocol (one reply per request, strictly in order; see
+:mod:`repro.serve.wire` for the codec)::
 
     frame   := header body
     header  := 4-byte big-endian unsigned length of body
@@ -23,40 +34,37 @@ see :mod:`repro.serve.wire` for the codec)::
     reply   := ("ok", value) | ("err", exc_type_name, message)
              | V2Frame("ok", meta, arrays)
 
-One reply per request, strictly in order (the parent serializes calls
-per worker).  Control traffic (init, registration, state migration,
-shutdown) stays pickled — safe here because both ends are the same
-codebase on a private pipe — while the bulk inference messages
-(``estimate``/``predict``/``rollout_fleet``/``resume_rollout_fleet``)
-use **v2 zero-copy frames**: struct header plus raw array bytes,
-decoded with ``np.frombuffer`` instead of unpickling, bit-for-bit
-identical payloads at a fraction of the serialization cost.  Anything
-v2 cannot express (non-JSON cycle tags) falls back to pickle for that
-message.  The child's ``sys.stdout`` is rebound to stderr so stray
-prints can never corrupt the frame stream.
+Control traffic (init, registration, state migration, shutdown) stays
+pickled — both ends are the same codebase on a private link — while
+the bulk inference messages (``estimate``/``predict``/
+``rollout_fleet``/``resume_rollout_fleet``) use **v2 zero-copy
+frames**: struct header plus raw array bytes, decoded with
+``np.frombuffer`` instead of unpickling.  Anything v2 cannot express
+(non-JSON cycle tags) falls back to pickle for that message.  The
+serving side is :class:`WorkerEndpoint` — the dispatch loop
+``worker_main`` (pipes) and :func:`run_worker` (socket listener, the
+``repro-soc worker`` entry point) both run.
 
 Failure semantics:
 
-- **crash detection** — a child that dies mid-call surfaces as
-  :class:`WorkerCrashError` (with the exit code) on the parent call
-  that hit the broken pipe; :attr:`ProcessShardWorker.alive` reports
-  liveness between calls.
-- **recovery** — give the worker a ``journal_path`` and its engine
-  journals every mutation; :meth:`ProcessShardWorker.restart` respawns
-  the child, which restores from that journal
-  (:meth:`FleetEngine.restore <repro.serve.engine.FleetEngine.restore>`),
-  so an interrupted fleet rollout resumes bit-for-bit via
-  ``resume_rollout_fleet`` — the same 1e-9 equivalence budget as the
-  in-process shards, since the child computes the very same batched
-  forwards.
-- **graceful drain** — :meth:`ProcessShardWorker.close` sends a
-  ``shutdown`` op: the child flushes and closes its journal, replies,
-  and exits 0; the parent escalates to ``kill`` only after a grace
-  period.
+- **crash detection** — a peer that dies mid-call surfaces as
+  :class:`WorkerCrashError` on the call that hit the dead link (with
+  the exit code when the worker was locally spawned); ``alive``
+  reports cached liveness between calls, and
+  :meth:`RemoteShardWorker.check_alive` actively probes a silent
+  remote peer with a deadline-bounded ping.
+- **recovery** — give the worker a journal and its engine journals
+  every mutation; ``restart()`` respawns (or redials) the worker,
+  which restores from that journal, so an interrupted fleet rollout
+  resumes bit-for-bit via ``resume_rollout_fleet`` — the same 1e-9
+  equivalence budget as the in-process shards, over any transport.
+- **graceful drain** — ``close()`` sends a ``shutdown`` op: the
+  worker flushes and closes its journal, replies, and exits 0; a
+  spawning parent escalates to ``kill`` only after a grace period.
 
-Fault injection for tests: :meth:`ProcessShardWorker.crash_after_window`
-arms the child to hard-exit (``os._exit``, no journal close — the
-crash being simulated) after committing a given rollout window.
+Fault injection for tests: ``crash_after_window`` arms the worker to
+hard-exit (``os._exit``, no journal close — the crash being
+simulated) after committing a given rollout window.
 """
 
 from __future__ import annotations
@@ -81,32 +89,37 @@ from . import wire
 from .engine import CellState, FleetEngine
 from .persistence import StateJournal
 from .registry import ModelRegistry
+from .transport import (
+    PipeTransport,
+    Transport,
+    TransportError,
+    TransportListener,
+    connect,
+    parse_url,
+)
 
-__all__ = ["ProcessShardWorker", "WorkerCrashError", "worker_main"]
-
-# framing lives in repro.serve.wire; these aliases keep the module's
-# internal call sites short
-_read_frame = wire.read_frame
-_write_frame = wire.write_pickle
+__all__ = [
+    "ProcessShardWorker",
+    "RemoteShardWorker",
+    "WorkerCrashError",
+    "WorkerEndpoint",
+    "WorkerSpec",
+    "run_worker",
+    "run_worker_connect",
+    "worker_main",
+]
 
 
 class WorkerCrashError(RuntimeError):
-    """A shard worker subprocess died (or was down) during a call."""
-
-
-def _write_chunks(stream, chunks) -> None:
-    """Write pre-encoded frame chunks (header + raw array buffers)."""
-    for chunk in chunks:
-        stream.write(chunk)
-    stream.flush()
+    """A shard worker process died (or its link dropped) during a call."""
 
 
 def _wire_col(col) -> np.ndarray:
     """One inference operand as a contiguous 1-D float64 wire payload.
 
-    Scalars ship as a single element — the child engine broadcasts
+    Scalars ship as a single element — the remote engine broadcasts
     them across the batch exactly as the in-process engine would — so
-    a fleet-wide constant never crosses the pipe N times.
+    a fleet-wide constant never crosses the wire N times.
     """
     array = np.asarray(col, dtype=np.float64)
     if array.ndim == 0:
@@ -135,8 +148,264 @@ def _build_model(spec: dict | None) -> TwoBranchSoCNet | None:
     return model
 
 
-class ProcessShardWorker:
+def _engine_spec(
+    default_model: TwoBranchSoCNet | None,
+    registry_root: str | Path | None,
+    journal_path: str | Path | None,
+    use_kernel: bool,
+    monitor: bool,
+    trace: bool,
+    archive_root: str | Path | None = None,
+    journal_segment_bytes: int = 0,
+) -> dict:
+    """The picklable ``init`` payload a worker builds its engine from."""
+    if default_model is None and registry_root is None:
+        raise ValueError("need a default model, a registry root, or both")
+    return {
+        "model": _model_spec(default_model),
+        "registry_root": None if registry_root is None else str(registry_root),
+        "journal_path": None if journal_path is None else str(journal_path),
+        "use_kernel": use_kernel,
+        "monitor": monitor,
+        "trace": trace,
+        "archive_root": None if archive_root is None else str(archive_root),
+        "journal_segment_bytes": int(journal_segment_bytes),
+    }
+
+
+class _WorkerClient:
+    """Shared client half of the worker protocol over a :class:`Transport`.
+
+    Subclasses own the connection lifecycle (spawn/dial/reap) through
+    two hooks: ``self._transport`` (the live transport, or ``None``
+    while down) and :meth:`_transport_failed`, which turns a dead link
+    into the :class:`WorkerCrashError` the caller sees.  Everything
+    else — the engine RPC surface, v2 zero-copy encoding, trace
+    propagation — lives here once, identical over pipes and sockets.
+    """
+
+    name: str = "shard"
+    _transport: Transport | None = None
+    _call_timeout_s: float | None = None
+
+    # -- connection hooks (subclass responsibility) --------------------
+    def _down_message(self, op: str) -> str:
+        return f"shard worker {self.name!r} is not running; call restart()"
+
+    def _transport_failed(self, op: str, exc: Exception) -> WorkerCrashError:
+        """Mark the link dead and describe the failure (for raising)."""
+        raise NotImplementedError
+
+    # -- engine API (one RPC each) --------------------------------------
+    def register_cell(
+        self, cell_id: str, chemistry: str | None = None, model_name: str | None = None
+    ) -> CellState:
+        """Register a cell on the worker's engine (see ``FleetEngine``)."""
+        return self._call("register_cell", cell_id, chemistry=chemistry, model_name=model_name)
+
+    def deregister_cell(self, cell_id: str) -> CellState:
+        """Remove a cell; returns its final state."""
+        return self._call("deregister_cell", cell_id)
+
+    def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
+        """Re-resolve a cell's serving model in place."""
+        return self._call("reroute_cell", cell_id, model_name=model_name)
+
+    def cell(self, cell_id: str) -> CellState:
+        """State record for one registered cell (KeyError when unknown)."""
+        return self._call("cell", cell_id)
+
+    def cells(self) -> Iterator[CellState]:
+        """Iterate detached copies of all cells' state records."""
+        return iter(self._call("cells"))
+
+    def __len__(self) -> int:
+        return int(self._call("len"))
+
+    def __contains__(self, cell_id: str) -> bool:
+        return bool(self._call("contains", cell_id))
+
+    def estimate(
+        self,
+        cell_ids: Sequence[str],
+        voltage,
+        current,
+        temp_c,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 1 on the worker (see ``FleetEngine.estimate``).
+
+        Ships the batch as a v2 zero-copy frame: one struct header, the
+        cell-id blob, and three raw float64 payloads — no pickling.
+        """
+        ids = list(cell_ids)
+        n = len(ids)
+        arrays = [_wire_col(col) for col in (voltage, current, temp_c)]
+        meta = {"n": n, "now_s": now_s}
+        # the wire.request span covers encode + round-trip + decode; its
+        # context rides in the frame meta so the worker's worker.* spans
+        # parent under it (the pickle fallback stays untraced)
+        with trace_stage("wire.request", op="estimate") as h:
+            if h is not None:
+                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+            try:
+                request = wire.encode_v2("estimate", meta, [wire.encode_str_list(ids), *arrays])
+            except TypeError:
+                return self._call("estimate", ids, voltage, current, temp_c, now_s=now_s)
+            reply = self._roundtrip(lambda t: t.send_chunks(request), "estimate")
+            if h is not None:
+                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+            # copy out of the frame body: callers get writable arrays, as
+            # they would from an in-process engine
+            return reply.arrays[0].copy()
+
+    def predict(
+        self,
+        cell_ids: Sequence[str],
+        current_avg,
+        temp_avg_c,
+        horizon_s,
+        soc_now=None,
+        commit: bool = False,
+        now_s: float | None = None,
+    ) -> np.ndarray:
+        """Batched Branch 2 on the worker (see ``FleetEngine.predict``)."""
+        ids = list(cell_ids)
+        n = len(ids)
+        arrays = [_wire_col(col) for col in (current_avg, temp_avg_c, horizon_s)]
+        if soc_now is not None:
+            arrays.append(_wire_col(soc_now))
+        meta = {"n": n, "has_soc": soc_now is not None, "commit": bool(commit), "now_s": now_s}
+        with trace_stage("wire.request", op="predict") as h:
+            if h is not None:
+                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+            try:
+                request = wire.encode_v2("predict", meta, [wire.encode_str_list(ids), *arrays])
+            except TypeError:
+                return self._call(
+                    "predict",
+                    ids,
+                    current_avg,
+                    temp_avg_c,
+                    horizon_s,
+                    soc_now=soc_now,
+                    commit=commit,
+                    now_s=now_s,
+                )
+            reply = self._roundtrip(lambda t: t.send_chunks(request), "predict")
+            if h is not None:
+                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+            return reply.arrays[0].copy()
+
+    def rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Fleet rollout on the worker; numerically the in-process result.
+
+        Assignments ship as a v2 frame — deduplicated cycle channel
+        arrays plus a JSON pair list — and the reply streams every
+        trajectory back as three stacked arrays.  Cycles whose tags are
+        not JSON-safe fall back to the pickle frame for that call.
+        ``step_hook`` cannot cross the process boundary — use
+        :meth:`crash_after_window` for fault injection instead.
+        """
+        return self._rollout_call("rollout_fleet", assignments, step_s, step_hook)
+
+    def resume_rollout_fleet(
+        self,
+        assignments: Iterable[tuple[str, CycleRecord]],
+        step_s: float,
+        step_hook: Callable[[int], None] | None = None,
+    ) -> dict[str, RolloutResult]:
+        """Finish an interrupted rollout from the worker's journal."""
+        return self._rollout_call("resume_rollout_fleet", assignments, step_s, step_hook)
+
+    def _rollout_call(self, op, assignments, step_s, step_hook) -> dict[str, RolloutResult]:
+        if step_hook is not None:
+            raise ValueError("step_hook cannot cross the process boundary")
+        pairs = list(assignments)
+        with trace_stage("wire.request", op=op) as h:
+            try:
+                meta, arrays = wire.encode_rollout_request(pairs, float(step_s))
+                if h is not None:
+                    meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
+                request = wire.encode_v2(op, meta, arrays)
+            except TypeError:
+                # something in the cycles is not v2-expressible; pickle it
+                return self._call(op, pairs, float(step_s))
+            reply = self._roundtrip(lambda t: t.send_chunks(request), op)
+            if isinstance(reply, wire.V2Frame):
+                if h is not None:
+                    h.ctx.tracer.absorb(reply.meta.get("spans") or ())
+                return wire.decode_rollout_results(reply.meta, reply.arrays)
+            return reply
+
+    def metrics_snapshot(self) -> dict | None:
+        """The worker engine's metrics snapshot (``None`` unless ``monitor``).
+
+        One ``metrics`` round-trip; the snapshot is plain JSON, so it
+        merges with other workers' via
+        :func:`repro.monitor.metrics.merge_snapshots`.
+        """
+        return self._call("metrics")
+
+    def _adopt_state(self, state: CellState) -> None:
+        """Install a migrating cell's state (rebalance protocol).
+
+        A durable worker journals the adoption, so the migrated cell
+        survives a restart of its *new* owner.
+        """
+        self._call("adopt_state", state)
+
+    def _evict_state(self, cell_id: str) -> CellState:
+        """Remove and return a migrating cell's state (rebalance protocol).
+
+        A durable worker journals the drop, so a restart of the *old*
+        owner cannot resurrect a cell the hash no longer routes to it.
+        """
+        return self._call("evict_state", cell_id)
+
+    # -- fault injection -------------------------------------------------
+    def crash_after_window(self, window: int) -> None:
+        """Arm the worker to hard-exit after committing rollout ``window``.
+
+        The worker calls ``os._exit`` from the engine's ``step_hook`` —
+        after the window's journal records flushed, before any
+        shutdown path runs — simulating a mid-rollout process crash.
+        """
+        self._call("crash_after", int(window))
+
+    # ------------------------------------------------------------------
+    def _call(self, op: str, *args, **kwargs):
+        """One pickle-framed round-trip (control ops and fallbacks)."""
+        return self._roundtrip(lambda t: t.send_pickle((op, args, kwargs)), op)
+
+    def _roundtrip(self, send: Callable[[Transport], None], op: str):
+        transport = self._transport
+        if transport is None:
+            raise WorkerCrashError(self._down_message(op))
+        try:
+            reply = transport.request_with(send, timeout_s=self._call_timeout_s)
+        except TransportError as exc:
+            raise self._transport_failed(op, exc) from exc
+        if isinstance(reply, wire.V2Frame):
+            return reply
+        if reply[0] == "ok":
+            return reply[1]
+        _, exc_name, message = reply
+        exc_type = {"KeyError": KeyError, "ValueError": ValueError}.get(exc_name, RuntimeError)
+        raise exc_type(message)
+
+
+class ProcessShardWorker(_WorkerClient):
     """One shard worker running a :class:`FleetEngine` in a subprocess.
+
+    The local fast path (``pipe://``): the worker is a child of this
+    process, the transport its stdio pipes, and crash detection is
+    exact — a dead child is reaped and its exit code reported.
 
     Implements the shard-worker interface :class:`ShardedFleet
     <repro.serve.sharding.ShardedFleet>` assumes (``register_cell`` /
@@ -179,6 +448,10 @@ class ProcessShardWorker:
         ``worker.serialize`` child spans recorded in the subprocess and
         shipped back in the reply meta.  Requests without context — the
         common, unsampled case — pay only a dict lookup.
+    archive_root:
+        Optional cold-store directory: the child's journal ships
+        sealed segments there on rotation (see
+        :mod:`repro.serve.archive`).
     """
 
     def __init__(
@@ -190,19 +463,22 @@ class ProcessShardWorker:
         use_kernel: bool = True,
         monitor: bool = False,
         trace: bool = False,
+        archive_root: str | Path | None = None,
+        journal_segment_bytes: int = 0,
     ):
-        if default_model is None and registry_root is None:
-            raise ValueError("need a default model, a registry root, or both")
         self.name = name
-        self._spec = {
-            "model": _model_spec(default_model),
-            "registry_root": None if registry_root is None else str(registry_root),
-            "journal_path": None if journal_path is None else str(journal_path),
-            "use_kernel": use_kernel,
-            "monitor": monitor,
-            "trace": trace,
-        }
+        self._spec = _engine_spec(
+            default_model,
+            registry_root,
+            journal_path,
+            use_kernel,
+            monitor,
+            trace,
+            archive_root,
+            journal_segment_bytes,
+        )
         self._proc: subprocess.Popen | None = None
+        self._transport = None
         self._exit_code: int | None = None
         self.restarts = 0
         self._spawn()
@@ -274,194 +550,8 @@ class ProcessShardWorker:
         except Exception:
             pass
 
-    # -- engine API (one RPC each) --------------------------------------
-    def register_cell(
-        self, cell_id: str, chemistry: str | None = None, model_name: str | None = None
-    ) -> CellState:
-        """Register a cell on the worker's engine (see ``FleetEngine``)."""
-        return self._call("register_cell", cell_id, chemistry=chemistry, model_name=model_name)
-
-    def deregister_cell(self, cell_id: str) -> CellState:
-        """Remove a cell; returns its final state."""
-        return self._call("deregister_cell", cell_id)
-
-    def reroute_cell(self, cell_id: str, model_name: str | None = None) -> CellState:
-        """Re-resolve a cell's serving model in place."""
-        return self._call("reroute_cell", cell_id, model_name=model_name)
-
-    def cell(self, cell_id: str) -> CellState:
-        """State record for one registered cell (KeyError when unknown)."""
-        return self._call("cell", cell_id)
-
-    def cells(self) -> Iterator[CellState]:
-        """Iterate detached copies of all cells' state records."""
-        return iter(self._call("cells"))
-
-    def __len__(self) -> int:
-        return int(self._call("len"))
-
-    def __contains__(self, cell_id: str) -> bool:
-        return bool(self._call("contains", cell_id))
-
-    def estimate(
-        self,
-        cell_ids: Sequence[str],
-        voltage,
-        current,
-        temp_c,
-        now_s: float | None = None,
-    ) -> np.ndarray:
-        """Batched Branch 1 in the child (see ``FleetEngine.estimate``).
-
-        Ships the batch as a v2 zero-copy frame: one struct header, the
-        cell-id blob, and three raw float64 payloads — no pickling.
-        """
-        ids = list(cell_ids)
-        n = len(ids)
-        arrays = [_wire_col(col) for col in (voltage, current, temp_c)]
-        meta = {"n": n, "now_s": now_s}
-        # the wire.request span covers encode + round-trip + decode; its
-        # context rides in the frame meta so the child's worker.* spans
-        # parent under it (the pickle fallback stays untraced)
-        with trace_stage("wire.request", op="estimate") as h:
-            if h is not None:
-                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
-            try:
-                request = wire.encode_v2("estimate", meta, [wire.encode_str_list(ids), *arrays])
-            except TypeError:
-                return self._call("estimate", ids, voltage, current, temp_c, now_s=now_s)
-            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "estimate")
-            if h is not None:
-                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
-            # copy out of the frame body: callers get writable arrays, as
-            # they would from an in-process engine
-            return reply.arrays[0].copy()
-
-    def predict(
-        self,
-        cell_ids: Sequence[str],
-        current_avg,
-        temp_avg_c,
-        horizon_s,
-        soc_now=None,
-        commit: bool = False,
-        now_s: float | None = None,
-    ) -> np.ndarray:
-        """Batched Branch 2 in the child (see ``FleetEngine.predict``)."""
-        ids = list(cell_ids)
-        n = len(ids)
-        arrays = [_wire_col(col) for col in (current_avg, temp_avg_c, horizon_s)]
-        if soc_now is not None:
-            arrays.append(_wire_col(soc_now))
-        meta = {"n": n, "has_soc": soc_now is not None, "commit": bool(commit), "now_s": now_s}
-        with trace_stage("wire.request", op="predict") as h:
-            if h is not None:
-                meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
-            try:
-                request = wire.encode_v2("predict", meta, [wire.encode_str_list(ids), *arrays])
-            except TypeError:
-                return self._call(
-                    "predict",
-                    ids,
-                    current_avg,
-                    temp_avg_c,
-                    horizon_s,
-                    soc_now=soc_now,
-                    commit=commit,
-                    now_s=now_s,
-                )
-            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), "predict")
-            if h is not None:
-                h.ctx.tracer.absorb(reply.meta.get("spans") or ())
-            return reply.arrays[0].copy()
-
-    def rollout_fleet(
-        self,
-        assignments: Iterable[tuple[str, CycleRecord]],
-        step_s: float,
-        step_hook: Callable[[int], None] | None = None,
-    ) -> dict[str, RolloutResult]:
-        """Fleet rollout in the child; numerically the in-process result.
-
-        Assignments ship as a v2 frame — deduplicated cycle channel
-        arrays plus a JSON pair list — and the reply streams every
-        trajectory back as three stacked arrays.  Cycles whose tags are
-        not JSON-safe fall back to the pickle frame for that call.
-        ``step_hook`` cannot cross the process boundary — use
-        :meth:`crash_after_window` for fault injection instead.
-        """
-        return self._rollout_call("rollout_fleet", assignments, step_s, step_hook)
-
-    def resume_rollout_fleet(
-        self,
-        assignments: Iterable[tuple[str, CycleRecord]],
-        step_s: float,
-        step_hook: Callable[[int], None] | None = None,
-    ) -> dict[str, RolloutResult]:
-        """Finish an interrupted rollout from the worker's journal."""
-        return self._rollout_call("resume_rollout_fleet", assignments, step_s, step_hook)
-
-    def _rollout_call(self, op, assignments, step_s, step_hook) -> dict[str, RolloutResult]:
-        if step_hook is not None:
-            raise ValueError("step_hook cannot cross the process boundary")
-        pairs = list(assignments)
-        with trace_stage("wire.request", op=op) as h:
-            try:
-                meta, arrays = wire.encode_rollout_request(pairs, float(step_s))
-                if h is not None:
-                    meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
-                request = wire.encode_v2(op, meta, arrays)
-            except TypeError:
-                # something in the cycles is not v2-expressible; pickle it
-                return self._call(op, pairs, float(step_s))
-            reply = self._roundtrip(lambda stream: _write_chunks(stream, request), op)
-            if isinstance(reply, wire.V2Frame):
-                if h is not None:
-                    h.ctx.tracer.absorb(reply.meta.get("spans") or ())
-                return wire.decode_rollout_results(reply.meta, reply.arrays)
-            return reply
-
-    def metrics_snapshot(self) -> dict | None:
-        """The child engine's metrics snapshot (``None`` unless ``monitor``).
-
-        One ``metrics`` round-trip; the snapshot is plain JSON, so it
-        merges with other workers' via
-        :func:`repro.monitor.metrics.merge_snapshots`.
-        """
-        return self._call("metrics")
-
-    def _adopt_state(self, state: CellState) -> None:
-        """Install a migrating cell's state (rebalance protocol).
-
-        A durable worker journals the adoption, so the migrated cell
-        survives a restart of its *new* owner.
-        """
-        self._call("adopt_state", state)
-
-    def _evict_state(self, cell_id: str) -> CellState:
-        """Remove and return a migrating cell's state (rebalance protocol).
-
-        A durable worker journals the drop, so a restart of the *old*
-        owner cannot resurrect a cell the hash no longer routes to it.
-        """
-        return self._call("evict_state", cell_id)
-
-    # -- fault injection -------------------------------------------------
-    def crash_after_window(self, window: int) -> None:
-        """Arm the child to hard-exit after committing rollout ``window``.
-
-        The child calls ``os._exit`` from the engine's ``step_hook`` —
-        after the window's journal records flushed, before any
-        shutdown path runs — simulating a mid-rollout process crash.
-        """
-        self._call("crash_after", int(window))
-
     # ------------------------------------------------------------------
     def _spawn(self) -> None:
-        env = os.environ.copy()
-        src_root = str(Path(__file__).resolve().parents[2])
-        pythonpath = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = src_root if not pythonpath else src_root + os.pathsep + pythonpath
         # -c (not -m): runpy would re-execute this module on top of the
         # copy the package __init__ already imported
         bootstrap = "import sys; from repro.serve.workers import worker_main; sys.exit(worker_main())"
@@ -469,13 +559,19 @@ class ProcessShardWorker:
             [sys.executable, "-c", bootstrap],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
-            env=env,
+            env=_child_env(),
+        )
+        self._transport = PipeTransport(
+            self._proc.stdin, self._proc.stdout, peer=f"pipe://{self.name}"
         )
         self._exit_code = None
         self._call("init", self._spec)
 
     def _release(self) -> None:
         proc, self._proc = self._proc, None
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
         if proc is not None:
             for stream in (proc.stdin, proc.stdout):
                 if stream is not None:
@@ -484,37 +580,422 @@ class ProcessShardWorker:
                     except OSError:
                         pass
 
-    def _call(self, op: str, *args, **kwargs):
-        """One pickle-framed round-trip (control ops and fallbacks)."""
-        return self._roundtrip(lambda stream: _write_frame(stream, (op, args, kwargs)), op)
+    def _down_message(self, op: str) -> str:
+        return (
+            f"shard worker {self.name!r} is not running "
+            f"(last exit code {self._exit_code}); call restart()"
+        )
 
-    def _roundtrip(self, send: Callable, op: str):
-        if self._proc is None:
-            raise WorkerCrashError(
-                f"shard worker {self.name!r} is not running "
-                f"(last exit code {self._exit_code}); call restart()"
-            )
+    def _transport_failed(self, op: str, exc: Exception) -> WorkerCrashError:
+        # the child is ours: reap it for the exact exit code
+        self._exit_code = self._proc.wait()
+        self._release()
+        return WorkerCrashError(
+            f"shard worker {self.name!r} died during {op!r} (exit code {self._exit_code})"
+        )
+
+
+class RemoteShardWorker(_WorkerClient):
+    """A shard worker reached over a socket (``unix://`` or ``tcp://``).
+
+    Same protocol, same engine, different failure model: the peer may
+    be a process this parent never spawned (another host entirely), so
+    there is no ``waitpid`` — death is detected in-band.  A dead link
+    (torn frame, reset, refused reconnect) surfaces as
+    :class:`WorkerCrashError` on the call that hit it; a *silent*
+    death (e.g. a remote machine partitioned away) is caught by
+    :meth:`check_alive`, a ping with a short receive deadline that the
+    control plane runs between requests.
+
+    Two spawn modes:
+
+    - ``spawn=False`` (default): dial an already-listening worker
+      (started with ``repro-soc worker --listen URL``).  ``restart()``
+      redials the same URL — the crashed worker is expected to be
+      brought back by its own supervisor, and the connect retry window
+      makes the race benign.
+    - ``spawn=True``: launch ``run_worker`` locally as a subprocess
+      listening on ``url`` (use port 0 for an ephemeral port), then
+      connect.  ``restart()`` respawns the process; ``close()`` reaps
+      it.  This is how ``serve-sim --worker-transport tcp`` exercises
+      the socket path on one machine.
+
+    The engine spec (model weights, registry root, journal path,
+    monitor/trace flags) ships over the connection in the ``init`` op,
+    exactly as for the pipe path — a reconnect re-sends it and the
+    worker restores from its journal first.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        default_model: TwoBranchSoCNet | None = None,
+        registry_root: str | Path | None = None,
+        journal_path: str | Path | None = None,
+        name: str = "remote",
+        use_kernel: bool = True,
+        monitor: bool = False,
+        trace: bool = False,
+        archive_root: str | Path | None = None,
+        journal_segment_bytes: int = 0,
+        spawn: bool = False,
+        connect_timeout_s: float = 10.0,
+        call_timeout_s: float | None = None,
+        _transport: Transport | None = None,
+    ):
+        self.name = name
+        self._spec = _engine_spec(
+            default_model,
+            registry_root,
+            journal_path,
+            use_kernel,
+            monitor,
+            trace,
+            archive_root,
+            journal_segment_bytes,
+        )
+        self._requested_url = str(parse_url(url)) if url is not None else None
+        self.url: str | None = self._requested_url
+        self._spawn_proc: subprocess.Popen | None = None
+        self._should_spawn = bool(spawn)
+        self._connect_timeout_s = float(connect_timeout_s)
+        self._call_timeout_s = call_timeout_s
+        self._transport = None
+        self._exit_code: int | None = None
+        self.restarts = 0
+        if _transport is not None:
+            self.attach(_transport)
+        else:
+            if self._should_spawn:
+                self._spawn_listener()
+            self._connect()
+
+    @classmethod
+    def from_transport(cls, transport: Transport, name: str = "remote", **spec_kwargs):
+        """Adopt an already-connected transport (a worker that dialed us).
+
+        Used by the daemon for ``repro-soc worker --connect`` peers:
+        the worker initiated the connection, so there is no URL to
+        redial — after a disconnect the worker is expected to dial
+        again, and the daemon re-attaches the new transport with
+        :meth:`attach`.
+        """
+        return cls(url=None, name=name, _transport=transport, **spec_kwargs)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Cached liveness: the link was up at the last completed call.
+
+        Cheap enough for ``/healthz``; a silently-dead remote peer
+        stays ``True`` until a call fails or :meth:`check_alive`
+        probes it.
+        """
+        if self._spawn_proc is not None and self._spawn_proc.poll() is not None:
+            return False
+        return self._transport is not None and not self._transport.closed
+
+    @property
+    def durable(self) -> bool:
+        """Whether this worker journals its state (restart restores it)."""
+        return self._spec["journal_path"] is not None
+
+    @property
+    def exit_code(self) -> int | None:
+        """Exit code of the last locally-spawned worker to die.
+
+        Always ``None`` for remote peers this parent did not spawn —
+        their exit codes are not observable, which is exactly why
+        :meth:`check_alive` exists.
+        """
+        return self._exit_code
+
+    def check_alive(self, timeout_s: float = 2.0) -> bool:
+        """Actively probe the peer: one ``ping`` with a receive deadline.
+
+        Returns ``False`` — and marks the worker dead — if the peer is
+        down, the link is torn, or no ``pong`` arrives within
+        ``timeout_s``.  This is the heartbeat the control plane runs
+        between requests; a timeout poisons the transport (the stream
+        may be mid-frame), so the only way back is ``restart()``.
+        """
+        transport = self._transport
+        if transport is None or transport.closed:
+            return False
         try:
-            send(self._proc.stdin)
-            reply = _read_frame(self._proc.stdout)
-        except (BrokenPipeError, OSError):
-            reply = None
-        if reply is None:
-            self._exit_code = self._proc.wait()
-            self._release()
+            reply = transport.request(("ping", (), {}), timeout_s=timeout_s)
+        except TransportError:
+            self._drop_link()
+            return False
+        return reply == ("ok", "pong")
+
+    def restart(self) -> None:
+        """Redial (or respawn) a dead worker; its journal restores it."""
+        if self.alive:
+            raise RuntimeError(f"shard worker {self.name!r} is still running")
+        if self._requested_url is None:
             raise WorkerCrashError(
-                f"shard worker {self.name!r} died during {op!r} (exit code {self._exit_code})"
+                f"shard worker {self.name!r} connected inbound; "
+                "it must dial back in (reattach by name)"
             )
-        if isinstance(reply, wire.V2Frame):
-            return reply
-        if reply[0] == "ok":
-            return reply[1]
-        _, exc_name, message = reply
-        exc_type = {"KeyError": KeyError, "ValueError": ValueError}.get(exc_name, RuntimeError)
-        raise exc_type(message)
+        self.restarts += 1
+        self._drop_link()
+        if self._should_spawn and self._spawn_proc is not None and self._spawn_proc.poll() is None:
+            # the link is down but the child is not reapable yet: a hard
+            # crash resets the socket a beat before the process exits.
+            # Give it a moment to settle so we respawn instead of
+            # redialing a port nobody listens on.  A child that is
+            # genuinely alive (poisoned transport, healthy process) just
+            # rides out the wait and gets redialed below.
+            try:
+                self._spawn_proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                pass
+        if self._should_spawn and (self._spawn_proc is None or self._spawn_proc.poll() is not None):
+            self._reap_spawned()
+            self._spawn_listener()
+        self._connect()
+
+    def attach(self, transport: Transport) -> None:
+        """Adopt a fresh transport for this worker and re-init its engine.
+
+        The reconnect half of the ``--connect`` flow: a worker that
+        dialed back in after a crash is re-attached here; its engine
+        restores from its journal during ``init``, after which
+        ``resume_rollout_fleet`` completes any interrupted windows.
+        """
+        if self._transport is not None and not self._transport.closed:
+            self._transport.close()
+        self._transport = transport
+        self._call("init", self._spec)
+
+    def close(self, grace_s: float = 5.0) -> int | None:
+        """Drain the worker and drop the link; reap a spawned process.
+
+        Sends ``shutdown`` (the worker closes its journal and exits),
+        closes the transport, and — for ``spawn=True`` workers — waits
+        up to ``grace_s`` before escalating to ``kill``.  Returns the
+        exit code when the worker was locally spawned, else ``None``.
+        """
+        if self._transport is not None and not self._transport.closed:
+            try:
+                self._call("shutdown")
+            except WorkerCrashError:
+                pass  # it died before acking
+        self._drop_link()
+        if self._spawn_proc is not None:
+            try:
+                self._exit_code = self._spawn_proc.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                self._spawn_proc.kill()
+                self._exit_code = self._spawn_proc.wait()
+            self._reap_spawned()
+        return self._exit_code
+
+    def __enter__(self) -> RemoteShardWorker:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: do not leak spawned workers
+        try:
+            if self._spawn_proc is not None and self._spawn_proc.poll() is None:
+                self._spawn_proc.kill()
+                self._spawn_proc.wait()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _spawn_listener(self) -> None:
+        """Launch a standalone socket worker and learn its bound URL."""
+        bootstrap = (
+            "import sys; from repro.serve.workers import run_worker; sys.exit(run_worker(sys.argv[1]))"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", bootstrap, self._requested_url],
+            stdout=subprocess.PIPE,
+            env=_child_env(),
+        )
+        # the worker announces its resolved address (ephemeral ports!)
+        # on stdout before accepting; an empty read means it died
+        line = proc.stdout.readline().decode("utf-8", "replace").strip()
+        if not line.startswith(WORKER_ANNOUNCE):
+            code = proc.poll()
+            proc.stdout.close()
+            raise WorkerCrashError(
+                f"spawned worker {self.name!r} failed to listen on "
+                f"{self._requested_url} (exit code {code}, said {line!r})"
+            )
+        self._spawn_proc = proc
+        self._exit_code = None
+        self.url = line[len(WORKER_ANNOUNCE) :].strip()
+
+    def _connect(self) -> None:
+        self._transport = connect(self.url, timeout_s=self._connect_timeout_s)
+        self._call("init", self._spec)
+
+    def _drop_link(self) -> None:
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+
+    def _reap_spawned(self) -> None:
+        proc, self._spawn_proc = self._spawn_proc, None
+        if proc is not None:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    def _down_message(self, op: str) -> str:
+        return f"shard worker {self.name!r} is not running (link down); call restart()"
+
+    def _transport_failed(self, op: str, exc: Exception) -> WorkerCrashError:
+        self._drop_link()
+        detail = str(exc)
+        if self._spawn_proc is not None and self._spawn_proc.poll() is not None:
+            self._exit_code = self._spawn_proc.poll()
+            detail = f"exit code {self._exit_code}"
+        return WorkerCrashError(f"shard worker {self.name!r} died during {op!r} ({detail})")
 
 
-# -- child side --------------------------------------------------------
+def _child_env() -> dict:
+    env = os.environ.copy()
+    src_root = str(Path(__file__).resolve().parents[2])
+    pythonpath = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not pythonpath else src_root + os.pathsep + pythonpath
+    return env
+
+
+# -- worker specification ----------------------------------------------
+@dataclasses.dataclass
+class WorkerSpec:
+    """Declarative description of one shard worker — the single factory.
+
+    :class:`ShardedFleet <repro.serve.sharding.ShardedFleet>` resolves
+    every shard through :meth:`resolve`, whatever the topology:
+
+    - ``url=None`` — an in-process :class:`FleetEngine` (the original
+      thread-sharded mode);
+    - ``url="pipe://"`` — a :class:`ProcessShardWorker` subprocess
+      over stdio pipes (the local fast path);
+    - ``url="tcp://host:port"`` / ``"unix:///path"`` — a
+      :class:`RemoteShardWorker`; with ``spawn=True`` the worker
+      process is launched locally first (``tcp://127.0.0.1:0`` picks
+      ephemeral ports, so one spec template serves any shard count).
+
+    ``name``, ``url`` and ``journal`` are templates: a ``{shard}``
+    placeholder is substituted with the shard index; a journal path
+    without one gets a ``.shard{k}`` suffix so workers never share a
+    journal file.  ``journal`` may also be a ready
+    :class:`~repro.serve.persistence.StateJournal` *instance* — valid
+    only for in-process shards, which share one fleet journal.
+    """
+
+    url: str | None = None
+    model: TwoBranchSoCNet | None = None
+    registry: ModelRegistry | str | Path | None = None
+    journal: StateJournal | str | Path | None = None
+    monitor: bool = False
+    trace: bool = False
+    use_kernel: bool = True
+    archive_root: str | Path | None = None
+    journal_segment_bytes: int = 0
+    spawn: bool = False
+    name: str = "shard{shard}"
+    connect_timeout_s: float = 10.0
+    call_timeout_s: float | None = None
+    metrics: object = None
+    drift: object = None
+
+    def __post_init__(self):
+        if self.url is not None:
+            parse_url(self.url if "{shard}" not in self.url else self.url.format(shard=0))
+        if self.model is None and self.registry is None and self.url is not None:
+            raise ValueError("need a default model, a registry root, or both")
+
+    @property
+    def scheme(self) -> str | None:
+        """``None`` for in-process, else the transport scheme."""
+        if self.url is None:
+            return None
+        return parse_url(self.url if "{shard}" not in self.url else self.url.format(shard=0)).scheme
+
+    def resolve(self, index: int):
+        """Build the worker for shard ``index`` (engine or RPC client)."""
+        name = self.name.format(shard=index)
+        scheme = self.scheme
+        if scheme is None:
+            return self._resolve_engine()
+        registry_root = self.registry.root if isinstance(self.registry, ModelRegistry) else self.registry
+        journal_path = self._journal_path(index)
+        common = dict(
+            default_model=self.model,
+            registry_root=registry_root,
+            journal_path=journal_path,
+            name=name,
+            use_kernel=self.use_kernel,
+            monitor=self.monitor,
+            trace=self.trace,
+            archive_root=self.archive_root,
+            journal_segment_bytes=self.journal_segment_bytes,
+        )
+        if scheme == "pipe":
+            return ProcessShardWorker(**common)
+        url = self.url.format(shard=index) if "{shard}" in self.url else self.url
+        return RemoteShardWorker(
+            url,
+            spawn=self.spawn,
+            connect_timeout_s=self.connect_timeout_s,
+            call_timeout_s=self.call_timeout_s,
+            **common,
+        )
+
+    def _resolve_engine(self) -> FleetEngine:
+        registry = self.registry
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        journal = self.journal
+        if journal is not None and not isinstance(journal, StateJournal):
+            raise ValueError(
+                "in-process shards share one StateJournal; pass the instance, not a path"
+            )
+        metrics, drift = self.metrics, self.drift
+        if self.monitor and metrics is None:
+            from ..monitor.drift import DriftMonitor
+            from ..monitor.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            drift = DriftMonitor(metrics=metrics)
+        return FleetEngine(
+            default_model=self.model,
+            registry=registry,
+            journal=journal,
+            use_kernel=self.use_kernel,
+            metrics=metrics,
+            drift=drift,
+        )
+
+    def _journal_path(self, index: int) -> str | None:
+        if self.journal is None:
+            return None
+        if isinstance(self.journal, StateJournal):
+            raise ValueError(
+                "process/socket workers own their journal file; pass a path template, "
+                "not a StateJournal instance"
+            )
+        template = str(self.journal)
+        if "{shard}" in template:
+            return template.format(shard=index)
+        return f"{template}.shard{index}"
+
+
+# -- worker side -------------------------------------------------------
+WORKER_ANNOUNCE = "worker listening on "
+
+
 def _build_engine(spec: dict) -> FleetEngine:
     model = _build_model(spec["model"])
     registry = None if spec["registry_root"] is None else ModelRegistry(spec["registry_root"])
@@ -530,7 +1011,16 @@ def _build_engine(spec: dict) -> FleetEngine:
     journal_path = spec["journal_path"]
     if journal_path is None:
         return FleetEngine(**kwargs)
-    journal = StateJournal(journal_path)
+    archive = None
+    if spec.get("archive_root"):
+        from .archive import DirectoryArchiveStore
+
+        archive = DirectoryArchiveStore(spec["archive_root"])
+    journal = StateJournal(
+        journal_path,
+        archive=archive,
+        max_segment_bytes=spec.get("journal_segment_bytes", 0) or 0,
+    )
     snapshot = journal.snapshot()
     if snapshot.cells or snapshot.windows:
         return FleetEngine.restore(journal, **kwargs)
@@ -545,125 +1035,79 @@ def _crash_hook(after_window: int) -> Callable[[int], None]:
     return hook
 
 
-def _serve_v2(
-    wr, engine: FleetEngine | None, frame: wire.V2Frame, crash_after: int | None, tracer=None
-) -> None:
-    """Dispatch one bulk (v2-framed) request and write its reply.
+class WorkerEndpoint:
+    """The worker-side serving loop: read frames, dispatch, reply.
 
-    When the frame meta carries trace context and this worker was built
-    with ``trace=True``, the child records ``worker.deserialize`` /
-    ``worker.compute`` / ``worker.serialize`` spans against the
-    propagated trace and ships them back in the reply meta (``"spans"``).
-    The serialize span covers reply-payload *assembly* only — the spans
-    ride inside the frame, so the frame write itself cannot be timed
-    from in here.  Timestamps are ``time.monotonic``, machine-wide on
-    Linux, so they align with the parent's spans.
+    One endpoint serves one :class:`Transport` until the peer goes
+    away (``serve`` returns ``"closed"`` — a listener may then accept
+    a new connection) or sends the ``shutdown`` op (``"shutdown"`` —
+    the process should exit).  Both ``worker_main`` (pipes) and
+    :func:`run_worker` (socket listener) are thin wrappers over this
+    class, so the dispatch semantics — including journal close on
+    drain and the crash-injection hook — are identical on every
+    transport.
     """
-    kind, meta, arrays = frame.kind, frame.meta, frame.arrays
-    ctx = None
-    if tracer is not None and meta.get(wire.TRACE_META_KEY):
-        ctx = tracer.from_wire(meta[wire.TRACE_META_KEY])
-    try:
-        if engine is None:
-            raise RuntimeError(f"worker received {kind!r} before 'init'")
-        t0 = time.monotonic()
-        if kind == "estimate":
-            ids = wire.decode_str_list(arrays[0], meta["n"])
-            if ctx is not None:
-                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
-            with activate(ctx), trace_stage("worker.compute", op=kind):
-                out = engine.estimate(ids, arrays[1], arrays[2], arrays[3], now_s=meta["now_s"])
-            reply_meta, reply_arrays = {}, [out]
-        elif kind == "predict":
-            ids = wire.decode_str_list(arrays[0], meta["n"])
-            if ctx is not None:
-                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
-            with activate(ctx), trace_stage("worker.compute", op=kind):
-                out = engine.predict(
-                    ids,
-                    arrays[1],
-                    arrays[2],
-                    arrays[3],
-                    soc_now=arrays[4] if meta["has_soc"] else None,
-                    commit=meta["commit"],
-                    now_s=meta["now_s"],
-                )
-            reply_meta, reply_arrays = {}, [out]
-        elif kind in ("rollout_fleet", "resume_rollout_fleet"):
-            pairs, step_s = wire.decode_rollout_request(meta, arrays)
-            if ctx is not None:
-                tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
-            hook = None if crash_after is None else _crash_hook(crash_after)
-            with activate(ctx), trace_stage("worker.compute", op=kind):
-                results = getattr(engine, kind)(pairs, step_s, step_hook=hook)
-            t_ser = time.monotonic()
-            reply_meta, reply_arrays = wire.encode_rollout_results(results)
-            if ctx is not None:
-                tracer.record(ctx, "worker.serialize", t_ser, time.monotonic(), op=kind)
-        else:
-            raise RuntimeError(f"unknown v2 op {kind!r}")
-        if ctx is not None:
-            if kind in ("estimate", "predict"):
-                # zero-copy replies have no assembly step; the span marks
-                # the (empty) serialize stage so trees stay uniform
-                tracer.record(ctx, "worker.serialize", time.monotonic(), time.monotonic(), op=kind)
-            reply_meta["spans"] = tracer.drain(ctx.trace_id)
-        wire.write_v2(wr, "ok", reply_meta, reply_arrays)
-    except Exception as exc:  # engine errors travel the wire, not the process
-        if ctx is not None:
-            tracer.drain(ctx.trace_id)  # discard: never leak a live buffer on errors
-        _write_frame(wr, ("err", type(exc).__name__, str(exc)))
 
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self.engine: FleetEngine | None = None
+        self._crash_after: int | None = None
+        self._tracer = None
 
-def worker_main(stdin=None, stdout=None) -> int:
-    """Child-process serving loop: read frames, dispatch, reply.
+    def serve(self) -> str:
+        """Serve until the peer closes (``"closed"``) or drains (``"shutdown"``)."""
+        while True:
+            try:
+                frame = self.transport.recv_frame()
+            except TransportError:
+                frame = None  # peer vanished mid-frame: same as a close
+            if frame is None:
+                self._close_journal()
+                return "closed"
+            try:
+                if isinstance(frame, wire.V2Frame):
+                    self._serve_v2(frame)
+                    continue
+                if self._serve_v1(frame):
+                    return "shutdown"
+            except TransportError:
+                # the peer died while we were replying; nothing to tell it
+                self._close_journal()
+                return "closed"
 
-    Runs until the parent closes the pipe (implicit drain) or sends the
-    ``shutdown`` op (explicit drain: journal closed, reply sent, exit
-    0).  Exposed as ``python -m repro.serve.workers``.
-    """
-    rd = stdin if stdin is not None else sys.stdin.buffer
-    wr = stdout if stdout is not None else sys.stdout.buffer
-    sys.stdout = sys.stderr  # stray prints must not corrupt the frame stream
-    engine: FleetEngine | None = None
-    crash_after: int | None = None
-    tracer = None
-    while True:
-        frame = _read_frame(rd)
-        if frame is None:
-            if engine is not None and engine.journal is not None:
-                engine.journal.close()
-            return 0
-        if isinstance(frame, wire.V2Frame):
-            _serve_v2(wr, engine, frame, crash_after, tracer)
-            continue
+    def _close_journal(self) -> None:
+        if self.engine is not None and self.engine.journal is not None:
+            self.engine.journal.close()
+
+    def _serve_v1(self, frame) -> bool:
+        """Dispatch one pickled control op; ``True`` means shutdown."""
         op, args, kwargs = frame
+        engine = self.engine
         try:
             if op == "init":
-                engine = _build_engine(args[0])
+                self.engine = _build_engine(args[0])
                 if args[0].get("trace"):
                     from ..monitor.tracing import SpanTracer
 
                     # recorder only: no head sampling, no metrics — the
                     # parent commits traces and owns the rollup
-                    tracer = SpanTracer(sample_rate=0.0, service="worker")
+                    self._tracer = SpanTracer(sample_rate=0.0, service="worker")
                 result = "ready"
             elif op == "shutdown":
-                if engine is not None and engine.journal is not None:
-                    engine.journal.close()
-                _write_frame(wr, ("ok", "bye"))
-                return 0
+                self._close_journal()
+                self.transport.send_pickle(("ok", "bye"))
+                return True
             elif op == "ping":
                 result = "pong"
             elif op == "metrics":
                 result = None if engine is None else engine.metrics_snapshot()
             elif op == "crash_after":
-                crash_after = int(args[0])
-                result = crash_after
+                self._crash_after = int(args[0])
+                result = self._crash_after
             elif engine is None:
                 raise RuntimeError(f"worker received {op!r} before 'init'")
             elif op in ("rollout_fleet", "resume_rollout_fleet"):
-                hook = None if crash_after is None else _crash_hook(crash_after)
+                hook = None if self._crash_after is None else _crash_hook(self._crash_after)
                 result = getattr(engine, op)(args[0], args[1], step_hook=hook)
             elif op == "cells":
                 result = [dataclasses.replace(state) for state in engine.cells()]
@@ -694,10 +1138,191 @@ def worker_main(stdin=None, stdout=None) -> int:
                 result = getattr(engine, op)(*args, **kwargs)
             else:
                 raise RuntimeError(f"unknown op {op!r}")
+        except TransportError:
+            raise
         except Exception as exc:  # engine errors travel the wire, not the process
-            _write_frame(wr, ("err", type(exc).__name__, str(exc)))
+            self.transport.send_pickle(("err", type(exc).__name__, str(exc)))
         else:
-            _write_frame(wr, ("ok", result))
+            self.transport.send_pickle(("ok", result))
+        return False
+
+    def _serve_v2(self, frame: wire.V2Frame) -> None:
+        """Dispatch one bulk (v2-framed) request and write its reply.
+
+        When the frame meta carries trace context and this worker was
+        built with ``trace=True``, the worker records
+        ``worker.deserialize`` / ``worker.compute`` /
+        ``worker.serialize`` spans against the propagated trace and
+        ships them back in the reply meta (``"spans"``).  The
+        serialize span covers reply-payload *assembly* only — the
+        spans ride inside the frame, so the frame write itself cannot
+        be timed from in here.  Timestamps are ``time.monotonic``,
+        machine-wide on Linux, so they align with the parent's spans.
+        """
+        engine, tracer = self.engine, self._tracer
+        kind, meta, arrays = frame.kind, frame.meta, frame.arrays
+        ctx = None
+        if tracer is not None and meta.get(wire.TRACE_META_KEY):
+            ctx = tracer.from_wire(meta[wire.TRACE_META_KEY])
+        try:
+            if engine is None:
+                raise RuntimeError(f"worker received {kind!r} before 'init'")
+            t0 = time.monotonic()
+            if kind == "estimate":
+                ids = wire.decode_str_list(arrays[0], meta["n"])
+                if ctx is not None:
+                    tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
+                with activate(ctx), trace_stage("worker.compute", op=kind):
+                    out = engine.estimate(ids, arrays[1], arrays[2], arrays[3], now_s=meta["now_s"])
+                reply_meta, reply_arrays = {}, [out]
+            elif kind == "predict":
+                ids = wire.decode_str_list(arrays[0], meta["n"])
+                if ctx is not None:
+                    tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
+                with activate(ctx), trace_stage("worker.compute", op=kind):
+                    out = engine.predict(
+                        ids,
+                        arrays[1],
+                        arrays[2],
+                        arrays[3],
+                        soc_now=arrays[4] if meta["has_soc"] else None,
+                        commit=meta["commit"],
+                        now_s=meta["now_s"],
+                    )
+                reply_meta, reply_arrays = {}, [out]
+            elif kind in ("rollout_fleet", "resume_rollout_fleet"):
+                pairs, step_s = wire.decode_rollout_request(meta, arrays)
+                if ctx is not None:
+                    tracer.record(ctx, "worker.deserialize", t0, time.monotonic(), op=kind)
+                hook = None if self._crash_after is None else _crash_hook(self._crash_after)
+                with activate(ctx), trace_stage("worker.compute", op=kind):
+                    results = getattr(engine, kind)(pairs, step_s, step_hook=hook)
+                t_ser = time.monotonic()
+                reply_meta, reply_arrays = wire.encode_rollout_results(results)
+                if ctx is not None:
+                    tracer.record(ctx, "worker.serialize", t_ser, time.monotonic(), op=kind)
+            else:
+                raise RuntimeError(f"unknown v2 op {kind!r}")
+            if ctx is not None:
+                if kind in ("estimate", "predict"):
+                    # zero-copy replies have no assembly step; the span marks
+                    # the (empty) serialize stage so trees stay uniform
+                    tracer.record(ctx, "worker.serialize", time.monotonic(), time.monotonic(), op=kind)
+                reply_meta["spans"] = tracer.drain(ctx.trace_id)
+            self.transport.send_chunks(wire.encode_v2("ok", reply_meta, reply_arrays))
+        except TransportError:
+            raise
+        except Exception as exc:  # engine errors travel the wire, not the process
+            if ctx is not None:
+                tracer.drain(ctx.trace_id)  # discard: never leak a live buffer on errors
+            self.transport.send_pickle(("err", type(exc).__name__, str(exc)))
+
+
+def worker_main(stdin=None, stdout=None) -> int:
+    """Child-process serving loop over the stdio pipes.
+
+    Runs until the parent closes the pipe (implicit drain) or sends the
+    ``shutdown`` op (explicit drain: journal closed, reply sent, exit
+    0).  Exposed as ``python -m repro.serve.workers``.
+    """
+    rd = stdin if stdin is not None else sys.stdin.buffer
+    wr = stdout if stdout is not None else sys.stdout.buffer
+    sys.stdout = sys.stderr  # stray prints must not corrupt the frame stream
+    WorkerEndpoint(PipeTransport(wr, rd, peer="pipe://parent")).serve()
+    return 0
+
+
+def run_worker(listen_url: str, once: bool = False, announce=None) -> int:
+    """Standalone socket worker: bind, announce, serve (``repro-soc worker``).
+
+    Binds ``listen_url`` (``tcp://host:port`` — port 0 for ephemeral —
+    or ``unix:///path``), prints ``worker listening on <resolved-url>``
+    to stdout so a spawning parent can learn the address, then serves
+    one connection at a time.  A peer that disconnects (parent crash)
+    just returns the worker to ``accept`` — state lives in the journal
+    and the next ``init`` restores it — while the ``shutdown`` op ends
+    the process.  ``once=True`` exits after the first connection
+    closes (tests).
+    """
+    listener = TransportListener(listen_url)
+    message = f"{WORKER_ANNOUNCE}{listener.url}"
+    if announce is not None:
+        announce(message)
+    else:
+        print(message, flush=True)
+    sys.stdout = sys.stderr  # same hygiene as the pipe path, post-announce
+    try:
+        while True:
+            try:
+                peer = listener.accept()
+            except TransportError:
+                return 0  # listener closed under us
+            try:
+                reason = WorkerEndpoint(peer).serve()
+            finally:
+                peer.close()
+            if reason == "shutdown" or once:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        listener.close()
+
+
+def run_worker_connect(
+    daemon_url: str,
+    name: str,
+    reconnect: bool = True,
+    connect_timeout_s: float = 10.0,
+    announce=None,
+) -> int:
+    """Dial a daemon and serve as one of its shard workers (NAT-friendly).
+
+    The inverse topology of :func:`run_worker`: instead of listening
+    for the fleet to dial in, the worker dials the daemon's control
+    URL, introduces itself with a ``worker_hello`` frame carrying its
+    ``name``, and then the roles flip — the daemon wraps this very
+    connection in a :class:`RemoteShardWorker` and starts sending
+    engine ops, which a :class:`WorkerEndpoint` serves.
+
+    ``name`` is the worker's identity across reconnects: if this
+    worker (or its link) dies and the process dials back in with the
+    same name, the daemon re-attaches it to its old shard — journal
+    restore plus ``resume_rollout_fleet`` make the comeback
+    state-exact.  With ``reconnect=True`` (the default, the
+    ``repro-soc worker --connect`` behavior) a dropped daemon
+    connection is redialed until the daemon comes back or the process
+    is killed; a clean ``shutdown`` op always ends the loop.
+    """
+    notify = announce if announce is not None else lambda m: print(m, flush=True)
+    while True:
+        try:
+            transport = connect(daemon_url, timeout_s=connect_timeout_s)
+        except TransportError as exc:
+            if not reconnect:
+                raise
+            notify(f"daemon at {daemon_url} unreachable ({exc}); retrying")
+            time.sleep(min(connect_timeout_s, 1.0))
+            continue
+        try:
+            reply = transport.request(("worker_hello", (name,), {}), timeout_s=connect_timeout_s)
+        except TransportError:
+            transport.close()
+            if not reconnect:
+                return 1
+            continue
+        if reply != ("ok", "attach"):
+            transport.close()
+            notify(f"daemon at {daemon_url} refused worker {name!r}: {reply!r}")
+            return 1
+        notify(f"worker {name!r} attached to {daemon_url}")
+        try:
+            reason = WorkerEndpoint(transport).serve()
+        finally:
+            transport.close()
+        if reason == "shutdown" or not reconnect:
+            return 0
+        notify(f"daemon connection lost; worker {name!r} re-dialing {daemon_url}")
 
 
 if __name__ == "__main__":

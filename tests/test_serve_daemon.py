@@ -1,0 +1,204 @@
+"""End-to-end tests for ``repro-soc serve`` (:mod:`repro.serve.daemon`).
+
+The acceptance property lives here: a daemon with socket workers
+survives a worker being killed — /metrics and /healthz keep answering,
+estimates keep serving — and the worker heals by dialing back in
+(reattach by name), not by operator surgery.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.model import TwoBranchSoCNet
+from repro.serve import DaemonUnavailable, FleetEngine, ShardedFleet, SocClient, WorkerSpec
+from repro.serve.daemon import SocDaemon
+from repro.serve.transport import connect
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def wait_for(pred, timeout_s=30.0, what="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if pred():
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _join_code(daemon_url: str, name: str) -> list[str]:
+    """Command line for a standalone ``--connect`` worker process."""
+    code = (
+        "import sys\n"
+        "from repro.serve.workers import run_worker_connect\n"
+        f"sys.exit(run_worker_connect({daemon_url!r}, {name!r}, connect_timeout_s=10.0))\n"
+    )
+    return [sys.executable, "-c", code]
+
+
+def _worker_env() -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture(scope="module")
+def model():
+    # a tiny net: daemon tests exercise plumbing, not accuracy
+    return TwoBranchSoCNet(ModelConfig(hidden=(8,)), rng=np.random.default_rng(0))
+
+
+# ----------------------------------------------------------------------
+class TestDaemonE2E:
+    def test_worker_kill_and_restart_by_reconnect(self, model, tmp_path):
+        spec = WorkerSpec(
+            url="tcp://127.0.0.1:0",
+            model=model,
+            spawn=True,
+            journal=str(tmp_path / "fleet.journal"),
+        )
+        fleet = ShardedFleet(2, spec=spec)
+        daemon = SocDaemon(
+            fleet,
+            "tcp://127.0.0.1:0",
+            worker_spec=spec,
+            control_interval_s=0.2,
+            exposition_port=0,
+        )
+        joiner = rejoiner = None
+        with daemon, SocClient(daemon.url) as client:
+            client.register_cell("cellA")
+            client.register_cell("cellB")
+            base = client.estimate("cellA", 3.7, 1.0, 25.0)
+
+            # a standalone worker dials in and becomes shard 3
+            joiner = subprocess.Popen(_join_code(daemon.url, "joiner"), env=_worker_env())
+            wait_for(lambda: fleet.n_shards == 3, what="joiner attach")
+            assert client.worker_health() == [True, True, True]
+            assert client.estimate("cellA", 3.7, 1.0, 25.0) == base
+
+            # kill it: the control loop's heartbeat flags the dead shard...
+            joiner.kill()
+            joiner.wait(timeout=10)
+            wait_for(lambda: not all(client.worker_health()), what="death detection")
+
+            # ...while the plane stays up: scrapes answer, traffic serves
+            health = json.load(urllib.request.urlopen(daemon.exposition_url + "/healthz"))
+            assert health["ok"] is True
+            assert False in health["workers"]
+            scrape = urllib.request.urlopen(daemon.exposition_url + "/metrics").read()
+            assert b"gateway" in scrape
+            assert client.estimate("cellA", 3.7, 1.0, 25.0) == base
+
+            # restart-by-reconnect: same name, fresh process — the dead
+            # shard heals in place instead of joining as new capacity
+            rejoiner = subprocess.Popen(_join_code(daemon.url, "joiner"), env=_worker_env())
+            wait_for(
+                lambda: all(client.worker_health()) and fleet.n_shards == 3,
+                what="reattach heal",
+            )
+            assert client.estimate("cellA", 3.7, 1.0, 25.0) == base
+
+            client.shutdown_daemon()
+            assert daemon.wait(timeout_s=10)
+        for proc in (joiner, rejoiner):
+            if proc is not None:
+                proc.poll() is None and proc.kill()
+                proc.wait(timeout=10)
+
+    def test_add_worker_by_url_through_client(self, model):
+        from repro.serve import RemoteShardWorker
+
+        spec = WorkerSpec(url="tcp://127.0.0.1:0", model=model, spawn=True)
+        fleet = ShardedFleet(2, spec=spec)
+        spare = RemoteShardWorker("tcp://127.0.0.1:0", default_model=model, spawn=True, name="spare")
+        spare._drop_link()  # free its listener for the daemon to dial
+        daemon = SocDaemon(fleet, "tcp://127.0.0.1:0", worker_spec=spec, control_interval_s=0)
+        with daemon, SocClient(daemon.url) as client:
+            client.register_cell("a")
+            index = client.add_worker(spare.url)
+            assert index == 2
+            assert client.worker_health() == [True, True, True]
+        spare.close()
+
+
+# ----------------------------------------------------------------------
+class TestDaemonClients:
+    @pytest.fixture()
+    def daemon(self, model):
+        daemon = SocDaemon(
+            FleetEngine(default_model=model), "tcp://127.0.0.1:0", control_interval_s=0
+        )
+        with daemon:
+            yield daemon
+
+    def test_hello_and_engine_ops(self, daemon):
+        with SocClient(daemon.url) as client:
+            hello = client.hello()
+            assert hello["service"] == "repro-soc"
+            assert "estimate" in hello["ops"]
+            assert client.ping()
+            client.register_cell("a", chemistry="nmc")
+            assert "a" in client and len(client) == 1
+            soc = client.estimate("a", 3.7, 1.0, 25.0)
+            assert 0.0 <= soc <= 1.0
+            assert client.cell("a").chemistry == "nmc"
+            assert [s.cell_id for s in client.cells()] == ["a"]
+            stats = client.stats()
+            assert stats["retries"] == 0 and stats["elapsed_s"] > 0
+
+    def test_engine_errors_map_to_typed_exceptions(self, daemon):
+        with SocClient(daemon.url) as client:
+            with pytest.raises(KeyError):
+                client.cell("ghost")
+            with pytest.raises(ValueError, match="requires a registry"):
+                client.register_cell("a", model_name="canary-v2")
+
+    def test_idle_connection_survives_the_accept_poll(self, daemon):
+        """The idle wait must not poison the stream: a client that goes
+        quiet for several poll intervals still gets served."""
+        with SocClient(daemon.url) as client:
+            client.register_cell("a")
+            first = client.estimate("a", 3.7, 1.0, 25.0)
+            time.sleep(0.8)  # > 3 poll intervals of 0.25s
+            assert client.estimate("a", 3.7, 1.0, 25.0) == first
+
+    def test_client_reconnects_after_transport_loss(self, daemon):
+        with SocClient(daemon.url) as client:
+            client.register_cell("a")
+            client._transport.close()  # simulate a dropped connection
+            assert "a" in client  # the next call redials
+
+    def test_stopped_daemon_raises_daemon_unavailable(self, model):
+        daemon = SocDaemon(
+            FleetEngine(default_model=model), "tcp://127.0.0.1:0", control_interval_s=0
+        )
+        daemon.start()
+        client = SocClient(daemon.url)
+        assert client.ping()
+        daemon.stop()
+        assert client.ping() is False  # ping degrades to False, never raises
+        with pytest.raises(DaemonUnavailable):
+            client.hello()
+        client.close()
+
+    def test_inbound_worker_rejected_without_worker_spec(self, daemon):
+        """A worker_hello on a daemon that cannot provision workers is
+        acked (protocol) and then dropped, never half-adopted."""
+        transport = connect(daemon.url, timeout_s=5.0)
+        try:
+            transport.send_pickle(("worker_hello", ("stray",), {}))
+            assert transport.recv_frame(timeout_s=5.0) == ("ok", "attach")
+            # the attach fails daemon-side (no worker_spec): it hangs up
+            assert transport.recv_frame(timeout_s=5.0) is None
+        finally:
+            transport.close()
+        assert len(daemon.engine) == 0  # nothing was adopted

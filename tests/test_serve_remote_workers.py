@@ -1,0 +1,275 @@
+"""Socket-backed shard workers: :class:`RemoteShardWorker` + :class:`WorkerSpec`.
+
+The pipe-worker suite (``test_serve_workers.py``) covers the engine
+API and crash semantics over stdio; this file covers what changes when
+the same frames ride a real socket — spawned-listener lifecycle,
+in-band death detection, restart-by-redial, and the single
+:class:`WorkerSpec` factory the fleet resolves every topology through.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.serve import (
+    FleetEngine,
+    ProcessShardWorker,
+    RemoteShardWorker,
+    ShardedFleet,
+    StateJournal,
+    WorkerCrashError,
+    WorkerSpec,
+    generate_fleet,
+)
+
+FAST_FLEET = dict(
+    ambient_temps_c=(25.0,),
+    c_rates=(1.0, 2.0),
+    protocols=("discharge",),
+    max_time_s=1800.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return generate_fleet(16, seed=7, **FAST_FLEET)
+
+
+# ----------------------------------------------------------------------
+class TestRemoteShardWorker:
+    def test_serves_engine_api_over_tcp(self, model):
+        local = FleetEngine(default_model=model)
+        worker = RemoteShardWorker(
+            "tcp://127.0.0.1:0", default_model=model, spawn=True, name="sock"
+        )
+        try:
+            assert worker.url.startswith("tcp://127.0.0.1:")
+            for engine in (local, worker):
+                engine.register_cell("a", chemistry="nmc")
+                engine.register_cell("b", chemistry="lfp")
+            assert len(worker) == 2 and "a" in worker
+            out = worker.estimate(["a", "b"], [3.7, 3.6], [1.0, 2.0], 25.0)
+            ref = local.estimate(["a", "b"], [3.7, 3.6], [1.0, 2.0], 25.0)
+            np.testing.assert_array_equal(out, ref)
+            out = worker.predict(["a", "b"], 2.0, 25.0, 120.0)
+            np.testing.assert_array_equal(out, local.predict(["a", "b"], 2.0, 25.0, 120.0))
+            assert worker.cell("a").soc == local.cell("a").soc
+        finally:
+            assert worker.close() == 0
+
+    def test_rollout_matches_in_process_engine(self, model, small_fleet):
+        ref = FleetEngine(default_model=model).rollout_fleet(small_fleet.assignments(), 120.0)
+        worker = RemoteShardWorker(
+            "tcp://127.0.0.1:0", default_model=model, spawn=True, name="roll"
+        )
+        try:
+            got = worker.rollout_fleet(small_fleet.assignments(), 120.0)
+        finally:
+            worker.close()
+        for cell_id, _ in small_fleet.assignments():
+            np.testing.assert_array_equal(got[cell_id].soc_pred, ref[cell_id].soc_pred)
+
+    def test_kill_mid_rollout_over_socket_resumes_bit_for_bit(self, model, small_fleet, tmp_path):
+        """The socket version of the acceptance property: the worker
+        dies mid-rollout behind a TCP link, restarts (respawn +
+        redial), restores from its journal, and the stitched resume
+        equals an uninterrupted run exactly."""
+        assignments = small_fleet.assignments()
+        ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
+        worker = RemoteShardWorker(
+            "tcp://127.0.0.1:0",
+            default_model=model,
+            journal_path=tmp_path / "crash.journal",
+            spawn=True,
+            name="phoenix",
+        )
+        worker.crash_after_window(3)
+        with pytest.raises(WorkerCrashError):
+            worker.rollout_fleet(assignments, 120.0)
+        assert not worker.alive
+        worker.restart()
+        assert len(worker) == len(small_fleet)  # cells restored before serving
+        resumed = worker.resume_rollout_fleet(assignments, 120.0)
+        for cell_id, _ in assignments:
+            np.testing.assert_array_equal(resumed[cell_id].soc_pred, ref[cell_id].soc_pred)
+        worker.close()
+
+    def test_check_alive_detects_silently_dead_peer(self, model):
+        worker = RemoteShardWorker(
+            "tcp://127.0.0.1:0", default_model=model, spawn=True, name="probe"
+        )
+        assert worker.check_alive(timeout_s=5.0)
+        worker._spawn_proc.kill()
+        worker._spawn_proc.wait(timeout=10)
+        assert worker.check_alive(timeout_s=2.0) is False
+        assert not worker.alive
+        worker.close()
+
+    def test_restart_requires_a_dialable_url(self, model):
+        """An inbound worker (dialed us; from_transport) has no address
+        to redial — restart must say so, not hang."""
+        import io
+
+        from repro.serve.transport import PipeTransport
+        from repro.serve import wire
+
+        # a canned transport that answers the init handshake
+        body = wire.pickle_body(("ok", None))
+        rd = io.BytesIO(wire.frame_header(len(body)) + body)
+        transport = PipeTransport(io.BytesIO(), rd, peer="inbound")
+        worker = RemoteShardWorker.from_transport(transport, name="inbound", default_model=model)
+        worker._drop_link()
+        with pytest.raises(WorkerCrashError, match="dial back in"):
+            worker.restart()
+
+    def test_restart_while_alive_is_an_error(self, model):
+        worker = RemoteShardWorker(
+            "tcp://127.0.0.1:0", default_model=model, spawn=True, name="up"
+        )
+        try:
+            with pytest.raises(RuntimeError, match="still running"):
+                worker.restart()
+        finally:
+            worker.close()
+
+
+# ----------------------------------------------------------------------
+class TestWorkerSpec:
+    def test_resolves_every_topology(self, model):
+        assert isinstance(WorkerSpec(model=model).resolve(0), FleetEngine)
+        pipe_worker = WorkerSpec(url="pipe://", model=model).resolve(0)
+        assert isinstance(pipe_worker, ProcessShardWorker)
+        pipe_worker.close()
+        tcp_worker = WorkerSpec(url="tcp://127.0.0.1:0", model=model, spawn=True).resolve(0)
+        assert isinstance(tcp_worker, RemoteShardWorker)
+        tcp_worker.close()
+
+    def test_shard_templating(self, model, tmp_path):
+        spec = WorkerSpec(
+            url="pipe://",
+            model=model,
+            name="rack{shard}",
+            journal=tmp_path / "fleet.journal",
+        )
+        assert spec._journal_path(2) == str(tmp_path / "fleet.journal.shard2")
+        templated = WorkerSpec(
+            url="pipe://", model=model, journal=str(tmp_path / "j{shard}.journal")
+        )
+        assert templated._journal_path(1) == str(tmp_path / "j1.journal")
+
+    def test_needs_model_or_registry_for_workers(self):
+        with pytest.raises(ValueError, match="default model"):
+            WorkerSpec(url="pipe://")
+
+    def test_rejects_journal_instance_for_process_workers(self, model, tmp_path):
+        journal = StateJournal(tmp_path / "shared.journal")
+        spec = WorkerSpec(url="pipe://", model=model, journal=journal)
+        with pytest.raises(ValueError, match="pass a path template"):
+            spec.resolve(0)
+
+    def test_rejects_journal_path_for_in_process_shards(self, model, tmp_path):
+        spec = WorkerSpec(model=model, journal=str(tmp_path / "fleet.journal"))
+        with pytest.raises(ValueError, match="pass the instance"):
+            spec.resolve(0)
+
+
+# ----------------------------------------------------------------------
+class TestShardedFleetSpec:
+    def test_worker_factory_is_deprecated_but_works(self, model):
+        with pytest.warns(DeprecationWarning, match="worker_factory is deprecated"):
+            fleet = ShardedFleet(
+                2,
+                worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"d{k}"),
+            )
+        with fleet:
+            fleet.register_cell("a")
+            assert fleet.worker_health() == [True, True]
+
+    def test_spec_and_factory_are_exclusive(self, model):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="not both"):
+                ShardedFleet(
+                    2,
+                    worker_factory=lambda k: FleetEngine(default_model=model),
+                    spec=WorkerSpec(model=model),
+                )
+
+    def test_spec_rejects_legacy_engine_kwargs(self, model):
+        with pytest.raises(ValueError, match="spec carries the worker description"):
+            ShardedFleet(2, spec=WorkerSpec(model=model), default_model=model)
+
+    def test_tcp_fleet_matches_single_engine(self, model, small_fleet):
+        """Acceptance: a tcp:// fleet produces the same estimates and
+        rollout trajectories as one in-process engine (1e-9 / exact)."""
+        assignments = small_fleet.assignments()
+        single = FleetEngine(default_model=model)
+        ref_roll = single.rollout_fleet(assignments, 120.0)
+        fleet = ShardedFleet(
+            2, spec=WorkerSpec(url="tcp://127.0.0.1:0", model=model, spawn=True, name="t{shard}")
+        )
+        with fleet:
+            ids = [cell_id for cell_id, _ in assignments]
+            for cid in ids:
+                single.register_cell(cid)
+                fleet.register_cell(cid)
+            v = np.linspace(3.2, 4.0, len(ids))
+            i = np.linspace(0.5, 3.0, len(ids))
+            np.testing.assert_allclose(
+                fleet.estimate(ids, v, i, 25.0), single.estimate(ids, v, i, 25.0),
+                atol=1e-9, rtol=0,
+            )
+            got = fleet.rollout_fleet(assignments, 120.0)
+            for cell_id, _ in assignments:
+                np.testing.assert_array_equal(got[cell_id].soc_pred, ref_roll[cell_id].soc_pred)
+
+    def test_heartbeat_flags_dead_tcp_worker_and_heals(self, model, tmp_path):
+        fleet = ShardedFleet(
+            2,
+            spec=WorkerSpec(
+                url="tcp://127.0.0.1:0",
+                model=model,
+                spawn=True,
+                name="h{shard}",
+                journal=tmp_path / "h.journal",
+            ),
+        )
+        with fleet:
+            fleet.register_cell("a")
+            assert fleet.heartbeat(timeout_s=5.0) == [True, True]
+            fleet._shards[0]._spawn_proc.kill()
+            fleet._shards[0]._spawn_proc.wait(timeout=10)
+            assert fleet.heartbeat(timeout_s=2.0) == [False, True]
+            assert fleet.restart_dead_workers() == [0]
+            assert fleet.heartbeat(timeout_s=5.0) == [True, True]
+            assert "a" in fleet  # state restored, not a blank respawn
+
+    def test_add_worker_by_url_migrates_cells(self, model):
+        """The daemon registration path: growing the fleet by a bare
+        URL reuses the spec template and migrates ~1/n of the cells."""
+        spare = RemoteShardWorker(
+            "tcp://127.0.0.1:0", default_model=model, spawn=True, name="spare"
+        )
+        spare._drop_link()  # free the listener: the fleet dials it next
+        fleet = ShardedFleet(
+            2, spec=WorkerSpec(url="tcp://127.0.0.1:0", model=model, spawn=True, name="g{shard}")
+        )
+        with fleet:
+            ids = [f"c{k}" for k in range(20)]
+            for cid in ids:
+                fleet.register_cell(cid)
+            socs = {cid: fleet.cell(cid).soc for cid in ids}
+            index = fleet.add_worker(spare.url)
+            assert index == 2 and fleet.n_shards == 3
+            assert sum(fleet.shard_sizes()) == len(ids)
+            assert fleet.shard_sizes()[index] > 0  # rendezvous moved some cells over
+            for cid in ids:
+                assert fleet.cell(cid).soc == socs[cid]
+        spare.close()
