@@ -1,0 +1,218 @@
+"""CI lane for the closed retraining loop: drift → retrain → canary → promote.
+
+Reduced end-to-end run against a *trained* checkpoint (the serve-soak
+lanes train one anyway):
+
+1. **Promote arm** — publish a degraded copy of the checkpoint as the
+   stable model of a journaled, drift-monitored fleet, drive live
+   rollout traffic through it, and tick the control plane
+   (:class:`repro.monitor.autopilot.ControlLoop` with a
+   :class:`repro.learn.RetrainLoop` attached) until the automatically
+   retrained candidate is published to the canary channel and promoted
+   to stable — no manual registry operation anywhere.
+2. **Latency arm** — same plant, but the candidate's serving path is
+   artificially slowed; the autopilot's ``latency_budget`` gate must
+   roll it back (reason ``latency``) and leave stable at v1.
+
+Exit 0 when both arms behave; exit 1 with a diagnosis otherwise.  A
+JSON record of both arms is written to ``--json`` for the artifact
+upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/e2e_retrain.py \\
+        --checkpoint soak_model.npz --json E2E_retrain.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, TwoBranchSoCNet
+from repro.learn import FineTuneConfig, RetrainConfig, RetrainLoop
+from repro.monitor.autopilot import (
+    AutoCanaryPolicy,
+    AutopilotConfig,
+    ControlLoop,
+    DivergenceProbe,
+)
+from repro.monitor.drift import DriftMonitor
+from repro.nn.serialization import load_state
+from repro.serve import (
+    CanaryController,
+    FleetEngine,
+    ModelRegistry,
+    StateJournal,
+    generate_fleet,
+)
+
+
+def load_checkpoint(path: str) -> TwoBranchSoCNet:
+    state, meta = load_state(path)
+    if meta is None or "horizon_scale" not in meta:
+        raise SystemExit(f"{path} is not a repro-soc checkpoint")
+    model = TwoBranchSoCNet(
+        ModelConfig(hidden=tuple(meta["hidden"]), horizon_scale_s=meta["horizon_scale"]),
+        rng=np.random.default_rng(0),
+    )
+    model.load_state_dict(state)
+    return model
+
+
+def degrade(base: TwoBranchSoCNet) -> TwoBranchSoCNet:
+    """The injected fault: Branch 2's output head drifts far off-physics."""
+    degraded = TwoBranchSoCNet(base.config, rng=np.random.default_rng(1))
+    state = {k: v.copy() for k, v in base.state_dict().items()}
+    state["branch2.mlp.net.layers.6.bias"] = state["branch2.mlp.net.layers.6.bias"] + 2.0
+    degraded.load_state_dict(state)
+    return degraded
+
+
+class SlowCanaryEngine:
+    """Delegates to the engine, stalling predicts on canary-pinned cells."""
+
+    def __init__(self, engine, controller, delay_s=0.05):
+        self._engine = engine
+        self._controller = controller
+        self.delay_s = delay_s
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def predict(self, cell_ids, *args, **kwargs):
+        if set(cell_ids) & set(self._controller.canary_cells()):
+            time.sleep(self.delay_s)
+        return self._engine.predict(cell_ids, *args, **kwargs)
+
+
+def build_plane(base: TwoBranchSoCNet, workdir: Path, latency_budget=None, slow_canary=False):
+    registry = ModelRegistry(workdir / "registry")
+    registry.publish("serve", degrade(base))
+    journal_path = workdir / "fleet.journal"
+    engine = FleetEngine(
+        registry=registry, journal=StateJournal(journal_path), drift=DriftMonitor()
+    )
+    fleet = generate_fleet(
+        12, seed=3, ambient_temps_c=(25.0,), c_rates=(1.0,), protocols=("discharge",),
+        max_time_s=1800.0,
+    )
+    for member in fleet.members:
+        engine.register_cell(member.cell_id, model_name="serve")
+    engine.rollout_fleet(fleet.assignments(), 120.0)
+
+    controller = CanaryController(engine, registry, "serve", fraction=0.5, max_divergence=10.0)
+    probe_engine = SlowCanaryEngine(engine, controller) if slow_canary else engine
+    probe = DivergenceProbe(probe_engine, controller, sample=2)
+    # loose accuracy gates: the corrected candidate legitimately
+    # diverges from the degraded stable it replaces
+    policy = AutoCanaryPolicy(
+        controller,
+        config=AutopilotConfig(
+            min_observations=2,
+            divergence_budget=5.0,
+            hard_divergence=10.0,
+            cooldown_ticks=2,
+            latency_budget=latency_budget,
+        ),
+    )
+    retrain = RetrainLoop(
+        source=engine,
+        journals=journal_path,
+        registry=registry,
+        target=controller,
+        config=RetrainConfig(
+            name="serve", cooldown_ticks=8, finetune=FineTuneConfig(epochs=25, lr=3e-3)
+        ),
+    )
+    loop = ControlLoop(engine=engine, autopilot=policy, probe=probe, retrain=retrain, interval_s=0)
+    return loop, registry, controller, policy
+
+
+def promote_arm(base: TwoBranchSoCNet, workdir: Path) -> dict:
+    loop, registry, controller, policy = build_plane(base, workdir)
+    record = {"arm": "promote", "drift_events": len(loop.engine.drift_events())}
+    if record["drift_events"] == 0:
+        raise AssertionError("injected degradation produced no drift events")
+    for tick in range(10):
+        report = loop.tick()
+        retrain = report["retrain"]
+        if retrain is not None and retrain["status"] == "published":
+            record["published_version"] = retrain["version"]
+            record["harvest_rows"] = retrain["rows"]
+        if report["decision"] == "promote":
+            record["promoted_at_tick"] = tick
+            break
+    else:
+        raise AssertionError("autopilot never promoted the retrained candidate")
+    if record.get("published_version") != 2:
+        raise AssertionError(f"expected candidate v2, got {record.get('published_version')}")
+    channels = registry.channels("serve")
+    if channels != {"stable": 2}:
+        raise AssertionError(f"expected stable=2 and a free canary lane, got {channels}")
+    if controller.active:
+        raise AssertionError("canary still active after promotion")
+    record["channels"] = channels
+    record["reason"] = policy.last_reason
+    return record
+
+
+def latency_arm(base: TwoBranchSoCNet, workdir: Path) -> dict:
+    loop, registry, controller, policy = build_plane(
+        base, workdir, latency_budget=3.0, slow_canary=True
+    )
+    record = {"arm": "latency-veto"}
+    for tick in range(8):
+        report = loop.tick()
+        if report["decision"] == "rollback":
+            record["rolled_back_at_tick"] = tick
+            break
+    else:
+        raise AssertionError("latency gate never rolled the slow candidate back")
+    if policy.last_reason != "latency":
+        raise AssertionError(f"rollback reason {policy.last_reason!r}, expected 'latency'")
+    channels = registry.channels("serve")
+    if channels != {"stable": 1}:
+        raise AssertionError(f"slow candidate must not ship; channels: {channels}")
+    record["channels"] = channels
+    record["reason"] = policy.last_reason
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--checkpoint", required=True, help="trained model checkpoint (.npz)")
+    parser.add_argument("--json", default=None, help="write the run record here")
+    args = parser.parse_args(argv)
+
+    base = load_checkpoint(args.checkpoint)
+    records = []
+    with tempfile.TemporaryDirectory(prefix="e2e_retrain_") as tmp:
+        root = Path(tmp)
+        for arm, run in (("promote", promote_arm), ("latency-veto", latency_arm)):
+            t0 = time.perf_counter()
+            try:
+                record = run(base, root / arm)
+            except AssertionError as exc:
+                print(f"FAIL [{arm}]: {exc}", file=sys.stderr)
+                if args.json:
+                    Path(args.json).write_text(
+                        json.dumps({"ok": False, "arm": arm, "error": str(exc)}, indent=2)
+                    )
+                return 1
+            record["elapsed_s"] = round(time.perf_counter() - t0, 3)
+            print(f"PASS [{arm}]: {record}")
+            records.append(record)
+    if args.json:
+        Path(args.json).write_text(json.dumps({"ok": True, "arms": records}, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

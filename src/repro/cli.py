@@ -34,6 +34,12 @@ Gives the library a deployable surface without writing Python:
 - ``repro-soc registry`` — inspect and manage a model registry:
   ``list`` published versions/channels, ``promote`` a canary to
   stable, ``rollback`` (abandon) a canary;
+- ``repro-soc retrain`` — one-shot offline retrain: harvest journaled
+  rollout windows into training rows (``repro.learn``), fine-tune the
+  registry's stable checkpoint on them, and publish the candidate to
+  the canary channel; ``--url`` runs against a live daemon instead
+  (drift events fetched from, and the publish routed through, its
+  control URL);
 - ``repro-soc monitor`` — read metrics snapshots written by
   ``serve-sim --metrics-json``: ``snapshot`` pretty-prints one,
   ``watch`` polls a snapshot file as a run refreshes it, ``export``
@@ -60,6 +66,10 @@ Usage examples::
     repro-soc worker --connect tcp://daemon-host:7355 --name rack3
     repro-soc registry list ./registry
     repro-soc registry promote ./registry sandia-serve
+    repro-soc retrain ./registry sandia-serve --journal fleet.journal.shard0 \\
+        --journal fleet.journal.shard1 --archive-dir ./cold --epochs 10
+    repro-soc retrain ./registry sandia-serve --journal fleet.journal \\
+        --url tcp://daemon-host:7355
     repro-soc serve-sim model.npz --cells 256 --metrics-json metrics.json --fail-on-drift
     repro-soc serve-sim --untrained --fast --cells 64 --async --workers 2 \\
         --metrics-port 9923 --trace-json traces.json --trace-sample 0.1
@@ -882,6 +892,66 @@ def _cmd_registry(args) -> int:
     return 0
 
 
+def _cmd_retrain(args) -> int:
+    from .learn import FineTuneConfig, fine_tune, harvest_training_set, publish_candidate
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    client = None
+    events = None
+    if args.url:
+        from .serve.client import SocClient
+
+        client = SocClient(args.url)
+        events = client.drift_events()
+        print(f"daemon at {args.url} reports {len(events)} drift event(s)")
+    try:
+        report = harvest_training_set(
+            args.journal,
+            events=events,
+            cell_ids=args.cells or None,
+            store=_archive_store(args),
+            max_gaps=args.max_gaps,
+        )
+        gaps = f", {report.missing_segments} segment gap(s) tolerated" if report.missing_segments else ""
+        print(f"harvested {report.rows} row(s) from {len(report.cells)} cell(s){gaps}")
+        samples = report.partition(args.chemistry) if args.chemistry else report.samples
+        rows = 0 if samples is None else len(samples)
+        if rows < args.min_rows:
+            print(f"not enough rows to fine-tune (have {rows}, need {args.min_rows}); "
+                  "nothing published")
+            return 1
+        try:
+            entry = registry.describe(args.name)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+        config = FineTuneConfig(epochs=args.epochs, lr=args.lr, seed=args.seed,
+                                targets=args.targets)
+        candidate = fine_tune(registry.load(args.name), samples, config)
+        print(f"fine-tuned a candidate from {entry.ref} "
+              f"({config.epochs} epoch(s) on {rows} row(s))")
+        if args.dry_run:
+            print("dry run: candidate not published")
+            return 0
+        try:
+            version = publish_candidate(
+                client if client is not None else registry,
+                args.name,
+                candidate,
+                chemistry=entry.chemistry,
+                dataset=entry.dataset,
+                extra={"retrained_from": entry.version, "harvest_rows": rows,
+                       "harvest_cells": len(report.cells)},
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"published {args.name}@v{version} to the canary channel")
+        return 0
+    finally:
+        if client is not None:
+            client.close()
+
+
 def _cmd_inspect(args) -> int:
     model, meta = _load_model(args.model)
     report = model_complexity(model)
@@ -1158,6 +1228,39 @@ def build_parser() -> argparse.ArgumentParser:
     reg_rollback.add_argument("registry", help="registry directory")
     reg_rollback.add_argument("name", help="model name")
     reg_rollback.set_defaults(func=_cmd_registry)
+
+    retrain = sub.add_parser(
+        "retrain",
+        help="harvest journaled drift windows, fine-tune stable, publish a canary candidate",
+    )
+    retrain.add_argument("registry", help="registry directory (stable base + canary channel)")
+    retrain.add_argument("name", help="model name to retrain")
+    retrain.add_argument("--journal", action="append", required=True,
+                         help="journal file to harvest (repeat for per-worker journals; "
+                              "sealed segments next to each are replayed too)")
+    retrain.add_argument("--url", default=None,
+                         help="control URL of a running daemon: fetch its drift events "
+                              "(restricting the harvest to drifted cells) and publish "
+                              "through it instead of writing the registry directly")
+    retrain.add_argument("--cells", nargs="*", default=None,
+                         help="explicit cell ids to harvest (default: drifted cells with "
+                              "--url, every cell without)")
+    retrain.add_argument("--chemistry", default=None,
+                         help="fine-tune on one chemistry's partition only")
+    retrain.add_argument("--archive-dir", default=None,
+                         help="cold store holding the journals' archived segments")
+    retrain.add_argument("--max-gaps", type=int, default=0,
+                         help="missing archived segments tolerated before failing")
+    retrain.add_argument("--min-rows", type=int, default=4,
+                         help="harvested rows required to fine-tune (exit 1 below)")
+    retrain.add_argument("--epochs", type=int, default=20, help="fine-tune epochs (Branch 2)")
+    retrain.add_argument("--lr", type=float, default=1e-3, help="fine-tune learning rate")
+    retrain.add_argument("--seed", type=int, default=0)
+    retrain.add_argument("--targets", choices=("physics", "journal"), default="physics",
+                         help="relabel targets with Eq. 1 (default) or train on journaled SoC")
+    retrain.add_argument("--dry-run", action="store_true",
+                         help="harvest and fine-tune but publish nothing")
+    retrain.set_defaults(func=_cmd_retrain)
     return parser
 
 

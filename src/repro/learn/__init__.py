@@ -1,0 +1,42 @@
+"""``repro.learn`` — the offline learner closing the serving loop.
+
+Drift detection (:mod:`repro.monitor`) and canary steering already run
+without a human; this package removes the last manual step — producing
+the candidate — so the full lifecycle is autonomous::
+
+    drift events -> harvest journaled windows -> fine-tune stable
+    checkpoint -> publish @vN+1 to canary -> autopilot qualifies
+    (divergence + latency) -> promote or rollback
+
+- :mod:`repro.learn.harvest` — replay serving journals (live, sealed,
+  and archived segments) into Branch 2 training rows for the drifted
+  cells, partitioned per chemistry;
+- :mod:`repro.learn.finetune` — short physics-regularized Branch 2
+  fine-tune warm-started from the stable checkpoint (never distills
+  the drifted model: targets are relabeled with paper Eq. 1);
+- :mod:`repro.learn.publish` — push the candidate to the canary
+  channel through whatever handle the pipeline has (controller,
+  daemon client, or bare registry);
+- :mod:`repro.learn.loop` — :class:`RetrainLoop`, the tick-driven
+  policy gluing the three together inside the
+  :class:`~repro.monitor.autopilot.ControlLoop` (or one-shot via
+  ``repro-soc retrain``).
+
+See ``src/repro/learn/README.md`` for the lifecycle diagram.
+"""
+
+from .finetune import FineTuneConfig, fine_tune, relabel_with_physics
+from .harvest import HarvestReport, harvest_training_set
+from .loop import RetrainConfig, RetrainLoop
+from .publish import publish_candidate
+
+__all__ = [
+    "FineTuneConfig",
+    "HarvestReport",
+    "RetrainConfig",
+    "RetrainLoop",
+    "fine_tune",
+    "harvest_training_set",
+    "publish_candidate",
+    "relabel_with_physics",
+]

@@ -1,0 +1,328 @@
+"""Harvest training rows for the offline learner from serving journals.
+
+The serving plane already writes down everything a retrain needs: every
+committed rollout window lands in a :class:`~repro.serve.persistence.StateJournal`
+as a ``w`` record, and since the journal's extended record format those
+records carry the workload that produced the window (``i``/``t``/``h``/
+``c`` keys — average current, average temperature, horizon, capacity).
+This module replays those journals *as data*, not as state: consecutive
+``(w, w+1)`` records of one cell become one
+:class:`~repro.datasets.windowing.PredictionSamples` row —
+
+    ``(SoC(t)=w.soc, I_avg, T_avg, N) -> SoC(t+N)=w+1.soc``
+
+— exactly Branch 2's training contract, which is what lets the
+fine-tuner (:mod:`repro.learn.finetune`) feed the harvest straight into
+the existing :class:`~repro.core.trainer.SplitTrainer`.
+
+Replay order per journal mirrors the journal's own: archived segments
+(fetched from the :class:`~repro.serve.archive.ArchiveStore` cold tier,
+like :func:`~repro.serve.archive.restore_from_archive`), local sealed
+segments, then the active file — read-only, so harvesting never races
+the serving process that owns the journal.  The edge cases the serving
+stack creates are handled where they arise:
+
+- **compacted journals**: compaction keeps only SoC per window, so rows
+  whose workload keys were compacted away are silently unavailable —
+  the harvester pairs across a ``compact`` marker (the re-emitted
+  soc-only records still anchor resumed windows) but emits nothing for
+  history that no longer exists;
+- **archived-segment gaps**: a hole in the cold store's numbering
+  raises :class:`~repro.serve.archive.MissingSegmentError` unless the
+  caller budgets for it (``max_gaps``); tolerated gaps sever window
+  pairing (never pair across missing history) and are counted in the
+  report;
+- **rebalanced cells**: a drifted cell whose shard changed left its
+  windows in *another* worker's journal — harvesting accepts many
+  journals and merges their rows, deduplicating exact duplicates a
+  crashed ship-then-unlink may have left behind;
+- **torn tails**: a crash mid-write tears at most the active file's
+  final line; that line is skipped (sealed segments must parse
+  cleanly, as in journal replay).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..datasets.windowing import PredictionSamples
+from ..serve.archive import MissingSegmentError
+from ..serve.persistence import JOURNAL_FORMAT_VERSION
+
+__all__ = ["HarvestReport", "harvest_training_set"]
+
+_WORKLOAD_KEYS = ("i", "t", "h", "c")
+
+
+@dataclasses.dataclass
+class HarvestReport:
+    """What one harvest pass extracted.
+
+    Attributes
+    ----------
+    by_chemistry:
+        Training rows partitioned by the cells' journaled chemistry
+        (``None`` groups cells registered without one) — per-chemistry
+        fine-tunes pick their partition, fleet-wide ones use
+        :attr:`samples`.
+    rows:
+        Total emitted rows across partitions.
+    cells:
+        Sorted ids of the cells that contributed rows.
+    missing_segments:
+        Archived segments that were absent but inside the caller's
+        ``max_gaps`` budget (pairing was severed around each).
+    duplicates:
+        Rows dropped by exact-duplicate dedup (same cell, window, and
+        workload seen again — e.g. a segment both archived and local).
+    """
+
+    by_chemistry: dict[str | None, PredictionSamples]
+    rows: int
+    cells: tuple[str, ...]
+    missing_segments: int
+    duplicates: int
+
+    @property
+    def samples(self) -> PredictionSamples | None:
+        """All partitions pooled into one sample set (``None`` when empty)."""
+        parts = list(self.by_chemistry.values())
+        if not parts:
+            return None
+        return parts[0] if len(parts) == 1 else PredictionSamples.concatenate(parts)
+
+    def partition(self, chemistry: str | None) -> PredictionSamples | None:
+        """One chemistry's rows (``None`` when that partition is empty)."""
+        return self.by_chemistry.get(chemistry)
+
+
+def harvest_training_set(
+    journals: str | Path | Sequence[str | Path],
+    events: Iterable | None = None,
+    cell_ids: Iterable[str] | None = None,
+    store=None,
+    max_gaps: int = 0,
+    dedup: bool = True,
+) -> HarvestReport:
+    """Replay serving journals into Branch 2 training rows.
+
+    Parameters
+    ----------
+    journals:
+        One journal path or many (one per shard worker, typically) —
+        the *active* file paths; sealed ``<name>.NNNNN.jsonl`` segments
+        next to each are replayed first, oldest first.
+    events:
+        Drift events (:class:`~repro.monitor.drift.DriftEvent` or
+        anything with a ``cell_id``) restricting the harvest to the
+        cells that alarmed — the drift → retrain contract.  ``None``
+        harvests every cell (unless ``cell_ids`` filters).
+    cell_ids:
+        Explicit cell filter, unioned with the events' cells.
+    store:
+        Optional :class:`~repro.serve.archive.ArchiveStore` holding
+        each journal's shipped cold segments.
+    max_gaps:
+        Missing archived segments tolerated across the whole harvest
+        before :class:`~repro.serve.archive.MissingSegmentError` — each
+        tolerated gap severs window pairing at that point.
+    dedup:
+        Drop exact duplicate rows (default).  Dedup keys on the full
+        row (cell, window, SoCs, workload), so distinct rollouts of the
+        same cell/window survive.
+    """
+    if isinstance(journals, (str, Path)):
+        journals = [journals]
+    wanted: set[str] | None = None
+    if events is not None or cell_ids is not None:
+        wanted = set() if cell_ids is None else set(cell_ids)
+        for event in events or ():
+            wanted.add(event.cell_id)
+    state = _HarvestState(wanted=wanted, dedup=dedup, gap_budget=int(max_gaps))
+    for journal in journals:
+        state.replay_journal(Path(journal), store)
+    return state.report()
+
+
+class _HarvestState:
+    """Streaming replay state shared across one harvest's journals."""
+
+    def __init__(self, wanted: set[str] | None, dedup: bool, gap_budget: int):
+        self.wanted = wanted
+        self.dedup = dedup
+        self.gap_budget = gap_budget
+        self.gaps = 0
+        self.duplicates = 0
+        self.seen: set[tuple] = set()
+        self.rows: dict[str | None, list[dict]] = {}
+        self.cells: set[str] = set()
+        # per-journal pairing state, reset in replay_journal
+        self._chem: dict[str, str | None] = {}
+        self._last: dict[str, tuple[int, float]] = {}
+
+    # -- per-journal replay --------------------------------------------
+    def replay_journal(self, path: Path, store) -> None:
+        self._chem = {}
+        self._last = {}
+        with tempfile.TemporaryDirectory(prefix="soc-harvest-") as tmp:
+            for file, allow_torn in self._journal_files(path, store, Path(tmp)):
+                if file is None:  # tolerated gap sentinel
+                    self._last.clear()
+                    continue
+                self._replay_file(file, allow_torn=allow_torn)
+
+    def _journal_files(self, path: Path, store, tmp: Path):
+        """Yield ``(file, allow_torn)`` in replay order; ``(None, _)`` marks a gap."""
+        local: dict[int, Path] = {}
+        for candidate in path.parent.glob(f"{path.name}.*.jsonl"):
+            index = _segment_index(path.name, candidate.name)
+            if index is not None:
+                local[index] = candidate
+        archived: dict[int, str] = {}
+        if store is not None:
+            for name in store.list(prefix=f"{path.name}."):
+                index = _segment_index(path.name, name)
+                if index is not None:
+                    archived[index] = name
+        indices = sorted(set(local) | set(archived))
+        for index in range(1, indices[-1] + 1) if indices else ():
+            if index in local:
+                yield local[index], False
+            elif index in archived:
+                fetched = tmp / archived[index]
+                store.fetch(archived[index], fetched)
+                yield fetched, False
+            else:
+                self.gaps += 1
+                if self.gaps > self.gap_budget:
+                    raise MissingSegmentError(
+                        f"journal {path.name} history has gaps beyond the "
+                        f"max_gaps={self.gap_budget} budget (missing segment {index})"
+                    )
+                yield None, False
+        if path.exists():
+            yield path, True
+
+    def _replay_file(self, path: Path, allow_torn: bool) -> None:
+        lines = path.read_bytes().splitlines()
+        for k, raw_line in enumerate(lines):
+            line = raw_line.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if allow_torn and k == len(lines) - 1:
+                    return  # torn tail: the crash the journal itself tolerates
+                raise ValueError(f"corrupt journal {path}: bad record on line {k + 1}")
+            self._replay_record(record, path)
+
+    def _replay_record(self, record: dict, path: Path) -> None:
+        op = record.get("op")
+        if op == "cell":
+            self._chem[record["id"]] = record.get("chem")
+        elif op == "drop":
+            self._chem.pop(record["id"], None)
+            self._last.pop(record["id"], None)
+        elif op == "rollout":
+            # a new rollout restarts every cell's window numbering
+            self._last.clear()
+        elif op == "compact":
+            # state resets here; the re-emitted records that follow
+            # rebuild it (their soc-only windows re-anchor pairing, so
+            # post-restart resumed windows still yield rows)
+            self._chem.clear()
+            self._last.clear()
+        elif op == "w":
+            self._replay_window(record)
+        elif op == "journal":
+            if record.get("version", 0) > JOURNAL_FORMAT_VERSION:
+                raise ValueError(
+                    f"journal {path} uses format v{record['version']} "
+                    f"(this build reads up to v{JOURNAL_FORMAT_VERSION})"
+                )
+        else:
+            raise ValueError(f"corrupt journal {path}: unknown op {op!r}")
+
+    def _replay_window(self, record: dict) -> None:
+        cell_id = record["id"]
+        window = int(record["w"])
+        soc = float(record["soc"])
+        previous = self._last.get(cell_id)
+        self._last[cell_id] = (window, soc)
+        if previous is None or previous[0] != window - 1:
+            return
+        if any(key not in record for key in _WORKLOAD_KEYS):
+            return  # pre-extension or compacted record: no workload to learn from
+        if self.wanted is not None and cell_id not in self.wanted:
+            return
+        row = {
+            "cell_id": cell_id,
+            "window": window,
+            "soc_t": previous[1],
+            "i_avg": float(record["i"]),
+            "temp_avg": float(record["t"]),
+            "horizon_s": float(record["h"]),
+            "soc_target": soc,
+            "capacity_ah": float(record["c"]),
+        }
+        if self.dedup:
+            key = tuple(row.values())
+            if key in self.seen:
+                self.duplicates += 1
+                return
+            self.seen.add(key)
+        self.cells.add(cell_id)
+        self.rows.setdefault(self._chem.get(cell_id), []).append(row)
+
+    # -- materialization -----------------------------------------------
+    def report(self) -> HarvestReport:
+        by_chemistry = {
+            chem: _to_samples(rows) for chem, rows in sorted(
+                self.rows.items(), key=lambda item: (item[0] is not None, item[0] or "")
+            )
+        }
+        return HarvestReport(
+            by_chemistry=by_chemistry,
+            rows=sum(len(rows) for rows in self.rows.values()),
+            cells=tuple(sorted(self.cells)),
+            missing_segments=self.gaps,
+            duplicates=self.duplicates,
+        )
+
+
+def _segment_index(journal_name: str, file_name: str) -> int | None:
+    if not (file_name.startswith(f"{journal_name}.") and file_name.endswith(".jsonl")):
+        return None
+    stem = file_name[len(journal_name) + 1 : -len(".jsonl")]
+    return int(stem) if stem.isdigit() else None
+
+
+def _to_samples(rows: list[dict]) -> PredictionSamples:
+    """Rows → :class:`PredictionSamples` (measured channels zero-filled).
+
+    The journal records the recursion's inputs, not raw sensor traces,
+    so ``v_t``/``i_t``/``temp_t`` are placeholders — safe because
+    Branch 2 training (and its collocation sampler) reads only the
+    ``soc_t``/``i_avg``/``temp_avg``/``horizon_s``/``capacity_ah``
+    columns.
+    """
+    n = len(rows)
+    column = lambda key: np.array([row[key] for row in rows], dtype=np.float64)  # noqa: E731
+    return PredictionSamples(
+        v_t=np.zeros(n),
+        i_t=np.zeros(n),
+        temp_t=np.zeros(n),
+        soc_t=column("soc_t"),
+        i_avg=column("i_avg"),
+        temp_avg=column("temp_avg"),
+        horizon_s=column("horizon_s"),
+        soc_target=column("soc_target"),
+        capacity_ah=column("capacity_ah"),
+    )

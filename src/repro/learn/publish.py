@@ -1,0 +1,55 @@
+"""Push a fine-tuned candidate into the canary channel.
+
+One function, three targets — whatever the pipeline has a handle to:
+
+- a :class:`~repro.serve.canary.CanaryController`: publish **and** pin
+  the traffic slice in one step, so the daemon's autopilot starts
+  steering the candidate immediately (the in-process and in-daemon
+  path);
+- a :class:`~repro.serve.client.SocClient`: ship config + weights over
+  the wire; the daemon routes the publish through *its* controller —
+  remote retrain pipelines never touch ``channels.json`` directly;
+- a bare :class:`~repro.serve.registry.ModelRegistry`: stage the
+  candidate on the canary channel for a controller to pick up later
+  (one-shot ``repro-soc retrain`` runs against a registry directory).
+
+Every path returns the candidate's version — the ``@vN+1`` the loop's
+e2e contract promotes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["publish_candidate"]
+
+
+def publish_candidate(
+    target,
+    name: str,
+    model,
+    chemistry: str | None = None,
+    dataset: str | None = None,
+    extra: dict | None = None,
+) -> int:
+    """Publish ``model`` as ``name``'s canary candidate; returns its version.
+
+    Raises
+    ------
+    ValueError
+        When a canary for ``name`` is already active (controller and
+        daemon targets) — the loop must wait for a verdict before
+        staging the next candidate.
+    """
+    start = getattr(target, "start", None)
+    if start is not None and hasattr(target, "candidate_version"):
+        return int(start(candidate=model, chemistry=chemistry, dataset=dataset, extra=extra))
+    publish = getattr(target, "publish", None)
+    if publish is None:
+        raise TypeError(
+            f"cannot publish through {type(target).__name__}: expected a "
+            "CanaryController, SocClient, or ModelRegistry"
+        )
+    result = publish(
+        name, model, chemistry=chemistry, dataset=dataset, extra=extra, channel="canary"
+    )
+    # ModelRegistry.publish returns the entry; SocClient.publish the version
+    return int(getattr(result, "version", result))

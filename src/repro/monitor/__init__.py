@@ -32,8 +32,9 @@ See ``src/repro/monitor/README.md`` for signal definitions, the
 exposition formats, the span taxonomy, and the autopilot decision rule.
 """
 
-from .autopilot import AutoCanaryPolicy, AutopilotConfig, ControlLoop, DivergenceProbe
+from .autopilot import AutoCanaryPolicy, AutopilotConfig, ControlLoop, DivergenceProbe, ProbeTiming
 from .drift import (
+    ChemistryDriftRouter,
     Cusum,
     CusumConfig,
     DriftEvent,
@@ -59,6 +60,7 @@ from .tracing import Span, SpanTracer, TraceContext, activate, current_context, 
 __all__ = [
     "AutoCanaryPolicy",
     "AutopilotConfig",
+    "ChemistryDriftRouter",
     "ControlLoop",
     "Counter",
     "Cusum",
@@ -74,6 +76,7 @@ __all__ = [
     "PageHinkley",
     "PageHinkleyConfig",
     "PhysicsBounds",
+    "ProbeTiming",
     "Span",
     "SpanTracer",
     "TraceContext",

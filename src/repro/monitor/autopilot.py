@@ -44,7 +44,29 @@ import numpy as np
 from .drift import DriftMonitor
 from .metrics import MetricsRegistry
 
-__all__ = ["AutoCanaryPolicy", "AutopilotConfig", "ControlLoop", "DivergenceProbe"]
+__all__ = ["AutoCanaryPolicy", "AutopilotConfig", "ControlLoop", "DivergenceProbe", "ProbeTiming"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeTiming:
+    """Serving-path latency of one probe measurement, per arm.
+
+    Each is the *minimum* per-grid-point wall time of the batched
+    ``predict`` against that arm's cells — the minimum because a probe
+    tick issues several identical calls and the best one is the least
+    noisy estimate of the path cost (a one-off scheduling stall or a
+    first-use kernel compile should not fail a good candidate).
+    """
+
+    candidate_s: float
+    stable_s: float
+
+    @property
+    def ratio(self) -> float:
+        """Candidate-over-stable latency (1.0 = parity; inf when stable is 0)."""
+        if self.stable_s <= 0.0:
+            return 1.0 if self.candidate_s <= 0.0 else float("inf")
+        return self.candidate_s / self.stable_s
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,6 +92,12 @@ class AutopilotConfig:
     veto_kinds:
         Drift-event kinds that veto promotion; any fresh event of one
         of these kinds since the canary started forces a rollback.
+    latency_budget:
+        Maximum candidate-over-stable serving-latency ratio (EWMA of
+        :attr:`ProbeTiming.ratio`) a candidate may hold at promote
+        time; above it the would-be promote becomes a rollback — a
+        checkpoint that is accurate but slow must not ship.  ``None``
+        (the default) disables the latency gate.
     """
 
     min_observations: int = 5
@@ -78,6 +106,7 @@ class AutopilotConfig:
     ewma_alpha: float = 0.3
     cooldown_ticks: int = 2
     veto_kinds: tuple[str, ...] = ("page_hinkley", "cusum", "soc_bounds", "soc_rate")
+    latency_budget: float | None = None
 
 
 class DivergenceProbe:
@@ -121,6 +150,7 @@ class DivergenceProbe:
         self.temp_c = float(temp_c)
         self.horizon_s = float(horizon_s)
         self.sample = sample
+        self.last_timing: ProbeTiming | None = None
 
     def measure(self) -> np.ndarray | None:
         """Per-grid-point ``|SoC_candidate − SoC_stable|``, or ``None``.
@@ -128,7 +158,16 @@ class DivergenceProbe:
         ``None`` means there is nothing to probe: no active canary, or
         one of the two groups has no cells (e.g. fraction 1.0 pinned
         the whole fleet).
+
+        As a side channel, each successful measurement also records the
+        serving-path wall time of the two probe arms in
+        :attr:`last_timing` (the latency signal the autopilot's
+        ``latency_budget`` gate consumes) — both arms issue identical
+        batched predicts, so the timing difference is the candidate
+        checkpoint's serving cost, measured through whatever topology
+        is live.
         """
+        self.last_timing = None
         if not self.controller.active:
             return None
         pinned = self.controller.canary_cells()[: self.sample]
@@ -144,12 +183,19 @@ class DivergenceProbe:
         if not stable:
             return None
         diffs = np.empty(len(self.soc_grid))
+        t_candidate = t_stable = float("inf")
         for k, soc in enumerate(self.soc_grid):
+            t0 = time.perf_counter()
             out_candidate = self.engine.predict(
                 pinned, self.current_a, self.temp_c, self.horizon_s, soc_now=soc
             )
+            t1 = time.perf_counter()
             out_stable = self.engine.predict(stable, self.current_a, self.temp_c, self.horizon_s, soc_now=soc)
+            t2 = time.perf_counter()
+            t_candidate = min(t_candidate, t1 - t0)
+            t_stable = min(t_stable, t2 - t1)
             diffs[k] = abs(float(out_candidate.mean()) - float(out_stable.mean()))
+        self.last_timing = ProbeTiming(candidate_s=t_candidate, stable_s=t_stable)
         return diffs
 
 
@@ -178,14 +224,23 @@ class AutoCanaryPolicy:
         self.metrics = metrics
         self.ewma: float | None = None
         self.last_max: float | None = None
+        self.latency_ewma: float | None = None
         self.observations = 0
         self.cooldown = 0
+        self.last_reason: str | None = None
         self._watched_version: int | None = None
         self._drift_baseline: dict[str, int] = {}
 
     # -- observation -----------------------------------------------------
-    def observe(self, divergences: np.ndarray | None) -> None:
-        """Fold one probe measurement into the EWMA (``None`` is a no-op)."""
+    def observe(
+        self, divergences: np.ndarray | None, latency: ProbeTiming | None = None
+    ) -> None:
+        """Fold one probe measurement into the EWMAs (``None`` is a no-op).
+
+        ``latency`` is the probe's :attr:`DivergenceProbe.last_timing`;
+        its candidate-over-stable ratio feeds :attr:`latency_ewma`, the
+        series the ``latency_budget`` gate judges at promote time.
+        """
         self._sync_canary()
         if divergences is None or len(divergences) == 0:
             return
@@ -193,26 +248,58 @@ class AutoCanaryPolicy:
         self.last_max = float(np.max(divergences))
         alpha = self.config.ewma_alpha
         self.ewma = mean if self.ewma is None else alpha * mean + (1 - alpha) * self.ewma
+        if latency is not None:
+            ratio = float(latency.ratio)
+            self.latency_ewma = (
+                ratio if self.latency_ewma is None else alpha * ratio + (1 - alpha) * self.latency_ewma
+            )
         self.observations += 1
 
     # -- decision --------------------------------------------------------
     def decide(self) -> str:
-        """Current verdict: ``promote`` / ``rollback`` / ``hold`` / ``idle``."""
+        """Current verdict: ``promote`` / ``rollback`` / ``hold`` / ``idle``.
+
+        :attr:`last_reason` records why (``drift-veto`` /
+        ``hard-divergence`` / ``over-budget`` / ``latency`` / ...), for
+        operators and tests — it is deliberately *not* a metrics label,
+        so the ``autopilot_decisions_total`` series stays low-cardinality.
+        """
         self._sync_canary()
         if not self.controller.active:
+            self.last_reason = "idle"
             return "idle"
         if self.cooldown > 0:
+            self.last_reason = "cooldown"
             return "hold"
         if self._fresh_veto_events() > 0:
+            self.last_reason = "drift-veto"
             return "rollback"
         cfg = self.config
         if self.last_max is not None and self.last_max > cfg.hard_divergence:
+            self.last_reason = "hard-divergence"
             return "rollback"
         if self.observations < cfg.min_observations or self.ewma is None:
+            self.last_reason = "warming-up"
             return "hold"
-        return "promote" if self.ewma <= cfg.divergence_budget else "rollback"
+        if self.ewma > cfg.divergence_budget:
+            self.last_reason = "over-budget"
+            return "rollback"
+        # accuracy passed; the latency gate gets the last word
+        if (
+            cfg.latency_budget is not None
+            and self.latency_ewma is not None
+            and self.latency_ewma > cfg.latency_budget
+        ):
+            self.last_reason = "latency"
+            return "rollback"
+        self.last_reason = "within-budget"
+        return "promote"
 
-    def step(self, divergences: np.ndarray | None = None) -> str:
+    def step(
+        self,
+        divergences: np.ndarray | None = None,
+        latency: ProbeTiming | None = None,
+    ) -> str:
         """Observe, decide, and *act*: drives the controller on a verdict.
 
         Returns the decision actually applied.  ``promote`` calls
@@ -221,7 +308,7 @@ class AutoCanaryPolicy:
         """
         if self.cooldown > 0:
             self.cooldown -= 1
-        self.observe(divergences)
+        self.observe(divergences, latency=latency)
         decision = self.decide()
         if decision == "promote":
             self.controller.promote()
@@ -241,6 +328,7 @@ class AutoCanaryPolicy:
             self._watched_version = version
             self.ewma = None
             self.last_max = None
+            self.latency_ewma = None
             self.observations = 0
             if self.drift is not None:
                 self._drift_baseline = self.drift.event_counts()
@@ -258,6 +346,7 @@ class AutoCanaryPolicy:
         self._watched_version = None
         self.ewma = None
         self.last_max = None
+        self.latency_ewma = None
         self.observations = 0
 
 
@@ -272,7 +361,14 @@ class ControlLoop:
         heals dead shard workers before probing.
     autopilot, probe:
         Optional policy and its divergence probe; a tick feeds the
-        probe measurement into ``autopilot.step``.
+        probe measurement (and its latency timing) into
+        ``autopilot.step``.
+    retrain:
+        Optional retrain loop (duck-typed: anything with ``tick() ->
+        dict``, see :class:`repro.learn.RetrainLoop`); each pass runs
+        it *after* canary steering, so a verdict that just freed the
+        canary channel lets a pending retrain publish on the very next
+        tick.
     interval_s, clock:
         Pacing for :meth:`run`; tests call :meth:`tick` directly.
     """
@@ -282,6 +378,7 @@ class ControlLoop:
         engine=None,
         autopilot: AutoCanaryPolicy | None = None,
         probe: DivergenceProbe | None = None,
+        retrain=None,
         interval_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
@@ -289,6 +386,7 @@ class ControlLoop:
         self.engine = engine
         self.autopilot = autopilot
         self.probe = probe
+        self.retrain = retrain
         self.interval_s = float(interval_s)
         self.clock = clock
         self.metrics = metrics
@@ -299,7 +397,9 @@ class ControlLoop:
 
         Keys: ``restarted`` (shard indices healed), ``divergence``
         (mean of this tick's probe, or ``None``), ``decision`` (the
-        autopilot verdict, or ``None`` without an autopilot).
+        autopilot verdict, or ``None`` without an autopilot),
+        ``retrain`` (the retrain loop's tick report, or ``None``
+        without one).
         """
         self.ticks += 1
         restarted: list[int] = []
@@ -310,7 +410,12 @@ class ControlLoop:
         divergences = self.probe.measure() if self.probe is not None else None
         decision = None
         if self.autopilot is not None:
-            decision = self.autopilot.step(divergences)
+            decision = self.autopilot.step(
+                divergences, latency=getattr(self.probe, "last_timing", None)
+            )
+        retrain_report = None
+        if self.retrain is not None:
+            retrain_report = self.retrain.tick()
         if self.metrics is not None:
             self.metrics.counter("control_loop_ticks_total").inc()
             if restarted:
@@ -319,19 +424,22 @@ class ControlLoop:
             "restarted": restarted,
             "divergence": None if divergences is None else float(np.mean(divergences)),
             "decision": decision,
+            "retrain": retrain_report,
         }
 
     def run(self, max_ticks: int, sleep: Callable[[float], None] = time.sleep) -> list[dict]:
         """Tick up to ``max_ticks`` times at ``interval_s`` pacing.
 
-        Stops early once the autopilot reaches a verdict and goes idle
-        (no active canary).  Returns the per-tick reports.
+        Without a retrain loop, stops early once the autopilot reaches
+        a verdict and goes idle (no active canary); with one attached
+        the loop keeps ticking — idle is exactly when a retrain may
+        start the next canary.  Returns the per-tick reports.
         """
         reports = []
         for _ in range(max_ticks):
             report = self.tick()
             reports.append(report)
-            if self.autopilot is not None and report["decision"] == "idle":
+            if self.autopilot is not None and self.retrain is None and report["decision"] == "idle":
                 break
             sleep(self.interval_s)
         return reports

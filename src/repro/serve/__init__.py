@@ -37,6 +37,9 @@ and versioned checkpoint rollout.
   control URL that clients and workers dial into;
 - :mod:`repro.serve.client` — :class:`SocClient`: the public
   by-URL client for a running daemon;
+- :mod:`repro.serve.driftconfig` — :func:`drift_resolver_from_registry`:
+  per-chemistry drift-detector specs read from published models'
+  registry metadata, consumed by ``FleetEngine(drift=...)``;
 - :mod:`repro.serve.archive` — :class:`DirectoryArchiveStore` and
   :func:`restore_from_archive`: cold storage for sealed journal
   segments (rotation ships, restore replays);
@@ -60,6 +63,8 @@ protocol (v1/v2 frame layout), journal format, and canary lifecycle.
 from .archive import ArchiveError, DirectoryArchiveStore, MissingSegmentError, restore_from_archive
 from .canary import CanaryController, CanaryReport, in_canary_slice
 from .client import DaemonUnavailable, SocClient
+from .daemon import SocDaemon
+from .driftconfig import drift_resolver_from_registry
 from .engine import CellState, FleetEngine
 from .fleet_sim import FleetMember, FleetScenario, generate_fleet
 from .gateway import GatewayOverloaded, SocGateway
@@ -86,7 +91,9 @@ __all__ = [
     "TransportTimeout",
     "PeerGone",
     "SocClient",
+    "SocDaemon",
     "DaemonUnavailable",
+    "drift_resolver_from_registry",
     "ArchiveError",
     "MissingSegmentError",
     "DirectoryArchiveStore",

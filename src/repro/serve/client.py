@@ -162,6 +162,53 @@ class SocClient:
         """Register a new shard worker by URL; returns its shard index."""
         return int(self._call("add_worker", url_or_spec))
 
+    # -- registry ops ---------------------------------------------------
+    def drift_events(self) -> list:
+        """Drift events gathered across the daemon's whole fleet."""
+        return list(self._call("drift_events"))
+
+    def publish(
+        self,
+        name: str,
+        model,
+        chemistry: str | None = None,
+        dataset: str | None = None,
+        extra: dict | None = None,
+        channel: str = "stable",
+    ) -> int:
+        """Publish a model through the daemon; returns the new version.
+
+        The model's config + weights travel the wire as a plain spec
+        (the same encoding spawned workers use), so the daemon rebuilds
+        it without the client touching the registry directory.  A
+        ``channel="canary"`` publish for the autopilot's model starts a
+        *steered* canary — pinned traffic slice, autopilot verdicts —
+        rather than just flipping a channel pointer; this is how a
+        remote retrain pipeline hands off a candidate without racing
+        the daemon on ``channels.json``.
+        """
+        from .workers import _model_spec
+
+        return int(
+            self._call(
+                "publish",
+                name,
+                _model_spec(model),
+                chemistry=chemistry,
+                dataset=dataset,
+                extra=extra,
+                channel=channel,
+            )
+        )
+
+    def promote(self, name: str) -> int:
+        """Promote ``name``'s canary to stable; returns the version."""
+        return int(self._call("promote", name))
+
+    def rollback(self, name: str) -> int:
+        """Abandon ``name``'s canary; returns the stable version."""
+        return int(self._call("rollback", name))
+
     def shutdown_daemon(self) -> None:
         """Ask the daemon to stop (drains workers, closes journals)."""
         self._call("shutdown")

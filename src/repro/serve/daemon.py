@@ -44,7 +44,7 @@ import threading
 from ..monitor.autopilot import ControlLoop
 from .gateway import SocGateway
 from .transport import Transport, TransportError, TransportListener, TransportTimeout
-from .workers import RemoteShardWorker, WorkerSpec
+from .workers import RemoteShardWorker, WorkerSpec, _build_model
 
 __all__ = ["SocDaemon", "run_daemon"]
 
@@ -66,6 +66,10 @@ _CLIENT_OPS = (
     "worker_health",
     "heartbeat",
     "add_worker",
+    "drift_events",
+    "publish",
+    "promote",
+    "rollback",
     "shutdown",
 )
 
@@ -102,6 +106,15 @@ class SocDaemon:
         :meth:`control_tick` yourself.
     autopilot, probe:
         Optional canary policy + divergence probe for the control loop.
+        With an autopilot attached, the registry ops (``publish`` to the
+        canary channel, ``promote``, ``rollback``) route through its
+        :class:`~repro.serve.canary.CanaryController`, so remote
+        retrain pipelines and the in-daemon steering never race on
+        ``channels.json``.
+    retrain:
+        Optional retrain loop (e.g. :class:`repro.learn.RetrainLoop`)
+        run as part of every control tick, after canary steering — the
+        fully closed drift → retrain → canary → promote loop.
     exposition_host, exposition_port:
         Bind an :class:`~repro.monitor.exposition.ExpositionServer`
         (``/metrics``, ``/traces``, ``/healthz``) when
@@ -123,12 +136,14 @@ class SocDaemon:
         control_interval_s: float = 1.0,
         autopilot=None,
         probe=None,
+        retrain=None,
         heartbeat_timeout_s: float = 2.0,
         exposition_host: str = "127.0.0.1",
         exposition_port: int | None = None,
     ):
         self.engine = engine
         self.worker_spec = worker_spec
+        self.autopilot = autopilot
         self.gateway = SocGateway(
             engine,
             max_batch=max_batch,
@@ -141,6 +156,7 @@ class SocDaemon:
             engine=engine,
             autopilot=autopilot,
             probe=probe,
+            retrain=retrain,
             interval_s=control_interval_s,
             metrics=self.gateway.metrics,
         )
@@ -353,6 +369,7 @@ class SocDaemon:
                 trace=spec.trace,
                 archive_root=spec.archive_root,
                 journal_segment_bytes=spec.journal_segment_bytes,
+                drift_from_registry=spec.drift_from_registry,
             )
             adopt(worker)
 
@@ -413,9 +430,74 @@ class SocDaemon:
                 return len(self.engine)
             if op == "contains":
                 return args[0] in self.engine
+            if op == "drift_events":
+                fetch = getattr(self.engine, "drift_events", None)
+                return [] if fetch is None else list(fetch())
+            if op == "publish":
+                return self._publish(*args, **kwargs)
+            if op in ("promote", "rollback"):
+                return self._steer_channel(op, *args)
             if op in ("register_cell", "deregister_cell", "reroute_cell", "cell"):
                 return getattr(self.engine, op)(*args, **kwargs)
         raise RuntimeError(f"unknown daemon op {op!r}")
+
+    # -- registry ops (batcher lock held) -------------------------------
+    def _registry(self):
+        registry = getattr(self.engine, "registry", None)
+        if registry is None:
+            raise RuntimeError("engine has no model registry attached")
+        return registry
+
+    def _controller_for(self, name: str):
+        """The autopilot's canary controller, when it steers ``name``."""
+        controller = getattr(self.autopilot, "controller", None)
+        if controller is not None and getattr(controller, "name", None) == name:
+            return controller
+        return None
+
+    def _publish(
+        self,
+        name: str,
+        model_spec: dict,
+        chemistry: str | None = None,
+        dataset: str | None = None,
+        extra: dict | None = None,
+        channel: str = "stable",
+    ) -> int:
+        """Publish a candidate shipped as a wire spec; returns its version.
+
+        A canary-channel publish for the autopilot's model routes
+        through its :class:`~repro.serve.canary.CanaryController`
+        (publish + pin the traffic slice in one step), so a remote
+        retrain pipeline starts a *steered* canary rather than racing
+        the control loop on ``channels.json``.
+        """
+        model = _build_model(model_spec)
+        if model is None:
+            raise ValueError("publish needs a model spec (config + weights)")
+        if channel == "canary":
+            controller = self._controller_for(name)
+            if controller is not None:
+                if controller.active:
+                    raise ValueError(
+                        f"canary of {name!r} already active; promote or roll back first"
+                    )
+                return int(
+                    controller.start(
+                        candidate=model, chemistry=chemistry, dataset=dataset, extra=extra
+                    )
+                )
+        entry = self._registry().publish(
+            name, model, chemistry=chemistry, dataset=dataset, extra=extra, channel=channel
+        )
+        return int(entry.version)
+
+    def _steer_channel(self, op: str, name: str) -> int:
+        """Promote/rollback ``name``, through the controller when it steers it."""
+        controller = self._controller_for(name)
+        if controller is not None and controller.active:
+            return int(getattr(controller, op)())
+        return int(getattr(self._registry(), op)(name))
 
 
 def _respec(template: WorkerSpec, url: str) -> WorkerSpec:

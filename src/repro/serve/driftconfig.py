@@ -1,0 +1,66 @@
+"""Per-chemistry drift-detector configs resolved from the model registry.
+
+The registry already carries arbitrary metadata per published model
+(``ModelEntry.extra``), and serving already resolves the right model per
+chemistry.  This module closes the same loop for *monitoring*: a
+published model can carry a ``"drift"`` key in its extra metadata — a
+plain dict understood by :meth:`repro.monitor.drift.DriftMonitor.from_spec`
+— and :func:`drift_resolver_from_registry` turns the registry into a
+resolver callable that :class:`repro.monitor.drift.ChemistryDriftRouter`
+(and therefore ``FleetEngine(drift=...)``) consumes directly::
+
+    registry.publish(
+        "lfp_net", model, chemistry="lfp",
+        extra={"drift": {"bounds": {"max_discharge_c": 1.0},
+                         "page_hinkley": {"threshold": 0.05}}},
+    )
+    engine = FleetEngine(
+        registry=registry,
+        drift=drift_resolver_from_registry(registry),
+        metrics=metrics,
+    )
+
+Chemistries whose stable model carries no ``"drift"`` spec fall back to
+default :class:`~repro.monitor.drift.DriftMonitor` settings, so the
+uniform-config path keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["drift_resolver_from_registry"]
+
+
+def drift_resolver_from_registry(registry) -> Callable[[str | None], dict | None]:
+    """Resolver mapping a chemistry to its registry-declared drift spec.
+
+    For each chemistry the resolver finds the stable-channel model the
+    registry would serve (``registry.resolve(chemistry=...)``) and
+    returns the ``"drift"`` dict from that entry's extra metadata, or
+    ``None`` (→ default detectors) when the entry carries none or no
+    model matches.
+
+    The returned callable is what ``FleetEngine(drift=...)`` accepts:
+    the engine wraps it in a
+    :class:`repro.monitor.drift.ChemistryDriftRouter`, which calls it
+    lazily — once per distinct chemistry as cells register — so late
+    publishes with new chemistries are picked up without restarts.
+    """
+
+    def resolve(chemistry: str | None) -> dict | None:
+        try:
+            ref = registry.resolve(chemistry=chemistry)
+            entry = registry.describe(ref)
+        except KeyError:
+            return None
+        spec = entry.extra.get("drift")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise TypeError(
+                f"registry entry {entry.ref!r} carries a non-dict 'drift' spec: {spec!r}"
+            )
+        return dict(spec)
+
+    return resolve

@@ -115,7 +115,14 @@ class FleetEngine:
         and predictions get physics-bounds checks, and fleet rollouts
         stream the per-cell ``|coulomb ΔSoC − predicted ΔSoC|``
         residual (the Branch 2 correction magnitude over Eq. 1) into
-        its Page–Hinkley/CUSUM banks.
+        its Page–Hinkley/CUSUM banks.  A *callable* is treated as a
+        per-chemistry config resolver — ``resolver(chemistry) -> spec
+        dict | DriftMonitor | None`` — and wrapped in a
+        :class:`~repro.monitor.drift.ChemistryDriftRouter`, so mixed
+        fleets get chemistry-specific detector tuning (e.g. from
+        registry metadata, see
+        :func:`repro.serve.driftconfig.drift_resolver_from_registry`)
+        while the plain single-monitor path keeps working unchanged.
 
     At least one of ``default_model`` / ``registry`` must be provided.
     """
@@ -135,6 +142,10 @@ class FleetEngine:
         self.journal = journal
         self.use_kernel = use_kernel
         self.metrics = metrics
+        if drift is not None and not hasattr(drift, "observe_soc") and callable(drift):
+            from ..monitor.drift import ChemistryDriftRouter
+
+            drift = ChemistryDriftRouter(drift, metrics=metrics)
         self.drift = drift
         self._models: dict[str, TwoBranchSoCNet] = {}
         self._kernels: dict[str, CompiledTwoBranchKernel] = {}
@@ -202,6 +213,9 @@ class FleetEngine:
         new = cell_id not in self._cells
         state = CellState(cell_id=cell_id, chemistry=chemistry, model_key=key)
         self._cells[cell_id] = state
+        resolve = getattr(self.drift, "resolve_cell", None)
+        if resolve is not None:
+            resolve(cell_id, chemistry)
         self._record(state)
         if new:
             self._track_size(1)
@@ -511,8 +525,11 @@ class FleetEngine:
             # buffers, allocated once per model group — the window loop
             # below adds no allocations over the unmonitored path
             monitored = self.metrics is not None or self.drift is not None
-            if monitored:
+            if monitored or self.journal is not None:
+                # the harvester needs per-row capacities too (Eq. 1
+                # recomputation from journaled workloads)
                 cap_row = np.array([c.capacity_ah for c in u_cycles])[u_of]
+            if monitored:
                 rb_prev = np.empty(n)
                 rb_res = np.empty(n)
                 rb_tmp = np.empty(n)
@@ -591,7 +608,20 @@ class FleetEngine:
                             np.take(gidx, idx, out=rb_g[:m])
                             self.drift.observe_residuals(rb_g[:m], rb_res[:m], window=w + 1)
                     if self.journal is not None:
-                        self.journal.append_windows((ids[r], w + 1, float(soc[r])) for r in idx)
+                        # extended records: the workload that produced the
+                        # window rides along for the offline learner
+                        self.journal.append_windows(
+                            (
+                                ids[r],
+                                w + 1,
+                                float(soc[r]),
+                                float(i_mat[r, w]),
+                                float(t_mat[r, w]),
+                                float(h_mat[r, w]),
+                                float(cap_row[r]),
+                            )
+                            for r in idx
+                        )
                 if step_hook is not None:
                     step_hook(w + 1)
             states = []
@@ -634,6 +664,19 @@ class FleetEngine:
         merges the whole topology.
         """
         return None if self.metrics is None else self.metrics.snapshot()
+
+    def drift_events(self) -> list:
+        """Drift events from the attached monitor (oldest first).
+
+        The uniform readout surface the retrain pipeline polls: plain
+        engines answer from their monitor's ring, workers forward the
+        call over the wire, and :meth:`ShardedFleet.drift_events
+        <repro.serve.sharding.ShardedFleet.drift_events>` merges the
+        whole topology.  Empty without a drift monitor.
+        """
+        if self.drift is None:
+            return []
+        return list(self.drift.events())
 
     def _op_counter(self, op: str, key: str):
         """Cached ``engine_requests_total`` counter for one (op, model)."""
@@ -686,6 +729,9 @@ class FleetEngine:
         """
         new = state.cell_id not in self._cells
         self._cells[state.cell_id] = state
+        resolve = getattr(self.drift, "resolve_cell", None)
+        if resolve is not None:
+            resolve(state.cell_id, state.chemistry)
         if new:
             self._track_size(1)
 

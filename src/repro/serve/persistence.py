@@ -216,8 +216,18 @@ class StateJournal:
         """Journal one cell's rollout state after ``window`` (a ``w`` op)."""
         self.append_windows([(cell_id, window, soc)])
 
-    def append_windows(self, updates: Iterable[tuple[str, int, float]]) -> None:
+    def append_windows(self, updates: Iterable[tuple]) -> None:
         """Journal many cells' rollout states with one write + flush.
+
+        Each update is ``(cell_id, window, soc)`` or the extended
+        7-tuple ``(cell_id, window, soc, i_avg, temp_avg, horizon_s,
+        capacity_ah)`` which additionally records the workload that
+        produced the window under the optional keys ``i``/``t``/``h``/
+        ``c`` — replay ignores them (only ``soc`` matters for crash
+        recovery), but the offline learner harvests them into training
+        rows (:mod:`repro.learn.harvest`).  Compaction keeps only the
+        SoC, so workload history lives in the raw (or archived)
+        segments.
 
         The durability guarantee is per *committed window batch* — a
         crash loses at most the in-flight window — so flushing once per
@@ -226,9 +236,17 @@ class StateJournal:
         otherwise flush millions of times).
         """
         records = []
-        for cell_id, window, soc in updates:
+        for update in updates:
+            cell_id, window, soc = update[0], update[1], update[2]
             self._windows.setdefault(cell_id, {})[int(window)] = float(soc)
-            records.append({"op": "w", "id": cell_id, "w": int(window), "soc": float(soc)})
+            record = {"op": "w", "id": cell_id, "w": int(window), "soc": float(soc)}
+            if len(update) > 3:
+                i_avg, temp_avg, horizon_s, capacity_ah = update[3:7]
+                record["i"] = float(i_avg)
+                record["t"] = float(temp_avg)
+                record["h"] = float(horizon_s)
+                record["c"] = float(capacity_ah)
+            records.append(record)
         self._append_many(records)
 
     # -- reading -------------------------------------------------------

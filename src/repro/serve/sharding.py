@@ -28,8 +28,7 @@ the single-engine path.  Worker topology is declared with one
 :class:`FleetEngine` shards (the default), ``url="pipe://"`` for
 subprocess workers, ``url="tcp://..."``/``"unix://..."`` for socket
 workers on this or any other host — and every shard, whatever the
-medium, speaks the same duck-typed engine API.  (The pre-spec
-``worker_factory`` callable still works but is deprecated.)
+medium, speaks the same duck-typed engine API.
 
 A shared :class:`~repro.serve.persistence.StateJournal` makes the
 whole sharded fleet durable: shards append cell/window records to the
@@ -42,7 +41,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
@@ -116,17 +114,11 @@ class ShardedFleet:
         (in-process workers only — process/socket workers own their
         durability, e.g. one journal per worker process, declared via
         ``WorkerSpec.journal``).
-    worker_factory:
-        **Deprecated** (still works, emits ``DeprecationWarning``):
-        ``factory(shard_index) -> worker`` building each shard worker.
-        Use ``spec=WorkerSpec(...)`` instead — one declarative
-        description resolved through one factory, whatever the
-        transport.
     use_kernel:
         Passed to every in-process shard engine: serve through compiled
         inference kernels (default) or the Tensor path (see
-        :class:`FleetEngine`).  Ignored when ``spec``/``worker_factory``
-        is given — specs carry their own ``use_kernel``.
+        :class:`FleetEngine`).  Ignored when ``spec`` is given — specs
+        carry their own ``use_kernel``.
     metrics, drift:
         Optional :class:`~repro.monitor.metrics.MetricsRegistry` /
         :class:`~repro.monitor.drift.DriftMonitor` shared by every
@@ -142,7 +134,6 @@ class ShardedFleet:
         default_model: TwoBranchSoCNet | None = None,
         registry: ModelRegistry | None = None,
         journal: StateJournal | None = None,
-        worker_factory: Callable[[int], FleetEngine] | None = None,
         use_kernel: bool = True,
         metrics: MetricsRegistry | None = None,
         drift: DriftMonitor | None = None,
@@ -150,19 +141,6 @@ class ShardedFleet:
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
-        if worker_factory is not None:
-            warnings.warn(
-                "worker_factory is deprecated; pass spec=WorkerSpec(url=..., ...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if spec is not None:
-                raise ValueError("give spec or worker_factory, not both")
-            if journal is not None:
-                raise ValueError(
-                    "worker_factory workers own their durability; "
-                    "give each worker its own journal instead of a shared one"
-                )
         self._specs: list[WorkerSpec] | None = None
         if spec is not None:
             if default_model is not None or journal is not None or metrics is not None or drift is not None:
@@ -185,7 +163,6 @@ class ShardedFleet:
         # topology-wide snapshot method — mirroring ISSUE/API naming
         self.metrics_registry = metrics
         self.drift = drift
-        self._worker_factory = worker_factory
         self._shards = [self._new_worker(k) for k in range(n_shards)]
 
     @classmethod
@@ -378,7 +355,7 @@ class ShardedFleet:
         Shards replay their own cells' journaled windows and compute
         only the remainder (see
         :meth:`FleetEngine.resume_rollout_fleet`); the shard count may
-        differ from the run that crashed.  Durable factory-made workers
+        differ from the run that crashed.  Durable spec-declared workers
         (e.g. journaled :class:`~repro.serve.workers.ProcessShardWorker`)
         resume from their own per-worker journals instead of a shared
         one.
@@ -534,6 +511,33 @@ class ShardedFleet:
                 snapshots.append(snapshot)
         return merge_snapshots(snapshots)
 
+    def drift_events(self) -> list:
+        """Drift events gathered across the whole shard topology.
+
+        Fans :meth:`FleetEngine.drift_events` out to every shard:
+        in-process shards sharing one monitor (or router) contribute it
+        once (deduplicated by object identity), subprocess workers ship
+        their events over the wire (``drift_events`` op).  Dead workers
+        are skipped.  Order is per-shard oldest-first; cell ids are
+        fleet-unique, so events never collide across shards.
+        """
+        events: list = []
+        seen: set[int] = set()
+        for shard in self._shards:
+            fetch = getattr(shard, "drift_events", None)
+            if fetch is None:
+                continue
+            monitor = getattr(shard, "drift", None)
+            if monitor is not None:
+                if id(monitor) in seen:
+                    continue
+                seen.add(id(monitor))
+            try:
+                events.extend(fetch())
+            except WorkerCrashError:
+                continue
+        return events
+
     def close(self) -> None:
         """Shut down shard workers that hold external resources.
 
@@ -551,8 +555,6 @@ class ShardedFleet:
 
     # ------------------------------------------------------------------
     def _new_worker(self, index: int):
-        if self._worker_factory is not None:
-            return self._worker_factory(index)
         return self._spec_for(index).resolve(index)
 
     def _spec_for(self, index: int) -> WorkerSpec:

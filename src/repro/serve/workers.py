@@ -157,10 +157,13 @@ def _engine_spec(
     trace: bool,
     archive_root: str | Path | None = None,
     journal_segment_bytes: int = 0,
+    drift_from_registry: bool = False,
 ) -> dict:
     """The picklable ``init`` payload a worker builds its engine from."""
     if default_model is None and registry_root is None:
         raise ValueError("need a default model, a registry root, or both")
+    if drift_from_registry and registry_root is None:
+        raise ValueError("drift_from_registry needs a registry root to resolve specs from")
     return {
         "model": _model_spec(default_model),
         "registry_root": None if registry_root is None else str(registry_root),
@@ -170,6 +173,7 @@ def _engine_spec(
         "trace": trace,
         "archive_root": None if archive_root is None else str(archive_root),
         "journal_segment_bytes": int(journal_segment_bytes),
+        "drift_from_registry": bool(drift_from_registry),
     }
 
 
@@ -352,6 +356,16 @@ class _WorkerClient:
         """
         return self._call("metrics")
 
+    def drift_events(self) -> list:
+        """The worker monitor's drift-event ring (empty unless ``monitor``).
+
+        One ``drift_events`` round-trip;
+        :class:`~repro.monitor.drift.DriftEvent` records are frozen
+        dataclasses, so they travel the pickle channel intact and feed
+        the harvester / autopilot on the parent side.
+        """
+        return self._call("drift_events")
+
     def _adopt_state(self, state: CellState) -> None:
         """Install a migrating cell's state (rebalance protocol).
 
@@ -465,6 +479,7 @@ class ProcessShardWorker(_WorkerClient):
         trace: bool = False,
         archive_root: str | Path | None = None,
         journal_segment_bytes: int = 0,
+        drift_from_registry: bool = False,
     ):
         self.name = name
         self._spec = _engine_spec(
@@ -476,6 +491,7 @@ class ProcessShardWorker(_WorkerClient):
             trace,
             archive_root,
             journal_segment_bytes,
+            drift_from_registry,
         )
         self._proc: subprocess.Popen | None = None
         self._transport = None
@@ -638,6 +654,7 @@ class RemoteShardWorker(_WorkerClient):
         trace: bool = False,
         archive_root: str | Path | None = None,
         journal_segment_bytes: int = 0,
+        drift_from_registry: bool = False,
         spawn: bool = False,
         connect_timeout_s: float = 10.0,
         call_timeout_s: float | None = None,
@@ -653,6 +670,7 @@ class RemoteShardWorker(_WorkerClient):
             trace,
             archive_root,
             journal_segment_bytes,
+            drift_from_registry,
         )
         self._requested_url = str(parse_url(url)) if url is not None else None
         self.url: str | None = self._requested_url
@@ -892,6 +910,12 @@ class WorkerSpec:
     journal file.  ``journal`` may also be a ready
     :class:`~repro.serve.persistence.StateJournal` *instance* — valid
     only for in-process shards, which share one fleet journal.
+
+    ``drift_from_registry=True`` resolves per-chemistry drift-detector
+    specs from the registry's published-model metadata
+    (:func:`~repro.serve.driftconfig.drift_resolver_from_registry`)
+    instead of the uniform default detectors ``monitor=True`` builds;
+    it requires a ``registry``.
     """
 
     url: str | None = None
@@ -903,6 +927,7 @@ class WorkerSpec:
     use_kernel: bool = True
     archive_root: str | Path | None = None
     journal_segment_bytes: int = 0
+    drift_from_registry: bool = False
     spawn: bool = False
     name: str = "shard{shard}"
     connect_timeout_s: float = 10.0
@@ -915,6 +940,8 @@ class WorkerSpec:
             parse_url(self.url if "{shard}" not in self.url else self.url.format(shard=0))
         if self.model is None and self.registry is None and self.url is not None:
             raise ValueError("need a default model, a registry root, or both")
+        if self.drift_from_registry and self.registry is None:
+            raise ValueError("drift_from_registry needs a registry to resolve specs from")
 
     @property
     def scheme(self) -> str | None:
@@ -941,6 +968,7 @@ class WorkerSpec:
             trace=self.trace,
             archive_root=self.archive_root,
             journal_segment_bytes=self.journal_segment_bytes,
+            drift_from_registry=self.drift_from_registry,
         )
         if scheme == "pipe":
             return ProcessShardWorker(**common)
@@ -969,6 +997,10 @@ class WorkerSpec:
 
             metrics = MetricsRegistry()
             drift = DriftMonitor(metrics=metrics)
+        if self.drift_from_registry and registry is not None:
+            from .driftconfig import drift_resolver_from_registry
+
+            drift = drift_resolver_from_registry(registry)
         return FleetEngine(
             default_model=self.model,
             registry=registry,
@@ -1007,6 +1039,11 @@ def _build_engine(spec: dict) -> FleetEngine:
 
         metrics = MetricsRegistry()
         drift = DriftMonitor(metrics=metrics)
+    if spec.get("drift_from_registry") and registry is not None:
+        from .driftconfig import drift_resolver_from_registry
+
+        # the engine wraps the resolver in a ChemistryDriftRouter
+        drift = drift_resolver_from_registry(registry)
     kwargs = dict(default_model=model, registry=registry, use_kernel=use_kernel, metrics=metrics, drift=drift)
     journal_path = spec["journal_path"]
     if journal_path is None:
@@ -1134,6 +1171,7 @@ class WorkerEndpoint:
                 "cell",
                 "estimate",
                 "predict",
+                "drift_events",
             ):
                 result = getattr(engine, op)(*args, **kwargs)
             else:

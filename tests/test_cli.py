@@ -208,6 +208,69 @@ class TestRegistryCommand:
         assert "empty" in capsys.readouterr().out
 
 
+class TestRetrainCommand:
+    """``repro-soc retrain``: the one-shot offline arm of the retrain loop."""
+
+    @pytest.fixture()
+    def plant(self, tmp_path):
+        from repro.core import ModelConfig, TwoBranchSoCNet
+        from repro.serve import ModelRegistry, StateJournal
+        from repro.serve.engine import CellState
+
+        registry = ModelRegistry(tmp_path / "reg")
+        model = TwoBranchSoCNet(ModelConfig(), rng=np.random.default_rng(0))
+        registry.publish("prod", model, chemistry="nmc")
+        journal = tmp_path / "fleet.journal"
+        with StateJournal(journal) as jrn:
+            for cid in ("a", "b"):
+                jrn.append_cell(CellState(cell_id=cid, chemistry="nmc", model_key="prod"))
+            jrn.begin_rollout(120.0)
+            for cid in ("a", "b"):
+                jrn.append_windows([(cid, 0, 0.9)])
+                jrn.append_windows(
+                    [(cid, w, 0.9 - 0.05 * w, 1.0, 25.0, 120.0, 2.0) for w in range(1, 8)]
+                )
+        return registry, str(tmp_path / "reg"), str(journal)
+
+    def test_offline_retrain_publishes_a_canary(self, plant, capsys):
+        registry, registry_dir, journal = plant
+        code = main(["retrain", registry_dir, "prod", "--journal", journal, "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harvested 14 row(s) from 2 cell(s)" in out
+        assert "published prod@v2 to the canary channel" in out
+        registry.refresh()
+        assert registry.channels("prod") == {"stable": 1, "canary": 2}
+        entry = registry.describe("prod@canary")
+        assert entry.extra["retrained_from"] == 1
+        assert entry.extra["harvest_rows"] == 14
+
+    def test_dry_run_trains_but_publishes_nothing(self, plant, capsys):
+        registry, registry_dir, journal = plant
+        code = main([
+            "retrain", registry_dir, "prod", "--journal", journal, "--epochs", "2", "--dry-run",
+        ])
+        assert code == 0
+        assert "dry run: candidate not published" in capsys.readouterr().out
+        registry.refresh()
+        assert registry.channels("prod") == {"stable": 1}
+
+    def test_sparse_journal_publishes_nothing_and_exits_nonzero(self, plant, capsys):
+        registry, registry_dir, journal = plant
+        code = main([
+            "retrain", registry_dir, "prod", "--journal", journal, "--min-rows", "500",
+        ])
+        assert code == 1
+        assert "not enough rows" in capsys.readouterr().out
+        registry.refresh()
+        assert registry.channels("prod") == {"stable": 1}
+
+    def test_unknown_model_is_an_error(self, plant):
+        _, registry_dir, journal = plant
+        with pytest.raises(SystemExit, match="error:"):
+            main(["retrain", registry_dir, "ghost", "--journal", journal])
+
+
 class TestLoadValidation:
     def test_non_checkpoint_rejected(self, tmp_path):
         bogus = tmp_path / "bogus.npz"

@@ -1,0 +1,199 @@
+"""Closed-loop end-to-end test: drift → retrain → canary → promote.
+
+The acceptance property of the offline-learner subsystem: inject a
+degraded stable checkpoint into a journaled, monitored fleet and show
+the control plane — with **no human in the loop** — detects the drift,
+harvests the drifted cells' windows, fine-tunes a candidate from the
+stable checkpoint, publishes it as ``serve@v2`` on the canary channel,
+qualifies it on live traffic, and promotes it to stable.  The latency
+gate gets the complementary test: an accurate-but-slow candidate is
+rolled back, never shipped.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.learn import (
+    FineTuneConfig,
+    RetrainConfig,
+    RetrainLoop,
+    harvest_training_set,
+    relabel_with_physics,
+)
+from repro.monitor.autopilot import (
+    AutoCanaryPolicy,
+    AutopilotConfig,
+    ControlLoop,
+    DivergenceProbe,
+)
+from repro.monitor.drift import DriftMonitor
+from repro.serve import (
+    CanaryController,
+    FleetEngine,
+    ModelRegistry,
+    StateJournal,
+    generate_fleet,
+)
+
+FAST_TUNE = FineTuneConfig(epochs=25, lr=3e-3)
+
+
+def degraded_checkpoint(base: TwoBranchSoCNet) -> TwoBranchSoCNet:
+    """The injected fault: Branch 2's output head drifts far off-physics,
+    so served predictions blow through the SoC bounds and rate limits."""
+    degraded = TwoBranchSoCNet(base.config, rng=np.random.default_rng(1))
+    state = {k: v.copy() for k, v in base.state_dict().items()}
+    state["branch2.mlp.net.layers.6.bias"] = state["branch2.mlp.net.layers.6.bias"] + 2.0
+    degraded.load_state_dict(state)
+    return degraded
+
+
+class SlowCanaryEngine:
+    """Serving shim: delegates to the engine, stalling predicts that hit
+    canary-pinned cells — an accurate candidate with a slow serving path."""
+
+    def __init__(self, engine, controller, delay_s=0.05):
+        self._engine = engine
+        self._controller = controller
+        self.delay_s = delay_s
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def predict(self, cell_ids, *args, **kwargs):
+        if set(cell_ids) & set(self._controller.canary_cells()):
+            time.sleep(self.delay_s)
+        return self._engine.predict(cell_ids, *args, **kwargs)
+
+
+def build_plane(tmp_path, latency_budget=None, slow_canary=False):
+    """A degraded serving plane with its full control loop attached."""
+    base = TwoBranchSoCNet(rng=np.random.default_rng(0))
+    degraded = degraded_checkpoint(base)
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish("serve", degraded)
+
+    journal_path = tmp_path / "fleet.journal"
+    engine = FleetEngine(
+        registry=registry, journal=StateJournal(journal_path), drift=DriftMonitor()
+    )
+    fleet = generate_fleet(
+        12, seed=3, ambient_temps_c=(25.0,), c_rates=(1.0,), protocols=("discharge",),
+        max_time_s=1800.0,
+    )
+    for member in fleet.members:
+        engine.register_cell(member.cell_id, model_name="serve")
+    # live traffic: the degraded checkpoint drifts off-physics, the
+    # monitor alarms, and the journal records the windows to learn from
+    engine.rollout_fleet(fleet.assignments(), 120.0)
+
+    controller = CanaryController(engine, registry, "serve", fraction=0.5, max_divergence=10.0)
+    probe_engine = SlowCanaryEngine(engine, controller) if slow_canary else engine
+    probe = DivergenceProbe(probe_engine, controller, sample=2)
+    # loose accuracy gates: the corrected candidate legitimately
+    # diverges from the degraded stable it is replacing
+    policy = AutoCanaryPolicy(
+        controller,
+        config=AutopilotConfig(
+            min_observations=2,
+            divergence_budget=5.0,
+            hard_divergence=10.0,
+            cooldown_ticks=2,
+            latency_budget=latency_budget,
+        ),
+    )
+    retrain = RetrainLoop(
+        source=engine,
+        journals=journal_path,
+        registry=registry,
+        target=controller,
+        # a long cooldown: exactly one retrain inside the test window
+        config=RetrainConfig(name="serve", cooldown_ticks=8, finetune=FAST_TUNE),
+    )
+    loop = ControlLoop(engine=engine, autopilot=policy, probe=probe, retrain=retrain, interval_s=0)
+    return loop, registry, controller, policy, degraded, journal_path
+
+
+def physics_rmse(model, samples):
+    relabeled = relabel_with_physics(samples)
+    pred = model.predict_samples(relabeled, use_ground_truth_soc=True)
+    return float(np.sqrt(np.mean((pred - relabeled.soc_target) ** 2)))
+
+
+# ----------------------------------------------------------------------
+class TestClosedLoop:
+    def test_degradation_is_detected_retrained_and_promoted(self, tmp_path):
+        loop, registry, controller, policy, degraded, journal_path = build_plane(tmp_path)
+        assert registry.channels("serve") == {"stable": 1}
+        assert len(loop.engine.drift_events()) > 0  # the fault was noticed
+
+        published = promoted = False
+        for _ in range(10):
+            report = loop.tick()
+            retrain = report["retrain"]
+            if retrain is not None and retrain["status"] == "published":
+                published = True
+                assert retrain["version"] == 2
+                assert registry.channels("serve") == {"stable": 1, "canary": 2}
+                assert controller.active and controller.canary_cells()
+            if report["decision"] == "promote":
+                promoted = True
+                break
+        assert published, "retrain loop never produced a candidate"
+        assert promoted, "autopilot never promoted the candidate"
+
+        # the loop closed: the retrained checkpoint IS the new stable,
+        # the canary channel is free, and nobody touched the registry
+        assert registry.channels("serve") == {"stable": 2}
+        assert not controller.active
+        assert policy.last_reason == "within-budget"
+        entry = registry.describe("serve")
+        assert entry.version == 2
+        assert entry.extra["retrained_from"] == 1
+        assert entry.extra["harvest_rows"] > 0
+
+        # and it actually fixed the physics it drifted away from
+        samples = harvest_training_set(journal_path).samples
+        assert physics_rmse(registry.load("serve"), samples) < 0.8 * physics_rmse(
+            degraded, samples
+        )
+
+    def test_latency_gate_vetoes_an_accurate_but_slow_candidate(self, tmp_path):
+        loop, registry, controller, policy, _, _ = build_plane(
+            tmp_path, latency_budget=3.0, slow_canary=True
+        )
+        rolled_back = False
+        for _ in range(8):
+            report = loop.tick()
+            if report["decision"] == "rollback":
+                rolled_back = True
+                break
+        assert rolled_back, "latency gate never fired"
+        assert policy.last_reason == "latency"
+        # the slow candidate never shipped: stable is still v1 and the
+        # canary lane is clear for the next attempt
+        assert registry.channels("serve") == {"stable": 1}
+        assert not controller.active
+
+    def test_promotion_requires_no_manual_registry_ops(self, tmp_path):
+        """Belt-and-braces for 'no human in the loop': every channel
+        move during the run went through the controller."""
+        loop, registry, controller, _, _, _ = build_plane(tmp_path)
+        moves = []
+        for op in ("promote", "rollback"):
+            original = getattr(registry, op)
+
+            def spy(name, _op=op, _original=original):
+                moves.append(_op)
+                return _original(name)
+
+            setattr(registry, op, spy)
+        with pytest.raises(ValueError):
+            controller.promote()  # nothing staged yet: only the loop may stage
+        for _ in range(10):
+            if loop.tick()["decision"] == "promote":
+                break
+        assert moves == ["promote"]  # exactly one move, made by the autopilot

@@ -1,0 +1,112 @@
+"""Tests for the offline fine-tuner (:mod:`repro.learn.finetune`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoBranchSoCNet
+from repro.datasets.windowing import PredictionSamples
+from repro.learn import FineTuneConfig, fine_tune, relabel_with_physics
+
+
+@pytest.fixture(scope="module")
+def base():
+    return TwoBranchSoCNet(rng=np.random.default_rng(0))
+
+
+def physics_samples(n=64, capacity_ah=2.0, seed=1):
+    """Synthetic Branch 2 rows labeled exactly with Eq. 1."""
+    rng = np.random.default_rng(seed)
+    soc_t = rng.uniform(0.2, 1.0, n)
+    i_avg = rng.uniform(0.5, 3.0, n)
+    horizon_s = np.full(n, 120.0)
+    target = soc_t - i_avg * horizon_s / (3600.0 * capacity_ah)
+    return PredictionSamples(
+        v_t=np.zeros(n),
+        i_t=np.zeros(n),
+        temp_t=np.zeros(n),
+        soc_t=soc_t,
+        i_avg=i_avg,
+        temp_avg=np.full(n, 25.0),
+        horizon_s=horizon_s,
+        soc_target=target,
+        capacity_ah=np.full(n, capacity_ah),
+    )
+
+
+class TestFineTune:
+    def test_warm_start_leaves_the_base_untouched(self, base):
+        before = {k: v.copy() for k, v in base.state_dict().items()}
+        candidate = fine_tune(base, physics_samples(), FineTuneConfig(epochs=2))
+        for key, value in base.state_dict().items():
+            np.testing.assert_array_equal(value, before[key])
+        assert any(np.max(np.abs(candidate.state_dict()[k] - before[k])) > 0 for k in before)
+
+    def test_only_branch2_moves(self, base):
+        before = {k: v.copy() for k, v in base.state_dict().items()}
+        candidate = fine_tune(base, physics_samples(), FineTuneConfig(epochs=2))
+        after = candidate.state_dict()
+        branch1 = [k for k in before if k.startswith("branch1")]
+        branch2 = [k for k in before if k.startswith("branch2")]
+        assert branch1 and branch2, sorted(before)
+        for key in branch1:
+            np.testing.assert_array_equal(after[key], before[key])
+        assert any(np.max(np.abs(after[key] - before[key])) > 0 for key in branch2)
+
+    def test_reduces_physics_error_of_a_degraded_checkpoint(self, base):
+        samples = physics_samples(n=128)
+        # degrade branch 2 the way fleet drift shows up: the stable
+        # checkpoint's predictions no longer track Eq. 1
+        rng = np.random.default_rng(5)
+        degraded = TwoBranchSoCNet(base.config, rng=np.random.default_rng(2))
+        state = {
+            k: v + (0.5 * rng.standard_normal(np.shape(v)) if k.startswith("branch2") else 0.0)
+            for k, v in base.state_dict().items()
+        }
+        degraded.load_state_dict(state)
+
+        def physics_rmse(model):
+            pred = model.predict_samples(samples, use_ground_truth_soc=True)
+            return float(np.sqrt(np.mean((pred - samples.soc_target) ** 2)))
+
+        before = physics_rmse(degraded)
+        candidate = fine_tune(
+            degraded, samples, FineTuneConfig(epochs=60, lr=3e-3, physics_weight=0.5)
+        )
+        after = physics_rmse(candidate)
+        assert after < before * 0.5, (before, after)
+
+    def test_empty_sample_set_is_rejected(self, base):
+        with pytest.raises(ValueError, match="empty"):
+            fine_tune(base, physics_samples(n=0))
+
+    def test_deterministic_for_a_fixed_seed(self, base):
+        samples = physics_samples()
+        config = FineTuneConfig(epochs=2, seed=7)
+        a = fine_tune(base, samples, config).state_dict()
+        b = fine_tune(base, samples, config).state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestRelabel:
+    def test_targets_become_coulomb_counting(self):
+        samples = physics_samples()
+        shifted = samples.soc_target + 0.3  # pretend a drifted model labeled them
+        import dataclasses
+
+        drifted = dataclasses.replace(samples, soc_target=shifted)
+        relabeled = relabel_with_physics(drifted)
+        np.testing.assert_allclose(relabeled.soc_target, samples.soc_target, atol=1e-12)
+        # inputs are untouched
+        np.testing.assert_array_equal(relabeled.soc_t, samples.soc_t)
+
+    def test_journal_targets_are_kept_verbatim_when_asked(self, base):
+        samples = physics_samples(n=32)
+        config = FineTuneConfig(epochs=1, targets="journal", physics_weight=0.0)
+        fine_tune(base, samples, config)  # trains on the labels as-is
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="epochs"):
+            FineTuneConfig(epochs=0)
+        with pytest.raises(ValueError, match="targets"):
+            FineTuneConfig(targets="distill")

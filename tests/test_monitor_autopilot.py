@@ -28,8 +28,8 @@ from repro.serve import (
     CanaryController,
     FleetEngine,
     ModelRegistry,
-    ProcessShardWorker,
     ShardedFleet,
+    WorkerSpec,
 )
 
 
@@ -226,16 +226,15 @@ class TestControlLoopEndToEnd:
         and the whole topology's metrics merging into one view."""
         registry = ModelRegistry(tmp_path / "registry")
         registry.publish("serve", model)
+        spec = WorkerSpec(
+            url="pipe://",
+            registry=tmp_path / "registry",
+            journal=str(tmp_path / "w{shard}.journal"),
+            name="w{shard}",
+            monitor=True,
+        )
 
-        def factory(k):
-            return ProcessShardWorker(
-                registry_root=tmp_path / "registry",
-                journal_path=tmp_path / f"w{k}.journal",
-                name=f"w{k}",
-                monitor=True,
-            )
-
-        with ShardedFleet(2, registry=registry, worker_factory=factory) as fleet:
+        with ShardedFleet(2, registry=registry, spec=spec) as fleet:
             for k in range(16):
                 fleet.register_cell(f"cell-{k:03d}")
             controller = CanaryController(fleet, registry, "serve", fraction=0.5)
@@ -282,3 +281,108 @@ class TestControlLoopEndToEnd:
                 if key.startswith("engine_requests_total") and 'op="predict"' in key
             )
             assert predicts > 0  # the probes themselves were served (and counted)
+
+
+# ----------------------------------------------------------------------
+class TestLatencyGate:
+    """The canary latency signal: ProbeTiming and the promote-time gate."""
+
+    def test_probe_timing_ratio(self):
+        from repro.monitor import ProbeTiming
+
+        assert ProbeTiming(candidate_s=2.0, stable_s=1.0).ratio == 2.0
+        assert ProbeTiming(candidate_s=0.0, stable_s=0.0).ratio == 1.0
+        assert ProbeTiming(candidate_s=1.0, stable_s=0.0).ratio == float("inf")
+
+    def test_probe_records_last_timing_only_on_a_measurement(self, tmp_path, model):
+        engine, registry, controller = make_fleet(tmp_path, model)
+        probe = DivergenceProbe(engine, controller)
+        assert probe.measure() is None and probe.last_timing is None
+        controller.start(candidate=clone_model(model))
+        assert probe.measure() is not None
+        timing = probe.last_timing
+        assert timing.candidate_s > 0 and timing.stable_s > 0
+        controller.rollback()
+        assert probe.measure() is None and probe.last_timing is None
+
+    def _stepped(self, latency_budget, ratio, n=2):
+        from repro.monitor import ProbeTiming
+
+        controller = FakeController()
+        policy = AutoCanaryPolicy(
+            controller,
+            config=AutopilotConfig(
+                min_observations=n, divergence_budget=0.5, latency_budget=latency_budget
+            ),
+        )
+        timing = ProbeTiming(candidate_s=ratio, stable_s=1.0)
+        for _ in range(n - 1):
+            assert policy.step(np.array([0.001]), latency=timing) == "hold"
+        return policy, controller, policy.step(np.array([0.001]), latency=timing)
+
+    def test_accurate_but_slow_candidate_is_vetoed(self):
+        policy, controller, decision = self._stepped(latency_budget=1.5, ratio=3.0)
+        assert decision == "rollback"
+        assert policy.last_reason == "latency"
+        assert controller.rolled_back == 1 and controller.promoted == 0
+
+    def test_within_budget_latency_promotes(self):
+        policy, controller, decision = self._stepped(latency_budget=1.5, ratio=1.2)
+        assert decision == "promote"
+        assert policy.last_reason == "within-budget"
+
+    def test_no_budget_means_no_gate(self):
+        policy, controller, decision = self._stepped(latency_budget=None, ratio=50.0)
+        assert decision == "promote"
+
+    def test_latency_only_vetoes_a_would_be_promotion(self):
+        from repro.monitor import ProbeTiming
+
+        controller = FakeController()
+        policy = AutoCanaryPolicy(
+            controller,
+            config=AutopilotConfig(min_observations=5, divergence_budget=0.5, latency_budget=1.5),
+        )
+        slow = ProbeTiming(candidate_s=9.0, stable_s=1.0)
+        assert policy.step(np.array([0.001]), latency=slow) == "hold"
+        assert policy.last_reason == "warming-up"  # not "latency": still observing
+
+    def test_latency_ewma_resets_between_canaries(self):
+        policy, controller, decision = self._stepped(latency_budget=1.5, ratio=3.0)
+        assert decision == "rollback"
+        assert policy.latency_ewma is None  # next canary is judged fresh
+
+
+# ----------------------------------------------------------------------
+class TestControlLoopRetrain:
+    """ControlLoop drives an attached retrain loop after canary steering."""
+
+    class FakeRetrain:
+        def __init__(self):
+            self.ticks = 0
+
+        def tick(self):
+            self.ticks += 1
+            return {"status": "idle", "fresh_events": 0}
+
+    def test_tick_report_carries_the_retrain_report(self):
+        retrain = self.FakeRetrain()
+        loop = ControlLoop(retrain=retrain, interval_s=0.0)
+        report = loop.tick()
+        assert report["retrain"] == {"status": "idle", "fresh_events": 0}
+        assert retrain.ticks == 1
+
+    def test_without_a_retrain_loop_the_key_is_none(self):
+        assert ControlLoop(interval_s=0.0).tick()["retrain"] is None
+
+    def test_run_keeps_ticking_while_a_retrain_loop_is_attached(self):
+        controller = FakeController()
+        controller.active = False  # autopilot reports idle immediately
+        policy = AutoCanaryPolicy(controller, config=AutopilotConfig(min_observations=1))
+        retrain = self.FakeRetrain()
+        loop = ControlLoop(autopilot=policy, retrain=retrain, interval_s=0.0)
+        reports = loop.run(5, sleep=lambda s: None)
+        assert len(reports) == 5  # idle no longer stops the loop
+        assert retrain.ticks == 5
+        without = ControlLoop(autopilot=policy, interval_s=0.0)
+        assert len(without.run(5, sleep=lambda s: None)) == 1  # old early-stop intact

@@ -11,6 +11,7 @@ import os
 import subprocess
 import sys
 import time
+import types
 import urllib.request
 
 import numpy as np
@@ -18,7 +19,16 @@ import pytest
 
 from repro.core.config import ModelConfig
 from repro.core.model import TwoBranchSoCNet
-from repro.serve import DaemonUnavailable, FleetEngine, ShardedFleet, SocClient, WorkerSpec
+from repro.monitor.drift import DriftMonitor, PhysicsBounds
+from repro.serve import (
+    CanaryController,
+    DaemonUnavailable,
+    FleetEngine,
+    ModelRegistry,
+    ShardedFleet,
+    SocClient,
+    WorkerSpec,
+)
 from repro.serve.daemon import SocDaemon
 from repro.serve.transport import connect
 
@@ -190,6 +200,15 @@ class TestDaemonClients:
             client.hello()
         client.close()
 
+    def test_registry_ops_without_a_registry_are_runtime_errors(self, daemon, model):
+        with SocClient(daemon.url) as client:
+            with pytest.raises(RuntimeError, match="no model registry"):
+                client.publish("serve", model)
+            with pytest.raises(RuntimeError, match="no model registry"):
+                client.promote("serve")
+            with pytest.raises(RuntimeError, match="no model registry"):
+                client.rollback("serve")
+
     def test_inbound_worker_rejected_without_worker_spec(self, daemon):
         """A worker_hello on a daemon that cannot provision workers is
         acked (protocol) and then dropped, never half-adopted."""
@@ -202,3 +221,107 @@ class TestDaemonClients:
         finally:
             transport.close()
         assert len(daemon.engine) == 0  # nothing was adopted
+
+
+# ----------------------------------------------------------------------
+class TestDaemonRegistryOps:
+    """Model-lifecycle ops over the wire: publish / promote / rollback /
+    drift_events — the surface a remote retrain pipeline drives."""
+
+    @pytest.fixture()
+    def candidate(self):
+        return TwoBranchSoCNet(ModelConfig(hidden=(8,)), rng=np.random.default_rng(1))
+
+    def _registry_daemon(self, model, tmp_path, drift=None, autopilot=None):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("serve", model)
+        engine = FleetEngine(registry=registry, drift=drift)
+        return (
+            SocDaemon(engine, "tcp://127.0.0.1:0", control_interval_s=0, autopilot=autopilot),
+            registry,
+            engine,
+        )
+
+    def test_publish_promote_rollback_roundtrip(self, model, candidate, tmp_path):
+        daemon, registry, _ = self._registry_daemon(model, tmp_path)
+        with daemon, SocClient(daemon.url) as client:
+            # the shipped weights land in the registry verbatim
+            assert client.publish("serve", candidate, chemistry="nmc") == 2
+            assert registry.channels("serve") == {"stable": 2}
+            assert registry.describe("serve").chemistry == "nmc"
+            restored = registry.load("serve")
+            for key, value in candidate.state_dict().items():
+                np.testing.assert_array_equal(restored.state_dict()[key], value)
+
+            assert client.publish("serve", candidate, channel="canary") == 3
+            assert registry.channels("serve") == {"stable": 2, "canary": 3}
+            assert client.promote("serve") == 3
+            assert registry.channels("serve") == {"stable": 3}
+
+            assert client.publish("serve", candidate, channel="canary") == 4
+            assert client.rollback("serve") == 3
+            assert registry.channels("serve") == {"stable": 3}
+
+    def test_canary_publish_routes_through_the_autopilot_controller(
+        self, model, candidate, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("serve", model)
+        engine = FleetEngine(registry=registry)
+        controller = CanaryController(engine, registry, "serve", fraction=1.0)
+        autopilot = types.SimpleNamespace(controller=controller)
+        daemon = SocDaemon(engine, "tcp://127.0.0.1:0", control_interval_s=0, autopilot=autopilot)
+        with daemon, SocClient(daemon.url) as client:
+            client.register_cell("a", model_name="serve")
+            version = client.publish("serve", candidate, channel="canary")
+            assert version == 2
+            # not just a channel flip: the controller staged a *steered*
+            # canary with the traffic slice pinned
+            assert controller.active and controller.candidate_version == 2
+            assert controller.canary_cells() == ["a"]
+            with pytest.raises(ValueError, match="already active"):
+                client.publish("serve", candidate, channel="canary")
+            # promote routes through the controller too: slice unpinned
+            assert client.promote("serve") == 2
+            assert not controller.active
+            assert registry.channels("serve") == {"stable": 2}
+
+            assert client.publish("serve", candidate, channel="canary") == 3
+            assert client.rollback("serve") == 2
+            assert not controller.active and registry.channels("serve") == {"stable": 2}
+
+    def test_canary_publish_for_other_models_skips_the_controller(
+        self, model, candidate, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("serve", model)
+        registry.publish("aux", model)
+        engine = FleetEngine(registry=registry)
+        controller = CanaryController(engine, registry, "serve", fraction=1.0)
+        autopilot = types.SimpleNamespace(controller=controller)
+        daemon = SocDaemon(engine, "tcp://127.0.0.1:0", control_interval_s=0, autopilot=autopilot)
+        with daemon, SocClient(daemon.url) as client:
+            assert client.publish("aux", candidate, channel="canary") == 2
+            assert not controller.active  # steers "serve", not "aux"
+            assert registry.channels("aux") == {"stable": 1, "canary": 2}
+
+    def test_drift_events_travel_the_wire(self, model, tmp_path):
+        # impossible bounds: every estimate is a violation
+        monitor = DriftMonitor(
+            page_hinkley=None, cusum=None, bounds=PhysicsBounds(soc_min=1.5, soc_max=2.0)
+        )
+        daemon, _, _ = self._registry_daemon(model, tmp_path, drift=monitor)
+        with daemon, SocClient(daemon.url) as client:
+            client.register_cell("a", model_name="serve")
+            assert client.drift_events() == []
+            client.estimate("a", 3.7, 1.0, 25.0)
+            events = client.drift_events()
+            assert events and all(event.cell_id == "a" for event in events)
+            assert {event.kind for event in events} == {"soc_bounds"}
+
+    def test_drift_events_empty_without_a_monitor(self, model, tmp_path):
+        daemon, _, _ = self._registry_daemon(model, tmp_path)
+        with daemon, SocClient(daemon.url) as client:
+            client.register_cell("a", model_name="serve")
+            client.estimate("a", 3.7, 1.0, 25.0)
+            assert client.drift_events() == []

@@ -13,9 +13,9 @@ from repro.serve import (
     FleetEngine,
     GatewayOverloaded,
     MicroBatcher,
-    ProcessShardWorker,
     ShardedFleet,
     SocGateway,
+    WorkerSpec,
     generate_fleet,
 )
 
@@ -342,14 +342,13 @@ class TestWorkerCrashRetry:
     of surfacing ok=False."""
 
     def _worker_fleet(self, model, tmp_path, n_cells=8):
-        def factory(k):
-            return ProcessShardWorker(
-                default_model=model,
-                journal_path=tmp_path / f"w{k}.journal",
-                name=f"w{k}",
-            )
-
-        fleet = ShardedFleet(2, worker_factory=factory)
+        spec = WorkerSpec(
+            url="pipe://",
+            model=model,
+            journal=str(tmp_path / "w{shard}.journal"),
+            name="w{shard}",
+        )
+        fleet = ShardedFleet(2, spec=spec)
         ids = [f"c{k}" for k in range(n_cells)]
         for cid in ids:
             fleet.register_cell(cid)

@@ -7,8 +7,6 @@ in-band death detection, restart-by-redial, and the single
 :class:`WorkerSpec` factory the fleet resolves every topology through.
 """
 
-import warnings
-
 import numpy as np
 import pytest
 
@@ -182,25 +180,11 @@ class TestWorkerSpec:
 
 # ----------------------------------------------------------------------
 class TestShardedFleetSpec:
-    def test_worker_factory_is_deprecated_but_works(self, model):
-        with pytest.warns(DeprecationWarning, match="worker_factory is deprecated"):
-            fleet = ShardedFleet(
-                2,
-                worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"d{k}"),
-            )
-        with fleet:
-            fleet.register_cell("a")
-            assert fleet.worker_health() == [True, True]
-
-    def test_spec_and_factory_are_exclusive(self, model):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ValueError, match="not both"):
-                ShardedFleet(
-                    2,
-                    worker_factory=lambda k: FleetEngine(default_model=model),
-                    spec=WorkerSpec(model=model),
-                )
+    def test_worker_factory_kwarg_is_gone(self, model):
+        # the deprecated callable-factory path was removed; WorkerSpec is
+        # the single construction seam now
+        with pytest.raises(TypeError, match="worker_factory"):
+            ShardedFleet(2, worker_factory=lambda k: FleetEngine(default_model=model))
 
     def test_spec_rejects_legacy_engine_kwargs(self, model):
         with pytest.raises(ValueError, match="spec carries the worker description"):

@@ -19,7 +19,7 @@ import pytest
 from repro import cli
 from repro.core import TwoBranchSoCNet
 from repro.monitor import ExpositionServer, MetricsRegistry, SpanTracer
-from repro.serve import FleetEngine, ProcessShardWorker, ShardedFleet, SocGateway
+from repro.serve import FleetEngine, ShardedFleet, SocGateway, WorkerSpec
 
 
 @pytest.fixture(scope="module")
@@ -48,10 +48,7 @@ class TestTracedShardedServing:
         metrics = MetricsRegistry()
         tracer = SpanTracer(sample_rate=1.0, metrics=metrics, service="gateway")
         engine = ShardedFleet(
-            2,
-            worker_factory=lambda k: ProcessShardWorker(
-                default_model=model, name=f"shard{k}", trace=True
-            ),
+            2, spec=WorkerSpec(url="pipe://", model=model, name="shard{shard}", trace=True)
         )
         try:
             for k in range(8):
@@ -110,10 +107,7 @@ class TestTracedShardedServing:
         # timestamps must land inside the parent root span's window
         tracer = SpanTracer(sample_rate=1.0, service="gateway")
         engine = ShardedFleet(
-            1,
-            worker_factory=lambda k: ProcessShardWorker(
-                default_model=model, name=f"shard{k}", trace=True
-            ),
+            1, spec=WorkerSpec(url="pipe://", model=model, name="shard{shard}", trace=True)
         )
         try:
             engine.register_cell("c0")

@@ -6,11 +6,14 @@ import pytest
 from repro.core import TwoBranchSoCNet
 from repro.serve import (
     FleetEngine,
+    ModelRegistry,
     ProcessShardWorker,
     ShardedFleet,
     WorkerCrashError,
+    WorkerSpec,
     generate_fleet,
 )
+from repro.serve.driftconfig import drift_resolver_from_registry
 
 FAST_FLEET = dict(
     ambient_temps_c=(25.0,),
@@ -146,10 +149,7 @@ class TestShardedFleetProcessWorkers:
         fleet = generate_fleet(1000, seed=0, **FAST_FLEET)
         assignments = fleet.assignments()
         ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
-        sharded = ShardedFleet(
-            2,
-            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"s{k}"),
-        )
+        sharded = ShardedFleet(2, spec=WorkerSpec(url="pipe://", model=model, name="s{shard}"))
         with sharded:
             got = sharded.rollout_fleet(assignments, 120.0)
             assert sum(sharded.shard_sizes()) == 1000
@@ -161,10 +161,7 @@ class TestShardedFleetProcessWorkers:
     def test_estimate_fans_out_and_gathers_in_order(self, model):
         ids = [f"c{k}" for k in range(12)]
         single = FleetEngine(default_model=model)
-        sharded = ShardedFleet(
-            3,
-            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"e{k}"),
-        )
+        sharded = ShardedFleet(3, spec=WorkerSpec(url="pipe://", model=model, name="e{shard}"))
         with sharded:
             for cid in ids:
                 single.register_cell(cid)
@@ -177,10 +174,7 @@ class TestShardedFleetProcessWorkers:
             assert sorted(sharded.worker_health()) == [True, True, True]
 
     def test_rebalance_migrates_live_state_between_processes(self, model):
-        sharded = ShardedFleet(
-            2,
-            worker_factory=lambda k: ProcessShardWorker(default_model=model, name=f"r{k}"),
-        )
+        sharded = ShardedFleet(2, spec=WorkerSpec(url="pipe://", model=model, name="r{shard}"))
         with sharded:
             ids = [f"c{k}" for k in range(20)]
             for cid in ids:
@@ -197,55 +191,49 @@ class TestShardedFleetProcessWorkers:
         """Migrated cells must land in their new owner's journal (and
         leave the old owner's), or a restart after a rebalance loses
         them / resurrects stale copies."""
-        workers = {}
-
-        def factory(k):
-            workers[k] = ProcessShardWorker(
-                default_model=model,
-                journal_path=tmp_path / f"shard{k}.journal",
-                name=f"m{k}",
-            )
-            return workers[k]
-
-        sharded = ShardedFleet(2, worker_factory=factory)
+        spec = WorkerSpec(
+            url="pipe://",
+            model=model,
+            journal=str(tmp_path / "shard{shard}.journal"),
+            name="m{shard}",
+        )
+        sharded = ShardedFleet(2, spec=spec)
         ids = [f"c{k}" for k in range(20)]
         for cid in ids:
             sharded.register_cell(cid)
         sharded.estimate(ids, 3.7, 1.0, 25.0)
         socs = {cid: sharded.cell(cid).soc for cid in ids}
         assert sharded.rebalance(3) > 0
-        for k in sorted(workers):  # every worker restarts from its journal
-            workers[k].close()
-            workers[k].restart()
+        for worker in sharded._shards:  # every worker restarts from its journal
+            worker.close()
+            worker.restart()
         for cid in ids:
             assert sharded.cell(cid).soc == socs[cid]
         assert sum(sharded.shard_sizes()) == len(ids)  # no stale resurrections
         sharded.close()
 
-    def test_shared_journal_is_rejected_with_worker_factory(self, model, tmp_path):
+    def test_shared_journal_instance_is_rejected_for_process_workers(self, model, tmp_path):
         from repro.serve import StateJournal
 
         journal = StateJournal(tmp_path / "shared.journal")
-        with pytest.raises(ValueError, match="own their durability"):
-            ShardedFleet(2, worker_factory=lambda k: None, journal=journal)
+        spec = WorkerSpec(url="pipe://", model=model, journal=journal)
+        with pytest.raises(ValueError, match="own their journal file"):
+            ShardedFleet(2, spec=spec)
 
     def test_fleet_resume_after_one_worker_crash(self, model, small_fleet, tmp_path):
         """Kill one of two durable workers mid-rollout; restart it and
         resume the *fleet* — results match an uninterrupted fleet run
         bit-for-bit."""
         assignments = small_fleet.assignments()
-        workers = {}
-
-        def factory(k):
-            workers[k] = ProcessShardWorker(
-                default_model=model,
-                journal_path=tmp_path / f"shard{k}.journal",
-                name=f"f{k}",
-            )
-            return workers[k]
-
+        spec = WorkerSpec(
+            url="pipe://",
+            model=model,
+            journal=str(tmp_path / "shard{shard}.journal"),
+            name="f{shard}",
+        )
         ref = FleetEngine(default_model=model).rollout_fleet(assignments, 120.0)
-        sharded = ShardedFleet(2, worker_factory=factory)
+        sharded = ShardedFleet(2, spec=spec)
+        workers = sharded._shards
         # ShardedFleet visits shards in index order, so arming shard 0
         # interrupts the fleet rollout partway through
         workers[0].crash_after_window(2)
@@ -256,7 +244,7 @@ class TestShardedFleetProcessWorkers:
         resumed = sharded.resume_rollout_fleet(assignments, 120.0)
         for cell_id, _ in assignments:
             np.testing.assert_array_equal(resumed[cell_id].soc_pred, ref[cell_id].soc_pred)
-        exit_codes = [workers[k].close() for k in sorted(workers)]
+        exit_codes = [worker.close() for worker in workers]
         assert exit_codes == [0, 0]
 
 
@@ -282,10 +270,8 @@ class TestWorkerMetrics:
         assert snap["gauges"]["engine_cells"] == 2.0
 
     def test_sharded_fleet_merges_all_workers(self, model, small_fleet):
-        def factory(k):
-            return ProcessShardWorker(default_model=model, name=f"m{k}", monitor=True)
-
-        with ShardedFleet(2, worker_factory=factory) as fleet:
+        spec = WorkerSpec(url="pipe://", model=model, name="m{shard}", monitor=True)
+        with ShardedFleet(2, spec=spec) as fleet:
             ids = [m.cell_id for m in small_fleet.members]
             for cid in ids:
                 fleet.register_cell(cid)
@@ -303,10 +289,8 @@ class TestWorkerMetrics:
         assert hist["min"] >= 0.0
 
     def test_dead_workers_are_skipped_not_fatal(self, model):
-        def factory(k):
-            return ProcessShardWorker(default_model=model, name=f"d{k}", monitor=True)
-
-        fleet = ShardedFleet(2, worker_factory=factory)
+        spec = WorkerSpec(url="pipe://", model=model, name="d{shard}", monitor=True)
+        fleet = ShardedFleet(2, spec=spec)
         try:
             for k in range(8):
                 fleet.register_cell(f"c{k}")
@@ -319,3 +303,75 @@ class TestWorkerMetrics:
             assert 0 < merged["counters"][key] < 8.0
         finally:
             fleet.close()
+
+
+# ----------------------------------------------------------------------
+# an impossible SoC band: every estimate violates it, so tests can tell
+# "registry spec applied" from "default detectors" in one call
+_ALARM_SPEC = {"page_hinkley": None, "cusum": None, "bounds": {"soc_min": 1.5, "soc_max": 2.0}}
+
+
+class TestDriftFromRegistry:
+    """Per-chemistry drift configs resolved from registry metadata
+    (``WorkerSpec(drift_from_registry=True)`` /
+    :func:`drift_resolver_from_registry`)."""
+
+    def _registry(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("lfp_net", model, chemistry="lfp", extra={"drift": _ALARM_SPEC})
+        registry.publish("generic", model)  # no chemistry, no drift spec
+        return registry
+
+    def test_resolver_returns_the_published_spec(self, tmp_path, model):
+        resolver = drift_resolver_from_registry(self._registry(tmp_path, model))
+        assert resolver("lfp") == _ALARM_SPEC
+        # chemistries served by a spec-less model fall back to defaults
+        assert resolver("nmc") is None
+        assert resolver(None) is None
+
+    def test_resolver_survives_an_empty_registry(self, tmp_path):
+        resolver = drift_resolver_from_registry(ModelRegistry(tmp_path / "empty"))
+        assert resolver("lfp") is None
+
+    def test_resolver_rejects_a_non_dict_spec(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("m", model, chemistry="lfp", extra={"drift": "loose"})
+        resolver = drift_resolver_from_registry(registry)
+        with pytest.raises(TypeError, match="non-dict 'drift' spec"):
+            resolver("lfp")
+
+    def test_spec_requires_a_registry(self, model):
+        with pytest.raises(ValueError, match="needs a registry"):
+            WorkerSpec(url="pipe://", model=model, drift_from_registry=True)
+        with pytest.raises(ValueError, match="needs a registry"):
+            ProcessShardWorker(default_model=model, drift_from_registry=True)
+
+    def test_worker_routes_drift_per_chemistry_from_the_registry(self, tmp_path, model):
+        registry = self._registry(tmp_path, model)
+        worker = ProcessShardWorker(
+            registry_root=registry.root, name="driftcfg", drift_from_registry=True
+        )
+        with worker:
+            worker.register_cell("hot", chemistry="lfp")
+            worker.register_cell("calm", chemistry="nmc")
+            assert worker.drift_events() == []
+            worker.estimate(["hot", "calm"], [3.7, 3.7], [1.0, 1.0], 25.0)
+            events = worker.drift_events()
+            # only the lfp cell trips its registry-declared bounds; the
+            # nmc cell runs default detectors, which stay quiet here
+            assert events and {event.cell_id for event in events} == {"hot"}
+            assert {event.kind for event in events} == {"soc_bounds"}
+
+    def test_sharded_fleet_merges_worker_drift_events(self, tmp_path, model):
+        registry = self._registry(tmp_path, model)
+        spec = WorkerSpec(
+            url="pipe://", registry=registry.root, name="dr{shard}", drift_from_registry=True
+        )
+        with ShardedFleet(2, spec=spec) as fleet:
+            ids = [f"c{k}" for k in range(8)]
+            for cid in ids:
+                fleet.register_cell(cid, chemistry="lfp")
+            assert all(size > 0 for size in fleet.shard_sizes())
+            fleet.estimate(ids, 3.7, 1.0, 25.0)
+            events = fleet.drift_events()
+            assert {event.cell_id for event in events} == set(ids)
