@@ -16,6 +16,15 @@ Three measurements of what the compiled inference path
 - **wire codec** — encode+decode round-trips of a bulk estimate
   request and a fleet-rollout reply: pickle frames vs v2 zero-copy
   frames (``frames_speedup``).
+- **float32 tier** — the same batched estimate/predict through
+  ``CompiledTwoBranchKernel(dtype=float32)``: ``float32_speedup`` plus
+  the measured accuracy deltas vs the float64 kernel
+  (``float32_est_diff`` / ``float32_pred_diff``, budget 1e-6).
+- **cross-model fusion** — a mixed-model batch served by the
+  per-model dispatch loop vs one block-diagonal
+  :class:`repro.core.FusedTwoBranchKernel` GEMM chain:
+  ``mixed_model_rows_per_s``, ``fused_speedup`` and the fused-vs-loop
+  equivalence diff (``fused_diff``, budget 1e-9).
 
 Every kernel measurement is checked against the Tensor path to the
 fleet's 1e-9 equivalence budget (``max_equiv_diff``) — a fast kernel
@@ -40,7 +49,7 @@ import time
 
 import numpy as np
 
-from repro.core import CompiledTwoBranchKernel, TwoBranchSoCNet
+from repro.core import CompiledTwoBranchKernel, FusedTwoBranchKernel, TwoBranchSoCNet
 from repro.eval.reporting import format_table
 from repro.serve import FleetEngine, generate_fleet, wire
 
@@ -82,6 +91,68 @@ def bench_batched(model, kernel, batch: int, reps: int) -> dict:
         "kernel_rows_per_s": batch / (kernel_us * 1e-6),
         "batched_speedup": tensor_us / kernel_us,
         "batched_diff": diff,
+    }
+
+
+def bench_float32(model, kernel, batch: int, reps: int) -> dict:
+    """The float32 serving tier vs the float64 kernel, same batch."""
+    kernel32 = CompiledTwoBranchKernel(model, dtype=np.float32)
+    rng = np.random.default_rng(2)
+    v = rng.uniform(2.8, 4.2, batch)
+    i = rng.uniform(-5.0, 5.0, batch)
+    t = rng.uniform(0.0, 45.0, batch)
+    soc = rng.uniform(0.0, 1.0, batch)
+    h = rng.uniform(1.0, 400.0, batch)
+    kernel32.estimate_soc(v, i, t)  # warm the buffers
+    f64_us = _p50_us(lambda: kernel.estimate_soc(v, i, t), reps)
+    f32_us = _p50_us(lambda: kernel32.estimate_soc(v, i, t), reps)
+    est_diff = float(np.max(np.abs(kernel32.estimate_soc(v, i, t) - kernel.estimate_soc(v, i, t))))
+    pred_diff = float(np.max(np.abs(
+        kernel32.predict_soc(soc, i, t, h).astype(np.float64) - kernel.predict_soc(soc, i, t, h)
+    )))
+    return {
+        "float32_rows_per_s": batch / (f32_us * 1e-6),
+        "float32_speedup": f64_us / f32_us,
+        "float32_est_diff": est_diff,
+        "float32_pred_diff": pred_diff,
+    }
+
+
+def bench_fused(batch: int, reps: int, seed: int, n_models: int = 8) -> dict:
+    """A mixed-model batch: per-model dispatch loop vs one fused chain.
+
+    Measured in the dispatch-bound regime the engine fuses in (at most
+    ~16 rows per model group) — larger groups are GEMM-bound and the
+    engine keeps the per-model loop for those.
+    """
+    batch = min(batch, 16 * n_models)
+    models = [TwoBranchSoCNet(rng=np.random.default_rng(seed + 10 + k)) for k in range(n_models)]
+    kernels = [CompiledTwoBranchKernel(m) for m in models]
+    fused = FusedTwoBranchKernel(kernels)
+    rng = np.random.default_rng(3)
+    v = rng.uniform(2.8, 4.2, batch)
+    i = rng.uniform(-5.0, 5.0, batch)
+    t = rng.uniform(0.0, 45.0, batch)
+    member = rng.integers(0, n_models, batch)
+    groups = [np.flatnonzero(member == u) for u in range(n_models)]
+
+    def dispatch():
+        out = np.empty(batch)
+        for u, idx in enumerate(groups):
+            out[idx] = kernels[u].estimate_soc(v[idx], i[idx], t[idx])
+        return out
+
+    fused.estimate_soc(v, i, t, member)  # warm the buffers
+    dispatch_us = _p50_us(dispatch, reps)
+    fused_us = _p50_us(lambda: fused.estimate_soc(v, i, t, member), reps)
+    diff = float(np.max(np.abs(fused.estimate_soc(v, i, t, member) - dispatch())))
+    return {
+        "fused_models": n_models,
+        "fused_batch": batch,
+        "dispatch_rows_per_s": batch / (dispatch_us * 1e-6),
+        "mixed_model_rows_per_s": batch / (fused_us * 1e-6),
+        "fused_speedup": dispatch_us / fused_us,
+        "fused_diff": diff,
     }
 
 
@@ -242,6 +313,8 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
 
     single = bench_single_row(model, kernel, reps)
     batched = bench_batched(model, kernel, batch, max(reps // 10, 50))
+    f32 = bench_float32(model, kernel, batch, max(reps // 10, 50))
+    fused = bench_fused(batch, max(reps // 10, 50), seed)
     monitor = bench_monitor_overhead(model, max(reps // 2, 100))
     tracing = bench_tracing_overhead(model, max(reps // 2, 100))
     rollout = bench_rollout(model, cells, step_s, seed)
@@ -255,6 +328,8 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
         "fast": fast,
         **single,
         **batched,
+        **f32,
+        **fused,
         **monitor,
         **tracing,
         **rollout,
@@ -273,6 +348,14 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
     print(format_table(["path", "p50 [us]", "rows/s"], rows, float_digits=1))
     print(f"kernel speedup: {record['kernel_speedup']:.1f}x single-row, "
           f"{record['batched_speedup']:.1f}x at batch {batch}")
+    print(f"float32 tier (batch {batch}): {f32['float32_rows_per_s']:,.0f} rows/s "
+          f"-> {record['float32_speedup']:.2f}x vs float64; "
+          f"deltas est {f32['float32_est_diff']:.2e} / pred {f32['float32_pred_diff']:.2e} "
+          f"(budget 1e-6)")
+    print(f"fused {fused['fused_models']}-model batch x{fused['fused_batch']}: "
+          f"dispatch {fused['dispatch_rows_per_s']:,.0f} rows/s vs "
+          f"fused {fused['mixed_model_rows_per_s']:,.0f} rows/s "
+          f"-> {record['fused_speedup']:.2f}x (diff {fused['fused_diff']:.2e})")
     print(f"monitoring overhead: engine estimate x1 {monitor['engine_plain_p50_us']:.1f}us bare "
           f"vs {monitor['engine_monitored_p50_us']:.1f}us monitored "
           f"-> {(record['monitor_overhead'] - 1) * 100:+.1f}% (budget +10%)")
@@ -299,6 +382,14 @@ def run(reps: int, batch: int, cells: int, step_s: float, seed: int, fast: bool,
     if record["max_equiv_diff"] > 1e-9:
         print(f"FAIL: kernel diverges from the Tensor path "
               f"({record['max_equiv_diff']:.3e} > 1e-9)")
+        return 1
+    if record["fused_diff"] > 1e-9:
+        print(f"FAIL: fused chain diverges from per-model dispatch "
+              f"({record['fused_diff']:.3e} > 1e-9)")
+        return 1
+    if max(record["float32_est_diff"], record["float32_pred_diff"]) > 1e-6:
+        print(f"FAIL: float32 tier outside its documented budget "
+              f"(est {record['float32_est_diff']:.3e} / pred {record['float32_pred_diff']:.3e} > 1e-6)")
         return 1
     return 0
 

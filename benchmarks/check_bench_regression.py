@@ -19,6 +19,18 @@ buying:
   Tensor path's, both timed in the same process.  A change that makes
   the kernel allocate, re-slice buffers, or fall off the GEMM chain
   shows up as a speedup drop.
+- ``float32_speedup`` (same record): the float32 serving tier's
+  batched throughput over the float64 kernel's.  A change that upcasts
+  mid-chain (silently restoring float64 work) shows up as the ratio
+  collapsing to ~1.
+- ``fused_speedup`` (same record): one cross-model fused GEMM chain
+  over the per-model dispatch loop on a mixed-model batch in the
+  dispatch-bound regime the engine fuses in.
+- ``shm_payload_ratio`` (from the fleet record): a bulk array
+  round-trip copied inline through a pipe over the same payload riding
+  the shared-memory ring.  A change that breaks ring placement (so
+  payloads silently fall back inline) shows up as the ratio dropping
+  to ~1.
 
 Checks applied to the current run (``--current``):
 
@@ -38,7 +50,11 @@ Checks applied to the current run (``--current``):
   golden-equivalence budget (same reasoning as ``max_traj_diff``), and
   ``rollout_kernel_speedup``/``frames_speedup`` are reported for the
   log but not gated (at smoke scale their wall time is small enough
-  for runner contention to flip them).
+  for runner contention to flip them);
+- for ``float32_speedup``: the float32 estimate/predict deltas must
+  stay within the documented 1e-6 budget;
+- for ``fused_speedup``: ``fused_diff`` must stay within the 1e-9
+  golden-equivalence budget.
 
 Raw numbers are still printed for the log, and the current records are
 uploaded as CI artifacts so a slow creep across many PRs can be
@@ -63,6 +79,9 @@ _CONFIG_KEYS = {
     "speedup": ("cells", "step_s", "fast"),
     "gateway_ratio": ("cells", "requests", "clients", "max_batch"),
     "kernel_speedup": ("reps", "batch", "step_s", "fast"),
+    "float32_speedup": ("reps", "batch", "fast"),
+    "fused_speedup": ("reps", "fused_models", "fused_batch", "fast"),
+    "shm_payload_ratio": ("shm_payload_mb", "workers", "fast"),
 }
 
 
@@ -89,6 +108,15 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
             f"gateway run dropped work: errors={current.get('errors')} shed={current.get('shed')} "
             f"(throughput with dropped completions does not count)"
         )
+    if metric == "float32_speedup":
+        worst32 = max(current["float32_est_diff"], current["float32_pred_diff"])
+        if worst32 > 1e-6:
+            failures.append(f"float32 delta {worst32:.3e} exceeds the documented 1e-6 budget")
+    if metric == "fused_speedup" and current["fused_diff"] > 1e-9:
+        failures.append(
+            f"fused-chain divergence {current['fused_diff']:.3e} exceeds the 1e-9 "
+            f"golden-equivalence budget"
+        )
     base, cur = baseline[metric], current[metric]
     floor = base * (1.0 - tolerance)
     verdict = "ok" if cur >= floor else "REGRESSION"
@@ -102,9 +130,12 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
             f"below the baseline {base:.1f}x"
         )
     extras = {
-        "speedup": ("sharded_speedup", "process_speedup"),
+        "speedup": ("sharded_speedup", "process_speedup", "shm_speedup"),
         "gateway_ratio": (),
         "kernel_speedup": ("batched_speedup", "rollout_kernel_speedup", "frames_speedup"),
+        "float32_speedup": (),
+        "fused_speedup": (),
+        "shm_payload_ratio": (),
     }[metric]
     for extra in extras:
         if baseline.get(extra) and current.get(extra):
@@ -124,11 +155,29 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
             f"kernel single-row p50 {current['kernel_p50_us']:.1f}us "
             f"(baseline recorded {baseline['kernel_p50_us']:.1f}us)"
         )
-    else:
+    elif metric == "gateway_ratio":
         print(
             f"raw throughput (informational): "
             f"{current['gateway_req_s']:,.0f} req/s through the gateway "
             f"(baseline recorded {baseline['gateway_req_s']:,.0f})"
+        )
+    elif metric == "float32_speedup":
+        print(
+            f"raw throughput (informational): "
+            f"{current['float32_rows_per_s']:,.0f} float32 rows/s "
+            f"(baseline recorded {baseline['float32_rows_per_s']:,.0f})"
+        )
+    elif metric == "fused_speedup":
+        print(
+            f"raw throughput (informational): "
+            f"{current['mixed_model_rows_per_s']:,.0f} fused mixed-model rows/s "
+            f"(baseline recorded {baseline['mixed_model_rows_per_s']:,.0f})"
+        )
+    else:
+        print(
+            f"raw latency (informational): "
+            f"shm round-trip p50 {current['shm_payload_p50_us']:.0f}us "
+            f"(baseline recorded {baseline['shm_payload_p50_us']:.0f}us)"
         )
     return failures
 

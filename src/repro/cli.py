@@ -326,8 +326,8 @@ def _worker_url_template(args) -> str | None:
     if getattr(args, "worker_url", None):
         return args.worker_url
     transport = getattr(args, "worker_transport", "pipe")
-    if transport == "pipe":
-        return "pipe://"
+    if transport in ("pipe", "shm"):
+        return f"{transport}://"
     if transport == "tcp":
         return "tcp://127.0.0.1:0"
     import os
@@ -350,6 +350,7 @@ def _subprocess_worker_spec(args, model, monitoring: bool, tracing: bool):
         trace=tracing,
         archive_root=getattr(args, "archive_dir", None),
         journal_segment_bytes=_segment_bytes(args),
+        dtype=getattr(args, "dtype", None),
         spawn=not getattr(args, "worker_url", None),
     )
 
@@ -430,13 +431,14 @@ def _cmd_serve_sim(args) -> int:
         engine = ShardedFleet(
             args.shards,
             spec=WorkerSpec(
-                model=model, registry=registry, journal=journal, metrics=metrics, drift=drift
+                model=model, registry=registry, journal=journal, metrics=metrics,
+                drift=drift, dtype=args.dtype,
             ),
         )
     else:
         engine = FleetEngine(
             default_model=model, registry=registry, journal=journal,
-            metrics=metrics, drift=drift,
+            metrics=metrics, drift=drift, dtype=args.dtype or "float64",
         )
     assignments = fleet.assignments()
 
@@ -717,7 +719,8 @@ def _cmd_serve(args) -> int:
         engine = ShardedFleet(
             args.shards,
             spec=WorkerSpec(
-                model=model, registry=registry, journal=journal, metrics=metrics, drift=drift
+                model=model, registry=registry, journal=journal, metrics=metrics,
+                drift=drift, dtype=args.dtype,
             ),
         )
     else:
@@ -728,7 +731,7 @@ def _cmd_serve(args) -> int:
         )
         engine = FleetEngine(
             default_model=model, registry=registry, journal=journal,
-            metrics=metrics, drift=drift,
+            metrics=metrics, drift=drift, dtype=args.dtype or "float64",
         )
     daemon = SocDaemon(
         engine,
@@ -1039,9 +1042,11 @@ def _flag_parents() -> dict[str, argparse.ArgumentParser]:
 
     transport = argparse.ArgumentParser(add_help=False)
     g = transport.add_argument_group("worker transport")
-    g.add_argument("--worker-transport", choices=("pipe", "tcp", "unix"), default="pipe",
+    g.add_argument("--worker-transport", choices=("pipe", "shm", "tcp", "unix"), default="pipe",
                    help="medium for --workers shards: stdio pipes (local fast path), "
-                        "TCP sockets on 127.0.0.1, or Unix-domain sockets (default: pipe)")
+                        "shared-memory rings (pipes carry framing only; bulk arrays "
+                        "ride /dev/shm slabs), TCP sockets on 127.0.0.1, or "
+                        "Unix-domain sockets (default: pipe)")
     g.add_argument("--worker-url", default=None,
                    help="address template of already-running workers (e.g. "
                         "'tcp://host:73{shard}'); overrides --worker-transport and "
@@ -1050,6 +1055,10 @@ def _flag_parents() -> dict[str, argparse.ArgumentParser]:
                    help="cold store for sealed journal segments: rotation ships "
                         "segments here and unlinks them locally; restore replays "
                         "them back (see repro.serve.archive)")
+    g.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                   help="serving precision tier for the compiled kernels: float32 "
+                        "halves memory traffic at ~1e-6 SoC deviation "
+                        "(default: float64)")
     return {
         "fleet": fleet,
         "gateway": gateway,

@@ -14,7 +14,12 @@ from .branches import Branch1, Branch2
 from .complexity import ComplexityReport, lstm_complexity, mlp_complexity, model_complexity
 from .ensemble import SoHEnsemble
 from .config import ModelConfig, PhysicsConfig, TrainConfig
-from .kernels import CompiledBranchKernel, CompiledTwoBranchKernel
+from .kernels import (
+    CompiledBranchKernel,
+    CompiledTwoBranchKernel,
+    FusedBranchKernel,
+    FusedTwoBranchKernel,
+)
 from .model import TwoBranchSoCNet
 from .physics import CollocationBatch, CollocationSampler
 from .rollout import RolloutResult, WindowPlan, cycle_windows, model_rollout, rollout_cycle
@@ -29,6 +34,8 @@ __all__ = [
     "TwoBranchSoCNet",
     "CompiledBranchKernel",
     "CompiledTwoBranchKernel",
+    "FusedBranchKernel",
+    "FusedTwoBranchKernel",
     "SoHEnsemble",
     "CollocationBatch",
     "CollocationSampler",

@@ -40,6 +40,23 @@ After mutating the model (training, ``load_state_dict``), call
 :class:`repro.serve.FleetEngine` compiles one kernel per distinct model
 object and uses it for ``estimate``/``predict``/``rollout_fleet``
 unless constructed with ``use_kernel=False``.
+
+**Fused-stack layout.**  A mixed-model batch (different registry
+versions, canary cohorts) would otherwise pay one GEMM-chain dispatch
+per model group.  :class:`FusedTwoBranchKernel` stacks *M* same-
+architecture members' exported stage-``k`` blocks into one
+``(M, q, p)`` tensor and runs the whole chain as **batched GEMMs**:
+rows are scattered by their ``member`` index into a zero-padded
+``(M, n_max, n_inputs+1)`` input tensor (``n_max`` = largest group),
+each stage is a single ``np.matmul`` over all members at once, and the
+final gather ``h[member[r], slot[r], 0]`` picks each row's own head.
+Per-stage arithmetic is exactly the per-member GEMV sequence — padding
+lanes compute bounded garbage on zeros that is never read — so results
+match per-model dispatch to BLAS rounding (~1e-16, pinned at 1e-9 in
+the test suite) while the per-model Python dispatch, slicing and
+buffer wrangling collapse into one C-level call per stage.  The
+stacked blocks are fresh copies, so members' kernels stay
+independently usable.
 """
 
 from __future__ import annotations
@@ -53,7 +70,12 @@ from ..monitor.tracing import TRACE_STATE as _TRACE_STATE
 from ..nn.layers import export_affine_chain
 from .model import TwoBranchSoCNet
 
-__all__ = ["CompiledBranchKernel", "CompiledTwoBranchKernel"]
+__all__ = [
+    "CompiledBranchKernel",
+    "CompiledTwoBranchKernel",
+    "FusedBranchKernel",
+    "FusedTwoBranchKernel",
+]
 
 # activations that map the constant 1.0 to exactly 1.0, so a ones
 # channel appended to a layer's output can keep driving bias rows
@@ -121,6 +143,7 @@ class CompiledBranchKernel:
         offsets = np.asarray(scaler.offsets, dtype=np.float64)
         # (weight block, explicit bias or None, in-place activation or None)
         self._stages: list[tuple[np.ndarray, np.ndarray | None, Callable | None]] = []
+        self._tags: list[str] = []  # activation tag per stage, for fused stacking
         carry = True  # the stage's input carries a trailing ones channel
         for k, (weight, bias, tag) in enumerate(chain):
             if k == 0:
@@ -146,6 +169,7 @@ class CompiledBranchKernel:
             self._stages.append(
                 (np.ascontiguousarray(block, dtype=self.dtype), explicit_bias, _inplace_activation(tag))
             )
+            self._tags.append(tag)
             carry = out_ones
         self.n_inputs = int(chain[0][0].shape[0])
         self.n_outputs = int(chain[-1][0].shape[1])
@@ -160,6 +184,20 @@ class CompiledBranchKernel:
     def num_bytes(self) -> int:
         """On-heap size of the flat weight blocks."""
         return int(sum(block.nbytes for block, _, _ in self._stages))
+
+    @property
+    def chain_signature(self) -> tuple:
+        """Stage-layout fingerprint: fused stacking requires equal signatures.
+
+        Two kernels with the same signature have identical block shapes,
+        activation tags, and bias-row vs explicit-bias placement in every
+        stage — exactly the conditions for their blocks to be stacked
+        block-diagonally into one chain (weights may differ freely).
+        """
+        return tuple(
+            (tag, block.shape, bias is not None)
+            for (block, bias, _), tag in zip(self._stages, self._tags)
+        )
 
     def _activate(self, n: int) -> None:
         """Point the cached views at ``n``-row slices, growing buffers as needed."""
@@ -215,6 +253,122 @@ class CompiledBranchKernel:
                 act(out)
             h = out
         return h[:, 0].copy()
+
+
+class FusedBranchKernel:
+    """Several same-architecture branch kernels stacked into one batched chain.
+
+    See the module docstring ("Fused-stack layout") for the stacked
+    ``(M, q, p)`` construction and why padding lanes cannot contaminate
+    real rows.  Members must share one :attr:`dtype` and one
+    :attr:`CompiledBranchKernel.chain_signature`; weights may differ.
+
+    :meth:`forward_columns` takes the usual per-feature columns plus a
+    ``member`` vector assigning each batch row to a member index, and
+    returns each row's own member's scalar head — bit-for-bit the shape
+    of running the per-member kernels over their row slices, without the
+    per-member dispatch loop.
+    """
+
+    def __init__(self, members: Sequence[CompiledBranchKernel]):
+        if not members:
+            raise ValueError("fused kernel needs at least one member")
+        self.members = list(members)
+        head = self.members[0]
+        self.dtype = head.dtype
+        signature = head.chain_signature
+        for member in self.members[1:]:
+            if member.dtype != self.dtype:
+                raise ValueError(
+                    f"fused members must share one dtype ({member.dtype.name} vs {self.dtype.name})"
+                )
+            if member.chain_signature != signature:
+                raise ValueError("fused members must share one exported chain architecture")
+        self.n_members = len(self.members)
+        self.n_inputs = head.n_inputs
+        self.n_outputs = head.n_outputs
+        self._in_stride = self.n_inputs + 1  # feature columns + the ones channel
+        self._stages: list[tuple[np.ndarray, np.ndarray | None, Callable | None]] = []
+        for k, tag in enumerate(head._tags):
+            blocks = np.stack([member._stages[k][0] for member in self.members])
+            biases = [member._stages[k][1] for member in self.members]
+            # (M, 1, p): broadcast over each member's rows in one add
+            explicit = None if biases[0] is None else np.stack(biases)[:, None, :]
+            self._stages.append((blocks, explicit, _inplace_activation(tag)))
+        self._capacity = 0
+        self._x: np.ndarray | None = None
+        self._bufs: list[np.ndarray] = []
+        self._n_active = -1
+        self._xv: np.ndarray | None = None
+        self._sv: list[tuple[np.ndarray, np.ndarray | None, Callable | None, np.ndarray]] = []
+
+    def num_bytes(self) -> int:
+        """On-heap size of the stacked weight blocks."""
+        return int(sum(block.nbytes for block, _, _ in self._stages))
+
+    def _activate(self, n_max: int) -> None:
+        """Point the cached views at ``n_max``-row group slices, growing as needed."""
+        if n_max > self._capacity:
+            cap = max(n_max, 2 * self._capacity)
+            self._x = np.empty((self.n_members, cap, self._in_stride), dtype=self.dtype)
+            self._bufs = [
+                np.empty((self.n_members, cap, block.shape[2]), dtype=self.dtype)
+                for block, _, _ in self._stages
+            ]
+            self._capacity = cap
+        self._xv = self._x[:, :n_max]
+        self._sv = [
+            (block, bias, act, buf[:, :n_max]) for (block, bias, act), buf in zip(self._stages, self._bufs)
+        ]
+        self._n_active = n_max
+
+    def forward_columns(self, cols: Sequence, member: np.ndarray) -> np.ndarray:
+        """Run the fused chain over raw feature columns with member routing.
+
+        ``cols`` holds one scalar or length-``n`` array per input
+        feature; ``member`` is the ``(n,)`` integer vector assigning each
+        row to a member kernel (``0 <= member[r] < n_members``) and fixes
+        the batch size.  Returns a fresh ``(n,)`` array where row ``r``
+        is member ``member[r]``'s scalar head over row ``r``'s features.
+        """
+        cols = list(cols)
+        if len(cols) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} feature columns, got {len(cols)}")
+        member = np.asarray(member, dtype=np.intp)
+        if member.ndim != 1:
+            raise ValueError(f"member vector must be 1-D, got shape {member.shape}")
+        n = member.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=self.dtype)
+        counts = np.bincount(member, minlength=self.n_members)
+        if counts.size > self.n_members:
+            raise ValueError(f"member index out of range (n_members={self.n_members})")
+        # slot[r] = row r's position inside its member's group: scatter
+        # target (member[r], slot[r]) packs each group to the front of
+        # its lane, padding lanes beyond a group's count stay zero
+        order = np.argsort(member, kind="stable")
+        starts = np.zeros(self.n_members, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        slot = np.empty(n, dtype=np.intp)
+        slot[order] = np.arange(n) - starts[member[order]]
+        n_max = int(counts.max())
+        if n_max != self._n_active:
+            self._activate(n_max)
+        x = self._xv
+        # padding lanes stay exactly 0.0 so their garbage is bounded
+        x[...] = 0.0
+        for j, col in enumerate(cols):
+            x[member, slot, j] = col
+        x[member, slot, self.n_inputs] = 1.0  # the ones channel driving bias rows
+        h = x
+        for block, bias, act, out in self._sv:
+            np.matmul(h, block, out=out)
+            if bias is not None:
+                out += bias
+            if act is not None:
+                act(out)
+            h = out
+        return h[member, slot, 0]
 
 
 class CompiledTwoBranchKernel:
@@ -282,4 +436,58 @@ class CompiledTwoBranchKernel:
         return (
             f"CompiledTwoBranchKernel(dtype={self.dtype.name}, "
             f"bytes={self.num_bytes()}, model={self.model!r})"
+        )
+
+
+class FusedTwoBranchKernel:
+    """Several models' compiled kernels fused into one batched GEMM chain.
+
+    Built from *already compiled* :class:`CompiledTwoBranchKernel`
+    members (same architecture and dtype; weights differ), this serves a
+    mixed-model batch with one GEMM chain per branch instead of one per
+    model — :class:`repro.serve.FleetEngine` routes multi-model
+    ``estimate``/``predict`` batches here and keeps :attr:`members` so it
+    can detect staleness by member-kernel identity.
+
+    Raises ``ValueError`` when the members' exported chains cannot be
+    stacked (different layer shapes, activations, or dtypes).
+    """
+
+    def __init__(self, kernels: Sequence[CompiledTwoBranchKernel]):
+        if not kernels:
+            raise ValueError("fused kernel needs at least one member")
+        self.members = tuple(kernels)
+        self.dtype = self.members[0].dtype
+        self.branch1 = FusedBranchKernel([kernel.branch1 for kernel in self.members])
+        self.branch2 = FusedBranchKernel([kernel.branch2 for kernel in self.members])
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def num_bytes(self) -> int:
+        """Total size of both fused branches' weight blocks."""
+        return self.branch1.num_bytes() + self.branch2.num_bytes()
+
+    # -- inference API (member-routed; trace guard mirrors the member class)
+    def estimate_soc(self, voltage, current, temp_c, member) -> np.ndarray:
+        """Branch 1 for a mixed batch: row ``r`` uses model ``member[r]``."""
+        ctx = getattr(_TRACE_STATE, "ctx", None)
+        if ctx is None:
+            return self.branch1.forward_columns((voltage, current, temp_c), member)
+        with ctx.tracer.span(ctx, "kernel.estimate_fused"):
+            return self.branch1.forward_columns((voltage, current, temp_c), member)
+
+    def predict_soc(self, soc_now, current_avg, temp_avg_c, horizon_s, member) -> np.ndarray:
+        """Branch 2 for a mixed batch: row ``r`` uses model ``member[r]``."""
+        ctx = getattr(_TRACE_STATE, "ctx", None)
+        if ctx is None:
+            return self.branch2.forward_columns((soc_now, current_avg, temp_avg_c, horizon_s), member)
+        with ctx.tracer.span(ctx, "kernel.predict_fused"):
+            return self.branch2.forward_columns((soc_now, current_avg, temp_avg_c, horizon_s), member)
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedTwoBranchKernel(members={self.n_members}, "
+            f"dtype={self.dtype.name}, bytes={self.num_bytes()})"
         )

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..core.kernels import CompiledTwoBranchKernel
+from ..core.kernels import CompiledTwoBranchKernel, FusedTwoBranchKernel
 from ..core.model import TwoBranchSoCNet
 from ..core.rollout import RolloutResult, cycle_windows
 from ..datasets.base import CycleRecord
@@ -43,6 +43,13 @@ if TYPE_CHECKING:
 __all__ = ["CellState", "FleetEngine"]
 
 _DEFAULT_MODEL_KEY = "__default__"
+
+# Cross-model fusion crossover, calibrated on bench_kernel_latency.py:
+# the fused batched-GEMM path wins when per-group Python dispatch
+# dominates (many groups, few rows each) and loses once the per-group
+# GEMMs are large enough to amortise dispatch on their own.
+_FUSE_MIN_GROUPS = 4
+_FUSE_MAX_ROWS_PER_GROUP = 64
 
 
 @dataclasses.dataclass
@@ -102,6 +109,26 @@ class FleetEngine:
         model *object* is replaced (e.g. a registry promote); mutating
         weights in place on a live engine requires a new engine or
         ``use_kernel=False``.
+    dtype:
+        Serving precision tier for the compiled kernels: ``float64``
+        (default; ~1e-13 of the Tensor path) or ``float32`` (the
+        deployment-sized fast tier, ~1e-6 single-forward accuracy —
+        quantified per op by ``bench_kernel_latency.py`` and pinned in
+        ``tests/test_core_kernels.py``).  Estimate/predict results are
+        returned (and journaled/wired) in this dtype; fleet rollouts
+        keep float64 trajectory state regardless, so recursion, journal
+        records and resume stay on one representation.  Requires
+        ``use_kernel=True`` — the Tensor path is float64-only.
+    fuse_models:
+        Serve mixed-model estimate/predict batches through one batched
+        :class:`~repro.core.kernels.FusedTwoBranchKernel` GEMM chain
+        instead of one dispatch per model group (default).  Fusion is
+        adaptive: it only engages on dispatch-bound batches (at least
+        four model groups, at most ~64 rows per group on average);
+        GEMM-bound batches keep the per-model loop.  The fused kernel
+        is cached per model-key set and rebuilt when any member kernel
+        is recompiled; incompatible architectures fall back to the
+        per-model loop automatically.
     metrics:
         Optional :class:`~repro.monitor.metrics.MetricsRegistry`; when
         attached the engine reports per-model request counters
@@ -135,12 +162,20 @@ class FleetEngine:
         use_kernel: bool = True,
         metrics: MetricsRegistry | None = None,
         drift: DriftMonitor | None = None,
+        dtype=np.float64,
+        fuse_models: bool = True,
     ):
         if default_model is None and registry is None:
             raise ValueError("need a default model, a registry, or both")
         self.registry = registry
         self.journal = journal
         self.use_kernel = use_kernel
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"serving dtype must be a float dtype, got {self.dtype}")
+        if self.dtype != np.dtype(np.float64) and not use_kernel:
+            raise ValueError("dtype tiers require use_kernel=True (the Tensor path is float64-only)")
+        self.fuse_models = bool(fuse_models)
         self.metrics = metrics
         if drift is not None and not hasattr(drift, "observe_soc") and callable(drift):
             from ..monitor.drift import ChemistryDriftRouter
@@ -149,6 +184,12 @@ class FleetEngine:
         self.drift = drift
         self._models: dict[str, TwoBranchSoCNet] = {}
         self._kernels: dict[str, CompiledTwoBranchKernel] = {}
+        # fused cross-model kernels per sorted model-key set; each entry
+        # remembers the member kernels it was built from so a recompile
+        # of any member (registry promote) invalidates it, and caches
+        # None for architecture-incompatible sets so the per-model
+        # fallback isn't re-attempted every batch
+        self._fused: dict[tuple[str, ...], tuple[tuple, FusedTwoBranchKernel | None]] = {}
         # instrument objects cached per (op, model key): the registry's
         # get-or-create builds a label-string key per call, which is too
         # much work for the per-batch hot path
@@ -168,6 +209,8 @@ class FleetEngine:
         use_kernel: bool = True,
         metrics: MetricsRegistry | None = None,
         drift: DriftMonitor | None = None,
+        dtype=np.float64,
+        fuse_models: bool = True,
     ) -> FleetEngine:
         """Rebuild an engine from a journal after a restart.
 
@@ -184,6 +227,8 @@ class FleetEngine:
             use_kernel=use_kernel,
             metrics=metrics,
             drift=drift,
+            dtype=dtype,
+            fuse_models=fuse_models,
         )
         for state in journal.snapshot().cells.values():
             engine._adopt_state(dataclasses.replace(state))
@@ -291,12 +336,22 @@ class FleetEngine:
         v = np.broadcast_to(np.asarray(voltage, dtype=np.float64), (len(cell_ids),))
         i = np.broadcast_to(np.asarray(current, dtype=np.float64), (len(cell_ids),))
         t = np.broadcast_to(np.asarray(temp_c, dtype=np.float64), (len(cell_ids),))
-        out = np.empty(len(cell_ids))
-        for key, idx in self._group_by_model(cell_ids).items():
-            with trace_stage("engine.estimate", model=key, rows=len(idx)):
-                out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
+        groups = self._group_by_model(cell_ids)
+        fused = self._fused_for(groups, len(cell_ids))
+        if fused is not None:
+            member = self._member_vector(groups, len(cell_ids))
+            with trace_stage("engine.estimate", model="*fused*", rows=len(cell_ids)):
+                out = fused.estimate_soc(v, i, t, member)
             if self.metrics is not None:
-                self._op_counter("estimate", key).inc(len(idx))
+                for key, idx in groups.items():
+                    self._op_counter("estimate", key).inc(len(idx))
+        else:
+            out = np.empty(len(cell_ids), dtype=self.dtype)
+            for key, idx in groups.items():
+                with trace_stage("engine.estimate", model=key, rows=len(idx)):
+                    out[idx] = self._infer(key).estimate_soc(v[idx], i[idx], t[idx])
+                if self.metrics is not None:
+                    self._op_counter("estimate", key).inc(len(idx))
         # physics-bounds guard, folded into the state-update loop below:
         # two float compares per cell ride the pass that already
         # materializes each SoC, so the clean path pays ~nothing and the
@@ -357,12 +412,24 @@ class FleetEngine:
         i_avg = np.broadcast_to(np.asarray(current_avg, dtype=np.float64), (len(cell_ids),))
         t_avg = np.broadcast_to(np.asarray(temp_avg_c, dtype=np.float64), (len(cell_ids),))
         horizon = np.broadcast_to(np.asarray(horizon_s, dtype=np.float64), (len(cell_ids),))
-        out = np.empty(len(cell_ids))
-        for key, idx in self._group_by_model(cell_ids).items():
-            with trace_stage("engine.predict", model=key, rows=len(idx)):
-                out[idx] = self._infer(key).predict_soc(soc[idx], i_avg[idx], t_avg[idx], horizon[idx])
+        groups = self._group_by_model(cell_ids)
+        fused = self._fused_for(groups, len(cell_ids))
+        if fused is not None:
+            member = self._member_vector(groups, len(cell_ids))
+            with trace_stage("engine.predict", model="*fused*", rows=len(cell_ids)):
+                out = fused.predict_soc(soc, i_avg, t_avg, horizon, member)
             if self.metrics is not None:
-                self._op_counter("predict", key).inc(len(idx))
+                for key, idx in groups.items():
+                    self._op_counter("predict", key).inc(len(idx))
+        else:
+            out = np.empty(len(cell_ids), dtype=self.dtype)
+            for key, idx in groups.items():
+                with trace_stage("engine.predict", model=key, rows=len(idx)):
+                    out[idx] = self._infer(key).predict_soc(
+                        soc[idx], i_avg[idx], t_avg[idx], horizon[idx]
+                    )
+                if self.metrics is not None:
+                    self._op_counter("predict", key).inc(len(idx))
         if self.drift is not None:
             self.drift.observe_soc(cell_ids, out, delta=out - soc, horizon_s=horizon)
         states = []
@@ -786,9 +853,49 @@ class FleetEngine:
             return model
         kernel = self._kernels.get(key)
         if kernel is None or kernel.model is not model:
-            kernel = CompiledTwoBranchKernel(model)
+            kernel = CompiledTwoBranchKernel(model, dtype=self.dtype)
             self._kernels[key] = kernel
         return kernel
+
+    def _fused_for(self, groups: dict[str, np.ndarray], n: int) -> FusedTwoBranchKernel | None:
+        """Fused cross-model kernel for a mixed batch (``None`` → per-model loop).
+
+        Fusion pays only on *dispatch-bound* batches — many model
+        groups with few rows each, where per-group Python dispatch
+        dominates the tiny GEMMs.  Large groups are GEMM-bound and the
+        fused scatter/pad overhead loses, so those batches keep the
+        per-model loop (measured crossover on the kernel bench: at
+        least ``_FUSE_MIN_GROUPS`` groups and at most
+        ``_FUSE_MAX_ROWS_PER_GROUP`` rows per group on average).  The
+        cache key is the *sorted* model-key set so batch-order
+        permutations share one fused kernel; staleness is detected by
+        member-kernel identity against ``_infer``'s current compiles,
+        and sets whose exported chains cannot be stacked are cached as
+        ``None``.
+        """
+        if not self.fuse_models or not self.use_kernel:
+            return None
+        if len(groups) < _FUSE_MIN_GROUPS or n > _FUSE_MAX_ROWS_PER_GROUP * len(groups):
+            return None
+        keys = tuple(sorted(groups))
+        kernels = tuple(self._infer(key) for key in keys)
+        cached = self._fused.get(keys)
+        if cached is not None and all(a is b for a, b in zip(cached[0], kernels)):
+            return cached[1]
+        try:
+            fused = FusedTwoBranchKernel(kernels)
+        except ValueError:
+            fused = None  # incompatible architectures: fall back per model
+        self._fused[keys] = (kernels, fused)
+        return fused
+
+    @staticmethod
+    def _member_vector(groups: dict[str, np.ndarray], n: int) -> np.ndarray:
+        """Per-row member indices matching ``_fused_for``'s sorted key order."""
+        member = np.empty(n, dtype=np.intp)
+        for u, key in enumerate(sorted(groups)):
+            member[groups[key]] = u
+        return member
 
     def _group_by_model(self, cell_ids: Sequence[str]) -> dict[str, np.ndarray]:
         groups: dict[str, list[int]] = {}

@@ -41,6 +41,21 @@ rare and structural — and anything v2 cannot express (e.g. cycle tags
 that are not JSON) falls back to pickle per message, never per
 session.
 
+**Shared-memory refs (shm transport).**  Over the ``shm://`` local
+transport (:class:`repro.serve.transport.ShmRing`) bulk payloads stop
+riding the pipe entirely: :func:`encode_v2_shm` copies each array's
+bytes into a preallocated shared-memory slab ring and the frame body
+carries only the header + JSON meta, with each array spec extended by
+``"shm": [offset, nbytes]``.  The receiver (:func:`decode_body` with a
+``shm`` ring attached) maps each ref back with ``np.frombuffer`` over
+the ring — the same read-only-view contract as in-band payloads.  A
+message whose payloads do not fit the ring returns ``None`` from
+:func:`encode_v2_shm` and falls back to an in-band :func:`encode_v2`
+frame, so ring capacity bounds memory, never message size.  Ref frames
+are only valid between the two endpoints sharing the ring; everything
+else about the format (dispatch byte, meta, fallback rules) is
+unchanged.
+
 **Trace context.**  The kind-specific ``meta`` block is free-form
 JSON, so distributed-tracing context rides as one optional meta key
 (:data:`TRACE_META_KEY`): the compact ``[trace_id, span_id, flags]``
@@ -80,6 +95,7 @@ __all__ = [
     "write_pickle",
     "write_v2",
     "encode_v2",
+    "encode_v2_shm",
     "encode_str_list",
     "decode_str_list",
     "encode_rollout_request",
@@ -151,16 +167,21 @@ def pickle_body(payload) -> bytes:
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_body(body: bytes):
+def decode_body(body: bytes, shm=None):
     """Decode one frame body: a :class:`V2Frame` or an unpickled payload.
 
     The first byte dispatches — ``0xB2`` is the v2 magic, ``0x80`` the
     pickle protocol-2+ opcode — exactly as the stream-level
     :func:`read_frame` always did; transports that read bodies
     themselves (for torn-stream detection) decode through this.
+
+    ``shm`` is the receive-side shared-memory ring (any object exposing
+    the mapped bytes as ``.buf``); array specs carrying ``"shm"`` refs
+    are resolved against it.  Without a ring attached such frames raise
+    ``ValueError`` — they are meaningless off their transport.
     """
     if body[:1] == bytes([V2_MAGIC]):
-        return _decode_v2(body)
+        return _decode_v2(body, shm=shm)
     return pickle.loads(body)
 
 
@@ -217,7 +238,47 @@ def write_v2(stream, kind: str, meta: dict, arrays: Sequence[np.ndarray]) -> Non
     stream.flush()
 
 
-def _decode_v2(body: bytes) -> V2Frame:
+def encode_v2_shm(kind: str, meta: dict, arrays: Sequence[np.ndarray], ring) -> list | None:
+    """Serialize a v2 message with payloads placed in a shared-memory ring.
+
+    Array bytes are copied into ``ring`` (via its ``place`` method) and
+    each spec gains an ``"shm": [offset, nbytes]`` ref; the returned
+    buffers carry only the header + meta, so the bulk payload never
+    touches the stream.  Returns ``None`` when the payloads do not fit
+    the ring — the caller sends a plain in-band :func:`encode_v2` frame
+    instead.  Like :func:`encode_v2`, the JSON meta is fully serialized
+    before anything is written to the *stream*, so pickle fallback on
+    ``TypeError`` still sees a clean stream (slab bytes already placed
+    are simply overwritten by a later message).
+    """
+    if len(arrays) > 0xFFFF:
+        raise TypeError(f"{len(arrays)} arrays exceed the v2 frame limit of 65535")
+    blocks: list = []
+    normalized: list[tuple[np.ndarray, bool]] = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise TypeError("v2 frames carry raw numeric arrays, not object dtypes")
+        payload = bool(array.size)  # empty arrays carry no payload, shm or not
+        normalized.append((array, payload))
+        if payload:
+            blocks.append(memoryview(array).cast("B"))
+    offsets = ring.place(blocks)
+    if offsets is None:
+        return None
+    refs = iter(offsets)
+    specs = []
+    for array, payload in normalized:
+        spec = {"dtype": array.dtype.str, "shape": list(array.shape)}
+        if payload:
+            spec["shm"] = [next(refs), array.nbytes]
+        specs.append(spec)
+    meta_b = json.dumps({"kind": kind, "meta": meta, "arrays": specs}, separators=(",", ":")).encode("utf-8")
+    head = _V2_HEAD.pack(V2_MAGIC, V2_VERSION, len(meta_b), len(arrays))
+    return [_LENGTH.pack(_V2_HEAD.size + len(meta_b)) + head + meta_b]
+
+
+def _decode_v2(body: bytes, shm=None) -> V2Frame:
     magic, version, meta_len, n_arrays = _V2_HEAD.unpack_from(body, 0)
     if version > V2_VERSION:
         raise ValueError(f"frame format v{version} is newer than this build (v{V2_VERSION})")
@@ -231,9 +292,16 @@ def _decode_v2(body: bytes) -> V2Frame:
         dtype = np.dtype(spec["dtype"])
         shape = tuple(spec["shape"])
         count = int(np.prod(shape)) if shape else 1
-        array = np.frombuffer(body, dtype=dtype, count=count, offset=offset).reshape(shape)
+        ref = spec.get("shm")
+        if ref is not None:
+            if shm is None:
+                raise ValueError("frame carries shm refs but no ring is attached to this transport")
+            array = np.frombuffer(shm.buf, dtype=dtype, count=count, offset=int(ref[0])).reshape(shape)
+            array.flags.writeable = False  # same read-only-view contract as in-band payloads
+        else:
+            array = np.frombuffer(body, dtype=dtype, count=count, offset=offset).reshape(shape)
+            offset += count * dtype.itemsize
         arrays.append(array)
-        offset += count * dtype.itemsize
     return V2Frame(kind=info["kind"], meta=info["meta"], arrays=arrays)
 
 

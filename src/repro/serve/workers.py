@@ -11,7 +11,11 @@ duck-typed interface over the length-prefixed frame protocol
 
 - :class:`ProcessShardWorker` — the local fast path: a child process
   over its stdin/stdout pipes (``pipe://``), crash detection backed by
-  ``waitpid`` exit codes;
+  ``waitpid`` exit codes.  With ``shm=True`` (``shm://``) the pipes
+  keep carrying frames but bulk array payloads move through a pair of
+  :class:`~repro.serve.transport.ShmRing` shared-memory rings — the
+  parent creates them at spawn, ships their paths in the ``init``
+  spec, and unlinks them at release;
 - :class:`RemoteShardWorker` — the same protocol over a Unix or TCP
   socket (``unix:///path``, ``tcp://host:port``): a worker on another
   host, or a locally ``spawn``-ed standalone process.  No ``waitpid``
@@ -90,12 +94,16 @@ from .engine import CellState, FleetEngine
 from .persistence import StateJournal
 from .registry import ModelRegistry
 from .transport import (
+    DEFAULT_SHM_SLAB_BYTES,
+    DEFAULT_SHM_SLOTS,
     PipeTransport,
+    ShmRing,
     Transport,
     TransportError,
     TransportListener,
     connect,
     parse_url,
+    shm_ring_dir,
 )
 
 __all__ = [
@@ -115,13 +123,18 @@ class WorkerCrashError(RuntimeError):
 
 
 def _wire_col(col) -> np.ndarray:
-    """One inference operand as a contiguous 1-D float64 wire payload.
+    """One inference operand as a contiguous 1-D float wire payload.
 
     Scalars ship as a single element — the remote engine broadcasts
     them across the batch exactly as the in-process engine would — so
-    a fleet-wide constant never crosses the wire N times.
+    a fleet-wide constant never crosses the wire N times.  ``float32``
+    arrays keep their dtype (the v2 codec is dtype-faithful, and a
+    silent float64 upcast would re-copy the bandwidth the tiered
+    serving mode saves); everything else is normalized to float64.
     """
-    array = np.asarray(col, dtype=np.float64)
+    array = np.asarray(col)
+    if array.dtype != np.float32:
+        array = np.asarray(array, dtype=np.float64)
     if array.ndim == 0:
         array = array.reshape(1)
     return np.ascontiguousarray(array)
@@ -158,6 +171,7 @@ def _engine_spec(
     archive_root: str | Path | None = None,
     journal_segment_bytes: int = 0,
     drift_from_registry: bool = False,
+    dtype=None,
 ) -> dict:
     """The picklable ``init`` payload a worker builds its engine from."""
     if default_model is None and registry_root is None:
@@ -174,6 +188,8 @@ def _engine_spec(
         "archive_root": None if archive_root is None else str(archive_root),
         "journal_segment_bytes": int(journal_segment_bytes),
         "drift_from_registry": bool(drift_from_registry),
+        # dtype ships as a name string so the spec stays plain JSON-able
+        "dtype": str(np.dtype(dtype).name) if dtype is not None else "float64",
     }
 
 
@@ -240,11 +256,12 @@ class _WorkerClient:
         """Batched Branch 1 on the worker (see ``FleetEngine.estimate``).
 
         Ships the batch as a v2 zero-copy frame: one struct header, the
-        cell-id blob, and three raw float64 payloads — no pickling.
+        cell-id blob, and three raw float payloads — no pickling.  Over
+        an shm transport the payloads ride the shared-memory ring
+        (:meth:`Transport.send_v2 <repro.serve.transport.Transport.send_v2>`).
         """
         ids = list(cell_ids)
         n = len(ids)
-        arrays = [_wire_col(col) for col in (voltage, current, temp_c)]
         meta = {"n": n, "now_s": now_s}
         # the wire.request span covers encode + round-trip + decode; its
         # context rides in the frame meta so the worker's worker.* spans
@@ -253,10 +270,10 @@ class _WorkerClient:
             if h is not None:
                 meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
             try:
-                request = wire.encode_v2("estimate", meta, [wire.encode_str_list(ids), *arrays])
+                payload = [wire.encode_str_list(ids), *(_wire_col(col) for col in (voltage, current, temp_c))]
+                reply = self._roundtrip(lambda t: t.send_v2("estimate", meta, payload), "estimate")
             except TypeError:
                 return self._call("estimate", ids, voltage, current, temp_c, now_s=now_s)
-            reply = self._roundtrip(lambda t: t.send_chunks(request), "estimate")
             if h is not None:
                 h.ctx.tracer.absorb(reply.meta.get("spans") or ())
             # copy out of the frame body: callers get writable arrays, as
@@ -276,15 +293,16 @@ class _WorkerClient:
         """Batched Branch 2 on the worker (see ``FleetEngine.predict``)."""
         ids = list(cell_ids)
         n = len(ids)
-        arrays = [_wire_col(col) for col in (current_avg, temp_avg_c, horizon_s)]
-        if soc_now is not None:
-            arrays.append(_wire_col(soc_now))
         meta = {"n": n, "has_soc": soc_now is not None, "commit": bool(commit), "now_s": now_s}
         with trace_stage("wire.request", op="predict") as h:
             if h is not None:
                 meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
             try:
-                request = wire.encode_v2("predict", meta, [wire.encode_str_list(ids), *arrays])
+                arrays = [_wire_col(col) for col in (current_avg, temp_avg_c, horizon_s)]
+                if soc_now is not None:
+                    arrays.append(_wire_col(soc_now))
+                payload = [wire.encode_str_list(ids), *arrays]
+                reply = self._roundtrip(lambda t: t.send_v2("predict", meta, payload), "predict")
             except TypeError:
                 return self._call(
                     "predict",
@@ -296,7 +314,6 @@ class _WorkerClient:
                     commit=commit,
                     now_s=now_s,
                 )
-            reply = self._roundtrip(lambda t: t.send_chunks(request), "predict")
             if h is not None:
                 h.ctx.tracer.absorb(reply.meta.get("spans") or ())
             return reply.arrays[0].copy()
@@ -336,11 +353,10 @@ class _WorkerClient:
                 meta, arrays = wire.encode_rollout_request(pairs, float(step_s))
                 if h is not None:
                     meta[wire.TRACE_META_KEY] = wire.pack_trace_context(h.ctx)
-                request = wire.encode_v2(op, meta, arrays)
+                reply = self._roundtrip(lambda t: t.send_v2(op, meta, arrays), op)
             except TypeError:
                 # something in the cycles is not v2-expressible; pickle it
                 return self._call(op, pairs, float(step_s))
-            reply = self._roundtrip(lambda t: t.send_chunks(request), op)
             if isinstance(reply, wire.V2Frame):
                 if h is not None:
                     h.ctx.tracer.absorb(reply.meta.get("spans") or ())
@@ -466,6 +482,18 @@ class ProcessShardWorker(_WorkerClient):
         Optional cold-store directory: the child's journal ships
         sealed segments there on rotation (see
         :mod:`repro.serve.archive`).
+    dtype:
+        Serving precision tier for the child engine's compiled kernels
+        (``"float64"`` default / ``"float32"``); see
+        :class:`~repro.serve.engine.FleetEngine`.  Estimate/predict
+        replies come back in this dtype.
+    shm:
+        Exchange bulk array payloads through a pair of shared-memory
+        slab rings (the ``shm://`` scheme) instead of copying them
+        through the pipes.  The rings are created fresh at every
+        (re)spawn and unlinked when the worker is released;
+        ``shm_slots`` × ``shm_slab_bytes`` bounds each direction's
+        ring (oversized messages fall back to in-band frames).
     """
 
     def __init__(
@@ -480,6 +508,10 @@ class ProcessShardWorker(_WorkerClient):
         archive_root: str | Path | None = None,
         journal_segment_bytes: int = 0,
         drift_from_registry: bool = False,
+        dtype=None,
+        shm: bool = False,
+        shm_slots: int = DEFAULT_SHM_SLOTS,
+        shm_slab_bytes: int = DEFAULT_SHM_SLAB_BYTES,
     ):
         self.name = name
         self._spec = _engine_spec(
@@ -492,7 +524,12 @@ class ProcessShardWorker(_WorkerClient):
             archive_root,
             journal_segment_bytes,
             drift_from_registry,
+            dtype,
         )
+        self._shm = bool(shm)
+        self._shm_slots = int(shm_slots)
+        self._shm_slab_bytes = int(shm_slab_bytes)
+        self._rings: tuple[ShmRing, ShmRing] | None = None
         self._proc: subprocess.Popen | None = None
         self._transport = None
         self._exit_code: int | None = None
@@ -558,16 +595,25 @@ class ProcessShardWorker(_WorkerClient):
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def __del__(self):  # best-effort: do not leak children
+    def __del__(self):  # best-effort: do not leak children or ring files
         try:
             if self._proc is not None and self._proc.poll() is None:
                 self._proc.kill()
                 self._proc.wait()
+            if self._rings is not None:
+                for ring in self._rings:
+                    ring.close(unlink=True)
         except Exception:
             pass
 
     # ------------------------------------------------------------------
     def _spawn(self) -> None:
+        if self._rings is not None:
+            # restart() after an external kill never went through
+            # _transport_failed/_release; drop the dead child's rings
+            for ring in self._rings:
+                ring.close(unlink=True)
+            self._rings = None
         # -c (not -m): runpy would re-execute this module on top of the
         # copy the package __init__ already imported
         bootstrap = "import sys; from repro.serve.workers import worker_main; sys.exit(worker_main())"
@@ -577,17 +623,53 @@ class ProcessShardWorker(_WorkerClient):
             stdout=subprocess.PIPE,
             env=_child_env(),
         )
+        scheme = "shm" if self._shm else "pipe"
         self._transport = PipeTransport(
-            self._proc.stdin, self._proc.stdout, peer=f"pipe://{self.name}"
+            self._proc.stdin, self._proc.stdout, peer=f"{scheme}://{self.name}"
         )
         self._exit_code = None
-        self._call("init", self._spec)
+        spec = self._spec
+        if self._shm:
+            # fresh rings per spawn: a respawned child must never read a
+            # dead sibling's cursor state.  req = parent writes/child
+            # reads, rep = the reverse; the child learns the paths (and
+            # its swapped roles) from the init spec.
+            ring_dir = shm_ring_dir()
+            tag = f"repro-soc-{os.getpid()}-{id(self):x}-{self.restarts}"
+            req = ShmRing(
+                os.path.join(ring_dir, f"{tag}-req"),
+                slots=self._shm_slots,
+                slab_bytes=self._shm_slab_bytes,
+                create=True,
+            )
+            rep = ShmRing(
+                os.path.join(ring_dir, f"{tag}-rep"),
+                slots=self._shm_slots,
+                slab_bytes=self._shm_slab_bytes,
+                create=True,
+            )
+            self._rings = (req, rep)
+            self._transport.attach_shm(tx=req, rx=rep)
+            spec = {
+                **spec,
+                "shm": {
+                    "req": req.path,
+                    "rep": rep.path,
+                    "slots": self._shm_slots,
+                    "slab_bytes": self._shm_slab_bytes,
+                },
+            }
+        self._call("init", spec)
 
     def _release(self) -> None:
         proc, self._proc = self._proc, None
         transport, self._transport = self._transport, None
+        rings, self._rings = self._rings, None
         if transport is not None:
             transport.close()
+        if rings is not None:
+            for ring in rings:
+                ring.close(unlink=True)
         if proc is not None:
             for stream in (proc.stdin, proc.stdout):
                 if stream is not None:
@@ -655,6 +737,7 @@ class RemoteShardWorker(_WorkerClient):
         archive_root: str | Path | None = None,
         journal_segment_bytes: int = 0,
         drift_from_registry: bool = False,
+        dtype=None,
         spawn: bool = False,
         connect_timeout_s: float = 10.0,
         call_timeout_s: float | None = None,
@@ -671,6 +754,7 @@ class RemoteShardWorker(_WorkerClient):
             archive_root,
             journal_segment_bytes,
             drift_from_registry,
+            dtype=dtype,
         )
         self._requested_url = str(parse_url(url)) if url is not None else None
         self.url: str | None = self._requested_url
@@ -899,6 +983,10 @@ class WorkerSpec:
       thread-sharded mode);
     - ``url="pipe://"`` — a :class:`ProcessShardWorker` subprocess
       over stdio pipes (the local fast path);
+    - ``url="shm://"`` — the same subprocess topology, but bulk array
+      payloads travel through preallocated shared-memory slab rings
+      (``shm_slots`` x ``shm_slab_bytes`` each way); pipes carry only
+      the small framing/meta bytes;
     - ``url="tcp://host:port"`` / ``"unix:///path"`` — a
       :class:`RemoteShardWorker`; with ``spawn=True`` the worker
       process is launched locally first (``tcp://127.0.0.1:0`` picks
@@ -916,6 +1004,10 @@ class WorkerSpec:
     (:func:`~repro.serve.driftconfig.drift_resolver_from_registry`)
     instead of the uniform default detectors ``monitor=True`` builds;
     it requires a ``registry``.
+
+    ``dtype`` selects the serving tier (``"float64"`` default;
+    ``"float32"`` halves kernel memory traffic and requires
+    ``use_kernel=True``) and is forwarded to every resolved engine.
     """
 
     url: str | None = None
@@ -928,6 +1020,9 @@ class WorkerSpec:
     archive_root: str | Path | None = None
     journal_segment_bytes: int = 0
     drift_from_registry: bool = False
+    dtype: object = None
+    shm_slots: int = DEFAULT_SHM_SLOTS
+    shm_slab_bytes: int = DEFAULT_SHM_SLAB_BYTES
     spawn: bool = False
     name: str = "shard{shard}"
     connect_timeout_s: float = 10.0
@@ -969,9 +1064,15 @@ class WorkerSpec:
             archive_root=self.archive_root,
             journal_segment_bytes=self.journal_segment_bytes,
             drift_from_registry=self.drift_from_registry,
+            dtype=self.dtype,
         )
-        if scheme == "pipe":
-            return ProcessShardWorker(**common)
+        if scheme in ("pipe", "shm"):
+            return ProcessShardWorker(
+                **common,
+                shm=(scheme == "shm"),
+                shm_slots=self.shm_slots,
+                shm_slab_bytes=self.shm_slab_bytes,
+            )
         url = self.url.format(shard=index) if "{shard}" in self.url else self.url
         return RemoteShardWorker(
             url,
@@ -1008,6 +1109,7 @@ class WorkerSpec:
             use_kernel=self.use_kernel,
             metrics=metrics,
             drift=drift,
+            dtype=self.dtype or "float64",
         )
 
     def _journal_path(self, index: int) -> str | None:
@@ -1044,7 +1146,14 @@ def _build_engine(spec: dict) -> FleetEngine:
 
         # the engine wraps the resolver in a ChemistryDriftRouter
         drift = drift_resolver_from_registry(registry)
-    kwargs = dict(default_model=model, registry=registry, use_kernel=use_kernel, metrics=metrics, drift=drift)
+    kwargs = dict(
+        default_model=model,
+        registry=registry,
+        use_kernel=use_kernel,
+        metrics=metrics,
+        drift=drift,
+        dtype=spec.get("dtype", "float64"),
+    )
     journal_path = spec["journal_path"]
     if journal_path is None:
         return FleetEngine(**kwargs)
@@ -1123,6 +1232,13 @@ class WorkerEndpoint:
         try:
             if op == "init":
                 self.engine = _build_engine(args[0])
+                shm_spec = args[0].get("shm")
+                if shm_spec is not None:
+                    # roles swap on this side: the parent's request ring is
+                    # our receive ring, its reply ring is our transmit ring
+                    rx = ShmRing(shm_spec["req"], slots=shm_spec["slots"], slab_bytes=shm_spec["slab_bytes"])
+                    tx = ShmRing(shm_spec["rep"], slots=shm_spec["slots"], slab_bytes=shm_spec["slab_bytes"])
+                    self.transport.attach_shm(tx=tx, rx=rx)
                 if args[0].get("trace"):
                     from ..monitor.tracing import SpanTracer
 
@@ -1247,7 +1363,7 @@ class WorkerEndpoint:
                     # the (empty) serialize stage so trees stay uniform
                     tracer.record(ctx, "worker.serialize", time.monotonic(), time.monotonic(), op=kind)
                 reply_meta["spans"] = tracer.drain(ctx.trace_id)
-            self.transport.send_chunks(wire.encode_v2("ok", reply_meta, reply_arrays))
+            self.transport.send_v2("ok", reply_meta, reply_arrays)
         except TransportError:
             raise
         except Exception as exc:  # engine errors travel the wire, not the process

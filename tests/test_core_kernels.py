@@ -11,12 +11,13 @@ import pytest
 
 from repro.core import (
     CompiledTwoBranchKernel,
+    FusedTwoBranchKernel,
     ModelConfig,
     TwoBranchSoCNet,
     model_rollout,
 )
 from repro.nn import MLP, Linear, Sequential, Tanh, export_affine_chain
-from repro.serve import FleetEngine, generate_fleet
+from repro.serve import FleetEngine, ModelRegistry, generate_fleet
 
 BATCH_SIZES = (1, 7, 1024)
 
@@ -160,6 +161,176 @@ class TestDtypeAndExport:
             ref = mlp(nn.Tensor(branch1_scaler().transform(x))).data[:, 0]
         got = kernel.forward_columns((x[:, 0], x[:, 1], x[:, 2]))
         np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+
+class TestFloat32Golden:
+    """The float32 tier's documented accuracy claim (~1e-6 vs float64)."""
+
+    def test_estimate_within_documented_tolerance(self, model, kernel):
+        k32 = CompiledTwoBranchKernel(model, dtype=np.float32)
+        x = _inputs(2048, seed=11)
+        ref = kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        got = k32.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, ref, atol=1e-6, rtol=0)
+
+    def test_predict_within_documented_tolerance(self, model, kernel):
+        k32 = CompiledTwoBranchKernel(model, dtype=np.float32)
+        x = _inputs(2048, seed=12)
+        ref = kernel.predict_soc(x["soc"], x["current"], x["temp_c"], x["horizon_s"])
+        got = k32.predict_soc(x["soc"], x["current"], x["temp_c"], x["horizon_s"])
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, ref, atol=1e-6, rtol=0)
+
+
+class TestFusedKernels:
+    """Block-diagonal cross-model stacking == per-model dispatch."""
+
+    @pytest.fixture(scope="class")
+    def members(self):
+        return [TwoBranchSoCNet(rng=np.random.default_rng(100 + k)) for k in range(3)]
+
+    @pytest.fixture(scope="class")
+    def kernels(self, members):
+        return [CompiledTwoBranchKernel(m) for m in members]
+
+    @pytest.fixture(scope="class")
+    def fused(self, kernels):
+        return FusedTwoBranchKernel(kernels)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_estimate_matches_dispatch(self, kernels, fused, n):
+        x = _inputs(n, seed=20 + n)
+        member = np.random.default_rng(n).integers(0, len(kernels), n)
+        ref = np.empty(n)
+        for u, kernel in enumerate(kernels):
+            idx = np.flatnonzero(member == u)
+            if idx.size:
+                ref[idx] = kernel.estimate_soc(x["voltage"][idx], x["current"][idx], x["temp_c"][idx])
+        got = fused.estimate_soc(x["voltage"], x["current"], x["temp_c"], member)
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_predict_matches_dispatch(self, kernels, fused, n):
+        x = _inputs(n, seed=30 + n)
+        member = np.random.default_rng(n + 1).integers(0, len(kernels), n)
+        ref = np.empty(n)
+        for u, kernel in enumerate(kernels):
+            idx = np.flatnonzero(member == u)
+            if idx.size:
+                ref[idx] = kernel.predict_soc(
+                    x["soc"][idx], x["current"][idx], x["temp_c"][idx], x["horizon_s"][idx]
+                )
+        got = fused.predict_soc(x["soc"], x["current"], x["temp_c"], x["horizon_s"], member)
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    def test_uniform_batches_hit_every_member(self, kernels, fused):
+        x = _inputs(16, seed=40)
+        for u, kernel in enumerate(kernels):
+            ref = kernel.estimate_soc(x["voltage"], x["current"], x["temp_c"])
+            got = fused.estimate_soc(x["voltage"], x["current"], x["temp_c"], np.full(16, u))
+            np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    def test_single_member_fusion(self, kernels):
+        fused = FusedTwoBranchKernel(kernels[:1])
+        x = _inputs(8, seed=41)
+        ref = kernels[0].estimate_soc(x["voltage"], x["current"], x["temp_c"])
+        got = fused.estimate_soc(x["voltage"], x["current"], x["temp_c"], np.zeros(8, dtype=int))
+        np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)
+
+    def test_float32_members_within_documented_tolerance(self, members, kernels):
+        fused32 = FusedTwoBranchKernel([CompiledTwoBranchKernel(m, dtype=np.float32) for m in members])
+        x = _inputs(512, seed=42)
+        member = np.random.default_rng(42).integers(0, len(members), 512)
+        ref = np.empty(512)
+        for u, kernel in enumerate(kernels):
+            idx = np.flatnonzero(member == u)
+            ref[idx] = kernel.estimate_soc(x["voltage"][idx], x["current"][idx], x["temp_c"][idx])
+        got = fused32.estimate_soc(x["voltage"], x["current"], x["temp_c"], member)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, ref, atol=1e-6, rtol=0)
+
+    def test_mixed_dtypes_rejected(self, members):
+        with pytest.raises(ValueError, match="share one dtype"):
+            FusedTwoBranchKernel(
+                [
+                    CompiledTwoBranchKernel(members[0]),
+                    CompiledTwoBranchKernel(members[1], dtype=np.float32),
+                ]
+            )
+
+    def test_mixed_architectures_rejected(self, kernels):
+        other = TwoBranchSoCNet(ModelConfig(hidden=(8, 8)), rng=np.random.default_rng(7))
+        with pytest.raises(ValueError, match="chain architecture"):
+            FusedTwoBranchKernel([kernels[0], CompiledTwoBranchKernel(other)])
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FusedTwoBranchKernel([])
+
+
+class TestEngineFusion:
+    """FleetEngine's mixed-model fused path == the per-model loop."""
+
+    # four models: fusion only engages on dispatch-bound batches
+    # (>= 4 model groups, small per-group row counts)
+    MODELS = ("nmc-model", "lfp-model", "lto-model", "nca-model")
+
+    @pytest.fixture()
+    def routed_engines(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        for seed, name in enumerate(self.MODELS, start=1):
+            registry.publish(name, TwoBranchSoCNet(rng=np.random.default_rng(seed)))
+        engines = [FleetEngine(registry=registry, fuse_models=fuse) for fuse in (True, False)]
+        ids = [f"c{k}" for k in range(64)]
+        for engine in engines:
+            for k, cid in enumerate(ids):
+                engine.register_cell(cid, model_name=self.MODELS[k % len(self.MODELS)])
+        return engines, ids
+
+    def test_estimate_and_predict_match_loop(self, routed_engines):
+        (fused_engine, loop_engine), ids = routed_engines
+        x = _inputs(len(ids), seed=50)
+        est_fused = fused_engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+        est_loop = loop_engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+        np.testing.assert_allclose(est_fused, est_loop, atol=1e-9, rtol=0)
+        pred_fused = fused_engine.predict(ids, x["current"], x["temp_c"], x["horizon_s"])
+        pred_loop = loop_engine.predict(ids, x["current"], x["temp_c"], x["horizon_s"])
+        np.testing.assert_allclose(pred_fused, pred_loop, atol=1e-9, rtol=0)
+
+    def test_fused_kernel_is_cached_and_reused(self, routed_engines):
+        (fused_engine, _), ids = routed_engines
+        x = _inputs(len(ids), seed=51)
+        fused_engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+        (_, fused_a) = next(iter(fused_engine._fused.values()))
+        fused_engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+        (_, fused_b) = next(iter(fused_engine._fused.values()))
+        assert fused_a is fused_b and fused_a is not None
+
+    def test_gemm_bound_batches_keep_the_per_model_loop(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        for seed, name in enumerate(("a-model", "b-model"), start=1):
+            registry.publish(name, TwoBranchSoCNet(rng=np.random.default_rng(seed)))
+        engine = FleetEngine(registry=registry, fuse_models=True)
+        ids = [f"c{k}" for k in range(32)]
+        for k, cid in enumerate(ids):
+            engine.register_cell(cid, model_name="a-model" if k % 2 else "b-model")
+        x = _inputs(len(ids), seed=52)
+        # two model groups is below the fusion crossover: dispatch wins
+        engine.estimate(ids, x["voltage"], x["current"], x["temp_c"])
+        assert not engine._fused
+
+    def test_float32_engine_requires_kernels(self, model):
+        with pytest.raises(ValueError, match="use_kernel"):
+            FleetEngine(default_model=model, dtype=np.float32, use_kernel=False)
+
+    def test_float32_engine_serves_float32(self, model):
+        engine = FleetEngine(default_model=model, dtype=np.float32)
+        ids = ["a", "b"]
+        for cid in ids:
+            engine.register_cell(cid)
+        out = engine.estimate(ids, [3.7, 3.6], [1.0, 2.0], 25.0)
+        assert out.dtype == np.float32
 
 
 class TestEngineIntegration:

@@ -10,6 +10,7 @@ from repro.serve import wire
 from repro.serve.transport import (
     PeerGone,
     PipeTransport,
+    ShmRing,
     SocketTransport,
     TransportError,
     TransportListener,
@@ -51,6 +52,11 @@ class TestParseURL:
     def test_pipe(self):
         assert parse_url("pipe://").scheme == "pipe"
 
+    def test_shm(self):
+        url = parse_url("shm://")
+        assert url.scheme == "shm"
+        assert str(url) == "shm://"
+
     @pytest.mark.parametrize(
         "bad",
         [
@@ -60,6 +66,7 @@ class TestParseURL:
             "tcp://127.0.0.1:70000",  # out of range
             "unix://relative/path",  # must be absolute
             "pipe://somewhere",  # pipes take no address
+            "shm://somewhere",  # so do shm rings
             "127.0.0.1:7355",  # no scheme at all
         ],
     )
@@ -152,6 +159,88 @@ class TestFraming:
         assert isinstance(frame, wire.V2Frame)
         assert frame.kind == "estimate"
         np.testing.assert_array_equal(frame.arrays[0], np.arange(4.0))
+
+
+# ----------------------------------------------------------------------
+class TestShmRing:
+    def test_place_returns_aligned_offsets(self, tmp_path):
+        import numpy as np
+
+        ring = ShmRing(str(tmp_path / "r"), slots=4, slab_bytes=1024, create=True)
+        offsets = ring.place([np.arange(3.0), np.arange(5.0)])
+        assert offsets is not None
+        assert all(offset % 64 == 0 for offset in offsets)
+        got = np.frombuffer(ring.buf, dtype=np.float64, count=3, offset=offsets[0])
+        np.testing.assert_array_equal(got, np.arange(3.0))
+        ring.close(unlink=True)
+
+    def test_cursor_wraps_and_rewrites_from_the_front(self, tmp_path):
+        import numpy as np
+
+        ring = ShmRing(str(tmp_path / "r"), slots=3, slab_bytes=256, create=True)
+        seen = set()
+        for k in range(20):
+            block = np.full(16, float(k))
+            (offset,) = ring.place([block])
+            seen.add(offset)
+            got = np.frombuffer(ring.buf, dtype=np.float64, count=16, offset=offset)
+            np.testing.assert_array_equal(got, block)
+        assert seen == {0, 256, 512}  # every slot reused, never past the end
+        ring.close(unlink=True)
+
+    def test_message_larger_than_ring_returns_none(self, tmp_path):
+        import numpy as np
+
+        ring = ShmRing(str(tmp_path / "r"), slots=2, slab_bytes=256, create=True)
+        assert ring.place([np.zeros(1024)]) is None
+        ring.close(unlink=True)
+
+    def test_attach_reuses_existing_file(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "r")
+        writer = ShmRing(path, slots=2, slab_bytes=256, create=True)
+        reader = ShmRing(path, slots=2, slab_bytes=256)
+        (offset,) = writer.place([np.arange(4.0)])
+        got = np.frombuffer(reader.buf, dtype=np.float64, count=4, offset=offset)
+        np.testing.assert_array_equal(got, np.arange(4.0))
+        reader.close()
+        writer.close(unlink=True)
+
+    def test_send_v2_rides_the_ring_when_attached(self, tmp_path):
+        import numpy as np
+
+        a, b = _pipe_pair()
+        ring_path = str(tmp_path / "ab")
+        tx = ShmRing(ring_path, slots=4, slab_bytes=4096, create=True)
+        rx = ShmRing(ring_path, slots=4, slab_bytes=4096)
+        a.attach_shm(tx=tx)
+        b.attach_shm(rx=rx)
+        payload = np.random.default_rng(0).standard_normal(200)
+        a.send_v2("estimate", {"n": 200}, [payload, payload.astype(np.float32)])
+        frame = b.recv_frame()
+        assert isinstance(frame, wire.V2Frame)
+        np.testing.assert_array_equal(frame.arrays[0], payload)
+        assert frame.arrays[1].dtype == np.float32
+        # the frame body itself stayed tiny: payload bytes lived in the ring
+        a.close()
+        b.close()
+        rx.close()
+        tx.close(unlink=True)
+
+    def test_send_v2_falls_back_inline_when_oversized(self, tmp_path):
+        import numpy as np
+
+        a, b = _pipe_pair()
+        tx = ShmRing(str(tmp_path / "t"), slots=1, slab_bytes=256, create=True)
+        a.attach_shm(tx=tx)
+        payload = np.arange(4096.0)
+        a.send_v2("estimate", {"n": 4096}, [payload])
+        frame = b.recv_frame()  # no rx ring attached: the frame must be self-contained
+        np.testing.assert_array_equal(frame.arrays[0], payload)
+        a.close()
+        b.close()
+        tx.close(unlink=True)
 
 
 # ----------------------------------------------------------------------

@@ -101,6 +101,88 @@ class TestFrameCodec:
             wire.read_frame(buf)
 
 
+class TestDtypeFidelity:
+    """float32 payloads must cross the wire without a float64 upcast."""
+
+    def test_wire_col_preserves_float32(self):
+        from repro.serve.workers import _wire_col
+
+        col = np.linspace(0.0, 1.0, 17, dtype=np.float32)
+        out = _wire_col(col)
+        assert out.dtype == np.float32
+        assert out.tobytes() == col.tobytes()
+
+    def test_wire_col_upcasts_everything_else_to_float64(self):
+        from repro.serve.workers import _wire_col
+
+        assert _wire_col([1, 2, 3]).dtype == np.float64
+        assert _wire_col(np.arange(3, dtype=np.int32)).dtype == np.float64
+        assert _wire_col(3.7).dtype == np.float64
+        assert _wire_col(np.float32(3.7)).dtype == np.float32
+
+    def test_float32_frame_roundtrip_is_bit_for_bit(self):
+        col = np.random.default_rng(3).standard_normal(129).astype(np.float32)
+        frame = roundtrip_v2("estimate", {"n": 129}, [col])
+        assert frame.arrays[0].dtype == np.float32
+        assert frame.arrays[0].tobytes() == col.tobytes()
+
+    def test_float32_worker_replies_stay_float32(self, model):
+        local = FleetEngine(default_model=model, dtype=np.float32)
+        rng = np.random.default_rng(5)
+        ids = [f"c{k}" for k in range(48)]
+        v = rng.uniform(2.8, 4.2, 48).astype(np.float32)
+        i = rng.uniform(-5, 5, 48).astype(np.float32)
+        t = rng.uniform(0, 45, 48).astype(np.float32)
+        with ProcessShardWorker(default_model=model, dtype="float32", name="f32") as worker:
+            for cid in ids:
+                local.register_cell(cid)
+                worker.register_cell(cid)
+            out = worker.estimate(ids, v, i, t)
+            assert out.dtype == np.float32
+            np.testing.assert_array_equal(out, local.estimate(ids, v, i, t))
+            pred = worker.predict(ids, i, t, 60.0)
+            assert pred.dtype == np.float32
+            np.testing.assert_array_equal(pred, local.predict(ids, i, t, 60.0))
+
+
+class TestShmRefs:
+    """The shm-ref variant of the v2 codec (payloads ride a slab ring)."""
+
+    @pytest.fixture()
+    def ring(self, tmp_path):
+        from repro.serve.transport import ShmRing
+
+        ring = ShmRing(str(tmp_path / "ring"), slots=4, slab_bytes=4096, create=True)
+        yield ring
+        ring.close(unlink=True)
+
+    def test_roundtrip_preserves_dtype_and_bytes(self, ring):
+        rng = np.random.default_rng(7)
+        arrays = [
+            rng.standard_normal(257),
+            rng.standard_normal(33).astype(np.float32),
+            np.arange(7, dtype=np.int64),
+            np.empty(0),
+        ]
+        chunks = wire.encode_v2_shm("estimate", {"n": 257}, arrays, ring)
+        assert chunks is not None
+        frame = wire.decode_body(b"".join(chunks)[4:], shm=ring)
+        assert isinstance(frame, wire.V2Frame) and frame.kind == "estimate"
+        for got, sent in zip(frame.arrays, arrays):
+            assert got.dtype == sent.dtype and got.shape == sent.shape
+            assert got.tobytes() == sent.tobytes()
+            assert not got.flags.writeable
+
+    def test_decode_without_ring_raises(self, ring):
+        chunks = wire.encode_v2_shm("x", {}, [np.arange(4.0)], ring)
+        with pytest.raises(ValueError, match="no ring"):
+            wire.decode_body(b"".join(chunks)[4:])
+
+    def test_oversized_payload_reports_none_for_inline_fallback(self, ring):
+        big = np.zeros(4 * 4096)  # larger than the whole ring
+        assert wire.encode_v2_shm("x", {}, [big], ring) is None
+
+
 class TestRolloutCodec:
     def test_request_roundtrip_preserves_cycle_sharing(self, small_fleet):
         cycle = small_fleet.members[0].cycle
