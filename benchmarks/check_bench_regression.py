@@ -182,15 +182,47 @@ def check(baseline: dict, current: dict, tolerance: float, metric: str = "speedu
     return failures
 
 
+def check_all(baseline: dict, current: dict, tolerance: float) -> int:
+    """Gate every metric present in both records; per-metric verdict table.
+
+    Returns the number of failing metrics.  Erroring when the records
+    share no gated metric catches the footgun of pointing ``--all`` at
+    mismatched record kinds (e.g. a kernel baseline vs a fleet run) and
+    silently gating nothing.
+    """
+    shared = [m for m in sorted(_CONFIG_KEYS) if m in baseline and m in current]
+    if not shared:
+        print("FAIL: baseline and current share no gated metric (mismatched record kinds?)")
+        return 1
+    results: list[tuple[str, list[str]]] = []
+    for metric in shared:
+        print(f"--- {metric} ---")
+        failures = check(baseline, current, tolerance, metric=metric)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        results.append((metric, failures))
+    width = max(len(m) for m in shared)
+    print(f"\n{'metric':<{width}}  verdict")
+    for metric, failures in results:
+        print(f"{metric:<{width}}  {'FAIL' if failures else 'ok'}")
+    return sum(1 for _, failures in results if failures)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--current", required=True, help="fresh benchmark JSON")
-    parser.add_argument(
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
         "--metric",
         choices=sorted(_CONFIG_KEYS),
         default="speedup",
         help="which machine-calibrated ratio to gate (default: speedup)",
+    )
+    group.add_argument(
+        "--all",
+        action="store_true",
+        help="gate every metric present in both records in one invocation",
     )
     parser.add_argument(
         "--tolerance",
@@ -205,6 +237,13 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(fh)
     with open(args.current, encoding="utf-8") as fh:
         current = json.load(fh)
+    if args.all:
+        failing = check_all(baseline, current, args.tolerance)
+        if failing:
+            print(f"benchmark gate FAILED ({failing} metric(s))")
+            return 1
+        print("benchmark gate passed (all shared metrics)")
+        return 0
     failures = check(baseline, current, args.tolerance, metric=args.metric)
     if failures:
         for failure in failures:

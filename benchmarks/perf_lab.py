@@ -1,0 +1,81 @@
+"""Perf lab front end: run a declarative sweep, then fit the capacity model.
+
+Stage 1 — ``run``: expand a run table (JSON or YAML; see
+``benchmarks/tables/``) into its cartesian sweep × repetitions and
+execute every cell with open-loop load generation, one JSON artifact
+per run::
+
+    PYTHONPATH=src python benchmarks/perf_lab.py run \\
+        --table benchmarks/tables/perf_lab_smoke.json --out /tmp/lab
+
+Stage 2 — ``analyze``: aggregate repetitions (mean ± 95% CI), fit the
+knee of every latency-vs-offered-load curve at the p99 SLO, and write
+``summary.json`` + ``BENCH_capacity.json`` (cells-per-host and
+req/s-per-worker, with assumptions recorded)::
+
+    PYTHONPATH=src python benchmarks/perf_lab.py analyze --out /tmp/lab \\
+        [--slo-p99-ms 50] [--per-cell-req-s 0.0333]
+
+The SLO and per-cell rate default to what the table pinned in its
+``defaults`` section (carried through ``manifest.json``), so re-running
+``analyze`` reproduces the published numbers without re-stating them.
+
+All the machinery lives in :mod:`repro.perflab`; this file is the
+benchmarks-directory entry point (mirroring the other ``bench_*``
+scripts) and is what CI's perf-lab lanes invoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_p = sub.add_parser("run", help="execute every cell of a run table")
+    run_p.add_argument("--table", required=True, help="run table (JSON or YAML)")
+    run_p.add_argument("--out", required=True, help="artifact directory (created)")
+    ana_p = sub.add_parser("analyze", help="aggregate artifacts into the capacity model")
+    ana_p.add_argument("--out", required=True, help="artifact directory from a run")
+    ana_p.add_argument("--slo-p99-ms", type=float, default=None, help="p99 SLO (default: table-pinned)")
+    ana_p.add_argument(
+        "--per-cell-req-s", type=float, default=None, help="assumed per-cell req/s (default: table-pinned)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perflab import analyze, load_table, run_table
+
+    if args.command == "run":
+        manifest = run_table(load_table(args.table), args.out)
+        failed = [r["run_id"] for r in manifest["runs"] if not r["ok"]]
+        if failed:
+            print(f"FAILED runs: {', '.join(failed)}")
+            return 1
+        return 0
+    summary = analyze(args.out, slo_p99_ms=args.slo_p99_ms, per_cell_req_s=args.per_cell_req_s)
+    capacity = summary["capacity"]
+    print(json.dumps(capacity["assumptions"], indent=2))
+    for entry in capacity["curves"]:
+        knee = entry["knee"]
+        rate = knee["knee_rate"]
+        print(
+            f"{entry['topology']}-w{entry['workers']}-c{entry['cells']}-b{entry['max_batch']}"
+            f"-{entry['shape']}: knee {rate if rate is None else format(rate, '.0f')} req/s "
+            f"({knee['status']}), req/s-per-worker "
+            f"{entry['req_s_per_worker'] and format(entry['req_s_per_worker'], '.0f')}, "
+            f"cells-per-host {entry['cells_per_host'] and format(entry['cells_per_host'], '.0f')}"
+        )
+    for key, head in sorted(capacity["headline"].items()):
+        print(
+            f"headline {key}: {head['knee_rate']:.0f} req/s at p99 SLO "
+            f"(worst shape: {head['shape']}, {head['status']}) -> "
+            f"{head['cells_per_host']:.0f} cells/host"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

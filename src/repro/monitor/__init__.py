@@ -55,6 +55,7 @@ from .metrics import (
     merge_snapshots,
     prometheus_text,
 )
+from .resources import ResourceSampler, install_process_metrics, read_process_stats
 from .tracing import Span, SpanTracer, TraceContext, activate, current_context, stage
 
 __all__ = [
@@ -77,14 +78,17 @@ __all__ = [
     "PageHinkleyConfig",
     "PhysicsBounds",
     "ProbeTiming",
+    "ResourceSampler",
     "Span",
     "SpanTracer",
     "TraceContext",
     "activate",
     "current_context",
     "escape_label_value",
+    "install_process_metrics",
     "merge_snapshots",
     "prometheus_text",
+    "read_process_stats",
     "residual_stream",
     "stage",
 ]

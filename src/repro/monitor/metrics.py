@@ -300,6 +300,18 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._collectors: list = []
+
+    def add_collector(self, collect) -> None:
+        """Register a zero-arg callable run before every :meth:`snapshot`.
+
+        Collectors refresh pull-style series (process RSS/CPU from
+        ``/proc``) so every readout path — worker wire ops, topology
+        merges, ``/metrics`` exposition — sees current values without
+        each caller knowing to poll.  Collector exceptions are swallowed:
+        a broken sampler must never take down the readout path.
+        """
+        self._collectors.append(collect)
 
     # -- series creation ------------------------------------------------
     def counter(self, name: str, **labels: str) -> Counter:
@@ -334,6 +346,11 @@ class MetricsRegistry:
     # -- readout ---------------------------------------------------------
     def snapshot(self) -> dict:
         """All series as one JSON-safe dict (the wire and merge format)."""
+        for collect in self._collectors:
+            try:
+                collect()
+            except Exception:
+                pass
         with self._lock:
             return {
                 "counters": {k: c.value for k, c in self._counters.items()},

@@ -1,0 +1,37 @@
+"""``repro.perflab`` — the reproducible performance laboratory.
+
+Turns "how many cells per host?" from folklore into a measured
+observable: declarative run tables sweep topology × workers × fleet
+size × batch × traffic shape (:mod:`~repro.perflab.table`), every cell
+runs under **open-loop** load (:mod:`repro.serve.loadgen`) with
+resource telemetry (:mod:`repro.monitor.resources`) and produces one
+JSON artifact (:mod:`~repro.perflab.runner`), and the analysis stage
+aggregates repetitions with confidence intervals, fits the capacity
+knee of each latency-vs-load curve, and emits ``BENCH_capacity.json``
+(:mod:`~repro.perflab.analysis`).
+
+Front ends: ``python benchmarks/perf_lab.py run|analyze`` and
+``repro-soc perf-lab run|analyze``.  See ``benchmarks/README.md``.
+"""
+
+from .analysis import aggregate_groups, analyze, capacity_model, fit_knee, load_runs, t_critical
+from .runner import build_topology, execute_run, run_table
+from .table import DEFAULTS, TOPOLOGIES, RunConfig, analysis_defaults, expand_table, load_table
+
+__all__ = [
+    "DEFAULTS",
+    "RunConfig",
+    "TOPOLOGIES",
+    "aggregate_groups",
+    "analysis_defaults",
+    "analyze",
+    "build_topology",
+    "capacity_model",
+    "execute_run",
+    "expand_table",
+    "fit_knee",
+    "load_runs",
+    "load_table",
+    "run_table",
+    "t_critical",
+]

@@ -1,0 +1,221 @@
+"""Aggregate perf-lab runs into a statistical summary and a capacity model.
+
+Repetitions of the same table cell aggregate into mean ± 95% CI (t
+distribution — reps are few, so normal-theory intervals would be too
+tight; falls back to a small-n critical-value table when scipy is
+absent).  Each (topology, workers, cells, max_batch, shape) slice then
+forms a latency-vs-offered-load curve across the swept rates, and
+:func:`fit_knee` finds the **capacity knee**: the largest offered rate
+whose mean p99 still meets the SLO, linearly interpolating the SLO
+crossing between the last passing and first failing rate.  Curves that
+never cross are flagged (``unsaturated`` — the knee is only a lower
+bound; sweep higher rates) as are curves already over the SLO at the
+lowest rate (``saturated``).
+
+The capacity model turns knees into planning numbers:
+
+- ``req_s_per_worker`` — knee rate / workers;
+- ``cells_per_host`` — knee rate / assumed per-cell request rate
+  (default one estimate per cell every 30 s, recorded in
+  ``assumptions``).
+
+Everything lands in ``summary.json`` (per-group aggregates + curves)
+and ``BENCH_capacity.json`` (the capacity table + assumptions) inside
+the run directory, so a sweep is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = ["aggregate_groups", "analyze", "capacity_model", "fit_knee", "load_runs", "t_critical"]
+
+# two-sided 95% t critical values by degrees of freedom (fallback when
+# scipy is unavailable); beyond the table, the normal value is close
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262}
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided t critical value; scipy when available, table fallback."""
+    if df < 1:
+        return float("nan")
+    try:
+        from scipy.stats import t
+
+        return float(t.ppf(0.5 + confidence / 2.0, df))
+    except ImportError:  # pragma: no cover - scipy ships in the image
+        if confidence != 0.95:
+            raise
+        return _T95.get(df, 1.96)
+
+
+def _mean_ci(values: list[float]) -> dict:
+    """mean, std (n-1), and half-width of the 95% CI for a rep set."""
+    values = [v for v in values if v is not None and not math.isnan(v)]
+    n = len(values)
+    if n == 0:
+        return {"n": 0, "mean": None, "std": None, "ci95": None}
+    mean = sum(values) / n
+    if n == 1:
+        return {"n": 1, "mean": mean, "std": 0.0, "ci95": None}
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(var)
+    return {"n": n, "mean": mean, "std": std, "ci95": t_critical(n - 1) * std / math.sqrt(n)}
+
+
+def load_runs(out_dir: str | Path) -> list[dict]:
+    """All per-run artifacts in a run directory (sorted by run id)."""
+    out = Path(out_dir)
+    artifacts = []
+    for path in sorted(out.glob("run-*.json")):
+        with open(path, encoding="utf-8") as fh:
+            artifacts.append(json.load(fh))
+    return artifacts
+
+
+_GROUP_METRICS = (
+    ("p99_ms", lambda a: a["load"]["latency_ms"]["p99"]),
+    ("p50_ms", lambda a: a["load"]["latency_ms"]["p50"]),
+    ("mean_ms", lambda a: a["load"]["latency_ms"]["mean"]),
+    ("achieved_rate", lambda a: a["load"]["achieved_rate"]),
+    ("shed_fraction", lambda a: a["load"]["shed"] / a["load"]["requests"] if a["load"]["requests"] else 0.0),
+    ("error_fraction", lambda a: a["load"]["errors"] / a["load"]["requests"] if a["load"]["requests"] else 0.0),
+    ("peak_rss_mb", lambda a: (a["resources"]["peak_rss_bytes"] or 0) / 1e6 or None),
+    ("cpu_seconds", lambda a: a["resources"]["cpu_seconds"]),
+)
+
+
+def aggregate_groups(artifacts: list[dict]) -> list[dict]:
+    """Collapse repetitions: one entry per table cell with mean ± CI95."""
+    by_group: dict[str, list[dict]] = {}
+    for artifact in artifacts:
+        by_group.setdefault(artifact["config"]["group_id"], []).append(artifact)
+    groups = []
+    for group_id in sorted(by_group):
+        reps = by_group[group_id]
+        cfg = dict(reps[0]["config"])
+        for drop in ("rep", "seed", "run_id"):
+            cfg.pop(drop, None)
+        entry = {"group_id": group_id, "config": cfg, "reps": len(reps)}
+        for name, pick in _GROUP_METRICS:
+            try:
+                values = [pick(a) for a in reps]
+            except (KeyError, TypeError):
+                values = []
+            entry[name] = _mean_ci(values)
+        groups.append(entry)
+    return groups
+
+
+def fit_knee(points: list[tuple[float, float]], slo_ms: float) -> dict:
+    """Largest offered rate meeting the p99 SLO, interpolating the crossing.
+
+    ``points`` are (offered_rate, p99_ms) pairs for one curve.  Returns
+    the knee rate plus a status: ``fit`` (crossing bracketed),
+    ``unsaturated`` (every rate meets the SLO — knee is a lower bound),
+    ``saturated`` (even the lowest rate misses it), or ``empty``.
+    """
+    points = sorted((r, p) for r, p in points if p is not None)
+    if not points:
+        return {"status": "empty", "knee_rate": None}
+    below = [(r, p) for r, p in points if p <= slo_ms]
+    above = [(r, p) for r, p in points if p > slo_ms]
+    if not below:
+        return {"status": "saturated", "knee_rate": 0.0, "points": points}
+    last_ok = max(below)
+    past = [(r, p) for r, p in above if r > last_ok[0]]
+    if not past:
+        return {"status": "unsaturated", "knee_rate": last_ok[0], "points": points}
+    first_bad = min(past)
+    r0, p0 = last_ok
+    r1, p1 = first_bad
+    # linear interpolation of the SLO crossing between the bracket ends
+    frac = (slo_ms - p0) / (p1 - p0) if p1 > p0 else 0.0
+    return {"status": "fit", "knee_rate": r0 + frac * (r1 - r0), "points": points}
+
+
+def _curve_key(cfg: dict) -> tuple:
+    return (cfg["topology"], cfg["workers"], cfg["cells"], cfg["max_batch"], cfg["shape"])
+
+
+def capacity_model(groups: list[dict], slo_p99_ms: float, per_cell_req_s: float) -> dict:
+    """Knees per curve -> req/s-per-worker and cells-per-host figures."""
+    curves: dict[tuple, list[dict]] = {}
+    for group in groups:
+        curves.setdefault(_curve_key(group["config"]), []).append(group)
+    entries = []
+    for key in sorted(curves, key=str):
+        topology, workers, cells, max_batch, shape = key
+        members = curves[key]
+        points = [(g["config"]["rate"], g["p99_ms"]["mean"]) for g in members]
+        knee = fit_knee(points, slo_p99_ms)
+        rate = knee["knee_rate"]
+        entries.append(
+            {
+                "topology": topology,
+                "workers": workers,
+                "cells": cells,
+                "max_batch": max_batch,
+                "shape": shape,
+                "knee": knee,
+                "req_s_per_worker": (rate / workers) if rate else None,
+                "cells_per_host": (rate / per_cell_req_s) if rate else None,
+            }
+        )
+    # headline: the most conservative fitted shape per (topology, workers)
+    headline: dict[str, dict] = {}
+    for entry in entries:
+        rate = entry["knee"]["knee_rate"]
+        if not rate:
+            continue
+        key = f"{entry['topology']}-w{entry['workers']}"
+        current = headline.get(key)
+        if current is None or rate < current["knee_rate"]:
+            headline[key] = {
+                "knee_rate": rate,
+                "shape": entry["shape"],
+                "status": entry["knee"]["status"],
+                "req_s_per_worker": entry["req_s_per_worker"],
+                "cells_per_host": entry["cells_per_host"],
+            }
+    return {
+        "assumptions": {
+            "slo_p99_ms": slo_p99_ms,
+            "per_cell_req_s": per_cell_req_s,
+            "note": (
+                "open-loop arrivals; latency measured from scheduled arrival; "
+                "cells_per_host = knee_rate / per_cell_req_s; knee from the "
+                "p99-vs-offered-load curve at the stated SLO; 'unsaturated' "
+                "knees are lower bounds (sweep higher rates to tighten)"
+            ),
+        },
+        "curves": entries,
+        "headline": headline,
+    }
+
+
+def analyze(
+    out_dir: str | Path,
+    slo_p99_ms: float | None = None,
+    per_cell_req_s: float | None = None,
+) -> dict:
+    """Aggregate a run directory; write ``summary.json`` + ``BENCH_capacity.json``."""
+    out = Path(out_dir)
+    artifacts = load_runs(out)
+    if not artifacts:
+        raise FileNotFoundError(f"no run-*.json artifacts under {out}")
+    manifest_path = out / "manifest.json"
+    pinned = {}
+    if manifest_path.exists():
+        with open(manifest_path, encoding="utf-8") as fh:
+            pinned = json.load(fh).get("analysis", {})
+    slo = slo_p99_ms if slo_p99_ms is not None else float(pinned.get("slo_p99_ms", 50.0))
+    per_cell = per_cell_req_s if per_cell_req_s is not None else float(pinned.get("per_cell_req_s", 1.0 / 30.0))
+    groups = aggregate_groups(artifacts)
+    capacity = capacity_model(groups, slo, per_cell)
+    summary = {"runs": len(artifacts), "groups": groups, "capacity": capacity}
+    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    (out / "BENCH_capacity.json").write_text(json.dumps(capacity, indent=2) + "\n", encoding="utf-8")
+    return summary

@@ -177,6 +177,10 @@ class FleetEngine:
             raise ValueError("dtype tiers require use_kernel=True (the Tensor path is float64-only)")
         self.fuse_models = bool(fuse_models)
         self.metrics = metrics
+        if metrics is not None:
+            from ..monitor.resources import install_process_metrics
+
+            install_process_metrics(metrics)
         if drift is not None and not hasattr(drift, "observe_soc") and callable(drift):
             from ..monitor.drift import ChemistryDriftRouter
 

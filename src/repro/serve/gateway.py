@@ -62,6 +62,7 @@ from typing import Callable, Iterable
 from ..core.rollout import RolloutResult
 from ..datasets.base import CycleRecord
 from ..monitor.metrics import MetricsRegistry
+from ..monitor.resources import install_process_metrics
 from ..monitor.tracing import activate
 from .scheduler import Completion, MicroBatcher
 
@@ -161,6 +162,7 @@ class SocGateway:
         self.engine = engine
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        install_process_metrics(self.metrics)
         self.batcher = MicroBatcher(
             engine,
             max_batch=max_batch,

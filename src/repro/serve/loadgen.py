@@ -1,0 +1,278 @@
+"""Open-loop load generation for the perf lab.
+
+The existing benchmark clients are **closed-loop**: each client awaits
+its previous request before sending the next, so when the gateway slows
+down the clients slow down with it — offered load adapts to capacity
+and the latency curve *plateaus* instead of diverging.  Closed-loop
+numbers therefore systematically understate saturation ("coordinated
+omission").  An **open-loop** generator draws arrival times from a
+fixed stochastic schedule and fires each request when its time comes,
+whether or not earlier ones have completed.  Past the capacity knee the
+queue grows without bound and measured latency diverges — which is
+exactly the signal the capacity model needs.
+
+Arrival processes (:func:`arrival_times`, all seeded/deterministic):
+
+- ``steady`` — evenly spaced, one every ``1/rate`` seconds;
+- ``poisson`` — homogeneous Poisson (i.i.d. exponential interarrivals);
+- ``burst`` — on/off inhomogeneous Poisson: rate ``rate/duty`` during
+  the on-fraction of each period, zero otherwise (mean rate stays
+  ``rate``);
+- ``diurnal`` — sinusoidally modulated Poisson,
+  ``rate * (1 + depth * sin(2*pi*t/period))``, a compressed day/night
+  cycle.
+
+Inhomogeneous processes are drawn by thinning [Lewis & Shedler 1979]:
+sample a homogeneous process at the peak rate, keep each arrival with
+probability ``lambda(t)/lambda_max``.
+
+Latency accounting: open-loop latency is measured from the **scheduled
+arrival time**, not from when the event loop actually got to send the
+request.  If the loop falls behind (send lag), that slip *is* queueing
+delay a real outside client would experience, so it counts.  Send lag
+is also reported separately so a run where the generator itself was the
+bottleneck is identifiable.
+
+:func:`run_closed_loop` implements the classic N-outstanding-requests
+client with the same report format, so tests and the perf lab can show
+both behaviours side by side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LoadReport",
+    "arrival_times",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+ARRIVAL_SHAPES = ("steady", "poisson", "burst", "diurnal")
+
+
+def arrival_times(
+    shape: str,
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    *,
+    burst_period_s: float = 2.0,
+    burst_duty: float = 0.25,
+    diurnal_period_s: float = 10.0,
+    diurnal_depth: float = 0.8,
+) -> np.ndarray:
+    """Arrival offsets (seconds from start, sorted) for one run.
+
+    ``rate`` is the *mean* offered rate in requests/second for every
+    shape — burst and diurnal redistribute the same total load in time.
+    """
+    if shape not in ARRIVAL_SHAPES:
+        raise ValueError(f"unknown arrival shape {shape!r} (expected one of {ARRIVAL_SHAPES})")
+    if rate <= 0.0 or duration_s <= 0.0:
+        raise ValueError("rate and duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    if shape == "steady":
+        n = max(1, int(round(rate * duration_s)))
+        return np.arange(n, dtype=np.float64) / rate
+    if shape == "poisson":
+        # draw with headroom, cut at the horizon
+        n_guess = max(16, int(rate * duration_s * 1.5) + 8 * int(np.sqrt(rate * duration_s) + 1))
+        times = np.cumsum(rng.exponential(1.0 / rate, size=n_guess))
+        while times.size and times[-1] < duration_s:
+            times = np.concatenate([times, times[-1] + np.cumsum(rng.exponential(1.0 / rate, size=n_guess))])
+        return times[times < duration_s]
+    if shape == "burst":
+        if not 0.0 < burst_duty <= 1.0:
+            raise ValueError("burst_duty must be within (0, 1]")
+        peak = rate / burst_duty
+        candidates = arrival_times("poisson", peak, duration_s, seed)
+        phase = (candidates % burst_period_s) / burst_period_s
+        return candidates[phase < burst_duty]
+    # diurnal: thinning at the peak rate
+    if not 0.0 <= diurnal_depth <= 1.0:
+        raise ValueError("diurnal_depth must be within [0, 1]")
+    peak = rate * (1.0 + diurnal_depth)
+    candidates = arrival_times("poisson", peak, duration_s, seed)
+    lam = rate * (1.0 + diurnal_depth * np.sin(2.0 * np.pi * candidates / diurnal_period_s))
+    keep = rng.uniform(0.0, peak, size=candidates.size) < lam
+    return candidates[keep]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation phase (open- or closed-loop)."""
+
+    mode: str
+    shape: str
+    offered_rate: float  # scheduled requests / scheduled duration
+    duration_s: float  # wall time of the phase
+    requests: int
+    ok: int
+    errors: int
+    shed: int
+    latencies_s: np.ndarray = field(repr=False)
+    send_lag_s: np.ndarray = field(repr=False)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def quantile_ms(self, p: float) -> float:
+        if self.latencies_s.size == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, p * 100.0) * 1e3)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (exact quantiles over all completions)."""
+        lat = self.latencies_s
+        lag = self.send_lag_s
+        half = lat.size // 2
+        return {
+            "mode": self.mode,
+            "shape": self.shape,
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "latency_ms": {
+                "mean": float(lat.mean() * 1e3) if lat.size else None,
+                "p50": self.quantile_ms(0.50) if lat.size else None,
+                "p95": self.quantile_ms(0.95) if lat.size else None,
+                "p99": self.quantile_ms(0.99) if lat.size else None,
+                "max": float(lat.max() * 1e3) if lat.size else None,
+                # divergence signal: a saturated open-loop run has a
+                # second half far slower than its first
+                "first_half_mean": float(lat[:half].mean() * 1e3) if half else None,
+                "second_half_mean": float(lat[half:].mean() * 1e3) if half else None,
+            },
+            "send_lag_ms": {
+                "p50": float(np.percentile(lag, 50) * 1e3) if lag.size else None,
+                "p99": float(np.percentile(lag, 99) * 1e3) if lag.size else None,
+                "max": float(lag.max() * 1e3) if lag.size else None,
+            },
+        }
+
+
+def _classify(completion) -> str:
+    """ok / shed / error from a gateway :class:`Completion`."""
+    error = getattr(completion, "error", None)
+    if error is None:
+        return "ok"
+    if isinstance(error, str) and error.startswith("shed:"):
+        return "shed"
+    return "error"
+
+
+async def run_open_loop(
+    make_call,
+    arrivals: np.ndarray,
+    *,
+    shape: str = "steady",
+    clock=time.monotonic,
+) -> LoadReport:
+    """Fire one request per scheduled arrival, never waiting for earlier ones.
+
+    ``make_call(i)`` must return an awaitable producing a gateway
+    :class:`~repro.serve.scheduler.Completion` (or raising
+    ``GatewayOverloaded``, counted as shed).  Latency for request ``i``
+    is ``completion_time - (start + arrivals[i])`` — queueing slip
+    included, which is the whole point of open loop.
+    """
+    from .gateway import GatewayOverloaded
+
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    n = int(arrivals.size)
+    latencies = np.zeros(n)
+    send_lag = np.zeros(n)
+    outcomes: list[str | None] = [None] * n
+    start = clock()
+
+    async def fire(i: int, scheduled: float) -> None:
+        send_lag[i] = max(0.0, (clock() - start) - scheduled)
+        try:
+            completion = await make_call(i)
+            outcomes[i] = _classify(completion)
+        except GatewayOverloaded:
+            outcomes[i] = "shed"
+        except Exception:
+            outcomes[i] = "error"
+        latencies[i] = (clock() - start) - scheduled
+
+    tasks = []
+    for i, scheduled in enumerate(arrivals):
+        delay = scheduled - (clock() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(i, float(scheduled))))
+    if tasks:
+        await asyncio.gather(*tasks)
+    duration = clock() - start
+    span = float(arrivals[-1]) if n else 0.0
+    offered = n / span if span > 0 else float(n)
+    return LoadReport(
+        mode="open",
+        shape=shape,
+        offered_rate=offered,
+        duration_s=duration,
+        requests=n,
+        ok=outcomes.count("ok"),
+        errors=outcomes.count("error"),
+        shed=outcomes.count("shed"),
+        latencies_s=latencies,
+        send_lag_s=send_lag,
+    )
+
+
+async def run_closed_loop(
+    make_call,
+    n_requests: int,
+    *,
+    clients: int = 4,
+    shape: str = "closed",
+    clock=time.monotonic,
+) -> LoadReport:
+    """Classic closed-loop driver: ``clients`` workers, one request in
+    flight each.  Offered load self-limits to capacity — kept for
+    side-by-side comparison with :func:`run_open_loop`."""
+    from .gateway import GatewayOverloaded
+
+    latencies = np.zeros(n_requests)
+    outcomes: list[str | None] = [None] * n_requests
+    counter = iter(range(n_requests))
+    start = clock()
+
+    async def worker() -> None:
+        for i in counter:
+            sent = clock()
+            try:
+                completion = await make_call(i)
+                outcomes[i] = _classify(completion)
+            except GatewayOverloaded:
+                outcomes[i] = "shed"
+            except Exception:
+                outcomes[i] = "error"
+            latencies[i] = clock() - sent
+
+    await asyncio.gather(*(worker() for _ in range(max(1, clients))))
+    duration = clock() - start
+    return LoadReport(
+        mode="closed",
+        shape=shape,
+        offered_rate=n_requests / duration if duration > 0 else float(n_requests),
+        duration_s=duration,
+        requests=n_requests,
+        ok=outcomes.count("ok"),
+        errors=outcomes.count("error"),
+        shed=outcomes.count("shed"),
+        latencies_s=latencies,
+        send_lag_s=np.zeros(0),
+    )

@@ -175,3 +175,70 @@ class TestMergeSnapshots:
         merged = merge_snapshots([None, {}, reg.snapshot()])
         assert merged["counters"]["c"] == 1.0
         assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_empty_registry_snapshot_contributes_nothing(self):
+        # an empty registry (fresh worker, nothing observed) must not
+        # perturb the merge — no phantom series, no zeroed histograms
+        empty = MetricsRegistry()
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(3.0)
+        merged = merge_snapshots([empty.snapshot(), reg.snapshot()])
+        assert set(merged["histograms"]) == {"h"}
+        assert merged["histograms"]["h"]["count"] == 1
+        assert merged["histograms"]["h"]["min"] == 3.0
+
+    def test_zero_count_histogram_leaves_bounds_and_quantiles_alone(self):
+        # a created-but-never-observed histogram has min/max None and
+        # all-None quantiles; merging it with a populated series must
+        # keep the populated series' values exactly
+        a = MetricsRegistry()
+        a.histogram("h")  # created, zero observations
+        b = MetricsRegistry()
+        for x in (2.0, 4.0):
+            b.histogram("h").observe(x)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])["histograms"]["h"]
+        assert merged["count"] == 2
+        assert merged["min"] == 2.0 and merged["max"] == 4.0
+        assert merged["quantiles"]["0.5"] == pytest.approx(3.0)
+
+    def test_all_zero_count_series_merge_without_quantiles(self):
+        a = MetricsRegistry()
+        a.histogram("h")
+        b = MetricsRegistry()
+        b.histogram("h")
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])["histograms"]["h"]
+        assert merged["count"] == 0
+        assert merged["min"] is None and merged["max"] is None
+        assert merged["quantiles"] == {}
+
+    def test_disjoint_label_sets_stay_disjoint(self):
+        # shard A and shard B observe different label values — the merge
+        # must keep one series per label set, not collapse them
+        a = MetricsRegistry()
+        a.histogram("latency_seconds", endpoint="estimate").observe(0.001)
+        a.counter("requests_total", shard="0").inc(2)
+        b = MetricsRegistry()
+        b.histogram("latency_seconds", endpoint="predict").observe(0.005)
+        b.counter("requests_total", shard="1").inc(3)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged["histograms"]) == {
+            'latency_seconds{endpoint="estimate"}',
+            'latency_seconds{endpoint="predict"}',
+        }
+        assert merged["histograms"]['latency_seconds{endpoint="estimate"}']["count"] == 1
+        assert merged["histograms"]['latency_seconds{endpoint="predict"}']["count"] == 1
+        assert merged["counters"]['requests_total{shard="0"}'] == 2.0
+        assert merged["counters"]['requests_total{shard="1"}'] == 3.0
+
+    def test_merged_snapshot_is_remergeable(self):
+        # the perf-lab runner merges a parent snapshot with an already
+        # topology-merged one; the output format must round-trip
+        a = MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h").observe(3.0)
+        once = merge_snapshots([a.snapshot(), b.snapshot()])
+        twice = merge_snapshots([once, {}])
+        assert twice["histograms"]["h"]["count"] == 2
+        assert twice["histograms"]["h"]["sum"] == pytest.approx(4.0)
+        assert twice["histograms"]["h"]["min"] == 1.0

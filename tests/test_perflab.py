@@ -1,0 +1,277 @@
+"""Tests for the perf lab (:mod:`repro.perflab`): tables, runs, analysis."""
+
+import json
+import math
+
+import pytest
+
+from repro.perflab import (
+    RunConfig,
+    aggregate_groups,
+    analyze,
+    capacity_model,
+    execute_run,
+    expand_table,
+    fit_knee,
+    load_table,
+    run_table,
+    t_critical,
+)
+
+
+class TestRunConfig:
+    def test_run_and_group_ids(self):
+        cfg = RunConfig(topology="pipe", workers=2, cells=64, shape="burst", rate=250.0, rep=1)
+        assert cfg.run_id == "pipe-w2-c64-b64-burst-r250-rep1"
+        assert cfg.group_id == "pipe-w2-c64-b64-burst-r250"
+
+    def test_fractional_rate_is_filename_safe(self):
+        cfg = RunConfig(rate=12.5)
+        assert "." not in cfg.run_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(topology="carrier-pigeon")
+        with pytest.raises(ValueError):
+            RunConfig(topology="inproc", workers=2)
+        with pytest.raises(ValueError):
+            RunConfig(workers=0)
+
+
+class TestExpandTable:
+    TABLE = {
+        "defaults": {"reps": 2, "seed": 5, "duration_s": 0.5},
+        "sweep": {"topology": "inproc", "shape": ["steady", "burst"], "rate": [100.0, 200.0]},
+    }
+
+    def test_cartesian_product_times_reps(self):
+        configs = expand_table(self.TABLE)
+        assert len(configs) == 8  # 2 shapes x 2 rates x 2 reps
+        assert len({c.run_id for c in configs}) == 8
+
+    def test_reps_vary_seed_only(self):
+        configs = expand_table(self.TABLE)
+        by_group = {}
+        for c in configs:
+            by_group.setdefault(c.group_id, []).append(c)
+        for group in by_group.values():
+            assert [c.rep for c in group] == [0, 1]
+            assert [c.seed for c in group] == [5, 6]
+
+    def test_defaults_carry_through(self):
+        assert all(c.duration_s == 0.5 for c in expand_table(self.TABLE))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axes"):
+            expand_table({"sweep": {"shoe_size": [42]}})
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ValueError, match="unknown defaults"):
+            expand_table({"defaults": {"warp_factor": 9}})
+
+
+class TestLoadTable:
+    def test_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(self_table := {"sweep": {"rate": [10.0]}}))
+        assert load_table(path) == self_table
+
+    def test_yaml(self, tmp_path):
+        path = tmp_path / "t.yaml"
+        path.write_text("defaults:\n  reps: 1\nsweep:\n  rate: [10.0, 20.0]\n")
+        table = load_table(path)
+        assert table["sweep"]["rate"] == [10.0, 20.0]
+        assert len(expand_table(table)) == 2
+
+
+class TestStatistics:
+    def test_t_critical_matches_known_values(self):
+        assert t_critical(1) == pytest.approx(12.706, abs=0.01)
+        assert t_critical(9) == pytest.approx(2.262, abs=0.01)
+
+    def test_aggregate_mean_and_ci(self):
+        def artifact(group, rep, p99):
+            return {
+                "config": {"group_id": group, "rep": rep, "topology": "inproc", "rate": 100.0},
+                "load": {
+                    "latency_ms": {"p99": p99, "p50": p99 / 2, "mean": p99 / 2},
+                    "achieved_rate": 100.0,
+                    "requests": 100,
+                    "shed": 10,
+                    "errors": 0,
+                },
+                "resources": {"peak_rss_bytes": 1e6, "cpu_seconds": 0.5},
+            }
+
+        groups = aggregate_groups([artifact("g", 0, 10.0), artifact("g", 1, 14.0)])
+        assert len(groups) == 1
+        g = groups[0]
+        assert g["reps"] == 2
+        assert g["p99_ms"]["mean"] == pytest.approx(12.0)
+        # std = 2*sqrt(2)/sqrt(2)... half-width = t(1) * std / sqrt(2)
+        expected_ci = 12.706 * math.sqrt(8.0) / math.sqrt(2)
+        assert g["p99_ms"]["ci95"] == pytest.approx(expected_ci, rel=1e-3)
+        assert g["shed_fraction"]["mean"] == pytest.approx(0.1)
+        assert "rep" not in g["config"]
+
+    def test_single_rep_has_no_ci(self):
+        values = aggregate_groups(
+            [
+                {
+                    "config": {"group_id": "g", "rep": 0},
+                    "load": {
+                        "latency_ms": {"p99": 5.0, "p50": 2.0, "mean": 2.0},
+                        "achieved_rate": 10.0,
+                        "requests": 10,
+                        "shed": 0,
+                        "errors": 0,
+                    },
+                    "resources": {"peak_rss_bytes": None, "cpu_seconds": None},
+                }
+            ]
+        )
+        assert values[0]["p99_ms"]["ci95"] is None
+
+
+class TestFitKnee:
+    def test_bracketed_crossing_interpolates(self):
+        knee = fit_knee([(100.0, 5.0), (200.0, 10.0), (400.0, 50.0)], slo_ms=30.0)
+        assert knee["status"] == "fit"
+        assert knee["knee_rate"] == pytest.approx(300.0)  # halfway between 10 and 50
+
+    def test_all_under_slo_is_unsaturated(self):
+        knee = fit_knee([(100.0, 5.0), (200.0, 6.0)], slo_ms=30.0)
+        assert knee["status"] == "unsaturated"
+        assert knee["knee_rate"] == 200.0
+
+    def test_all_over_slo_is_saturated(self):
+        knee = fit_knee([(100.0, 50.0)], slo_ms=30.0)
+        assert knee["status"] == "saturated"
+        assert knee["knee_rate"] == 0.0
+
+    def test_empty(self):
+        assert fit_knee([], slo_ms=30.0)["status"] == "empty"
+        assert fit_knee([(100.0, None)], slo_ms=30.0)["status"] == "empty"
+
+
+class TestCapacityModel:
+    def _group(self, shape, rate, p99):
+        return {
+            "group_id": f"inproc-w1-c32-b64-{shape}-r{rate:g}",
+            "config": {
+                "group_id": "",
+                "topology": "inproc",
+                "workers": 1,
+                "cells": 32,
+                "max_batch": 64,
+                "shape": shape,
+                "rate": rate,
+            },
+            "reps": 2,
+            "p99_ms": {"mean": p99},
+        }
+
+    def test_knees_become_planning_numbers(self):
+        groups = [
+            self._group("steady", 100.0, 5.0),
+            self._group("steady", 200.0, 50.0),
+            self._group("burst", 100.0, 10.0),
+            self._group("burst", 200.0, 80.0),
+        ]
+        capacity = capacity_model(groups, slo_p99_ms=25.0, per_cell_req_s=0.1)
+        assert capacity["assumptions"]["slo_p99_ms"] == 25.0
+        by_shape = {e["shape"]: e for e in capacity["curves"]}
+        steady = by_shape["steady"]["knee"]["knee_rate"]
+        burst = by_shape["burst"]["knee"]["knee_rate"]
+        assert 100.0 < steady < 200.0 and 100.0 < burst < 200.0
+        assert by_shape["steady"]["cells_per_host"] == pytest.approx(steady / 0.1)
+        # headline picks the most conservative shape
+        head = capacity["headline"]["inproc-w1"]
+        assert head["knee_rate"] == pytest.approx(min(steady, burst))
+        assert head["shape"] == ("steady" if steady < burst else "burst")
+
+
+class TestEndToEnd:
+    """An 8-run mini table through run_table + analyze (the acceptance path)."""
+
+    TABLE = {
+        "defaults": {
+            "reps": 2,
+            "seed": 0,
+            "duration_s": 0.4,
+            "warmup_s": 0.1,
+            "cooldown_s": 0.05,
+            "slo_p99_ms": 30.0,
+            "per_cell_req_s": 0.1,
+        },
+        "sweep": {
+            "topology": "inproc",
+            "cells": 8,
+            "shape": ["steady", "poisson"],
+            "rate": [80.0, 160.0],
+        },
+    }
+
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perflab")
+        manifest = run_table(self.TABLE, out, progress=lambda *_: None)
+        return out, manifest
+
+    def test_eight_artifacts_written(self, run_dir):
+        out, manifest = run_dir
+        assert len(manifest["runs"]) == 8
+        assert all(r["ok"] for r in manifest["runs"])
+        assert len(list(out.glob("run-*.json"))) == 8
+
+    def test_artifact_contents(self, run_dir):
+        out, manifest = run_dir
+        artifact = json.loads((out / manifest["runs"][0]["file"]).read_text())
+        assert artifact["load"]["mode"] == "open"
+        assert artifact["load"]["requests"] > 0 and artifact["load"]["errors"] == 0
+        assert artifact["load"]["latency_ms"]["p99"] > 0.0
+        assert artifact["resources"]["samples"], "resource time series missing"
+        assert artifact["resources"]["peak_rss_bytes"] > 1_000_000
+        assert artifact["resources"]["per_process"], "per-process series missing"
+        assert artifact["stages"], "trace stage attribution missing"
+        assert "gateway.estimate" in artifact["stages"]
+        # gateway counters cover warmup + measured phases
+        assert artifact["gateway"]["estimate"]["requests"] >= artifact["load"]["requests"]
+
+    def test_analyze_emits_capacity_with_cis(self, run_dir):
+        out, _ = run_dir
+        summary = analyze(out)
+        assert summary["runs"] == 8
+        assert len(summary["groups"]) == 4  # 2 shapes x 2 rates
+        for group in summary["groups"]:
+            assert group["reps"] == 2
+            assert group["p99_ms"]["mean"] > 0.0
+            assert group["p99_ms"]["ci95"] is not None
+        capacity = summary["capacity"]
+        # table-pinned assumptions flow through the manifest
+        assert capacity["assumptions"]["slo_p99_ms"] == 30.0
+        assert capacity["assumptions"]["per_cell_req_s"] == 0.1
+        for entry in capacity["curves"]:
+            if entry["knee"]["knee_rate"]:
+                assert entry["req_s_per_worker"] == pytest.approx(entry["knee"]["knee_rate"])
+                assert entry["cells_per_host"] == pytest.approx(entry["knee"]["knee_rate"] / 0.1)
+        assert (out / "summary.json").exists()
+        assert json.loads((out / "BENCH_capacity.json").read_text())["assumptions"]
+
+    def test_cli_override_beats_pinned_slo(self, run_dir):
+        out, _ = run_dir
+        summary = analyze(out, slo_p99_ms=1e9)
+        # an absurdly lax SLO makes every curve unsaturated at its top rate
+        for entry in summary["capacity"]["curves"]:
+            assert entry["knee"]["status"] == "unsaturated"
+            assert entry["knee"]["knee_rate"] == 160.0
+
+
+class TestExecuteRunSharded:
+    def test_shards_topology_shares_registry(self):
+        cfg = RunConfig(
+            topology="shards", workers=2, cells=8, rate=80.0, duration_s=0.3, warmup_s=0.05, cooldown_s=0.0
+        )
+        artifact = execute_run(cfg)
+        assert artifact["load"]["errors"] == 0
+        assert artifact["resources"]["per_process"]  # parent pid series present

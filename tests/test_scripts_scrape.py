@@ -1,0 +1,134 @@
+"""Tests for ``scripts/scrape_exposition.py`` (CI scrape helper).
+
+The script was previously exercised only inside CI soak lanes; these
+tests pin its two halves — exposition validation and the poll loop —
+against an in-process :class:`~repro.monitor.exposition.ExpositionServer`.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.monitor.exposition import ExpositionServer
+from repro.monitor.metrics import MetricsRegistry
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "scrape_exposition.py"
+
+
+@pytest.fixture(scope="module")
+def scrape():
+    spec = importlib.util.spec_from_file_location("scrape_exposition", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestValidateExposition:
+    def test_valid_body_with_required_families(self, scrape):
+        body = (
+            "# TYPE gateway_requests_total counter\n"
+            'gateway_requests_total{endpoint="estimate"} 42\n'
+            "cells_gauge 7\n"
+        )
+        assert scrape.validate_exposition(body, ["gateway_requests_total"]) == []
+
+    def test_histogram_family_matches_by_prefix(self, scrape):
+        body = 'trace_stage_seconds_count{stage="kernel"} 3\ntrace_stage_seconds_sum{stage="kernel"} 0.1\n'
+        assert scrape.validate_exposition(body, ["trace_stage_seconds"]) == []
+
+    def test_missing_family_reported(self, scrape):
+        problems = scrape.validate_exposition("up 1\n", ["gateway_requests_total"])
+        assert any("gateway_requests_total" in p for p in problems)
+
+    def test_malformed_line_reported(self, scrape):
+        problems = scrape.validate_exposition("this is not a metric\n", [])
+        assert any("not a metric sample" in p for p in problems)
+
+    def test_unparseable_value_reported(self, scrape):
+        problems = scrape.validate_exposition("requests_total fast\n", [])
+        assert any("unparseable value" in p for p in problems)
+
+    def test_comments_and_blanks_ignored(self, scrape):
+        assert scrape.validate_exposition("# HELP x\n\n# TYPE x counter\nx 1\n", ["x"]) == []
+
+    def test_registry_output_validates(self, scrape):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", endpoint="estimate").inc(3)
+        reg.histogram("latency_seconds", endpoint="estimate").observe(0.004)
+        assert scrape.validate_exposition(reg.to_prometheus(), ["requests_total", "latency_seconds"]) == []
+
+
+class TestMainPollLoop:
+    def test_scrapes_live_server(self, scrape, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("gateway_requests_total", endpoint="estimate").inc(5)
+        out = tmp_path / "scrape.txt"
+        with ExpositionServer(metrics=reg) as server:
+            rc = scrape.main(
+                [
+                    "--url",
+                    server.url,
+                    "--require",
+                    "gateway_requests_total",
+                    "--timeout",
+                    "10",
+                    "--interval",
+                    "0.05",
+                    "--out",
+                    str(out),
+                ]
+            )
+        assert rc == 0
+        assert "scrape ok" in capsys.readouterr().out
+        assert "gateway_requests_total" in out.read_text()
+
+    def test_missing_family_times_out(self, scrape, capsys):
+        reg = MetricsRegistry()
+        reg.counter("something_else").inc()
+        with ExpositionServer(metrics=reg) as server:
+            rc = scrape.main(
+                ["--url", server.url, "--require", "never_emitted", "--timeout", "0.4", "--interval", "0.1"]
+            )
+        assert rc == 1
+        assert "never_emitted" in capsys.readouterr().err
+
+    def test_unreachable_server_times_out(self, scrape, capsys):
+        rc = scrape.main(
+            ["--url", "http://127.0.0.1:1", "--timeout", "0.3", "--interval", "0.1"]
+        )
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_unhealthy_server_times_out(self, scrape, capsys):
+        reg = MetricsRegistry()
+        with ExpositionServer(metrics=reg, health=lambda: {"ok": False, "reason": "draining"}) as server:
+            rc = scrape.main(["--url", server.url, "--timeout", "0.4", "--interval", "0.1"])
+        assert rc == 1
+        # unhealthy -> the server answers 503 and the script keeps polling
+        assert "/healthz returned 503" in capsys.readouterr().err
+
+    def test_process_metrics_visible_on_live_endpoint(self, scrape):
+        # the satellite requirement: process_* gauges appear on /metrics
+        from repro.monitor.resources import install_process_metrics
+
+        reg = MetricsRegistry()
+        install_process_metrics(reg)
+        with ExpositionServer(metrics=reg) as server:
+            rc = scrape.main(
+                [
+                    "--url",
+                    server.url,
+                    "--require",
+                    "process_resident_bytes",
+                    "--require",
+                    "process_cpu_seconds_total",
+                    "--timeout",
+                    "10",
+                    "--interval",
+                    "0.05",
+                ]
+            )
+        assert rc == 0

@@ -1,0 +1,179 @@
+"""Tests for open-loop load generation (:mod:`repro.serve.loadgen`).
+
+The saturation test at the bottom is the reason this module exists:
+past the capacity knee an open-loop generator's measured latency
+diverges (the queue grows without bound) while a closed-loop client's
+plateaus (it self-limits to capacity) — demonstrated here against a
+stub engine with a known service rate.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.gateway import GatewayOverloaded
+from repro.serve.loadgen import LoadReport, arrival_times, run_closed_loop, run_open_loop
+
+
+class TestArrivalTimes:
+    @pytest.mark.parametrize("shape", ["steady", "poisson", "burst", "diurnal"])
+    def test_sorted_within_horizon_and_deterministic(self, shape):
+        a = arrival_times(shape, rate=300.0, duration_s=2.0, seed=7)
+        b = arrival_times(shape, rate=300.0, duration_s=2.0, seed=7)
+        assert a.size > 0
+        assert np.all(np.diff(a) >= 0.0)
+        assert a[-1] < 2.0
+        assert np.array_equal(a, b)
+        if shape != "steady":  # steady is deterministic in the seed too
+            assert not np.array_equal(a, arrival_times(shape, rate=300.0, duration_s=2.0, seed=8))
+
+    def test_steady_is_evenly_spaced(self):
+        t = arrival_times("steady", rate=100.0, duration_s=1.0)
+        assert t.size == 100
+        assert np.allclose(np.diff(t), 0.01)
+
+    def test_poisson_mean_rate(self):
+        t = arrival_times("poisson", rate=500.0, duration_s=20.0, seed=1)
+        assert t.size == pytest.approx(10_000, rel=0.05)
+
+    def test_burst_concentrates_in_duty_window(self):
+        t = arrival_times("burst", rate=200.0, duration_s=8.0, seed=2, burst_period_s=2.0, burst_duty=0.25)
+        phase = (t % 2.0) / 2.0
+        assert np.all(phase < 0.25)
+        # mean rate over full periods stays near the configured rate
+        assert t.size == pytest.approx(1600, rel=0.15)
+
+    def test_diurnal_modulates_rate(self):
+        t = arrival_times("diurnal", rate=400.0, duration_s=10.0, seed=3, diurnal_period_s=10.0)
+        peak_half = np.sum(t < 5.0)  # sin > 0: above-mean rate
+        trough_half = np.sum(t >= 5.0)
+        assert peak_half > 1.4 * trough_half
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            arrival_times("sawtooth", 10.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_times("steady", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_times("burst", 10.0, 1.0, burst_duty=0.0)
+        with pytest.raises(ValueError):
+            arrival_times("diurnal", 10.0, 1.0, diurnal_depth=1.5)
+
+
+class _Completion:
+    def __init__(self, error=None):
+        self.error = error
+
+
+class TestRunOpenLoop:
+    def test_counts_and_report_shape(self):
+        async def call(i):
+            await asyncio.sleep(0.001)
+            if i % 10 == 0:
+                return _Completion("shed: at capacity")
+            if i % 10 == 1:
+                return _Completion("worker crashed")
+            return _Completion()
+
+        report = asyncio.run(run_open_loop(call, arrival_times("steady", 400.0, 0.25), shape="steady"))
+        assert isinstance(report, LoadReport)
+        assert report.requests == 100
+        assert report.shed == 10 and report.errors == 10 and report.ok == 80
+        d = report.to_dict()
+        assert d["mode"] == "open" and d["shape"] == "steady"
+        assert d["latency_ms"]["p99"] >= d["latency_ms"]["p50"] > 0.0
+        assert d["send_lag_ms"]["p99"] >= 0.0
+
+    def test_gateway_overloaded_counts_as_shed(self):
+        async def call(i):
+            raise GatewayOverloaded("shed: full")
+
+        report = asyncio.run(run_open_loop(call, arrival_times("steady", 200.0, 0.1)))
+        assert report.shed == report.requests
+
+    def test_latency_measured_from_scheduled_arrival(self):
+        # a single slow request delays nothing else, but every later
+        # arrival is measured from its own schedule — a stalled *loop*
+        # shows up as inflated latency even for fast responses
+        async def call(i):
+            if i == 0:
+                await asyncio.sleep(0.2)
+            return _Completion()
+
+        arrivals = np.array([0.0, 0.01, 0.02])
+        report = asyncio.run(run_open_loop(call, arrivals))
+        # request 0 took ~200ms; 1 and 2 stayed fast (no back-off, they
+        # were fired on schedule while 0 was still in flight)
+        assert report.latencies_s[0] > 0.15
+        assert report.latencies_s[1] < 0.1 and report.latencies_s[2] < 0.1
+
+
+class TestRunClosedLoop:
+    def test_counts(self):
+        async def call(i):
+            await asyncio.sleep(0.001)
+            return _Completion()
+
+        report = asyncio.run(run_closed_loop(call, 40, clients=4))
+        assert report.mode == "closed"
+        assert report.requests == 40 and report.ok == 40
+
+    def test_self_limits_offered_load(self):
+        # 2 clients x ~5ms service = ~400 req/s ceiling regardless of demand
+        async def call(i):
+            await asyncio.sleep(0.005)
+            return _Completion()
+
+        report = asyncio.run(run_closed_loop(call, 40, clients=2))
+        assert report.achieved_rate < 500.0
+
+
+class TestSaturationBehaviour:
+    """Open-loop diverges past the knee; closed-loop plateaus (acceptance)."""
+
+    SERVICE_S = 0.004  # one request at a time -> capacity = 250 req/s
+
+    def _make_call(self):
+        lock = asyncio.Lock()
+
+        async def call(i):
+            async with lock:  # serialized service: a known-capacity server
+                await asyncio.sleep(self.SERVICE_S)
+            return _Completion()
+
+        return call
+
+    def test_open_loop_diverges_where_closed_loop_plateaus(self):
+        async def scenario():
+            offered = 2.0 / self.SERVICE_S  # 2x capacity
+            open_report = await run_open_loop(
+                self._make_call(), arrival_times("steady", offered, 1.0), shape="steady"
+            )
+            closed_report = await run_closed_loop(self._make_call(), 100, clients=1)
+            return open_report, closed_report
+
+        open_report, closed_report = asyncio.run(scenario())
+
+        # closed loop: one outstanding request, so latency stays ~service
+        # time no matter how long it runs — the plateau that hides saturation
+        assert closed_report.quantile_ms(0.99) < 4.0 * self.SERVICE_S * 1e3
+
+        # open loop at 2x capacity: the backlog grows all run long, so
+        # p99 dwarfs the closed-loop p99 ...
+        assert open_report.quantile_ms(0.99) > 10.0 * closed_report.quantile_ms(0.99)
+        # ... and latency *diverges over time*: the second half of the
+        # run waits far longer than the first half (a plateau would stay flat)
+        d = open_report.to_dict()["latency_ms"]
+        assert d["second_half_mean"] > 2.0 * d["first_half_mean"]
+
+    def test_open_loop_below_knee_stays_flat(self):
+        async def scenario():
+            offered = 0.5 / self.SERVICE_S  # half capacity
+            return await run_open_loop(self._make_call(), arrival_times("steady", offered, 1.0))
+
+        report = asyncio.run(scenario())
+        d = report.to_dict()["latency_ms"]
+        # under the knee there is no backlog growth
+        assert d["second_half_mean"] < 2.0 * d["first_half_mean"]
+        assert report.quantile_ms(0.99) < 15.0 * self.SERVICE_S * 1e3
